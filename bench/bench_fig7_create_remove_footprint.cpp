@@ -1,0 +1,132 @@
+// Figure 7 — IBBE-SGX vs HE on the three administrator-facing metrics:
+//   (a) create-group latency, remove-user latency, and metadata footprint
+//       as the group grows (fixed partition size 1000);
+//   (b) the same metrics for IBBE-SGX only, sweeping the partition size.
+//
+// Uses the full system stack (enclave + partitioning + cloud metadata), so
+// the footprint numbers are real serialized bytes.
+#include "common.h"
+#include "he/he_pki.h"
+#include "system/ibbe_scheme.h"
+#include "util/stopwatch.h"
+
+using namespace ibbe;
+
+namespace {
+
+std::vector<core::Identity> make_users(std::size_t n) {
+  std::vector<core::Identity> users;
+  users.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) users.push_back("user" + std::to_string(i));
+  return users;
+}
+
+struct Metrics {
+  double create_s;
+  double remove_s;
+  std::size_t footprint;
+};
+
+Metrics measure(he::GroupScheme& scheme, const std::vector<core::Identity>& users) {
+  if (auto* pki = dynamic_cast<he::HePkiScheme*>(&scheme)) {
+    pki->register_users(users);
+  }
+  Metrics m{};
+  util::Stopwatch watch;
+  scheme.create_group(users);
+  m.create_s = watch.seconds();
+  watch.reset();
+  scheme.remove_user(users[users.size() / 2]);
+  m.remove_s = watch.seconds();
+  m.footprint = scheme.metadata_size();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto scale = bench::parse_scale(argc, argv);
+  std::printf("# Figure 7: create/remove/footprint, IBBE-SGX vs HE [scale=%s]\n",
+              bench::scale_name(scale));
+
+  std::vector<std::size_t> group_sizes;
+  std::size_t he_cap, fig7a_partition;
+  std::vector<std::size_t> partition_sweep;
+  std::vector<std::size_t> sweep_groups;
+  switch (scale) {
+    case bench::Scale::smoke:
+      group_sizes = {200};
+      he_cap = 200;
+      fig7a_partition = 50;
+      partition_sweep = {25, 50};
+      sweep_groups = {200};
+      break;
+    case bench::Scale::full:
+      group_sizes = {1000, 10000, 100000, 1000000};
+      he_cap = 100000;
+      fig7a_partition = 1000;
+      partition_sweep = {1000, 2000, 3000, 4000};
+      sweep_groups = {100000, 500000, 1000000};
+      break;
+    default:
+      group_sizes = {1000, 10000, 50000};
+      he_cap = 10000;
+      fig7a_partition = 1000;
+      partition_sweep = {500, 1000, 2000};
+      sweep_groups = {20000, 50000};
+  }
+
+  // ------------------------------------------------------------ Fig. 7a
+  bench::Table fig7a(
+      "Fig. 7a — IBBE-SGX (|p|=" + std::to_string(fig7a_partition) +
+          ") vs HE-PKI",
+      {"group size", "scheme", "create", "remove 1 user", "footprint"});
+
+  for (std::size_t n : group_sizes) {
+    auto users = make_users(n);
+    {
+      system::IbbeSgxScheme scheme(fig7a_partition, 3);
+      auto m = measure(scheme, users);
+      fig7a.row({std::to_string(n), "IBBE-SGX", bench::fmt_seconds(m.create_s),
+                 bench::fmt_seconds(m.remove_s), bench::fmt_bytes(m.footprint)});
+    }
+    if (n <= he_cap) {
+      he::HePkiScheme scheme(4);
+      auto m = measure(scheme, users);
+      fig7a.row({std::to_string(n), "HE-PKI", bench::fmt_seconds(m.create_s),
+                 bench::fmt_seconds(m.remove_s), bench::fmt_bytes(m.footprint)});
+    } else {
+      fig7a.row({std::to_string(n), "HE-PKI", "(skipped: time budget)", "-", "-"});
+    }
+  }
+  fig7a.print();
+
+  // ------------------------------------------------------------ Fig. 7b
+  bench::Table fig7b("Fig. 7b — IBBE-SGX partition-size sweep",
+                     {"group size", "partition size", "create", "remove 1 user",
+                      "crypto footprint"});
+  for (std::size_t n : sweep_groups) {
+    auto users = make_users(n);
+    for (std::size_t p : partition_sweep) {
+      system::IbbeSgxScheme scheme(p, 5);
+      auto m = measure(scheme, users);
+      // The paper's Fig. 7b footprint counts the cryptographic payload per
+      // group (ciphertexts + wrapped keys), excluding the member lists that
+      // both schemes need; approximate by subtracting the identity bytes.
+      std::size_t names = 0;
+      for (const auto& u : users) names += 2 * (u.size() + 4);
+      std::size_t crypto_bytes = m.footprint > names ? m.footprint - names : 0;
+      fig7b.row({std::to_string(n), std::to_string(p),
+                 bench::fmt_seconds(m.create_s), bench::fmt_seconds(m.remove_s),
+                 bench::fmt_bytes(crypto_bytes)});
+    }
+  }
+  fig7b.print();
+
+  std::printf(
+      "Expected shape (paper): IBBE-SGX create/remove ~1.2 orders of magnitude\n"
+      "faster than HE; footprint up to 6 orders smaller (per-partition constant\n"
+      "vs per-member ciphertexts). Remove ~= half of create cost; smaller\n"
+      "partitions cost little extra storage.\n");
+  return 0;
+}

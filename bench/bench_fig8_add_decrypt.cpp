@@ -1,0 +1,119 @@
+// Figure 8 —
+//   (a) CDF of add-user latency: IBBE-SGX has two paths (O(1) extension of an
+//       open partition vs creation of a fresh partition when all are full),
+//       visible as a knee in the CDF; HE-PKI adds are a single ECIES
+//       encryption and sit below both.
+//   (b) client decrypt latency vs partition size (the O(|p|^2) + pairings
+//       user-side cost the partitioning bounds).
+#include "common.h"
+#include "he/he_pki.h"
+#include "system/ibbe_scheme.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+using namespace ibbe;
+
+namespace {
+
+std::vector<core::Identity> make_users(std::size_t n, const char* prefix) {
+  std::vector<core::Identity> users;
+  users.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    users.push_back(std::string(prefix) + std::to_string(i));
+  }
+  return users;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto scale = bench::parse_scale(argc, argv);
+  std::printf("# Figure 8: add-user CDF and decrypt latency [scale=%s]\n",
+              bench::scale_name(scale));
+
+  std::size_t partition_size, adds;
+  std::vector<std::size_t> decrypt_partitions;
+  switch (scale) {
+    case bench::Scale::smoke:
+      partition_size = 16;
+      adds = 40;
+      decrypt_partitions = {16, 32};
+      break;
+    case bench::Scale::full:
+      partition_size = 1000;
+      adds = 4000;
+      decrypt_partitions = {1000, 2000, 3000, 4000};
+      break;
+    default:
+      partition_size = 250;
+      adds = 1000;
+      decrypt_partitions = {256, 512, 1024, 2048};
+  }
+
+  // ------------------------------------------------------------ Fig. 8a
+  util::Summary ibbe_adds, he_adds;
+  {
+    system::IbbeSgxScheme scheme(partition_size, 11);
+    std::vector<core::Identity> seed_users = {"seed0"};
+    scheme.create_group(seed_users);
+    for (std::size_t i = 0; i < adds; ++i) {
+      util::Stopwatch watch;
+      scheme.add_user("joiner" + std::to_string(i));
+      ibbe_adds.add(watch.seconds());
+    }
+  }
+  {
+    he::HePkiScheme scheme(12);
+    auto users = make_users(adds + 1, "h");
+    scheme.register_users(users);
+    std::vector<core::Identity> seed_users = {users[0]};
+    scheme.create_group(seed_users);
+    for (std::size_t i = 1; i <= adds; ++i) {
+      util::Stopwatch watch;
+      scheme.add_user(users[i]);
+      he_adds.add(watch.seconds());
+    }
+  }
+
+  bench::Table fig8a("Fig. 8a — add-user latency CDF (|p|=" +
+                         std::to_string(partition_size) + ", " +
+                         std::to_string(adds) + " adds)",
+                     {"CDF", "IBBE-SGX", "HE-PKI"});
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.80, 0.90, 0.95, 0.99, 1.00}) {
+    fig8a.row({bench::fmt_double(q, 2), bench::fmt_seconds(ibbe_adds.percentile(q)),
+               bench::fmt_seconds(he_adds.percentile(q))});
+  }
+  fig8a.print();
+
+  // ------------------------------------------------------------ Fig. 8b
+  bench::Table fig8b("Fig. 8b — client decrypt latency vs partition size",
+                     {"partition size", "decrypt latency", "HE-PKI decrypt"});
+  for (std::size_t p : decrypt_partitions) {
+    system::IbbeSgxScheme scheme(p, 13);
+    auto users = make_users(p, "d");  // exactly one full partition
+    scheme.create_group(users);
+    util::Stopwatch watch;
+    auto gk = scheme.user_decrypt(users[p / 2]);
+    double ibbe_s = watch.seconds();
+    if (!gk) return 1;
+
+    he::HePkiScheme he_scheme(14);
+    he_scheme.register_users(users);
+    he_scheme.create_group(users);
+    watch.reset();
+    auto he_gk = he_scheme.user_decrypt(users[p / 2]);
+    double he_s = watch.seconds();
+    if (!he_gk) return 1;
+
+    fig8b.row({std::to_string(p), bench::fmt_seconds(ibbe_s),
+               bench::fmt_seconds(he_s)});
+  }
+  fig8b.print();
+
+  std::printf(
+      "Expected shape (paper): the add CDF shows ~80%% cheap in-partition adds\n"
+      "and a 20%% knee for new-partition adds; HE adds ~2x faster than IBBE-SGX.\n"
+      "Decrypt grows superlinearly with partition size and sits ~2 orders of\n"
+      "magnitude above HE's constant-time decrypt.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 9 — Linux-kernel ACL trace replay: total administrator time and
+// average user decryption time per partition size, with HE-PKI as the
+// partition-independent baseline.
+//
+// The paper replays 43,468 membership operations with a peak group of 2,803
+// (derived from the kernel's git history); the default scale replays a
+// synthesized trace with the same shape at ~1/14th the size, with the
+// partition-size grid scaled to the peak in the same proportions as the
+// paper's {250..2803-ish} sweep.
+#include "common.h"
+#include "he/he_pki.h"
+#include "system/ibbe_scheme.h"
+#include "trace/replay.h"
+
+using namespace ibbe;
+
+int main(int argc, char** argv) {
+  auto scale = bench::parse_scale(argc, argv);
+  std::printf("# Figure 9: Linux-kernel ACL trace replay [scale=%s]\n",
+              bench::scale_name(scale));
+
+  std::size_t ops, peak, decrypt_every;
+  std::vector<std::size_t> partition_sizes;
+  switch (scale) {
+    case bench::Scale::smoke:
+      ops = 150;
+      peak = 30;
+      partition_sizes = {10, 30};
+      decrypt_every = 25;
+      break;
+    case bench::Scale::full:
+      ops = 43468;
+      peak = 2803;
+      partition_sizes = {250, 500, 750, 1000, 1500, 2000};
+      decrypt_every = 500;
+      break;
+    default:
+      ops = 3000;
+      peak = 250;
+      partition_sizes = {25, 50, 100, 175, 250};
+      decrypt_every = 100;
+  }
+
+  auto trace = trace::linux_kernel_trace(ops, peak, /*seed=*/2018);
+  std::printf("trace: %zu ops (%zu adds, %zu removes), peak group %zu\n",
+              trace.ops.size(), trace.add_count(), trace.remove_count(),
+              trace.peak_size());
+
+  trace::ReplayOptions options;
+  options.decrypt_sample_every = decrypt_every;
+
+  bench::Table table("Fig. 9 — admin replay time and average decrypt time",
+                     {"scheme", "partition size", "admin replay", "avg add",
+                      "avg remove", "avg decrypt"});
+
+  for (std::size_t p : partition_sizes) {
+    system::IbbeSgxScheme scheme(p, 21);
+    auto result = trace::replay(scheme, trace, options);
+    table.row({"IBBE-SGX", std::to_string(p),
+               bench::fmt_seconds(result.admin_seconds),
+               bench::fmt_seconds(result.add_latencies.mean()),
+               bench::fmt_seconds(result.remove_latencies.mean()),
+               bench::fmt_seconds(result.decrypt_latencies.mean())});
+  }
+
+  {
+    he::HePkiScheme scheme(22);
+    auto result = trace::replay(scheme, trace, options);
+    table.row({"HE-PKI", "n/a", bench::fmt_seconds(result.admin_seconds),
+               bench::fmt_seconds(result.add_latencies.mean()),
+               bench::fmt_seconds(result.remove_latencies.mean()),
+               bench::fmt_seconds(result.decrypt_latencies.mean())});
+  }
+
+  table.print();
+  std::printf(
+      "Expected shape (paper): IBBE-SGX replay time falls as the partition\n"
+      "size approaches the peak group size (fewer partitions to re-key per\n"
+      "revocation) and sits ~1 order of magnitude below HE; decrypt time grows\n"
+      "with partition size — the administrator/user trade-off of Fig. 9.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Micro-benchmarks of the cryptographic substrate (google-benchmark).
+//
+// These correspond to the paper's implementation section (§V-B): the costs of
+// the PBC/GMP primitives the scheme is built from. They also calibrate the
+// figure benches: IBBE-SGX operation costs are small multiples of G2/GT
+// exponentiations and pairings.
+#include <benchmark/benchmark.h>
+
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+#include "crypto/sha256.h"
+#include "ec/curves.h"
+#include "ibbe/ibbe.h"
+#include "pairing/pairing.h"
+#include "pki/ecies.h"
+
+namespace {
+
+using ibbe::crypto::Drbg;
+using ibbe::ec::G1;
+using ibbe::ec::G2;
+using ibbe::field::Fp;
+using ibbe::field::Fr;
+
+Fr random_fr(Drbg& rng) {
+  auto raw = rng.bytes(32);
+  auto v = Fr::from_be_bytes_reduce(raw);
+  return v.is_zero() ? Fr::one() : v;
+}
+
+void BM_FpMul(benchmark::State& state) {
+  Drbg rng(1);
+  Fp a = Fp::from_be_bytes_reduce(rng.bytes(32));
+  Fp b = Fp::from_be_bytes_reduce(rng.bytes(32));
+  for (auto _ : state) {
+    a = a * b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FpMul);
+
+void BM_FrInverse(benchmark::State& state) {
+  Drbg rng(2);
+  Fr a = random_fr(rng);
+  for (auto _ : state) {
+    a = a.inverse() + Fr::one();
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FrInverse);
+
+void BM_G1ScalarMul(benchmark::State& state) {
+  Drbg rng(3);
+  G1 p = G1::generator();
+  Fr k = random_fr(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.mul(k));
+  }
+}
+BENCHMARK(BM_G1ScalarMul);
+
+void BM_G2ScalarMul(benchmark::State& state) {
+  Drbg rng(4);
+  G2 p = G2::generator();
+  Fr k = random_fr(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.mul(k));
+  }
+}
+BENCHMARK(BM_G2ScalarMul);
+
+void BM_GtExp(benchmark::State& state) {
+  Drbg rng(5);
+  auto e = ibbe::pairing::pairing(G1::generator(), G2::generator());
+  Fr k = random_fr(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.exp(k));
+  }
+}
+BENCHMARK(BM_GtExp);
+
+void BM_Pairing(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ibbe::pairing::pairing(G1::generator(), G2::generator()));
+  }
+}
+BENCHMARK(BM_Pairing);
+
+void BM_PairingProduct2(benchmark::State& state) {
+  std::vector<std::pair<G1, G2>> pairs = {
+      {G1::generator(), G2::generator()},
+      {G1::generator().dbl(), G2::generator()},
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibbe::pairing::pairing_product(pairs));
+  }
+}
+BENCHMARK(BM_PairingProduct2);
+
+void BM_HashToG1(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibbe::ec::hash_to_g1("user" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_HashToG1);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibbe::crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_AesGcmSeal_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> key(32, 1), nonce(12, 2), data(1024, 3);
+  ibbe::crypto::Aes256Gcm gcm(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.seal(nonce, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_AesGcmSeal_1KiB);
+
+void BM_EciesEncrypt(benchmark::State& state) {
+  Drbg rng(6);
+  auto key = ibbe::pki::EciesKeyPair::generate(rng);
+  std::vector<std::uint8_t> gk(32, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibbe::pki::ecies_encrypt(key.public_key(), gk, rng));
+  }
+}
+BENCHMARK(BM_EciesEncrypt);
+
+void BM_IbbeEncryptMsk(benchmark::State& state) {
+  Drbg rng(7);
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto keys = ibbe::core::setup(n, rng);
+  std::vector<ibbe::core::Identity> users;
+  for (std::size_t i = 0; i < n; ++i) users.push_back("u" + std::to_string(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng));
+  }
+}
+BENCHMARK(BM_IbbeEncryptMsk)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_IbbeDecrypt(benchmark::State& state) {
+  Drbg rng(8);
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto keys = ibbe::core::setup(n, rng);
+  std::vector<ibbe::core::Identity> users;
+  for (std::size_t i = 0; i < n; ++i) users.push_back("u" + std::to_string(i));
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  auto usk = ibbe::core::extract_user_key(keys.msk, users[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibbe::core::decrypt(keys.pk, usk, users, enc.ct));
+  }
+}
+BENCHMARK(BM_IbbeDecrypt)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary accepts:  --scale smoke|default|full
+//   smoke   — seconds; sanity check that the harness runs (CI)
+//   default — minutes for the whole suite; reproduces every figure's *shape*
+//   full    — paper-scale grids where feasible (hours for some figures)
+//
+// Output: a human-readable markdown table followed by machine-readable CSV
+// lines prefixed with "csv,".
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibbe::bench {
+
+enum class Scale { smoke, standard, full };
+
+inline Scale parse_scale(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc + 1; ++i) {
+    if (i < argc && std::string_view(argv[i]) == "--scale" && i + 1 < argc) {
+      std::string_view v = argv[i + 1];
+      if (v == "smoke") return Scale::smoke;
+      if (v == "full") return Scale::full;
+      return Scale::standard;
+    }
+  }
+  return Scale::standard;
+}
+
+inline const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::smoke: return "smoke";
+    case Scale::full: return "full";
+    default: return "default";
+  }
+}
+
+/// Accumulates rows and prints them as a markdown table + CSV block.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::printf("\n## %s\n\n", title_.c_str());
+    auto print_row = [](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (const auto& c : cells) std::printf(" %s |", c.c_str());
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::printf("|");
+    for (std::size_t i = 0; i < columns_.size(); ++i) std::printf("---|");
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+    std::printf("\n");
+    for (const auto& r : rows_) {
+      std::printf("csv");
+      for (const auto& c : r) std::printf(",%s", c.c_str());
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_seconds(double s) {
+  char buf[64];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", s * 1e3);
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f min", s / 60.0);
+  }
+  return buf;
+}
+
+inline std::string fmt_bytes(std::size_t b) {
+  char buf[64];
+  if (b < 1024) {
+    std::snprintf(buf, sizeof buf, "%zu B", b);
+  } else if (b < 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", static_cast<double>(b) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f MiB",
+                  static_cast<double>(b) / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+inline std::string fmt_double(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace ibbe::bench

@@ -1,0 +1,111 @@
+// Pay-per-view broadcasting — the paper's non-cloud use case (§I): the same
+// construction encrypts content for a changing subscriber base over any
+// shared medium.
+//
+// A broadcaster (administrator + enclave) manages channel subscribers;
+// every program is encrypted under the current channel key. Subscribers
+// derive the key from the broadcast metadata; lapsed subscribers lose access
+// from their revocation onward but keep old recordings — exactly the forward
+// semantics of the group key rotation.
+//
+// Build & run:  ./build/examples/pay_tv_broadcast
+#include <cstdio>
+#include <map>
+
+#include "crypto/gcm.h"
+#include "system/admin.h"
+#include "system/client.h"
+
+using namespace ibbe;
+
+namespace {
+
+struct Broadcast {
+  util::Bytes nonce;
+  util::Bytes payload;  // AES-GCM under the channel key at air time
+};
+
+Broadcast air(const util::Bytes& channel_key, const std::string& program,
+              crypto::Drbg& rng) {
+  crypto::Aes256Gcm gcm(channel_key);
+  Broadcast b;
+  b.nonce = rng.bytes(crypto::Aes256Gcm::nonce_size);
+  b.payload = gcm.seal(b.nonce, {reinterpret_cast<const std::uint8_t*>(
+                                     program.data()),
+                                 program.size()});
+  return b;
+}
+
+std::optional<std::string> tune_in(const util::Bytes& channel_key,
+                                   const Broadcast& b) {
+  crypto::Aes256Gcm gcm(channel_key);
+  auto pt = gcm.open(b.nonce, b.payload);
+  if (!pt) return std::nullopt;
+  return std::string(pt->begin(), pt->end());
+}
+
+}  // namespace
+
+int main() {
+  sgx::EnclavePlatform head_end("broadcast-head-end");
+  enclave::IbbeEnclave enclave(head_end, /*max_partition_size=*/8);
+  cloud::CloudStore satellite;  // any shared medium works as the "carrier"
+  crypto::Drbg rng;
+  system::AdminApi operator_(enclave, satellite,
+                             pki::EcdsaKeyPair::generate(rng),
+                             {.partition_size = 8});
+
+  // Season start: eight subscribers.
+  std::vector<core::Identity> subscribers;
+  for (int i = 0; i < 8; ++i) subscribers.push_back("sub" + std::to_string(i));
+  operator_.create_group("movies-channel", subscribers);
+  std::printf("[operator] channel online, %zu subscribers\n", subscribers.size());
+
+  auto receiver = [&](const core::Identity& id) {
+    return system::ClientApi(satellite, enclave.public_key(),
+                             enclave.ecall_extract_user_key(id),
+                             operator_.verification_point());
+  };
+
+  auto sub0 = receiver("sub0");
+  auto sub3 = receiver("sub3");
+
+  // Program 1 airs.
+  auto key_week1 = sub0.fetch_group_key("movies-channel");
+  auto program1 = air(*key_week1, "[week 1] The Pairing Strikes Back", rng);
+  std::printf("[sub0] watches: \"%s\"\n",
+              tune_in(*sub0.fetch_group_key("movies-channel"), program1)->c_str());
+  std::printf("[sub3] watches: \"%s\"\n",
+              tune_in(*sub3.fetch_group_key("movies-channel"), program1)->c_str());
+
+  // sub3's subscription lapses: revocation rotates the channel key.
+  operator_.remove_user("movies-channel", "sub3");
+  std::printf("[operator] sub3 lapsed; channel re-keyed in O(|P|)\n");
+
+  // Program 2 airs under the rotated key.
+  auto key_week2 = sub0.fetch_group_key("movies-channel");
+  auto program2 = air(*key_week2, "[week 2] Attack of the Curious Cloud", rng);
+
+  std::printf("[sub0] watches: \"%s\"\n",
+              tune_in(*sub0.fetch_group_key("movies-channel"), program2)->c_str());
+
+  // sub3 tries the stale key, then tries to re-derive from the broadcast.
+  auto stale_attempt = tune_in(*key_week1, program2);
+  std::printf("[sub3] stale-key attempt on week 2: %s\n",
+              stale_attempt ? "DECRYPTED (bug!)" : "blocked");
+  auto rederive = sub3.fetch_group_key("movies-channel");
+  std::printf("[sub3] re-derive from broadcast metadata: %s\n",
+              rederive ? "SUCCEEDED (bug!)" : "denied (revoked)");
+
+  // Old recordings remain playable with the old key (forward semantics).
+  std::printf("[sub3] replaying week 1 recording: \"%s\"\n",
+              tune_in(*key_week1, program1)->c_str());
+
+  // A new subscriber joins mid-season: O(1), no re-key, immediate access.
+  operator_.add_user("movies-channel", "sub8");
+  auto sub8 = receiver("sub8");
+  std::printf("[sub8] joins and watches: \"%s\"\n",
+              tune_in(*sub8.fetch_group_key("movies-channel"), program2)->c_str());
+
+  return 0;
+}

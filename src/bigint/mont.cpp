@@ -1,0 +1,121 @@
+#include "bigint/mont.h"
+
+#include <stdexcept>
+
+namespace ibbe::bigint {
+
+using u128 = unsigned __int128;
+
+MontgomeryCtx::MontgomeryCtx(const U256& modulus) : n_(modulus) {
+  if (!modulus.is_odd() || modulus.bit_length() < 2) {
+    throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 2");
+  }
+  // n0inv = -n^-1 mod 2^64 by Newton iteration (doubles correct bits each
+  // round; 6 rounds cover 64 bits starting from 1 correct bit... start at 3
+  // bits with the standard trick x = n works since n odd).
+  std::uint64_t n0 = n_.limb[0];
+  std::uint64_t x = n0;  // correct to 3 bits for odd n0? (x*n0 ≡ 1 mod 8)
+  for (int i = 0; i < 6; ++i) x *= 2 - n0 * x;
+  n0inv_ = ~x + 1;  // negate mod 2^64
+
+  // R = 2^256 mod n and R2 = 2^512 mod n via BigUInt (setup-time only).
+  BigUInt n_big = BigUInt::from_u256(n_);
+  r_ = ((BigUInt(1) << 256) % n_big).to_u256();
+  r2_ = ((BigUInt(1) << 512) % n_big).to_u256();
+  sub_with_borrow(n_, U256::from_u64(2), n_minus_2_);
+}
+
+U256 MontgomeryCtx::mul(const U256& a, const U256& b) const {
+  // CIOS (coarsely integrated operand scanning), 4 limbs.
+  std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    // t += a * b[i]
+    std::uint64_t carry = 0;
+    std::uint64_t bi = b.limb[static_cast<std::size_t>(i)];
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = static_cast<u128>(a.limb[static_cast<std::size_t>(j)]) * bi +
+                 t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    u128 s = static_cast<u128>(t[4]) + carry;
+    t[4] = static_cast<std::uint64_t>(s);
+    t[5] = static_cast<std::uint64_t>(s >> 64);
+
+    // Reduce one limb: m = t[0] * n0inv; t = (t + m*n) / 2^64
+    std::uint64_t m = t[0] * n0inv_;
+    u128 cur = static_cast<u128>(m) * n_.limb[0] + t[0];
+    carry = static_cast<std::uint64_t>(cur >> 64);
+    for (int j = 1; j < 4; ++j) {
+      cur = static_cast<u128>(m) * n_.limb[static_cast<std::size_t>(j)] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    s = static_cast<u128>(t[4]) + carry;
+    t[3] = static_cast<std::uint64_t>(s);
+    t[4] = t[5] + static_cast<std::uint64_t>(s >> 64);
+  }
+  U256 result{{t[0], t[1], t[2], t[3]}};
+  // Final conditional subtraction: t[4] can be at most 1.
+  if (t[4] != 0 || cmp(result, n_) >= 0) {
+    U256 tmp;
+    sub_with_borrow(result, n_, tmp);
+    result = tmp;
+  }
+  return result;
+}
+
+U256 MontgomeryCtx::add(const U256& a, const U256& b) const {
+  U256 sum;
+  std::uint64_t carry = add_with_carry(a, b, sum);
+  if (carry || cmp(sum, n_) >= 0) {
+    U256 tmp;
+    sub_with_borrow(sum, n_, tmp);
+    return tmp;
+  }
+  return sum;
+}
+
+U256 MontgomeryCtx::sub(const U256& a, const U256& b) const {
+  U256 diff;
+  std::uint64_t borrow = sub_with_borrow(a, b, diff);
+  if (borrow) {
+    U256 tmp;
+    add_with_carry(diff, n_, tmp);
+    return tmp;
+  }
+  return diff;
+}
+
+U256 MontgomeryCtx::neg(const U256& a) const {
+  if (a.is_zero()) return a;
+  U256 out;
+  sub_with_borrow(n_, a, out);
+  return out;
+}
+
+U256 MontgomeryCtx::pow(const U256& base, const U256& exp) const {
+  U256 result = r_;  // 1 in Montgomery form
+  unsigned bits = exp.bit_length();
+  for (unsigned i = bits; i-- > 0;) {
+    result = sqr(result);
+    if (exp.bit(i)) result = mul(result, base);
+  }
+  return result;
+}
+
+U256 MontgomeryCtx::pow(const U256& base, const BigUInt& exp) const {
+  U256 result = r_;
+  for (unsigned i = exp.bit_length(); i-- > 0;) {
+    result = sqr(result);
+    if (exp.bit(i)) result = mul(result, base);
+  }
+  return result;
+}
+
+U256 MontgomeryCtx::inv(const U256& a) const {
+  if (a.is_zero()) throw std::domain_error("MontgomeryCtx::inv: zero");
+  return pow(a, n_minus_2_);
+}
+
+}  // namespace ibbe::bigint

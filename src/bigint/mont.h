@@ -1,0 +1,52 @@
+// Montgomery-form modular arithmetic for 256-bit odd moduli.
+//
+// One MontgomeryCtx exists per prime in the system (BN254 p and r, P-256 p
+// and n). Residues are stored in Montgomery form; the field layer (src/field)
+// wraps a context into a typed element class.
+#pragma once
+
+#include "bigint/biguint.h"
+#include "bigint/u256.h"
+
+namespace ibbe::bigint {
+
+class MontgomeryCtx {
+ public:
+  /// `modulus` must be odd and > 2. Constants (R, R^2, -N^-1 mod 2^64) are
+  /// derived here once.
+  explicit MontgomeryCtx(const U256& modulus);
+
+  [[nodiscard]] const U256& modulus() const { return n_; }
+  /// 1 in Montgomery form (R mod N).
+  [[nodiscard]] const U256& one() const { return r_; }
+
+  [[nodiscard]] U256 to_mont(const U256& a) const { return mul(a, r2_); }
+  [[nodiscard]] U256 from_mont(const U256& a) const { return mul(a, U256::one()); }
+
+  /// Montgomery product: a*b*R^-1 mod N (CIOS).
+  [[nodiscard]] U256 mul(const U256& a, const U256& b) const;
+  [[nodiscard]] U256 sqr(const U256& a) const { return mul(a, a); }
+
+  /// Plain modular add/sub/neg on residues (Montgomery form is closed under
+  /// these).
+  [[nodiscard]] U256 add(const U256& a, const U256& b) const;
+  [[nodiscard]] U256 sub(const U256& a, const U256& b) const;
+  [[nodiscard]] U256 neg(const U256& a) const;
+  [[nodiscard]] U256 dbl(const U256& a) const { return add(a, a); }
+
+  /// base^exp with base in Montgomery form; result in Montgomery form.
+  [[nodiscard]] U256 pow(const U256& base, const U256& exp) const;
+  [[nodiscard]] U256 pow(const U256& base, const BigUInt& exp) const;
+
+  /// Inverse of a non-zero residue (Fermat: a^(N-2)); modulus must be prime.
+  [[nodiscard]] U256 inv(const U256& a) const;
+
+ private:
+  U256 n_;             // modulus
+  U256 r_;             // 2^256 mod n
+  U256 r2_;            // 2^512 mod n
+  std::uint64_t n0inv_ = 0;  // -n^-1 mod 2^64
+  U256 n_minus_2_;     // exponent for Fermat inversion
+};
+
+}  // namespace ibbe::bigint

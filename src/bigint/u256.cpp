@@ -1,0 +1,139 @@
+#include "bigint/u256.h"
+
+#include <stdexcept>
+
+#include "util/hex.h"
+
+namespace ibbe::bigint {
+
+using u128 = unsigned __int128;
+
+U256 U256::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.empty() || hex.size() > 64) {
+    throw std::invalid_argument("U256::from_hex: need 1..64 hex digits");
+  }
+  std::string padded(64 - hex.size(), '0');
+  padded.append(hex);
+  auto bytes = util::from_hex(padded);
+  return from_be_bytes(bytes);
+}
+
+U256 U256::from_be_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != 32) {
+    throw std::invalid_argument("U256::from_be_bytes: need exactly 32 bytes");
+  }
+  U256 out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    for (int j = 0; j < 8; ++j) v = v << 8 | bytes[static_cast<std::size_t>(8 * i + j)];
+    out.limb[static_cast<std::size_t>(3 - i)] = v;
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  auto bytes = to_be_bytes();
+  return util::to_hex(bytes);
+}
+
+std::array<std::uint8_t, 32> U256::to_be_bytes() const {
+  std::array<std::uint8_t, 32> out{};
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = limb[static_cast<std::size_t>(3 - i)];
+    for (int j = 0; j < 8; ++j) {
+      out[static_cast<std::size_t>(8 * i + j)] =
+          static_cast<std::uint8_t>(v >> (56 - 8 * j));
+    }
+  }
+  return out;
+}
+
+unsigned U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[static_cast<std::size_t>(i)] != 0) {
+      return static_cast<unsigned>(64 * i + 64 -
+                                   __builtin_clzll(limb[static_cast<std::size_t>(i)]));
+    }
+  }
+  return 0;
+}
+
+int cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    auto ai = a.limb[static_cast<std::size_t>(i)];
+    auto bi = b.limb[static_cast<std::size_t>(i)];
+    if (ai != bi) return ai < bi ? -1 : 1;
+  }
+  return 0;
+}
+
+std::uint64_t add_with_carry(const U256& a, const U256& b, U256& out) {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 s = static_cast<u128>(a.limb[static_cast<std::size_t>(i)]) +
+             b.limb[static_cast<std::size_t>(i)] + carry;
+    out.limb[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+std::uint64_t sub_with_borrow(const U256& a, const U256& b, U256& out) {
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 d = static_cast<u128>(a.limb[static_cast<std::size_t>(i)]) -
+             b.limb[static_cast<std::size_t>(i)] - borrow;
+    out.limb[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) & 1;
+  }
+  return static_cast<std::uint64_t>(borrow);
+}
+
+std::array<std::uint64_t, 8> mul_wide(const U256& a, const U256& b) {
+  std::array<std::uint64_t, 8> t{};
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = static_cast<u128>(a.limb[static_cast<std::size_t>(i)]) *
+                     b.limb[static_cast<std::size_t>(j)] +
+                 t[static_cast<std::size_t>(i + j)] + carry;
+      t[static_cast<std::size_t>(i + j)] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    t[static_cast<std::size_t>(i + 4)] = carry;
+  }
+  return t;
+}
+
+U256 mod(const U256& a, const U256& m) {
+  if (m.is_zero()) throw std::invalid_argument("U256 mod: zero modulus");
+  if (cmp(a, m) < 0) return a;
+  // Binary reduction: subtract shifted copies of m from high bits downward.
+  U256 r = a;
+  unsigned shift = r.bit_length() - m.bit_length();
+  while (true) {
+    // mm = m << shift, computed limb-wise each round (shift <= 255).
+    U256 mm{};
+    unsigned limb_shift = shift / 64;
+    unsigned bit_shift = shift % 64;
+    for (int i = 3; i >= static_cast<int>(limb_shift); --i) {
+      std::uint64_t lo = m.limb[static_cast<std::size_t>(i) - limb_shift] << bit_shift;
+      std::uint64_t hi =
+          (bit_shift && static_cast<std::size_t>(i) > limb_shift)
+              ? m.limb[static_cast<std::size_t>(i) - limb_shift - 1] >> (64 - bit_shift)
+              : 0;
+    mm.limb[static_cast<std::size_t>(i)] = lo | hi;
+    }
+    if (cmp(r, mm) >= 0) {
+      U256 tmp;
+      sub_with_borrow(r, mm, tmp);
+      r = tmp;
+    }
+    if (shift == 0) break;
+    --shift;
+  }
+  return r;
+}
+
+}  // namespace ibbe::bigint

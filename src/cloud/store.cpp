@@ -1,0 +1,151 @@
+#include "cloud/store.h"
+
+#include <thread>
+
+namespace ibbe::cloud {
+
+CloudStore::CloudStore(LatencyModel latency) : latency_(latency) {}
+
+void CloudStore::simulate(std::chrono::microseconds latency) const {
+  if (latency.count() > 0) std::this_thread::sleep_for(latency);
+}
+
+void CloudStore::bump_ancestors_locked(const std::string& path) {
+  // "a/b/c" touches directories "a/b", "a", and "" (the root).
+  std::uint64_t version = version_clock_;
+  std::string dir = path;
+  while (true) {
+    auto slash = dir.find_last_of('/');
+    dir = (slash == std::string::npos) ? std::string() : dir.substr(0, slash);
+    dir_versions_[dir] = version;
+    if (dir.empty()) break;
+  }
+}
+
+std::uint64_t CloudStore::put(const std::string& path, util::Bytes value) {
+  simulate(latency_.put);
+  std::uint64_t version;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.puts;
+    stats_.bytes_uploaded += value.size();
+    version = ++version_clock_;
+    files_[path] = Entry{std::move(value), version};
+    bump_ancestors_locked(path);
+  }
+  changed_.notify_all();
+  return version;
+}
+
+std::optional<std::uint64_t> CloudStore::put_cas(const std::string& path,
+                                                 util::Bytes value,
+                                                 std::uint64_t expected) {
+  simulate(latency_.put);
+  std::uint64_t version;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.puts;
+    auto it = files_.find(path);
+    std::uint64_t current = it == files_.end() ? 0 : it->second.version;
+    if (current != expected) return std::nullopt;
+    stats_.bytes_uploaded += value.size();
+    version = ++version_clock_;
+    files_[path] = Entry{std::move(value), version};
+    bump_ancestors_locked(path);
+  }
+  changed_.notify_all();
+  return version;
+}
+
+std::optional<util::Bytes> CloudStore::get(const std::string& path) const {
+  simulate(latency_.get);
+  std::lock_guard lock(mutex_);
+  ++stats_.gets;
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  stats_.bytes_downloaded += it->second.data.size();
+  return it->second.data;
+}
+
+std::optional<CloudStore::Versioned> CloudStore::get_versioned(
+    const std::string& path) const {
+  simulate(latency_.get);
+  std::lock_guard lock(mutex_);
+  ++stats_.gets;
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  stats_.bytes_downloaded += it->second.data.size();
+  return Versioned{it->second.data, it->second.version};
+}
+
+std::uint64_t CloudStore::file_version(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.version;
+}
+
+bool CloudStore::erase(const std::string& path) {
+  simulate(latency_.put);
+  bool erased = false;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.erases;
+    erased = files_.erase(path) > 0;
+    if (erased) {
+      ++version_clock_;
+      bump_ancestors_locked(path);
+    }
+  }
+  if (erased) changed_.notify_all();
+  return erased;
+}
+
+std::vector<std::string> CloudStore::list(const std::string& prefix) const {
+  simulate(latency_.get);
+  std::lock_guard lock(mutex_);
+  ++stats_.gets;
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::uint64_t CloudStore::dir_version(const std::string& dir) const {
+  std::lock_guard lock(mutex_);
+  auto it = dir_versions_.find(dir);
+  return it == dir_versions_.end() ? 0 : it->second;
+}
+
+std::optional<std::uint64_t> CloudStore::long_poll(
+    const std::string& dir, std::uint64_t since,
+    std::chrono::milliseconds timeout) const {
+  std::unique_lock lock(mutex_);
+  ++stats_.long_polls;
+  auto current = [&]() -> std::uint64_t {
+    auto it = dir_versions_.find(dir);
+    return it == dir_versions_.end() ? 0 : it->second;
+  };
+  if (changed_.wait_for(lock, timeout, [&] { return current() > since; })) {
+    return current();
+  }
+  return std::nullopt;
+}
+
+CloudStats CloudStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t CloudStore::stored_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [path, entry] : files_) {
+    total += path.size() + entry.data.size();
+  }
+  return total;
+}
+
+}  // namespace ibbe::cloud

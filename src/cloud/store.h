@@ -1,0 +1,115 @@
+// Simulated public cloud storage (the paper deploys on Dropbox).
+//
+// Reproduces the interaction pattern the system depends on:
+//   * a hierarchical namespace — group metadata lives under
+//     groups/<gid>/p<k>, one file per partition plus an index file;
+//   * administrator uploads via put() (the paper's HTTP PUT);
+//   * client change detection via directory-level long polling, exactly like
+//     Dropbox's /longpoll_delta: every put bumps the version of the enclosing
+//     directories, and long_poll() blocks until a directory version exceeds
+//     the caller's cursor;
+//   * an injectable latency model so end-to-end measurements can include
+//     realistic cloud round-trip times (benches default to zero latency —
+//     they measure compute, as the paper's microbenchmarks do).
+//
+// Thread-safe; watchers park on a condition variable.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace ibbe::cloud {
+
+struct LatencyModel {
+  std::chrono::microseconds put{0};
+  std::chrono::microseconds get{0};
+
+  /// Rough Dropbox-over-WAN figures for demo purposes.
+  static LatencyModel wan() {
+    return {std::chrono::milliseconds(45), std::chrono::milliseconds(35)};
+  }
+};
+
+struct CloudStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t long_polls = 0;
+  std::uint64_t bytes_uploaded = 0;
+  std::uint64_t bytes_downloaded = 0;
+};
+
+class CloudStore {
+ public:
+  explicit CloudStore(LatencyModel latency = {});
+
+  /// Stores `value` at `path` ("a/b/c"); bumps every ancestor directory's
+  /// version and wakes long-pollers. Returns the file's new version.
+  std::uint64_t put(const std::string& path, util::Bytes value);
+
+  /// Compare-and-swap put: succeeds only if the file's current version is
+  /// `expected` (0 = the file must not exist). Returns the new version, or
+  /// std::nullopt on a version conflict. This is the optimistic-concurrency
+  /// primitive the multi-administrator extension builds on.
+  [[nodiscard]] std::optional<std::uint64_t> put_cas(const std::string& path,
+                                                     util::Bytes value,
+                                                     std::uint64_t expected);
+
+  [[nodiscard]] std::optional<util::Bytes> get(const std::string& path) const;
+
+  /// Value together with its version (for CAS round trips).
+  struct Versioned {
+    util::Bytes value;
+    std::uint64_t version;
+  };
+  [[nodiscard]] std::optional<Versioned> get_versioned(const std::string& path) const;
+
+  /// Current version of a file (0 if absent).
+  [[nodiscard]] std::uint64_t file_version(const std::string& path) const;
+
+  /// True if something was deleted. Also a directory change.
+  bool erase(const std::string& path);
+
+  /// All paths with the given prefix, sorted.
+  [[nodiscard]] std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Current version of a directory (0 if never written).
+  [[nodiscard]] std::uint64_t dir_version(const std::string& dir) const;
+
+  /// Blocks until dir_version(dir) > since, returning the new version, or
+  /// std::nullopt on timeout. This is the client's notification channel.
+  [[nodiscard]] std::optional<std::uint64_t> long_poll(
+      const std::string& dir, std::uint64_t since,
+      std::chrono::milliseconds timeout) const;
+
+  [[nodiscard]] CloudStats stats() const;
+  /// Total bytes currently stored (the footprint benches read this).
+  [[nodiscard]] std::size_t stored_bytes() const;
+
+ private:
+  void simulate(std::chrono::microseconds latency) const;
+  void bump_ancestors_locked(const std::string& path);
+
+  struct Entry {
+    util::Bytes data;
+    std::uint64_t version;
+  };
+
+  LatencyModel latency_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable changed_;
+  std::map<std::string, Entry> files_;
+  std::map<std::string, std::uint64_t> dir_versions_;
+  std::uint64_t version_clock_ = 0;
+  mutable CloudStats stats_;
+};
+
+}  // namespace ibbe::cloud

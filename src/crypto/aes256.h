@@ -1,0 +1,42 @@
+// AES-256 block cipher (FIPS 197) with CTR keystream mode.
+//
+// The paper uses OpenSSL's AES-256 inside the enclave because the SGX SDK
+// only shipped AES-128; this is our equivalent. Table-based implementation —
+// fine for a simulator (no cache-timing adversary inside our own process).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.h"
+
+namespace ibbe::crypto {
+
+class Aes256 {
+ public:
+  static constexpr std::size_t key_size = 32;
+  static constexpr std::size_t block_size = 16;
+  using Block = std::array<std::uint8_t, block_size>;
+
+  explicit Aes256(std::span<const std::uint8_t> key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(Block& block) const;
+  /// Value-returning variant.
+  [[nodiscard]] Block encrypt(const Block& block) const;
+
+ private:
+  // 15 round keys of 4 words each.
+  std::array<std::uint32_t, 60> round_keys_;
+};
+
+/// AES-256-CTR: XORs `data` with the keystream for (key, iv) starting at
+/// block counter `initial_counter`. Encryption and decryption are the same
+/// operation. The IV occupies bytes 0..11; the counter is big-endian in
+/// bytes 12..15 (GCM convention).
+void aes256_ctr_xor(const Aes256& cipher, std::span<const std::uint8_t> iv12,
+                    std::uint32_t initial_counter, std::span<const std::uint8_t> in,
+                    std::span<std::uint8_t> out);
+
+}  // namespace ibbe::crypto

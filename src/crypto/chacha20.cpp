@@ -1,0 +1,62 @@
+#include "crypto/chacha20.h"
+
+#include <stdexcept>
+
+namespace ibbe::crypto {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int n) { return x << n | x >> (32 - n); }
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> nonce, std::uint32_t initial_counter) {
+  if (key.size() != key_size) throw std::invalid_argument("ChaCha20: key must be 32 bytes");
+  if (nonce.size() != nonce_size) throw std::invalid_argument("ChaCha20: nonce must be 12 bytes");
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[static_cast<std::size_t>(4 + i)] = load_le32(key.data() + 4 * i);
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state_[static_cast<std::size_t>(13 + i)] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::next_block(std::span<std::uint8_t> out64) {
+  if (out64.size() != 64) throw std::invalid_argument("ChaCha20: output must be 64 bytes");
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = x[static_cast<std::size_t>(i)] + state_[static_cast<std::size_t>(i)];
+    out64[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(v);
+    out64[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(v >> 8);
+    out64[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(v >> 16);
+    out64[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(v >> 24);
+  }
+  ++state_[12];
+}
+
+}  // namespace ibbe::crypto

@@ -1,0 +1,25 @@
+// ChaCha20 stream cipher (RFC 8439). Keystream generator for the DRBG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ibbe::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t key_size = 32;
+  static constexpr std::size_t nonce_size = 12;
+
+  ChaCha20(std::span<const std::uint8_t> key, std::span<const std::uint8_t> nonce,
+           std::uint32_t initial_counter = 0);
+
+  /// Produces the next 64 keystream bytes (advances the block counter).
+  void next_block(std::span<std::uint8_t> out64);
+
+ private:
+  std::array<std::uint32_t, 16> state_;
+};
+
+}  // namespace ibbe::crypto

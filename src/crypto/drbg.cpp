@@ -1,0 +1,73 @@
+#include "crypto/drbg.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace ibbe::crypto {
+
+Drbg::Drbg() {
+  std::array<std::uint8_t, 32> seed{};
+  std::ifstream urandom("/dev/urandom", std::ios::binary);
+  if (!urandom.read(reinterpret_cast<char*>(seed.data()),
+                    static_cast<std::streamsize>(seed.size()))) {
+    throw std::runtime_error("Drbg: cannot read /dev/urandom");
+  }
+  reseed(seed);
+}
+
+Drbg::Drbg(std::uint64_t seed) {
+  std::array<std::uint8_t, 8> raw;
+  for (int i = 0; i < 8; ++i) raw[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seed >> (8 * i));
+  auto digest = Sha256::hash(raw);
+  reseed(digest);
+}
+
+Drbg::Drbg(std::span<const std::uint8_t> seed32) {
+  auto digest = Sha256::hash(seed32);
+  reseed(digest);
+}
+
+void Drbg::reseed(std::span<const std::uint8_t> seed32) {
+  std::array<std::uint8_t, 12> nonce{};  // fixed nonce: key is unique per instance
+  stream_ = std::make_unique<ChaCha20>(seed32, nonce);
+  offset_ = 64;
+}
+
+void Drbg::fill(std::span<std::uint8_t> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (offset_ == 64) {
+      stream_->next_block(block_);
+      offset_ = 0;
+    }
+    out[i] = block_[offset_++];
+  }
+}
+
+util::Bytes Drbg::bytes(std::size_t n) {
+  util::Bytes out(n);
+  fill(out);
+  return out;
+}
+
+std::uint64_t Drbg::next_u64() {
+  std::array<std::uint8_t, 8> raw;
+  fill(raw);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | raw[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Drbg::uniform: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % bound;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+}  // namespace ibbe::crypto

@@ -1,0 +1,40 @@
+// Deterministic random bit generator on a ChaCha20 keystream.
+//
+// All randomness in the library flows through a Drbg handle so that tests and
+// trace replays can be made reproducible by seeding, while production use
+// seeds from the OS entropy pool.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "crypto/chacha20.h"
+#include "util/bytes.h"
+
+namespace ibbe::crypto {
+
+class Drbg {
+ public:
+  /// Seeded from the OS entropy pool (getrandom / /dev/urandom).
+  Drbg();
+  /// Deterministic: same seed, same stream. For tests and replays.
+  explicit Drbg(std::uint64_t seed);
+  explicit Drbg(std::span<const std::uint8_t> seed32);
+
+  void fill(std::span<std::uint8_t> out);
+  [[nodiscard]] util::Bytes bytes(std::size_t n);
+  [[nodiscard]] std::uint64_t next_u64();
+  /// Uniform in [0, bound); bound must be > 0. Rejection-sampled.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound);
+
+ private:
+  void reseed(std::span<const std::uint8_t> seed32);
+
+  std::unique_ptr<ChaCha20> stream_;
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t offset_ = 64;  // force generation on first use
+};
+
+}  // namespace ibbe::crypto

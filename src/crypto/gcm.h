@@ -1,0 +1,45 @@
+// AES-256-GCM authenticated encryption (NIST SP 800-38D).
+//
+// Every confidentiality artifact in the system is AEAD-protected with this:
+// the per-partition wrapped group key y_p, sealed enclave state, provisioning
+// channel payloads, ECIES bodies, and the example applications' file blobs.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "crypto/aes256.h"
+#include "util/bytes.h"
+
+namespace ibbe::crypto {
+
+class Aes256Gcm {
+ public:
+  static constexpr std::size_t key_size = 32;
+  static constexpr std::size_t nonce_size = 12;
+  static constexpr std::size_t tag_size = 16;
+
+  explicit Aes256Gcm(std::span<const std::uint8_t> key);
+
+  /// Returns ciphertext || 16-byte tag.
+  [[nodiscard]] util::Bytes seal(std::span<const std::uint8_t> nonce,
+                                 std::span<const std::uint8_t> plaintext,
+                                 std::span<const std::uint8_t> aad = {}) const;
+
+  /// Verifies the tag (constant time) and decrypts; std::nullopt on failure.
+  [[nodiscard]] std::optional<util::Bytes> open(
+      std::span<const std::uint8_t> nonce, std::span<const std::uint8_t> sealed,
+      std::span<const std::uint8_t> aad = {}) const;
+
+ private:
+  using Block = Aes256::Block;
+
+  [[nodiscard]] Block ghash(std::span<const std::uint8_t> aad,
+                            std::span<const std::uint8_t> ciphertext) const;
+  [[nodiscard]] Block gf_mul(const Block& x, const Block& y) const;
+
+  Aes256 cipher_;
+  Block h_;  // GHASH key: E_K(0^128)
+};
+
+}  // namespace ibbe::crypto

@@ -1,0 +1,71 @@
+#include "crypto/hmac.h"
+
+#include <stdexcept>
+
+namespace ibbe::crypto {
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    auto digest = Sha256::hash(key);
+    std::copy(digest.begin(), digest.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Sha256::Digest hkdf_extract(std::span<const std::uint8_t> salt,
+                            std::span<const std::uint8_t> ikm) {
+  if (salt.empty()) {
+    std::array<std::uint8_t, 32> zero{};
+    return hmac_sha256(zero, ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+util::Bytes hkdf_expand(std::span<const std::uint8_t> prk, std::string_view info,
+                        std::size_t length) {
+  if (length > 255 * Sha256::digest_size) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  util::Bytes okm;
+  okm.reserve(length);
+  util::Bytes t;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    util::Bytes input = t;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    auto digest = hmac_sha256(prk, input);
+    t.assign(digest.begin(), digest.end());
+    std::size_t take = std::min(t.size(), length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return okm;
+}
+
+util::Bytes hkdf(std::span<const std::uint8_t> salt, std::span<const std::uint8_t> ikm,
+                 std::string_view info, std::size_t length) {
+  auto prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace ibbe::crypto

@@ -1,0 +1,29 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HKDF derives: sealing keys from the simulated CPU fuse key, session keys in
+// the attestation/provisioning channel, and ECIES symmetric keys.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace ibbe::crypto {
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message);
+
+Sha256::Digest hkdf_extract(std::span<const std::uint8_t> salt,
+                            std::span<const std::uint8_t> ikm);
+
+/// Expands to `length` bytes (length <= 255 * 32).
+util::Bytes hkdf_expand(std::span<const std::uint8_t> prk, std::string_view info,
+                        std::size_t length);
+
+/// Extract-then-expand convenience.
+util::Bytes hkdf(std::span<const std::uint8_t> salt, std::span<const std::uint8_t> ikm,
+                 std::string_view info, std::size_t length);
+
+}  // namespace ibbe::crypto

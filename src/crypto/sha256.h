@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for: IBBE identity hashing H(id) -> Zr*, broadcast-key hashing
+// (gk wrap key = SHA-256(bk)), enclave measurements, HMAC/HKDF, and ECDSA
+// message digests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace ibbe::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t digest_size = 32;
+  using Digest = std::array<std::uint8_t, digest_size>;
+
+  Sha256();
+
+  /// Streaming interface.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s);
+  [[nodiscard]] Digest finish();
+
+  /// One-shot helpers.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace ibbe::crypto

@@ -1,0 +1,201 @@
+// Short-Weierstrass elliptic-curve groups in Jacobian coordinates.
+//
+// One template serves all three curves in the project:
+//   G1        — BN254 E(Fp):  y^2 = x^3 + 3            (a = 0)
+//   G2        — BN254 D-twist E'(Fp2): y^2 = x^3 + 3/xi (a = 0)
+//   P256Point — NIST P-256:   y^2 = x^3 - 3x + b       (a = -3)
+//
+// `Params` supplies the coefficients and the generator:
+//   using Field = ...;
+//   static const Field& a();  static bool a_is_zero();
+//   static const Field& b();
+//   static const Field& gen_x();  static const Field& gen_y();
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bigint/u256.h"
+
+namespace ibbe::ec {
+
+template <typename Params>
+class JacobianPoint {
+ public:
+  using Field = typename Params::Field;
+
+  /// Point at infinity.
+  JacobianPoint() = default;
+
+  static JacobianPoint infinity() { return {}; }
+  static JacobianPoint generator() {
+    return from_affine(Params::gen_x(), Params::gen_y());
+  }
+  /// Does not validate curve membership; see on_curve().
+  static JacobianPoint from_affine(const Field& x, const Field& y) {
+    JacobianPoint p;
+    p.x_ = x;
+    p.y_ = y;
+    p.z_ = Field::one();
+    return p;
+  }
+
+  [[nodiscard]] bool is_infinity() const { return z_.is_zero(); }
+
+  /// (x, y) affine coordinates; nullopt for the point at infinity.
+  [[nodiscard]] std::optional<std::pair<Field, Field>> to_affine() const {
+    if (is_infinity()) return std::nullopt;
+    Field zinv = z_.inverse();
+    Field zinv2 = zinv.square();
+    return std::make_pair(x_ * zinv2, y_ * zinv2 * zinv);
+  }
+
+  [[nodiscard]] bool on_curve() const {
+    if (is_infinity()) return true;
+    // Y^2 = X^3 + a X Z^4 + b Z^6
+    Field z2 = z_.square();
+    Field z4 = z2.square();
+    Field rhs = x_ * x_.square() + Params::b() * z4 * z2;
+    if (!Params::a_is_zero()) rhs += Params::a() * x_ * z4;
+    return y_.square() == rhs;
+  }
+
+  [[nodiscard]] JacobianPoint neg() const {
+    JacobianPoint p = *this;
+    p.y_ = p.y_.neg();
+    return p;
+  }
+
+  [[nodiscard]] JacobianPoint dbl() const {
+    if (is_infinity() || y_.is_zero()) return infinity();
+    Field y2 = y_.square();
+    Field s = (x_ * y2).dbl().dbl();  // 4 X Y^2
+    Field m = x_.square();
+    m = m + m.dbl();  // 3 X^2
+    if (!Params::a_is_zero()) m += Params::a() * z_.square().square();
+    JacobianPoint out;
+    out.x_ = m.square() - s.dbl();
+    out.y_ = m * (s - out.x_) - y2.square().dbl().dbl().dbl();  // - 8 Y^4
+    out.z_ = (y_ * z_).dbl();
+    return out;
+  }
+
+  friend JacobianPoint operator+(const JacobianPoint& p, const JacobianPoint& q) {
+    if (p.is_infinity()) return q;
+    if (q.is_infinity()) return p;
+    Field z1z1 = p.z_.square();
+    Field z2z2 = q.z_.square();
+    Field u1 = p.x_ * z2z2;
+    Field u2 = q.x_ * z1z1;
+    Field s1 = p.y_ * z2z2 * q.z_;
+    Field s2 = q.y_ * z1z1 * p.z_;
+    if (u1 == u2) {
+      if (s1 == s2) return p.dbl();
+      return infinity();  // P + (-P)
+    }
+    Field h = u2 - u1;
+    Field r = s2 - s1;
+    Field h2 = h.square();
+    Field h3 = h2 * h;
+    Field u1h2 = u1 * h2;
+    JacobianPoint out;
+    out.x_ = r.square() - h3 - u1h2.dbl();
+    out.y_ = r * (u1h2 - out.x_) - s1 * h3;
+    out.z_ = p.z_ * q.z_ * h;
+    return out;
+  }
+  friend JacobianPoint operator-(const JacobianPoint& p, const JacobianPoint& q) {
+    return p + q.neg();
+  }
+  JacobianPoint& operator+=(const JacobianPoint& o) { return *this = *this + o; }
+
+  /// Left-to-right double-and-add. Scalars are canonical U256 values.
+  [[nodiscard]] JacobianPoint scalar_mul(const bigint::U256& k) const {
+    JacobianPoint acc = infinity();
+    for (unsigned i = k.bit_length(); i-- > 0;) {
+      acc = acc.dbl();
+      if (k.bit(i)) acc += *this;
+    }
+    return acc;
+  }
+
+  /// Windowed-NAF multiplication: ~bits/(w+1) additions instead of ~bits/2,
+  /// for 2^(w-2) precomputed odd multiples. Same result as scalar_mul; kept
+  /// separate so the ablation bench can compare the two.
+  [[nodiscard]] JacobianPoint scalar_mul_wnaf(const bigint::U256& k,
+                                              unsigned window = 4) const {
+    if (k.is_zero() || is_infinity()) return infinity();
+    auto digits = wnaf_digits(k, window);
+    // Precompute odd multiples P, 3P, ..., (2^(w-1)-1)P.
+    std::vector<JacobianPoint> odd(std::size_t{1} << (window - 2));
+    odd[0] = *this;
+    JacobianPoint twice = dbl();
+    for (std::size_t i = 1; i < odd.size(); ++i) odd[i] = odd[i - 1] + twice;
+
+    JacobianPoint acc = infinity();
+    for (std::size_t i = digits.size(); i-- > 0;) {
+      acc = acc.dbl();
+      int d = digits[i];
+      if (d > 0) acc += odd[static_cast<std::size_t>(d / 2)];
+      if (d < 0) acc += odd[static_cast<std::size_t>(-d / 2)].neg();
+    }
+    return acc;
+  }
+  /// Scalar given as a field element of the (prime) group order.
+  template <typename Scalar>
+  [[nodiscard]] JacobianPoint mul(const Scalar& k) const {
+    return scalar_mul(k.to_u256());
+  }
+
+  friend bool operator==(const JacobianPoint& p, const JacobianPoint& q) {
+    bool pi = p.is_infinity(), qi = q.is_infinity();
+    if (pi || qi) return pi == qi;
+    // Cross-multiplied affine comparison.
+    Field z1z1 = p.z_.square();
+    Field z2z2 = q.z_.square();
+    return p.x_ * z2z2 == q.x_ * z1z1 &&
+           p.y_ * z2z2 * q.z_ == q.y_ * z1z1 * p.z_;
+  }
+
+ private:
+  /// Signed-digit recoding: digits[i] is the coefficient of 2^i, each either
+  /// zero or odd with |d| < 2^(w-1), and any two non-zero digits at least w
+  /// positions apart.
+  static std::vector<int> wnaf_digits(const bigint::U256& k, unsigned w) {
+    // Work on a mutable bit array with headroom for the final carry.
+    std::vector<std::uint8_t> bits(256 + w + 1, 0);
+    for (unsigned i = 0; i < 256; ++i) bits[i] = k.bit(i) ? 1 : 0;
+    std::vector<int> digits(bits.size(), 0);
+    for (std::size_t i = 0; i < bits.size();) {
+      if (bits[i] == 0) {
+        ++i;
+        continue;
+      }
+      int val = 0;
+      for (unsigned j = 0; j < w && i + j < bits.size(); ++j) {
+        val |= bits[i + j] << j;
+      }
+      int d = val;
+      if (d >= (1 << (w - 1))) {
+        d -= 1 << w;
+        // Borrowed from the next window: propagate a carry upward.
+        std::size_t pos = i + w;
+        while (pos < bits.size() && bits[pos] == 1) bits[pos++] = 0;
+        if (pos < bits.size()) bits[pos] = 1;
+      }
+      for (unsigned j = 0; j < w && i + j < bits.size(); ++j) bits[i + j] = 0;
+      digits[i] = d;
+      i += w;
+    }
+    while (!digits.empty() && digits.back() == 0) digits.pop_back();
+    return digits;
+  }
+
+  Field x_{};
+  Field y_{};
+  Field z_{};  // zero => infinity
+};
+
+}  // namespace ibbe::ec

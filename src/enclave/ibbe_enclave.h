@@ -1,0 +1,130 @@
+// The IBBE-SGX enclave image.
+//
+// Holds the Master Secret Key and exposes exactly the enclaved blocks of the
+// paper's Algorithms 1-3 as ECALLs. What leaves the boundary is public by
+// construction: partition ciphertexts (C1, C2, C3), AEAD-wrapped group keys
+// y_p, sealed gk blobs, and the system public key. Neither gk, nor any
+// partition broadcast key bk, nor gamma ever cross in plaintext — this is the
+// zero-knowledge property the scheme claims against curious administrators,
+// enforced here by the type of the API.
+#pragma once
+
+#include <vector>
+
+#include "ibbe/ibbe.h"
+#include "pki/ecdsa.h"
+#include "sgx/enclave.h"
+
+namespace ibbe::enclave {
+
+/// Per-partition public metadata produced inside the enclave: the broadcast
+/// ciphertext plus the wrapped group key y_p = AES-GCM(SHA-256(bk_p), gk).
+struct PartitionCiphertext {
+  core::BroadcastCiphertext ct;
+  util::Bytes wrapped_gk;  // GCM ciphertext || tag
+  util::Bytes nonce;       // 12-byte GCM nonce
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static PartitionCiphertext from_bytes(std::span<const std::uint8_t> data);
+};
+
+class IbbeEnclave : public sgx::EnclaveBase {
+ public:
+  /// Loads the enclave and runs IBBE System Setup inside it, sized for
+  /// partitions of at most `max_partition_size` users. O(m).
+  IbbeEnclave(sgx::EnclavePlatform& platform, std::size_t max_partition_size);
+
+  /// Build descriptor used for the expected-measurement check by auditors.
+  static sgx::EnclaveImage image();
+
+  // ---- public (untrusted-readable) outputs -------------------------------
+
+  /// IBBE public key: usable by anyone, including non-SGX clients.
+  [[nodiscard]] const core::PublicKey& public_key() const { return keys_.pk; }
+
+  /// The enclave's provisioning/identity public key (generated inside).
+  [[nodiscard]] util::Bytes identity_public_key() const;
+
+  /// Quote binding the identity key to the measurement (report data =
+  /// SHA-256 of the public key), for the Fig. 3 attestation flow.
+  [[nodiscard]] sgx::Quote attestation_quote() const;
+
+  // ---- ECALLs ------------------------------------------------------------
+
+  struct GroupCreation {
+    std::vector<PartitionCiphertext> partitions;
+    sgx::SealedBlob sealed_gk;
+  };
+  /// Algorithm 1 (enclaved block): fresh gk, one IBBE encrypt per partition,
+  /// gk wrapped under every partition broadcast key, gk sealed for the admin
+  /// cache. Partition assignment itself is untrusted-side work.
+  [[nodiscard]] GroupCreation ecall_create_group(
+      std::span<const std::vector<core::Identity>> partitions);
+
+  /// Algorithm 2, fast path (lines 9-12): O(1) extension of an existing
+  /// partition's ciphertext; y_p is unchanged.
+  [[nodiscard]] core::BroadcastCiphertext ecall_add_user_to_partition(
+      const core::BroadcastCiphertext& ct, const core::Identity& added);
+
+  /// Algorithm 2, slow path (lines 3-7): brand-new partition wrapping the
+  /// *existing* group key (unsealed inside). O(|members|).
+  [[nodiscard]] PartitionCiphertext ecall_create_partition(
+      std::span<const core::Identity> members, const sgx::SealedBlob& sealed_gk);
+
+  struct RemovalResult {
+    /// Updated ciphertexts: index 0 is the removed user's (shrunk) partition,
+    /// the rest follow the input order of `other_partitions`.
+    std::vector<PartitionCiphertext> partitions;
+    sgx::SealedBlob sealed_gk;
+  };
+  /// Algorithm 3 (enclaved block): fresh gk; the hosting partition gets the
+  /// O(1) removal (C3 division + re-key) and every other partition a constant
+  /// time re-key; the new gk is wrapped under every partition key.
+  /// `hosting_ct` must already correspond to the set *including* `removed`.
+  [[nodiscard]] RemovalResult ecall_remove_user(
+      const core::BroadcastCiphertext& hosting_ct,
+      std::span<const core::BroadcastCiphertext> other_partitions,
+      const core::Identity& removed);
+
+  /// Batch revocation (extension of Algorithm 3 along the paper's
+  /// future-work axis): every entry of `hosts` is a partition ciphertext
+  /// together with the users being revoked from it; all other partitions get
+  /// one constant-time re-key. The whole batch costs ONE group-key rotation
+  /// instead of one per revoked user.
+  struct BatchRemovalSpec {
+    core::BroadcastCiphertext ct;
+    std::vector<core::Identity> removed;
+  };
+  [[nodiscard]] RemovalResult ecall_remove_users(
+      std::span<const BatchRemovalSpec> hosts,
+      std::span<const core::BroadcastCiphertext> other_partitions);
+
+  /// Extract User Secret (paper section IV-B op 2). Raw form — callers are
+  /// the provisioning path below and the test/bench harnesses.
+  [[nodiscard]] core::UserSecretKey ecall_extract_user_key(
+      const core::Identity& id);
+
+  /// Fig. 3 step 4: extraction + ECIES encryption to the user's key, so the
+  /// USK never crosses the boundary in plaintext.
+  [[nodiscard]] util::Bytes ecall_provision_user_key(
+      const core::Identity& id, std::span<const std::uint8_t> user_p256_pub);
+
+  /// Re-wrap of the sealed group key under one partition's bk after a PK-only
+  /// re-key (used by re-partitioning maintenance).
+  [[nodiscard]] PartitionCiphertext ecall_rekey_partition(
+      const core::BroadcastCiphertext& ct, const sgx::SealedBlob& sealed_gk);
+
+ private:
+  [[nodiscard]] util::Bytes wrap_gk(const pairing::Gt& bk,
+                                    std::span<const std::uint8_t> gk,
+                                    util::Bytes& nonce_out);
+
+  // ---- enclave-private state (never crosses the boundary) ----
+  core::SystemKeys keys_;
+  pki::EcdsaKeyPair identity_key_;
+};
+
+/// Size of the group key generated inside the enclave.
+constexpr std::size_t group_key_size = 32;
+
+}  // namespace ibbe::enclave

@@ -1,0 +1,73 @@
+// Fp12 = Fp6[w] / (w^2 - v): the pairing target field.
+//
+// Values returned by the final exponentiation live in the cyclotomic
+// subgroup, where the cheaper Granger–Scott squaring applies; `pow` on Gt
+// elements routes through it (see pairing/gt.h).
+#pragma once
+
+#include "bigint/biguint.h"
+#include "field/fp6.h"
+#include "util/bytes.h"
+
+namespace ibbe::field {
+
+class Fp12 {
+ public:
+  Fp12() = default;
+  Fp12(Fp6 c0, Fp6 c1) : c0_(c0), c1_(c1) {}
+
+  static Fp12 zero() { return {}; }
+  static Fp12 one() { return {Fp6::one(), Fp6::zero()}; }
+
+  [[nodiscard]] const Fp6& c0() const { return c0_; }
+  [[nodiscard]] const Fp6& c1() const { return c1_; }
+
+  [[nodiscard]] bool is_zero() const { return c0_.is_zero() && c1_.is_zero(); }
+  [[nodiscard]] bool is_one() const { return c0_.is_one() && c1_.is_zero(); }
+
+  friend Fp12 operator+(const Fp12& a, const Fp12& b) {
+    return {a.c0_ + b.c0_, a.c1_ + b.c1_};
+  }
+  friend Fp12 operator-(const Fp12& a, const Fp12& b) {
+    return {a.c0_ - b.c0_, a.c1_ - b.c1_};
+  }
+  friend Fp12 operator*(const Fp12& a, const Fp12& b);
+  Fp12& operator*=(const Fp12& o) { return *this = *this * o; }
+
+  [[nodiscard]] Fp12 square() const;
+  /// Throws std::domain_error on zero.
+  [[nodiscard]] Fp12 inverse() const;
+  /// w-conjugate (a0, -a1) = x^(p^6); inverse on the cyclotomic subgroup.
+  [[nodiscard]] Fp12 conjugate() const { return {c0_, c1_.neg()}; }
+
+  /// p-power Frobenius.
+  [[nodiscard]] Fp12 frobenius() const;
+
+  /// Sparse multiplication by an optimal-ate line l = a + (b + c*v) * w,
+  /// where a is an Fp (embedded), b, c in Fp2. Saves roughly half of a full
+  /// Fp12 multiplication during the Miller loop.
+  [[nodiscard]] Fp12 mul_by_line(const Fp& a, const Fp2& b, const Fp2& c) const;
+
+  [[nodiscard]] Fp12 pow(const bigint::BigUInt& e) const;
+  [[nodiscard]] Fp12 pow(const bigint::U256& e) const;
+
+  /// Granger–Scott squaring; valid only for elements of the cyclotomic
+  /// subgroup (norm 1), i.e. outputs of the final exponentiation.
+  [[nodiscard]] Fp12 cyclotomic_square() const;
+  /// Exponentiation using cyclotomic squarings (same subgroup caveat).
+  [[nodiscard]] Fp12 pow_cyclotomic(const bigint::U256& e) const;
+
+  /// 384-byte canonical serialization (12 Fp values, big-endian, tower
+  /// order c0.c0.c0, c0.c0.c1, c0.c1.c0, ..., c1.c2.c1).
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static Fp12 from_bytes(std::span<const std::uint8_t> data);
+  static constexpr std::size_t serialized_size = 12 * 32;
+
+  friend bool operator==(const Fp12&, const Fp12&) = default;
+
+ private:
+  Fp6 c0_;
+  Fp6 c1_;
+};
+
+}  // namespace ibbe::field

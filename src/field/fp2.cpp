@@ -1,0 +1,67 @@
+#include "field/fp2.h"
+
+namespace ibbe::field {
+
+Fp2 operator*(const Fp2& a, const Fp2& b) {
+  // Karatsuba over i^2 = -1.
+  Fp t0 = a.c0_ * b.c0_;
+  Fp t1 = a.c1_ * b.c1_;
+  Fp mixed = (a.c0_ + a.c1_) * (b.c0_ + b.c1_);
+  return {t0 - t1, mixed - t0 - t1};
+}
+
+Fp2 Fp2::square() const {
+  // (a+bi)^2 = (a+b)(a-b) + 2ab i
+  Fp sum = c0_ + c1_;
+  Fp diff = c0_ - c1_;
+  Fp cross = c0_ * c1_;
+  return {sum * diff, cross.dbl()};
+}
+
+Fp2 Fp2::inverse() const {
+  // (a+bi)^-1 = (a - bi) / (a^2 + b^2)
+  Fp norm = c0_.square() + c1_.square();
+  Fp d = norm.inverse();
+  return {c0_ * d, (c1_ * d).neg()};
+}
+
+Fp2 Fp2::mul_by_xi() const {
+  // (9 + i)(a + bi) = (9a - b) + (9b + a) i; 9x = 8x + x.
+  Fp nine_a = c0_.dbl().dbl().dbl() + c0_;
+  Fp nine_b = c1_.dbl().dbl().dbl() + c1_;
+  return {nine_a - c1_, nine_b + c0_};
+}
+
+Fp2 Fp2::pow(const bigint::BigUInt& e) const {
+  Fp2 result = one();
+  for (unsigned i = e.bit_length(); i-- > 0;) {
+    result = result.square();
+    if (e.bit(i)) result *= *this;
+  }
+  return result;
+}
+
+std::optional<Fp2> Fp2::sqrt() const {
+  // Algorithm for q = p^2 with p = 3 (mod 4), cf. RFC 9380 appendix I.2.
+  if (is_zero()) return zero();
+  using bigint::BigUInt;
+  static const BigUInt p = BigUInt::from_u256(Fp::modulus());
+  static const BigUInt c1 = (p - BigUInt(3)) >> 2;  // (p-3)/4
+  static const BigUInt c2 = (p - BigUInt(1)) >> 1;  // (p-1)/2
+
+  Fp2 a1 = pow(c1);
+  Fp2 alpha = a1.square() * *this;
+  Fp2 x0 = a1 * *this;
+  Fp2 candidate;
+  if (alpha == Fp2(Fp::one().neg(), Fp::zero())) {
+    // x = i * x0
+    candidate = Fp2(x0.c1().neg(), x0.c0());
+  } else {
+    Fp2 b = (Fp2::one() + alpha).pow(c2);
+    candidate = b * x0;
+  }
+  if (candidate.square() == *this) return candidate;
+  return std::nullopt;
+}
+
+}  // namespace ibbe::field

@@ -1,0 +1,38 @@
+#include "field/fp6.h"
+
+#include "field/tower_consts.h"
+
+namespace ibbe::field {
+
+Fp6 operator*(const Fp6& a, const Fp6& b) {
+  // Schoolbook with v^3 = xi folds:
+  // c0 = a0b0 + xi(a1b2 + a2b1)
+  // c1 = a0b1 + a1b0 + xi a2b2
+  // c2 = a0b2 + a1b1 + a2b0
+  Fp2 a0b0 = a.c0_ * b.c0_;
+  Fp2 a1b1 = a.c1_ * b.c1_;
+  Fp2 a2b2 = a.c2_ * b.c2_;
+  Fp2 c0 = a0b0 + (a.c1_ * b.c2_ + a.c2_ * b.c1_).mul_by_xi();
+  Fp2 c1 = a.c0_ * b.c1_ + a.c1_ * b.c0_ + a2b2.mul_by_xi();
+  Fp2 c2 = a.c0_ * b.c2_ + a1b1 + a.c2_ * b.c0_;
+  return {c0, c1, c2};
+}
+
+Fp6 Fp6::inverse() const {
+  // Standard cubic-extension inversion (e.g. Guide to Pairing-Based
+  // Cryptography, alg. 5.23).
+  Fp2 t0 = c0_.square() - (c1_ * c2_).mul_by_xi();
+  Fp2 t1 = c2_.square().mul_by_xi() - c0_ * c1_;
+  Fp2 t2 = c1_.square() - c0_ * c2_;
+  Fp2 denom = c0_ * t0 + (c1_ * t2 + c2_ * t1).mul_by_xi();
+  Fp2 d = denom.inverse();
+  return {t0 * d, t1 * d, t2 * d};
+}
+
+Fp6 Fp6::frobenius() const {
+  const auto& g = TowerConsts::get().gamma;
+  // v^p = xi^((p-1)/3) v = g2 * v ; (v^2)^p = g4 * v^2.
+  return {c0_.conjugate(), c1_.conjugate() * g[1], c2_.conjugate() * g[3]};
+}
+
+}  // namespace ibbe::field

@@ -1,0 +1,23 @@
+#include "field/tower_consts.h"
+
+#include "bigint/biguint.h"
+
+namespace ibbe::field {
+
+const TowerConsts& TowerConsts::get() {
+  static const TowerConsts instance = [] {
+    using bigint::BigUInt;
+    BigUInt p = BigUInt::from_u256(Fp::modulus());
+    BigUInt e = (p - BigUInt(1)) / BigUInt(6);
+    TowerConsts c;
+    Fp2 g1 = Fp2::xi().pow(e);
+    c.gamma[0] = g1;
+    for (std::size_t k = 1; k < c.gamma.size(); ++k) {
+      c.gamma[k] = c.gamma[k - 1] * g1;
+    }
+    return c;
+  }();
+  return instance;
+}
+
+}  // namespace ibbe::field

@@ -1,0 +1,28 @@
+// Frobenius constants for the BN254 tower, derived once at first use.
+//
+// With Fp6 = Fp2[v]/(v^3 - xi) and Fp12 = Fp6[w]/(w^2 - v) we have w^6 = xi,
+// so w^(p-1) = xi^((p-1)/6) =: g1 (an Fp2 value since 6 | p-1). The table
+// holds g_k = xi^(k(p-1)/6) for k = 1..5:
+//
+//   Frobenius on Fp6:  (b0, b1, b2) -> (conj b0, conj b1 * g2, conj b2 * g4)
+//   Frobenius on Fp12: w-part additionally scaled by g1
+//   G2 twist Frobenius pi(x, y) = (conj x * g2, conj y * g3)
+//
+// Deriving by exponentiation (instead of hard-coding digits) trades a few
+// microseconds at startup for immunity to transcription errors.
+#pragma once
+
+#include <array>
+
+#include "field/fp2.h"
+
+namespace ibbe::field {
+
+struct TowerConsts {
+  /// gamma[k-1] = xi^(k*(p-1)/6), k = 1..5.
+  std::array<Fp2, 5> gamma;
+
+  static const TowerConsts& get();
+};
+
+}  // namespace ibbe::field

@@ -1,0 +1,97 @@
+#include "he/he_ibe.h"
+
+#include "crypto/gcm.h"
+#include "crypto/sha256.h"
+
+namespace ibbe::he {
+
+using ec::G1;
+using ec::G2;
+using field::Fr;
+
+namespace {
+
+constexpr std::size_t gk_size = 32;
+
+Fr random_nonzero_fr(crypto::Drbg& rng) {
+  while (true) {
+    auto raw = rng.bytes(32);
+    Fr k = Fr::from_be_bytes_reduce(raw);
+    if (!k.is_zero()) return k;
+  }
+}
+
+const util::Bytes& zero_nonce() {
+  static const util::Bytes nonce(12, 0);  // key is fresh per encryption
+  return nonce;
+}
+
+}  // namespace
+
+HeIbeScheme::HeIbeScheme(std::uint64_t seed) : rng_(seed) {
+  master_s_ = random_nonzero_fr(rng_);
+  p_pub_ = G2::generator().mul(master_s_);
+}
+
+const G1& HeIbeScheme::user_key(const core::Identity& id) {
+  auto it = extracted_.find(id);
+  if (it == extracted_.end()) {
+    it = extracted_.emplace(id, ec::hash_to_g1(id).mul(master_s_)).first;
+  }
+  return it->second;
+}
+
+void HeIbeScheme::grant(const core::Identity& id) {
+  Fr r = random_nonzero_fr(rng_);
+  G2 u = G2::generator().mul(r);
+  auto shared = pairing::pairing(ec::hash_to_g1(id), p_pub_).exp(r);
+  crypto::Aes256Gcm gcm(shared.hash());
+  Entry entry;
+  entry.u_bytes = ec::g2_to_bytes(u);
+  entry.body = gcm.seal(zero_nonce(), gk_);
+  entries_[id] = std::move(entry);
+}
+
+void HeIbeScheme::create_group(std::span<const core::Identity> members) {
+  entries_.clear();
+  gk_ = rng_.bytes(gk_size);
+  for (const auto& id : members) grant(id);
+}
+
+void HeIbeScheme::add_user(const core::Identity& id) {
+  if (gk_.empty()) gk_ = rng_.bytes(gk_size);
+  grant(id);
+}
+
+void HeIbeScheme::remove_user(const core::Identity& id) {
+  entries_.erase(id);
+  gk_ = rng_.bytes(gk_size);
+  for (auto& [member, entry] : entries_) {
+    (void)entry;
+    grant(member);
+  }
+}
+
+std::optional<util::Bytes> HeIbeScheme::user_decrypt(const core::Identity& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  G2 u;
+  try {
+    u = ec::g2_from_bytes(it->second.u_bytes);
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+  auto shared = pairing::pairing(user_key(id), u);
+  crypto::Aes256Gcm gcm(shared.hash());
+  return gcm.open(zero_nonce(), it->second.body);
+}
+
+std::size_t HeIbeScheme::metadata_size() const {
+  std::size_t total = 0;
+  for (const auto& [id, entry] : entries_) {
+    total += id.size() + entry.u_bytes.size() + entry.body.size() + 8;
+  }
+  return total;
+}
+
+}  // namespace ibbe::he

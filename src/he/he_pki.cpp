@@ -1,0 +1,64 @@
+#include "he/he_pki.h"
+
+namespace ibbe::he {
+
+namespace {
+constexpr std::size_t gk_size = 32;
+}
+
+HePkiScheme::HePkiScheme(std::uint64_t seed) : rng_(seed) {}
+
+void HePkiScheme::register_users(std::span<const core::Identity> users) {
+  for (const auto& id : users) (void)user_key(id);
+}
+
+const pki::EciesKeyPair& HePkiScheme::user_key(const core::Identity& id) {
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    it = directory_.emplace(id, pki::EciesKeyPair::generate(rng_)).first;
+  }
+  return it->second;
+}
+
+void HePkiScheme::grant(const core::Identity& id) {
+  entries_[id] = pki::ecies_encrypt(user_key(id).public_key(), gk_, rng_);
+}
+
+void HePkiScheme::create_group(std::span<const core::Identity> members) {
+  entries_.clear();
+  gk_ = rng_.bytes(gk_size);
+  for (const auto& id : members) grant(id);
+}
+
+void HePkiScheme::add_user(const core::Identity& id) {
+  if (gk_.empty()) gk_ = rng_.bytes(gk_size);
+  grant(id);
+}
+
+void HePkiScheme::remove_user(const core::Identity& id) {
+  entries_.erase(id);
+  // Revocation: fresh gk, re-encrypted to every remaining member — the
+  // linear cost the paper's Fig. 7 measures.
+  gk_ = rng_.bytes(gk_size);
+  for (auto& [member, ct] : entries_) {
+    ct = pki::ecies_encrypt(user_key(member).public_key(), gk_, rng_);
+  }
+}
+
+std::optional<util::Bytes> HePkiScheme::user_decrypt(const core::Identity& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  auto dir = directory_.find(id);
+  if (dir == directory_.end()) return std::nullopt;
+  return dir->second.decrypt(it->second);
+}
+
+std::size_t HePkiScheme::metadata_size() const {
+  std::size_t total = 0;
+  for (const auto& [id, ct] : entries_) {
+    total += id.size() + ct.size() + 8;  // id, ciphertext, framing
+  }
+  return total;
+}
+
+}  // namespace ibbe::he

@@ -1,0 +1,43 @@
+// Common interface over every group access-control scheme in the repo.
+//
+// The evaluation replays identical membership traces against IBBE-SGX and the
+// Hybrid Encryption baselines (paper Figs. 7, 9, 10); this interface is what
+// the replayer drives. "Hybrid Encryption" = symmetric gk for the data,
+// per-member public-key encryption of gk for the policy.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "ibbe/ibbe.h"
+#include "util/bytes.h"
+
+namespace ibbe::he {
+
+class GroupScheme {
+ public:
+  virtual ~GroupScheme() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // ---- administrator operations ----
+  /// (Re)creates the group with exactly `members`. Generates a fresh gk.
+  virtual void create_group(std::span<const core::Identity> members) = 0;
+  /// Grants `id` access to the current gk.
+  virtual void add_user(const core::Identity& id) = 0;
+  /// Revokes `id`: rotates gk and re-grants the remaining members.
+  virtual void remove_user(const core::Identity& id) = 0;
+
+  // ---- user operation ----
+  /// Derives the group key as user `id`; std::nullopt when not a member.
+  [[nodiscard]] virtual std::optional<util::Bytes> user_decrypt(
+      const core::Identity& id) = 0;
+
+  // ---- metrics (paper's storage-footprint axis) ----
+  /// Bytes of group metadata that would live on the cloud store.
+  [[nodiscard]] virtual std::size_t metadata_size() const = 0;
+  [[nodiscard]] virtual std::size_t group_size() const = 0;
+};
+
+}  // namespace ibbe::he

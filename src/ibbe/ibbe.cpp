@@ -1,0 +1,286 @@
+#include "ibbe/ibbe.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace ibbe::core {
+
+using ec::G1;
+using ec::G2;
+using field::Fr;
+using pairing::Gt;
+
+field::Fr hash_identity(const Identity& id) {
+  for (std::uint8_t counter = 0;; ++counter) {
+    crypto::Sha256 h;
+    h.update("ibbe-sgx:identity:v1:");
+    h.update(id);
+    std::array<std::uint8_t, 1> c{counter};
+    h.update(c);
+    Fr out = Fr::from_be_bytes_reduce(h.finish());
+    if (!out.is_zero()) return out;
+  }
+}
+
+namespace {
+
+Fr random_nonzero_fr(crypto::Drbg& rng) {
+  while (true) {
+    auto raw = rng.bytes(32);
+    Fr k = Fr::from_be_bytes_reduce(raw);
+    if (!k.is_zero()) return k;
+  }
+}
+
+void check_receivers(const PublicKey& pk, std::span<const Identity> receivers) {
+  if (receivers.empty()) {
+    throw std::invalid_argument("ibbe: receiver set must not be empty");
+  }
+  if (receivers.size() > pk.max_receivers()) {
+    throw std::invalid_argument("ibbe: receiver set exceeds the PK bound m");
+  }
+}
+
+/// Coefficients (ascending degree) of prod_u (x + H(u)) over Zr — the
+/// quadratic-cost polynomial expansion of the paper's Formula 4. `skip`
+/// excludes exactly ONE occurrence (decrypt divides a single (gamma+H(i))
+/// factor out of the product, even if an identity is duplicated in S).
+std::vector<Fr> expand_polynomial(std::span<const Identity> receivers,
+                                  const Identity* skip) {
+  std::vector<Fr> coef{Fr::one()};
+  bool skipped = false;
+  for (const Identity& id : receivers) {
+    if (skip && !skipped && id == *skip) {
+      skipped = true;
+      continue;
+    }
+    Fr hu = hash_identity(id);
+    coef.push_back(Fr::zero());
+    // Multiply by (x + hu), highest coefficient first.
+    for (std::size_t i = coef.size(); i-- > 1;) {
+      coef[i] = coef[i - 1] + coef[i] * hu;
+    }
+    coef[0] = coef[0] * hu;
+  }
+  return coef;
+}
+
+/// h^(poly(gamma)) assembled from the PK powers: prod_i (h^gamma^i)^coef_i.
+G2 evaluate_in_exponent(const PublicKey& pk, std::span<const Fr> coef) {
+  if (coef.size() > pk.h_powers.size()) {
+    throw std::invalid_argument("ibbe: polynomial degree exceeds PK powers");
+  }
+  G2 acc = G2::infinity();
+  for (std::size_t i = 0; i < coef.size(); ++i) {
+    if (coef[i].is_zero()) continue;
+    acc += pk.h_powers[i].mul(coef[i]);
+  }
+  return acc;
+}
+
+/// Completes (bk, C1, C2) for a fresh randomizer k over an existing C3.
+EncryptResult assemble_from_c3(const PublicKey& pk, const G2& c3,
+                               crypto::Drbg& rng) {
+  Fr k = random_nonzero_fr(rng);
+  EncryptResult out;
+  out.bk = pk.v.exp(k);
+  out.ct.c1 = pk.w.mul(k.neg());
+  out.ct.c2 = c3.mul(k);
+  out.ct.c3 = c3;
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ serialization
+
+util::Bytes PublicKey::to_bytes() const {
+  util::ByteWriter out;
+  out.blob(ec::g1_to_bytes(w));
+  out.blob(v.to_bytes());
+  out.u32(static_cast<std::uint32_t>(h_powers.size()));
+  for (const auto& p : h_powers) out.raw(ec::g2_to_bytes(p));
+  return out.take();
+}
+
+PublicKey PublicKey::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  PublicKey pk;
+  pk.w = ec::g1_from_bytes(r.blob());
+  pk.v = Gt::from_bytes(r.blob());
+  std::uint32_t n = r.u32();
+  pk.h_powers.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pk.h_powers.push_back(ec::g2_from_bytes(r.raw(ec::g2_serialized_size)));
+  }
+  r.expect_end();
+  if (pk.h_powers.empty()) throw util::DeserializeError("PublicKey: no h powers");
+  return pk;
+}
+
+util::Bytes UserSecretKey::to_bytes() const {
+  util::ByteWriter w;
+  w.str(id);
+  w.raw(ec::g1_to_bytes(value));
+  return w.take();
+}
+
+UserSecretKey UserSecretKey::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  UserSecretKey usk;
+  usk.id = r.str();
+  usk.value = ec::g1_from_bytes(r.raw(ec::g1_serialized_size));
+  r.expect_end();
+  return usk;
+}
+
+util::Bytes BroadcastCiphertext::to_bytes() const {
+  util::ByteWriter w;
+  w.raw(ec::g1_to_bytes(c1));
+  w.raw(ec::g2_to_bytes(c2));
+  w.raw(ec::g2_to_bytes(c3));
+  return w.take();
+}
+
+BroadcastCiphertext BroadcastCiphertext::from_bytes(
+    std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  BroadcastCiphertext ct;
+  ct.c1 = ec::g1_from_bytes(r.raw(ec::g1_serialized_size));
+  ct.c2 = ec::g2_from_bytes(r.raw(ec::g2_serialized_size));
+  ct.c3 = ec::g2_from_bytes(r.raw(ec::g2_serialized_size));
+  r.expect_end();
+  return ct;
+}
+
+// ------------------------------------------------------------------- scheme
+
+SystemKeys setup(std::size_t max_receivers, crypto::Drbg& rng) {
+  if (max_receivers == 0) {
+    throw std::invalid_argument("ibbe: max_receivers must be positive");
+  }
+  SystemKeys keys;
+  keys.msk.g = G1::generator().mul(random_nonzero_fr(rng));
+  keys.msk.gamma = random_nonzero_fr(rng);
+  G2 h = G2::generator().mul(random_nonzero_fr(rng));
+
+  keys.pk.w = keys.msk.g.mul(keys.msk.gamma);
+  keys.pk.v = pairing::pairing(keys.msk.g, h);
+  keys.pk.h_powers.reserve(max_receivers + 1);
+  keys.pk.h_powers.push_back(h);
+  for (std::size_t i = 0; i < max_receivers; ++i) {
+    keys.pk.h_powers.push_back(keys.pk.h_powers.back().mul(keys.msk.gamma));
+  }
+  return keys;
+}
+
+UserSecretKey extract_user_key(const MasterSecretKey& msk, const Identity& id) {
+  Fr denom = msk.gamma + hash_identity(id);
+  if (denom.is_zero()) {
+    // Probability 2^-254; would reveal gamma = -H(id).
+    throw std::runtime_error("ibbe: identity collides with master secret");
+  }
+  return {id, msk.g.mul(denom.inverse())};
+}
+
+EncryptResult encrypt_with_msk(const MasterSecretKey& msk, const PublicKey& pk,
+                               std::span<const Identity> receivers,
+                               crypto::Drbg& rng) {
+  check_receivers(pk, receivers);
+  // O(|S|): the product lives in Zr thanks to gamma.
+  Fr prod = Fr::one();
+  for (const Identity& id : receivers) {
+    prod *= msk.gamma + hash_identity(id);
+  }
+  G2 c3 = pk.h().mul(prod);
+  return assemble_from_c3(pk, c3, rng);
+}
+
+EncryptResult encrypt_public(const PublicKey& pk,
+                             std::span<const Identity> receivers,
+                             crypto::Drbg& rng) {
+  check_receivers(pk, receivers);
+  // O(|S|^2) polynomial expansion, then |S|+1 G2 exponentiations.
+  auto coef = expand_polynomial(receivers, nullptr);
+  G2 c3 = evaluate_in_exponent(pk, coef);
+  return assemble_from_c3(pk, c3, rng);
+}
+
+void add_user_with_msk(const MasterSecretKey& msk, BroadcastCiphertext& ct,
+                       const Identity& added) {
+  Fr factor = msk.gamma + hash_identity(added);
+  ct.c2 = ct.c2.mul(factor);
+  ct.c3 = ct.c3.mul(factor);
+}
+
+EncryptResult remove_user_with_msk(const MasterSecretKey& msk,
+                                   const PublicKey& pk,
+                                   const BroadcastCiphertext& ct,
+                                   const Identity& removed, crypto::Drbg& rng) {
+  Fr factor = msk.gamma + hash_identity(removed);
+  G2 c3 = ct.c3.mul(factor.inverse());
+  return assemble_from_c3(pk, c3, rng);
+}
+
+EncryptResult remove_users_with_msk(const MasterSecretKey& msk,
+                                    const PublicKey& pk,
+                                    const BroadcastCiphertext& ct,
+                                    std::span<const Identity> removed,
+                                    crypto::Drbg& rng) {
+  Fr product = Fr::one();
+  for (const Identity& id : removed) {
+    product *= msk.gamma + hash_identity(id);
+  }
+  G2 c3 = ct.c3.mul(product.inverse());
+  return assemble_from_c3(pk, c3, rng);
+}
+
+EncryptResult rekey(const PublicKey& pk, const BroadcastCiphertext& ct,
+                    crypto::Drbg& rng) {
+  return assemble_from_c3(pk, ct.c3, rng);
+}
+
+std::optional<Gt> decrypt(const PublicKey& pk, const UserSecretKey& usk,
+                          std::span<const Identity> receivers,
+                          const BroadcastCiphertext& ct) {
+  if (receivers.size() > pk.max_receivers()) return std::nullopt;
+  bool member = false;
+  for (const Identity& id : receivers) {
+    if (id == usk.id) {
+      member = true;
+      break;
+    }
+  }
+  if (!member) return std::nullopt;
+
+  // coef = coefficients of prod_{j != i}(x + H(j)); Delta = constant term.
+  auto coef = expand_polynomial(receivers, &usk.id);
+  Fr delta = coef[0];
+  // p_i(gamma) = (prod_{j != i}(gamma + H(j)) - Delta) / gamma: strip the
+  // constant term and shift degrees down by one.
+  std::vector<Fr> p_coef(coef.begin() + 1, coef.end());
+  G2 h_pi = evaluate_in_exponent(pk, p_coef);
+
+  // bk = (e(C1, h^p_i) * e(USK, C2))^(1/Delta), one shared final exp.
+  std::array<std::pair<G1, G2>, 2> pairs = {
+      std::make_pair(ct.c1, h_pi),
+      std::make_pair(usk.value, ct.c2),
+  };
+  Gt combined = pairing::pairing_product(pairs);
+  return combined.exp(delta.inverse());
+}
+
+G2 compute_c3_public(const PublicKey& pk, std::span<const Identity> receivers) {
+  check_receivers(pk, receivers);
+  auto coef = expand_polynomial(receivers, nullptr);
+  return evaluate_in_exponent(pk, coef);
+}
+
+bool verify_user_key(const PublicKey& pk, const UserSecretKey& usk) {
+  if (pk.h_powers.size() < 2) return false;
+  G2 rhs = pk.h_powers[1] + pk.h().mul(hash_identity(usk.id));
+  return pairing::pairing(usk.value, rhs) == pk.v;
+}
+
+}  // namespace ibbe::core

@@ -1,0 +1,155 @@
+// Identity-Based Broadcast Encryption (Delerablée, ASIACRYPT 2007) with the
+// IBBE-SGX master-secret fast paths of Contiu et al. (DSN 2018, Appendix A).
+//
+// Keys and ciphertexts:
+//   MSK = (g, gamma)                      g random in G1, gamma random in Zr*
+//   PK  = (w = g^gamma, v = e(g,h), h, h^gamma, ..., h^gamma^m)
+//   USK_u = g^(1/(gamma + H(u)))
+//   For receiver set S with randomizer k:
+//     bk = v^k                                      (the broadcast key)
+//     C1 = w^(-k)
+//     C2 = h^(k * prod_{u in S}(gamma + H(u)))
+//     C3 = h^(prod_{u in S}(gamma + H(u)))          (paper's Formula 5 cache)
+//
+// Complexities (Table I of the paper):
+//   encrypt_with_msk   O(|S|)   — gamma collapses the product to Zr mults
+//   encrypt_public     O(|S|^2) — polynomial expansion over the PK powers
+//   add_user_with_msk  O(1)     — C{2,3} <- C{2,3}^(gamma+H(u))
+//   remove_user_with_msk O(1)   — C3 <- C3^(1/(gamma+H(u))), then re-key
+//   rekey              O(1)     — fresh k applied to the cached C3 (PK only)
+//   decrypt            O(|S|^2) — polynomial expansion, then 2 pairings
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "ec/curves.h"
+#include "field/fields.h"
+#include "pairing/pairing.h"
+#include "util/bytes.h"
+
+namespace ibbe::core {
+
+using Identity = std::string;
+
+/// H: identity -> Zr*. SHA-256 with rejection of zero.
+field::Fr hash_identity(const Identity& id);
+
+struct MasterSecretKey {
+  ec::G1 g;
+  field::Fr gamma;
+};
+
+struct PublicKey {
+  ec::G1 w;                       // g^gamma
+  pairing::Gt v;                  // e(g, h)
+  std::vector<ec::G2> h_powers;   // h^(gamma^i), i = 0..m; h_powers[0] = h
+
+  [[nodiscard]] const ec::G2& h() const { return h_powers.at(0); }
+  /// Largest receiver set this key supports (the paper's m: the partition
+  /// size in IBBE-SGX, the group size in raw IBBE).
+  [[nodiscard]] std::size_t max_receivers() const { return h_powers.size() - 1; }
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static PublicKey from_bytes(std::span<const std::uint8_t> data);
+};
+
+struct UserSecretKey {
+  Identity id;
+  ec::G1 value;  // g^(1/(gamma+H(id)))
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static UserSecretKey from_bytes(std::span<const std::uint8_t> data);
+};
+
+struct BroadcastCiphertext {
+  ec::G1 c1;
+  ec::G2 c2;
+  ec::G2 c3;
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static BroadcastCiphertext from_bytes(std::span<const std::uint8_t> data);
+  static constexpr std::size_t serialized_size =
+      ec::g1_serialized_size + 2 * ec::g2_serialized_size;
+};
+
+struct SystemKeys {
+  MasterSecretKey msk;
+  PublicKey pk;
+};
+
+/// System Setup(lambda, m): lambda is fixed by the BN254 instantiation
+/// (~100-bit); m bounds the receiver-set size. O(m) G2 exponentiations.
+SystemKeys setup(std::size_t max_receivers, crypto::Drbg& rng);
+
+/// Extract User Secret: O(1).
+UserSecretKey extract_user_key(const MasterSecretKey& msk, const Identity& id);
+
+struct EncryptResult {
+  pairing::Gt bk;
+  BroadcastCiphertext ct;
+};
+
+/// IBBE-SGX encrypt: uses gamma, O(|S|). Throws if |S| exceeds
+/// pk.max_receivers() or S is empty.
+EncryptResult encrypt_with_msk(const MasterSecretKey& msk, const PublicKey& pk,
+                               std::span<const Identity> receivers,
+                               crypto::Drbg& rng);
+
+/// Traditional IBBE encrypt: PK only, O(|S|^2) (quadratic polynomial
+/// expansion, Formula 4 of the paper). Same output distribution as
+/// encrypt_with_msk.
+EncryptResult encrypt_public(const PublicKey& pk,
+                             std::span<const Identity> receivers,
+                             crypto::Drbg& rng);
+
+/// O(1) membership addition (MSK path): folds (gamma + H(id)) into C2 and C3.
+/// bk is unchanged — the joiner may read prior ciphertexts by design (the
+/// paper re-keys only on revocation).
+void add_user_with_msk(const MasterSecretKey& msk, BroadcastCiphertext& ct,
+                       const Identity& added);
+
+/// O(1) membership removal (MSK path): divides (gamma + H(id)) out of C3 and
+/// re-keys. Returns the fresh bk.
+EncryptResult remove_user_with_msk(const MasterSecretKey& msk,
+                                   const PublicKey& pk,
+                                   const BroadcastCiphertext& ct,
+                                   const Identity& removed, crypto::Drbg& rng);
+
+/// Batch removal (extension; paper future-work direction): divides the whole
+/// product prod(gamma + H(id)) out of C3 in one shot — O(k) Zr work and a
+/// single G2 exponentiation for k simultaneous revocations, instead of k
+/// sequential removals.
+EncryptResult remove_users_with_msk(const MasterSecretKey& msk,
+                                    const PublicKey& pk,
+                                    const BroadcastCiphertext& ct,
+                                    std::span<const Identity> removed,
+                                    crypto::Drbg& rng);
+
+/// O(1) re-key (PK only, Appendix A-G): fresh k over the cached C3.
+EncryptResult rekey(const PublicKey& pk, const BroadcastCiphertext& ct,
+                    crypto::Drbg& rng);
+
+/// User-side decrypt: O(|S|^2) + 2 pairings (shared final exponentiation).
+/// Returns the broadcast key; std::nullopt if `usk.id` is not in `receivers`
+/// or the set exceeds the PK bound. (A wrong-but-well-formed ciphertext still
+/// yields a wrong bk — callers authenticate via the AEAD wrap above this
+/// layer, exactly as the paper's y_p does.)
+std::optional<pairing::Gt> decrypt(const PublicKey& pk,
+                                   const UserSecretKey& usk,
+                                   std::span<const Identity> receivers,
+                                   const BroadcastCiphertext& ct);
+
+/// Rebuilds C3 = h^(prod (gamma+H(u))) from the public key alone (paper
+/// Formula 5 remark) — O(|S|^2). Used to validate cached C3 values in tests.
+ec::G2 compute_c3_public(const PublicKey& pk, std::span<const Identity> receivers);
+
+/// Pairing check e(USK, h^gamma * h^H(id)) == v that lets a user validate a
+/// provisioned key against the public system parameters (guards against a
+/// rogue key issuer handing out garbage).
+bool verify_user_key(const PublicKey& pk, const UserSecretKey& usk);
+
+}  // namespace ibbe::core

@@ -1,0 +1,11 @@
+#include "pairing/gt.h"
+
+#include "crypto/sha256.h"
+
+namespace ibbe::pairing {
+
+std::array<std::uint8_t, 32> Gt::hash() const {
+  return crypto::Sha256::hash(to_bytes());
+}
+
+}  // namespace ibbe::pairing

@@ -1,0 +1,45 @@
+// Optimal-ate pairing e: G1 x G2 -> GT over BN254.
+//
+// Structure (Vercauteren 2010, for BN curves with u > 0):
+//   f = f_{6u+2,Q}(P) . l_{[6u+2]Q, pi(Q)}(P) . l_{[6u+2]Q + pi(Q), -pi^2(Q)}(P)
+//   e(P, Q) = f^((p^12 - 1)/r)
+//
+// The Miller loop runs in affine coordinates on the twist (Fp2 inversions are
+// one Fp inversion each — an acceptable trade for straight-line clarity), and
+// line evaluations are embedded sparsely into Fp12 as
+//   l(P) = y_P - lambda x_P w + (lambda x_T - y_T) w^3.
+//
+// The final exponentiation factors as (p^6-1)(p^2+1) . (p^4-p^2+1)/r; the
+// hard part uses cyclotomic squarings and is cross-checked in tests against
+// the naive big-integer exponentiation.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ec/curves.h"
+#include "field/fp12.h"
+#include "pairing/gt.h"
+
+namespace ibbe::pairing {
+
+/// Miller loop only (no final exponentiation). Returns 1 if either input is
+/// the point at infinity.
+field::Fp12 miller_loop(const ec::G1& p, const ec::G2& q);
+
+/// (p^12 - 1)/r exponentiation: easy part + cyclotomic hard part.
+field::Fp12 final_exponentiation(const field::Fp12& f);
+
+/// Reference implementation of the hard part by naive big-integer
+/// exponentiation; exposed for the cross-check tests.
+field::Fp12 final_exponentiation_naive(const field::Fp12& f);
+
+/// The full pairing.
+Gt pairing(const ec::G1& p, const ec::G2& q);
+
+/// prod_i e(p_i, q_i) with a shared final exponentiation — the decrypt path
+/// computes e(C1, h^poly) * e(USK, C2) this way, halving its pairing cost.
+Gt pairing_product(std::span<const std::pair<ec::G1, ec::G2>> pairs);
+
+}  // namespace ibbe::pairing

@@ -1,0 +1,53 @@
+#include "pki/cert.h"
+
+namespace ibbe::pki {
+
+util::Bytes Certificate::signed_payload() const {
+  util::ByteWriter w;
+  w.str(subject);
+  w.blob(public_key);
+  w.blob(measurement);
+  w.str(issuer);
+  return w.take();
+}
+
+util::Bytes Certificate::to_bytes() const {
+  util::ByteWriter w;
+  w.str(subject);
+  w.blob(public_key);
+  w.blob(measurement);
+  w.str(issuer);
+  w.raw(signature.to_bytes());
+  return w.take();
+}
+
+Certificate Certificate::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  Certificate cert;
+  cert.subject = r.str();
+  cert.public_key = r.blob();
+  cert.measurement = r.blob();
+  cert.issuer = r.str();
+  cert.signature = EcdsaSignature::from_bytes(r.raw(EcdsaSignature::serialized_size));
+  r.expect_end();
+  return cert;
+}
+
+Certificate CertificateAuthority::issue(std::string subject,
+                                        util::Bytes public_key,
+                                        util::Bytes measurement) const {
+  Certificate cert;
+  cert.subject = std::move(subject);
+  cert.public_key = std::move(public_key);
+  cert.measurement = std::move(measurement);
+  cert.issuer = name_;
+  cert.signature = key_.sign(cert.signed_payload());
+  return cert;
+}
+
+bool CertificateAuthority::verify(const Certificate& cert,
+                                  const ec::P256Point& ca_key) {
+  return ecdsa_verify(ca_key, cert.signed_payload(), cert.signature);
+}
+
+}  // namespace ibbe::pki

@@ -1,0 +1,52 @@
+// Minimal certificates and a certificate authority.
+//
+// Models the Auditor/CA of the paper's Fig. 3: after attesting an enclave it
+// issues a certificate binding the enclave's public key to its measurement,
+// which users verify before accepting provisioned IBBE user keys.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pki/ecdsa.h"
+#include "util/bytes.h"
+
+namespace ibbe::pki {
+
+struct Certificate {
+  std::string subject;            // e.g. "enclave:ibbe-sgx"
+  util::Bytes public_key;         // compressed P-256 point (33 bytes)
+  util::Bytes measurement;        // enclave MRENCLAVE (32 bytes; empty for users)
+  std::string issuer;
+  EcdsaSignature signature;       // over the fields above
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static Certificate from_bytes(std::span<const std::uint8_t> data);
+
+  /// The byte string covered by the signature.
+  [[nodiscard]] util::Bytes signed_payload() const;
+};
+
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, crypto::Drbg& rng)
+      : name_(std::move(name)), key_(EcdsaKeyPair::generate(rng)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ec::P256Point& public_key() const {
+    return key_.public_key();
+  }
+
+  [[nodiscard]] Certificate issue(std::string subject, util::Bytes public_key,
+                                  util::Bytes measurement) const;
+
+  /// Verifies a certificate against this CA's public key.
+  [[nodiscard]] static bool verify(const Certificate& cert,
+                                   const ec::P256Point& ca_key);
+
+ private:
+  std::string name_;
+  EcdsaKeyPair key_;
+};
+
+}  // namespace ibbe::pki

@@ -1,0 +1,110 @@
+#include "pki/ecdsa.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace ibbe::pki {
+
+using ec::P256Point;
+using field::P256Fr;
+
+namespace {
+
+P256Fr hash_to_scalar(std::span<const std::uint8_t> message) {
+  auto digest = crypto::Sha256::hash(message);
+  return P256Fr::from_be_bytes_reduce(digest);
+}
+
+std::span<const std::uint8_t> sv_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+util::Bytes EcdsaSignature::to_bytes() const {
+  util::ByteWriter w;
+  w.raw(r.to_be_bytes());
+  w.raw(s.to_be_bytes());
+  return w.take();
+}
+
+EcdsaSignature EcdsaSignature::from_bytes(std::span<const std::uint8_t> data) {
+  if (data.size() != serialized_size) {
+    throw util::DeserializeError("EcdsaSignature: need 64 bytes");
+  }
+  EcdsaSignature sig;
+  sig.r = P256Fr::from_u256(bigint::U256::from_be_bytes(data.first(32)));
+  sig.s = P256Fr::from_u256(bigint::U256::from_be_bytes(data.subspan(32)));
+  return sig;
+}
+
+EcdsaKeyPair EcdsaKeyPair::generate(crypto::Drbg& rng) {
+  while (true) {
+    auto raw = rng.bytes(32);
+    P256Fr secret = P256Fr::from_be_bytes_reduce(raw);
+    if (!secret.is_zero()) {
+      return {secret, P256Point::generator().mul(secret)};
+    }
+  }
+}
+
+EcdsaKeyPair EcdsaKeyPair::from_secret(std::span<const std::uint8_t> secret32) {
+  P256Fr secret = P256Fr::from_be_bytes_reduce(secret32);
+  if (secret.is_zero()) {
+    throw std::invalid_argument("EcdsaKeyPair: secret reduces to zero");
+  }
+  return {secret, P256Point::generator().mul(secret)};
+}
+
+EcdsaSignature EcdsaKeyPair::sign(std::span<const std::uint8_t> message) const {
+  P256Fr z = hash_to_scalar(message);
+  // Deterministic nonce (RFC 6979 flavour): k = HMAC(sk_bytes, digest || ctr),
+  // re-derived with an incremented counter in the (cryptographically
+  // negligible) retry cases.
+  auto digest = crypto::Sha256::hash(message);
+  auto sk_bytes = secret_.to_be_bytes();
+  for (std::uint8_t counter = 0;; ++counter) {
+    util::Bytes input(digest.begin(), digest.end());
+    input.push_back(counter);
+    auto k_raw = crypto::hmac_sha256(sk_bytes, input);
+    P256Fr k = P256Fr::from_be_bytes_reduce(k_raw);
+    if (k.is_zero()) continue;
+
+    auto r_point = P256Point::generator().mul(k).to_affine();
+    if (!r_point) continue;
+    P256Fr r = P256Fr::from_u256_reduce(r_point->first.to_u256());
+    if (r.is_zero()) continue;
+    P256Fr s = k.inverse() * (z + r * secret_);
+    if (s.is_zero()) continue;
+    return {r, s};
+  }
+}
+
+EcdsaSignature EcdsaKeyPair::sign(std::string_view message) const {
+  return sign(sv_bytes(message));
+}
+
+bool ecdsa_verify(const P256Point& public_key,
+                  std::span<const std::uint8_t> message,
+                  const EcdsaSignature& sig) {
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (public_key.is_infinity() || !public_key.on_curve()) return false;
+  P256Fr z = hash_to_scalar(message);
+  P256Fr s_inv = sig.s.inverse();
+  P256Fr u1 = z * s_inv;
+  P256Fr u2 = sig.r * s_inv;
+  P256Point candidate =
+      P256Point::generator().mul(u1) + public_key.mul(u2);
+  auto affine = candidate.to_affine();
+  if (!affine) return false;
+  return P256Fr::from_u256_reduce(affine->first.to_u256()) == sig.r;
+}
+
+bool ecdsa_verify(const P256Point& public_key, std::string_view message,
+                  const EcdsaSignature& sig) {
+  return ecdsa_verify(public_key, sv_bytes(message), sig);
+}
+
+}  // namespace ibbe::pki

@@ -1,0 +1,64 @@
+// ECDSA over NIST P-256 with SHA-256 digests.
+//
+// Used by three parties in the system model: the simulated Quoting Enclave
+// (signing SGX quotes), the Auditor/CA (signing enclave certificates), and
+// administrators (authenticating membership-change uploads, per the paper's
+// authenticity requirement on administrator identities).
+//
+// Nonces follow the RFC 6979 idea (derived deterministically from the secret
+// key and message via HMAC), so signing needs no ambient randomness.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "crypto/drbg.h"
+#include "ec/curves.h"
+#include "field/fields.h"
+#include "util/bytes.h"
+
+namespace ibbe::pki {
+
+struct EcdsaSignature {
+  field::P256Fr r;
+  field::P256Fr s;
+
+  [[nodiscard]] util::Bytes to_bytes() const;  // 64 bytes, r || s
+  static EcdsaSignature from_bytes(std::span<const std::uint8_t> data);
+  static constexpr std::size_t serialized_size = 64;
+};
+
+class EcdsaKeyPair {
+ public:
+  /// Fresh key from the given randomness source.
+  static EcdsaKeyPair generate(crypto::Drbg& rng);
+  /// Deterministic key from a 32-byte secret (used by the enclave, whose key
+  /// material must be derivable from sealed state).
+  static EcdsaKeyPair from_secret(std::span<const std::uint8_t> secret32);
+
+  [[nodiscard]] const ec::P256Point& public_key() const { return pub_; }
+  [[nodiscard]] util::Bytes public_key_bytes() const {
+    return ec::p256_to_bytes(pub_);
+  }
+
+  [[nodiscard]] EcdsaSignature sign(std::span<const std::uint8_t> message) const;
+  [[nodiscard]] EcdsaSignature sign(std::string_view message) const;
+
+ private:
+  EcdsaKeyPair(field::P256Fr secret, ec::P256Point pub)
+      : secret_(secret), pub_(pub) {}
+
+  field::P256Fr secret_;
+  ec::P256Point pub_;
+};
+
+/// Signature verification against a public key point.
+[[nodiscard]] bool ecdsa_verify(const ec::P256Point& public_key,
+                                std::span<const std::uint8_t> message,
+                                const EcdsaSignature& sig);
+[[nodiscard]] bool ecdsa_verify(const ec::P256Point& public_key,
+                                std::string_view message,
+                                const EcdsaSignature& sig);
+
+}  // namespace ibbe::pki

@@ -1,0 +1,86 @@
+#include "pki/ecies.h"
+
+#include <stdexcept>
+
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+
+namespace ibbe::pki {
+
+using ec::P256Point;
+using field::P256Fr;
+
+namespace {
+
+util::Bytes derive_key(const P256Point& shared, std::span<const std::uint8_t> eph_pub) {
+  auto affine = shared.to_affine();
+  if (!affine) throw std::logic_error("ECIES: degenerate shared secret");
+  auto x = affine->first.to_be_bytes();
+  util::Bytes ikm(x.begin(), x.end());
+  ikm.insert(ikm.end(), eph_pub.begin(), eph_pub.end());
+  return crypto::hkdf({}, ikm, "ibbe-sgx:ecies:v1", 32);
+}
+
+const util::Bytes& zero_nonce() {
+  static const util::Bytes nonce(12, 0);
+  return nonce;
+}
+
+}  // namespace
+
+EciesKeyPair EciesKeyPair::generate(crypto::Drbg& rng) {
+  while (true) {
+    auto raw = rng.bytes(32);
+    P256Fr secret = P256Fr::from_be_bytes_reduce(raw);
+    if (!secret.is_zero()) {
+      return {secret, P256Point::generator().mul(secret)};
+    }
+  }
+}
+
+EciesKeyPair EciesKeyPair::from_secret(std::span<const std::uint8_t> secret32) {
+  P256Fr secret = P256Fr::from_be_bytes_reduce(secret32);
+  if (secret.is_zero()) throw std::invalid_argument("ECIES: secret reduces to zero");
+  return {secret, P256Point::generator().mul(secret)};
+}
+
+util::Bytes ecies_encrypt(const P256Point& recipient,
+                          std::span<const std::uint8_t> plaintext,
+                          crypto::Drbg& rng, std::span<const std::uint8_t> aad) {
+  if (recipient.is_infinity() || !recipient.on_curve()) {
+    throw std::invalid_argument("ECIES: invalid recipient key");
+  }
+  P256Fr eph;
+  do {
+    auto raw = rng.bytes(32);
+    eph = P256Fr::from_be_bytes_reduce(raw);
+  } while (eph.is_zero());
+
+  auto eph_pub = ec::p256_to_bytes(P256Point::generator().mul(eph));
+  auto key = derive_key(recipient.mul(eph), eph_pub);
+
+  crypto::Aes256Gcm gcm(key);
+  auto sealed = gcm.seal(zero_nonce(), plaintext, aad);
+
+  util::Bytes out = eph_pub;
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return out;
+}
+
+std::optional<util::Bytes> EciesKeyPair::decrypt(
+    std::span<const std::uint8_t> ciphertext,
+    std::span<const std::uint8_t> aad) const {
+  if (ciphertext.size() < ecies_overhead) return std::nullopt;
+  P256Point eph_pub;
+  try {
+    eph_pub = ec::p256_from_bytes(ciphertext.first(33));
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+  if (eph_pub.is_infinity()) return std::nullopt;
+  auto key = derive_key(eph_pub.mul(secret_), ciphertext.first(33));
+  crypto::Aes256Gcm gcm(key);
+  return gcm.open(zero_nonce(), ciphertext.subspan(33), aad);
+}
+
+}  // namespace ibbe::pki

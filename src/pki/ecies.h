@@ -1,0 +1,52 @@
+// ECIES over P-256: ephemeral ECDH -> HKDF-SHA256 -> AES-256-GCM.
+//
+// This is the public-key encryption primitive of the HE-PKI baseline (each
+// group member's copy of the group key is an ECIES ciphertext) and of the
+// user-key provisioning channel in the attestation flow.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "crypto/drbg.h"
+#include "ec/curves.h"
+#include "field/fields.h"
+#include "util/bytes.h"
+
+namespace ibbe::pki {
+
+class EciesKeyPair {
+ public:
+  static EciesKeyPair generate(crypto::Drbg& rng);
+  static EciesKeyPair from_secret(std::span<const std::uint8_t> secret32);
+
+  [[nodiscard]] const ec::P256Point& public_key() const { return pub_; }
+  [[nodiscard]] util::Bytes public_key_bytes() const {
+    return ec::p256_to_bytes(pub_);
+  }
+
+  /// Decrypts a ciphertext produced by ecies_encrypt for this key;
+  /// std::nullopt on any authentication failure.
+  [[nodiscard]] std::optional<util::Bytes> decrypt(
+      std::span<const std::uint8_t> ciphertext,
+      std::span<const std::uint8_t> aad = {}) const;
+
+ private:
+  EciesKeyPair(field::P256Fr secret, ec::P256Point pub)
+      : secret_(secret), pub_(pub) {}
+
+  field::P256Fr secret_;
+  ec::P256Point pub_;
+};
+
+/// Ciphertext layout: ephemeral-pub(33) || GCM(ct || tag). The GCM nonce is
+/// fixed to zero — safe because every encryption uses a fresh ephemeral key.
+util::Bytes ecies_encrypt(const ec::P256Point& recipient,
+                          std::span<const std::uint8_t> plaintext,
+                          crypto::Drbg& rng,
+                          std::span<const std::uint8_t> aad = {});
+
+/// Serialized overhead on top of the plaintext length.
+constexpr std::size_t ecies_overhead = 33 + 16;
+
+}  // namespace ibbe::pki

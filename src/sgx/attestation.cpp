@@ -1,0 +1,40 @@
+#include "sgx/attestation.h"
+
+#include "crypto/sha256.h"
+
+namespace ibbe::sgx {
+
+void AttestationService::register_platform(const EnclavePlatform& platform) {
+  platform_keys_.insert_or_assign(platform.platform_id(),
+                                  platform.qe_public_key());
+}
+
+bool AttestationService::verify_quote(const Quote& quote) const {
+  auto it = platform_keys_.find(quote.platform_id);
+  if (it == platform_keys_.end()) return false;
+  return pki::ecdsa_verify(it->second, quote.signed_payload(), quote.signature);
+}
+
+Auditor::Auditor(std::string name, const AttestationService& ias,
+                 Measurement expected_measurement, crypto::Drbg& rng)
+    : ias_(ias),
+      expected_measurement_(expected_measurement),
+      ca_(std::move(name), rng) {}
+
+std::optional<pki::Certificate> Auditor::attest_and_certify(
+    const Quote& quote, const util::Bytes& enclave_pubkey) const {
+  if (!ias_.verify_quote(quote)) return std::nullopt;
+  if (quote.measurement != expected_measurement_) return std::nullopt;
+  // The quote must commit to the key being certified.
+  auto expected_report = crypto::Sha256::hash(enclave_pubkey);
+  if (quote.report_data.size() != expected_report.size() ||
+      !util::ct_equal(quote.report_data, expected_report)) {
+    return std::nullopt;
+  }
+  util::Bytes measurement_bytes(quote.measurement.begin(),
+                                quote.measurement.end());
+  return ca_.issue("enclave:" + quote.platform_id, enclave_pubkey,
+                   measurement_bytes);
+}
+
+}  // namespace ibbe::sgx

@@ -1,0 +1,56 @@
+// Simulated Intel Attestation Service (IAS) and the paper's Auditor/CA.
+//
+// Fig. 3 flow:  (1) enclave sends {pubkey, measurement/quote} to the Auditor,
+// (2) the Auditor checks genuineness with IAS, (3) compares the measurement
+// against the expected (audited) build and issues the enclave certificate,
+// (4) users verify that certificate before trusting provisioned keys.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "pki/cert.h"
+#include "sgx/enclave.h"
+
+namespace ibbe::sgx {
+
+/// IAS stand-in: knows the QE public key of every registered platform and
+/// validates quote signatures.
+class AttestationService {
+ public:
+  void register_platform(const EnclavePlatform& platform);
+
+  /// True iff the quote was signed by a registered platform's QE key.
+  [[nodiscard]] bool verify_quote(const Quote& quote) const;
+
+ private:
+  std::map<std::string, ec::P256Point> platform_keys_;
+};
+
+/// The Auditor of the paper: attests enclaves via IAS, compares measurements
+/// with the expected audited build, and acts as the CA for enclave
+/// certificates.
+class Auditor {
+ public:
+  Auditor(std::string name, const AttestationService& ias,
+          Measurement expected_measurement, crypto::Drbg& rng);
+
+  /// Returns a certificate for the enclave public key carried in
+  /// `quote.report_data` context iff the quote verifies and matches the
+  /// expected measurement. `enclave_pubkey` must hash to the quote's report
+  /// data (binding key to quote).
+  [[nodiscard]] std::optional<pki::Certificate> attest_and_certify(
+      const Quote& quote, const util::Bytes& enclave_pubkey) const;
+
+  [[nodiscard]] const ec::P256Point& ca_public_key() const {
+    return ca_.public_key();
+  }
+
+ private:
+  const AttestationService& ias_;
+  Measurement expected_measurement_;
+  pki::CertificateAuthority ca_;
+};
+
+}  // namespace ibbe::sgx

@@ -1,0 +1,148 @@
+// Simulated Intel SGX platform and enclave runtime.
+//
+// What the paper gets from real SGX hardware and what this simulator
+// preserves:
+//
+//   * Isolation      — enclave state is private C++ state reachable only via
+//                      the ECALL methods of the derived enclave class; an
+//                      EcallScope guard meters every boundary crossing.
+//   * Measurement    — MRENCLAVE is the SHA-256 of the enclave image
+//                      descriptor (name, version, code hash).
+//   * Sealing        — AES-256-GCM under a key derived (HKDF) from the
+//                      platform's fuse key and the measurement: a blob sealed
+//                      by one enclave build cannot be opened by another, and
+//                      not by any code outside an enclave of that build.
+//   * Attestation    — quotes (measurement + report data) signed by the
+//                      platform's Quoting Enclave key, verified by the
+//                      simulated Intel Attestation Service (attestation.h).
+//   * EPC pressure   — an allocation meter with the 128 MB EPC limit of the
+//                      paper's SGX v1 hardware; benches report peak usage
+//                      (the simulator does not fake paging slowdowns).
+//
+// The deliberate difference: there is no hardware trust root — this is a
+// functional model for running and measuring the scheme, not a secure
+// boundary against a real co-resident adversary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "crypto/drbg.h"
+#include "pki/ecdsa.h"
+#include "util/bytes.h"
+
+namespace ibbe::sgx {
+
+using Measurement = std::array<std::uint8_t, 32>;
+
+/// A sealed blob: AEAD ciphertext bound to the sealing enclave's measurement
+/// (MRENCLAVE policy).
+struct SealedBlob {
+  Measurement measurement{};
+  util::Bytes nonce;       // 12 bytes
+  util::Bytes ciphertext;  // includes the 16-byte GCM tag
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static SealedBlob from_bytes(std::span<const std::uint8_t> data);
+};
+
+/// An attestation quote: proof that `measurement` runs on a genuine platform,
+/// with `report_data` chosen by the enclave (here: SHA-256 of its public key).
+struct Quote {
+  Measurement measurement{};
+  util::Bytes report_data;
+  std::string platform_id;
+  pki::EcdsaSignature signature;  // by the platform's QE key
+
+  [[nodiscard]] util::Bytes signed_payload() const;
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static Quote from_bytes(std::span<const std::uint8_t> data);
+};
+
+/// One simulated SGX-capable machine: fuse key + quoting-enclave key.
+class EnclavePlatform {
+ public:
+  explicit EnclavePlatform(std::string platform_id);
+
+  [[nodiscard]] const std::string& platform_id() const { return platform_id_; }
+  [[nodiscard]] const ec::P256Point& qe_public_key() const {
+    return qe_key_.public_key();
+  }
+
+  /// Produces a signed quote for an enclave measurement hosted here.
+  [[nodiscard]] Quote quote(const Measurement& measurement,
+                            util::Bytes report_data) const;
+
+  /// Derives the sealing key for a measurement (fuse key never leaves).
+  [[nodiscard]] util::Bytes sealing_key(const Measurement& measurement) const;
+
+ private:
+  std::string platform_id_;
+  util::Bytes fuse_key_;  // 32 bytes, unique per machine
+  pki::EcdsaKeyPair qe_key_;
+};
+
+/// Descriptor hashed into the measurement.
+struct EnclaveImage {
+  std::string name;
+  std::string version;
+  /// Stand-in for the code pages; two builds differ here.
+  util::Bytes code_hash;
+
+  [[nodiscard]] Measurement measure() const;
+};
+
+/// Base class for simulated enclaves. Derived classes hold the private state
+/// and expose ECALLs as methods that open an EcallScope.
+class EnclaveBase {
+ public:
+  EnclaveBase(EnclavePlatform& platform, const EnclaveImage& image);
+  virtual ~EnclaveBase() = default;
+
+  EnclaveBase(const EnclaveBase&) = delete;
+  EnclaveBase& operator=(const EnclaveBase&) = delete;
+
+  [[nodiscard]] const Measurement& measurement() const { return measurement_; }
+
+  // ---- instrumentation (readable from untrusted code) ----
+  [[nodiscard]] std::uint64_t ecall_count() const { return ecall_count_; }
+  [[nodiscard]] std::size_t epc_bytes_used() const { return epc_used_; }
+  [[nodiscard]] std::size_t epc_bytes_peak() const { return epc_peak_; }
+  /// SGX v1 EPC size on the paper's hardware.
+  static constexpr std::size_t epc_limit = 128u * 1024 * 1024;
+
+  /// Quote over caller-chosen report data (delegates to the platform QE).
+  [[nodiscard]] Quote generate_quote(util::Bytes report_data) const;
+
+ protected:
+  /// RAII boundary-crossing marker; every public ECALL opens one.
+  class EcallScope {
+   public:
+    explicit EcallScope(const EnclaveBase& enclave) {
+      ++enclave.ecall_count_;
+    }
+  };
+
+  [[nodiscard]] SealedBlob seal(std::span<const std::uint8_t> plaintext) const;
+  /// std::nullopt if the blob was sealed by a different measurement or is
+  /// corrupted.
+  [[nodiscard]] std::optional<util::Bytes> unseal(const SealedBlob& blob) const;
+
+  /// In-enclave randomness (models RDRAND inside the enclave).
+  [[nodiscard]] crypto::Drbg& enclave_rng() { return rng_; }
+
+  /// EPC accounting hooks for derived enclaves' long-lived state.
+  void epc_alloc(std::size_t bytes);
+  void epc_free(std::size_t bytes);
+
+ private:
+  EnclavePlatform& platform_;
+  Measurement measurement_;
+  crypto::Drbg rng_;
+  mutable std::uint64_t ecall_count_ = 0;
+  std::size_t epc_used_ = 0;
+  std::size_t epc_peak_ = 0;
+};
+
+}  // namespace ibbe::sgx

@@ -1,0 +1,520 @@
+#include "system/admin.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ibbe::system {
+
+using core::Identity;
+
+namespace {
+
+std::string sealed_gk_path(const GroupId& gid) {
+  return group_dir(gid) + "/gk.sealed";
+}
+
+constexpr int max_cas_retries = 8;
+
+}  // namespace
+
+AdminApi::AdminApi(enclave::IbbeEnclave& enclave, cloud::CloudStore& cloud,
+                   pki::EcdsaKeyPair signing_key, AdminConfig config,
+                   std::uint64_t seed)
+    : enclave_(enclave),
+      cloud_(cloud),
+      signing_key_(std::move(signing_key)),
+      config_(std::move(config)),
+      rng_(seed) {
+  if (config_.partition_size == 0) {
+    throw std::invalid_argument("AdminApi: partition_size must be positive");
+  }
+  if (config_.partition_size > enclave_.public_key().max_receivers()) {
+    throw std::invalid_argument(
+        "AdminApi: partition_size exceeds the enclave's PK bound");
+  }
+}
+
+AdminApi::GroupState& AdminApi::state_of(const GroupId& gid) {
+  auto it = cache_.find(gid);
+  if (it == cache_.end()) throw std::out_of_range("AdminApi: unknown group " + gid);
+  return it->second;
+}
+
+const AdminApi::GroupState& AdminApi::state_of(const GroupId& gid) const {
+  auto it = cache_.find(gid);
+  if (it == cache_.end()) throw std::out_of_range("AdminApi: unknown group " + gid);
+  return it->second;
+}
+
+PartitionId AdminApi::fresh_partition_id(GroupState& state) const {
+  // High 32 bits distinguish administrators so concurrent creations never
+  // collide; with the default nonce of 0 this degenerates to 0, 1, 2, ...
+  return (static_cast<PartitionId>(config_.admin_nonce) << 32) |
+         state.partition_counter++;
+}
+
+void AdminApi::push_partition(const GroupId& gid, const PartitionRecord& rec) {
+  auto env = SignedEnvelope::sign(signing_key_, rec.to_bytes());
+  cloud_.put(partition_path(gid, rec.id), env.to_bytes());
+}
+
+bool AdminApi::push_index(const GroupId& gid, GroupState& state) {
+  GroupIndex idx;
+  idx.partition_ids.reserve(state.partitions.size());
+  idx.members.reserve(state.partitions.size());
+  for (const auto& rec : state.partitions) {
+    idx.partition_ids.push_back(rec.id);
+    idx.members.push_back(rec.members);
+  }
+  auto env = SignedEnvelope::sign(signing_key_, idx.to_bytes());
+  if (!config_.multi_admin) {
+    state.index_version = cloud_.put(index_path(gid), env.to_bytes());
+    return true;
+  }
+  auto version =
+      cloud_.put_cas(index_path(gid), env.to_bytes(), state.index_version);
+  if (!version) {
+    ++stats_.cas_conflicts;
+    return false;
+  }
+  state.index_version = *version;
+  return true;
+}
+
+void AdminApi::push_sealed_gk(const GroupId& gid, const GroupState& state) {
+  if (!config_.multi_admin) return;  // single admin keeps it in its cache
+  cloud_.put(sealed_gk_path(gid), state.sealed_gk.to_bytes());
+}
+
+void AdminApi::reassign_if_multi(GroupState& state, PartitionRecord& rec) {
+  if (config_.multi_admin) rec.id = fresh_partition_id(state);
+}
+
+void AdminApi::gc_partitions(const GroupId& gid, const GroupState& state) {
+  if (!config_.multi_admin) return;
+  std::vector<std::string> live;
+  live.reserve(state.partitions.size());
+  for (const auto& rec : state.partitions) {
+    live.push_back(partition_path(gid, rec.id));
+  }
+  for (const auto& path : cloud_.list(group_dir(gid) + "/p")) {
+    if (std::find(live.begin(), live.end(), path) == live.end()) {
+      cloud_.erase(path);
+    }
+  }
+}
+
+bool AdminApi::verify_envelope(const SignedEnvelope& env) const {
+  if (env.verify(signing_key_.public_key())) return true;
+  for (const auto& key_bytes : config_.peer_verification_keys) {
+    try {
+      if (env.verify(ec::p256_from_bytes(key_bytes))) return true;
+    } catch (const util::DeserializeError&) {
+      // malformed configured key: skip
+    }
+  }
+  return false;
+}
+
+void AdminApi::sync_from_cloud(const GroupId& gid) {
+  auto raw_index = cloud_.get_versioned(index_path(gid));
+  if (!raw_index) {
+    throw std::runtime_error("sync_from_cloud: no index for group " + gid);
+  }
+  auto index_env = SignedEnvelope::from_bytes(raw_index->value);
+  if (!verify_envelope(index_env)) {
+    throw std::runtime_error("sync_from_cloud: index signature not trusted");
+  }
+  GroupIndex idx = GroupIndex::from_bytes(index_env.payload);
+
+  GroupState state;
+  state.index_version = raw_index->version;
+  for (PartitionId pid : idx.partition_ids) {
+    auto raw = cloud_.get(partition_path(gid, pid));
+    if (!raw) {
+      throw std::runtime_error("sync_from_cloud: missing partition file");
+    }
+    auto env = SignedEnvelope::from_bytes(*raw);
+    if (!verify_envelope(env)) {
+      throw std::runtime_error("sync_from_cloud: partition signature not trusted");
+    }
+    state.partitions.push_back(PartitionRecord::from_bytes(env.payload));
+  }
+
+  auto sealed = cloud_.get(sealed_gk_path(gid));
+  auto old = cache_.find(gid);
+  if (sealed) {
+    state.sealed_gk = sgx::SealedBlob::from_bytes(*sealed);
+  } else if (old != cache_.end()) {
+    state.sealed_gk = old->second.sealed_gk;
+  } else {
+    throw std::runtime_error("sync_from_cloud: no sealed group key available");
+  }
+  // Admin-local fields survive the re-sync.
+  if (old != cache_.end()) {
+    state.partition_counter = old->second.partition_counter;
+    state.target_partition_size = old->second.target_partition_size;
+  } else {
+    state.target_partition_size = config_.partition_size;
+  }
+  cache_[gid] = std::move(state);
+}
+
+template <typename Op>
+AdminApi::OpOutcome AdminApi::mutate_with_retry(const GroupId& gid, Op&& op) {
+  for (int attempt = 0;; ++attempt) {
+    GroupState& state = state_of(gid);
+    OpOutcome outcome = op(state);
+    if (outcome != OpOutcome::published) return outcome;
+    if (push_index(gid, state)) return outcome;
+    if (attempt >= max_cas_retries) {
+      throw std::runtime_error(
+          "AdminApi: persistent CAS conflicts on group " + gid);
+    }
+    sync_from_cloud(gid);
+  }
+}
+
+void AdminApi::log_op(const GroupId& gid, LogOp op, const std::string& subject) {
+  if (!config_.log_operations) return;
+  MembershipLog& log = logs_[gid];
+  if (config_.multi_admin) {
+    // Pick up entries appended by peers (last-writer-wins on the blob; full
+    // multi-writer certification is the paper's blockchain future work).
+    if (auto raw = cloud_.get(oplog_path(gid))) {
+      auto remote = MembershipLog::from_bytes(*raw);
+      if (remote.size() > log.size()) log = std::move(remote);
+    }
+  }
+  log.append(op, subject, config_.admin_name, signing_key_);
+  cloud_.put(oplog_path(gid), log.to_bytes());
+}
+
+const MembershipLog& AdminApi::log_of(const GroupId& gid) const {
+  static const MembershipLog empty;
+  auto it = logs_.find(gid);
+  return it == logs_.end() ? empty : it->second;
+}
+
+void AdminApi::create_group(const GroupId& gid,
+                            std::span<const Identity> members) {
+  create_group_sized(gid, members, config_.partition_size);
+  log_op(gid, LogOp::create_group,
+         "members=" + std::to_string(members.size()));
+}
+
+void AdminApi::create_group_sized(const GroupId& gid,
+                                  std::span<const Identity> members,
+                                  std::size_t partition_size) {
+  if (members.empty()) {
+    throw std::invalid_argument("create_group: need at least one member");
+  }
+  GroupState state;
+  state.target_partition_size = partition_size;
+  if (auto it = cache_.find(gid); it != cache_.end()) {
+    // Recreation (e.g. re-partitioning) keeps counters and CAS lineage.
+    state.partition_counter = it->second.partition_counter;
+    state.index_version = it->second.index_version;
+  }
+
+  // Algorithm 1, line 1: fixed-size partitions.
+  std::vector<std::vector<Identity>> partitions;
+  for (std::size_t i = 0; i < members.size(); i += partition_size) {
+    auto last = std::min(members.size(), i + partition_size);
+    partitions.emplace_back(members.begin() + static_cast<std::ptrdiff_t>(i),
+                            members.begin() + static_cast<std::ptrdiff_t>(last));
+  }
+
+  // Lines 2-6 run inside the enclave.
+  auto creation = enclave_.ecall_create_group(partitions);
+
+  // Line 7: persist ciphertexts, wrapped keys and the sealed gk.
+  state.sealed_gk = creation.sealed_gk;
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    PartitionRecord rec;
+    rec.id = fresh_partition_id(state);
+    rec.members = std::move(partitions[p]);
+    rec.cipher = std::move(creation.partitions[p]);
+    push_partition(gid, rec);
+    state.partitions.push_back(std::move(rec));
+  }
+  push_sealed_gk(gid, state);
+  if (!push_index(gid, state)) {
+    throw std::runtime_error("create_group: concurrent modification of " + gid);
+  }
+
+  stats_.groups_created++;
+  stats_.partitions_created += state.partitions.size();
+  cache_[gid] = std::move(state);
+}
+
+void AdminApi::add_user(const GroupId& gid, const Identity& id) {
+  bool created_partition = false;
+  auto outcome = mutate_with_retry(gid, [&](GroupState& state) {
+    created_partition = false;
+    for (const auto& rec : state.partitions) {
+      if (std::find(rec.members.begin(), rec.members.end(), id) !=
+          rec.members.end()) {
+        return OpOutcome::noop;  // already a member
+      }
+    }
+
+    // Algorithm 2, line 1: partitions with spare capacity.
+    std::vector<std::size_t> open;
+    for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+      if (state.partitions[p].members.size() < state.target_partition_size) {
+        open.push_back(p);
+      }
+    }
+
+    if (open.empty()) {
+      // Lines 3-7: new partition wrapping the existing gk.
+      PartitionRecord rec;
+      rec.id = fresh_partition_id(state);
+      rec.members = {id};
+      rec.cipher = enclave_.ecall_create_partition(rec.members, state.sealed_gk);
+      push_partition(gid, rec);
+      state.partitions.push_back(std::move(rec));
+      created_partition = true;
+    } else {
+      // Lines 9-12: random open partition; O(1) ciphertext extension; the
+      // wrapped key y_p is untouched.
+      auto& rec = state.partitions[open[rng_.uniform(open.size())]];
+      rec.cipher.ct = enclave_.ecall_add_user_to_partition(rec.cipher.ct, id);
+      rec.members.push_back(id);
+      reassign_if_multi(state, rec);
+      push_partition(gid, rec);
+    }
+    return OpOutcome::published;
+  });
+
+  if (outcome == OpOutcome::noop) return;
+  if (outcome == OpOutcome::published) gc_partitions(gid, state_of(gid));
+  stats_.users_added++;
+  if (created_partition) stats_.partitions_created++;
+  advisor_.record_add();
+  log_op(gid, LogOp::add_user, id);
+}
+
+void AdminApi::remove_user(const GroupId& gid, const Identity& id) {
+  auto outcome = mutate_with_retry(gid, [&](GroupState& state) {
+    // Locate the hosting partition (Algorithm 3, line 1).
+    std::size_t host = state.partitions.size();
+    for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+      const auto& ms = state.partitions[p].members;
+      if (std::find(ms.begin(), ms.end(), id) != ms.end()) {
+        host = p;
+        break;
+      }
+    }
+    if (host == state.partitions.size()) return OpOutcome::noop;
+
+    // Lines 3-9 run inside the enclave: O(1) removal on the host, constant
+    // time re-key everywhere else, fresh gk wrapped under every partition.
+    std::vector<core::BroadcastCiphertext> others;
+    others.reserve(state.partitions.size() - 1);
+    for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+      if (p != host) others.push_back(state.partitions[p].cipher.ct);
+    }
+    auto result =
+        enclave_.ecall_remove_user(state.partitions[host].cipher.ct, others, id);
+    state.sealed_gk = result.sealed_gk;
+
+    // Apply results: index 0 is the host, the rest follow input order.
+    auto& host_rec = state.partitions[host];
+    host_rec.members.erase(
+        std::find(host_rec.members.begin(), host_rec.members.end(), id));
+    host_rec.cipher = std::move(result.partitions[0]);
+    std::size_t out = 1;
+    for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+      if (p != host) {
+        state.partitions[p].cipher = std::move(result.partitions[out++]);
+      }
+    }
+
+    // Lines 10-11: push every partition (all wrapped keys changed).
+    if (host_rec.members.empty()) {
+      cloud_.erase(partition_path(gid, host_rec.id));
+      state.partitions.erase(state.partitions.begin() +
+                             static_cast<std::ptrdiff_t>(host));
+    }
+
+    if (!state.partitions.empty() && config_.repartitioning &&
+        should_repartition(state)) {
+      rebuild_group(gid, state);
+      return OpOutcome::rebuilt;
+    }
+    // Every partition's ciphertext changed: copy-on-write republish.
+    for (auto& rec : state.partitions) {
+      reassign_if_multi(state, rec);
+      push_partition(gid, rec);
+    }
+    push_sealed_gk(gid, state);
+    return OpOutcome::published;
+  });
+
+  if (outcome == OpOutcome::noop) return;
+  if (outcome == OpOutcome::published) gc_partitions(gid, state_of(gid));
+  stats_.users_removed++;
+  advisor_.record_remove();
+  log_op(gid, LogOp::remove_user, id);
+}
+
+void AdminApi::add_users(const GroupId& gid, std::span<const Identity> ids) {
+  for (const auto& id : ids) add_user(gid, id);
+}
+
+void AdminApi::remove_users(const GroupId& gid, std::span<const Identity> ids) {
+  std::size_t removed_count = 0;
+  auto outcome = mutate_with_retry(gid, [&](GroupState& state) {
+    removed_count = 0;
+    // Group the batch by hosting partition; silently skip non-members.
+    std::map<std::size_t, std::vector<Identity>> by_partition;
+    for (const auto& id : ids) {
+      for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+        const auto& ms = state.partitions[p].members;
+        if (std::find(ms.begin(), ms.end(), id) != ms.end()) {
+          by_partition[p].push_back(id);
+          break;
+        }
+      }
+    }
+    if (by_partition.empty()) return OpOutcome::noop;
+
+    std::vector<enclave::IbbeEnclave::BatchRemovalSpec> hosts;
+    std::vector<std::size_t> host_indices;
+    std::vector<core::BroadcastCiphertext> others;
+    std::vector<std::size_t> other_indices;
+    for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+      auto it = by_partition.find(p);
+      if (it != by_partition.end()) {
+        hosts.push_back({state.partitions[p].cipher.ct, it->second});
+        host_indices.push_back(p);
+      } else {
+        others.push_back(state.partitions[p].cipher.ct);
+        other_indices.push_back(p);
+      }
+    }
+
+    auto result = enclave_.ecall_remove_users(hosts, others);
+    state.sealed_gk = result.sealed_gk;
+
+    // Enclave output order: hosts first, then the others.
+    for (std::size_t h = 0; h < host_indices.size(); ++h) {
+      auto& rec = state.partitions[host_indices[h]];
+      rec.cipher = std::move(result.partitions[h]);
+      for (const auto& id : by_partition[host_indices[h]]) {
+        rec.members.erase(std::find(rec.members.begin(), rec.members.end(), id));
+      }
+      removed_count += by_partition[host_indices[h]].size();
+    }
+    for (std::size_t o = 0; o < other_indices.size(); ++o) {
+      state.partitions[other_indices[o]].cipher =
+          std::move(result.partitions[hosts.size() + o]);
+    }
+
+    // Drop emptied partitions, largest index first.
+    for (std::size_t p = state.partitions.size(); p-- > 0;) {
+      if (state.partitions[p].members.empty()) {
+        cloud_.erase(partition_path(gid, state.partitions[p].id));
+        state.partitions.erase(state.partitions.begin() +
+                               static_cast<std::ptrdiff_t>(p));
+      }
+    }
+
+    if (!state.partitions.empty() && config_.repartitioning &&
+        should_repartition(state)) {
+      rebuild_group(gid, state);
+      return OpOutcome::rebuilt;
+    }
+    for (auto& rec : state.partitions) {
+      reassign_if_multi(state, rec);
+      push_partition(gid, rec);
+    }
+    push_sealed_gk(gid, state);
+    return OpOutcome::published;
+  });
+
+  if (outcome == OpOutcome::noop) return;
+  if (outcome == OpOutcome::published) gc_partitions(gid, state_of(gid));
+  stats_.users_removed += removed_count;
+  for (std::size_t i = 0; i < removed_count; ++i) advisor_.record_remove();
+  log_op(gid, LogOp::remove_user, "batch=" + std::to_string(removed_count));
+}
+
+bool AdminApi::should_repartition(const GroupState& state) const {
+  // §V-A heuristic: "if less than half of the partitions are only two thirds
+  // full, then re-partitioning is triggered."
+  if (state.partitions.size() < 2) return false;
+  std::size_t threshold = (state.target_partition_size * 2 + 2) / 3;  // ceil(2m/3)
+  std::size_t sparse = 0;
+  for (const auto& rec : state.partitions) {
+    if (rec.members.size() < threshold) ++sparse;
+  }
+  return sparse * 2 > state.partitions.size();
+}
+
+void AdminApi::rebuild_group(const GroupId& gid, GroupState& state) {
+  std::vector<Identity> all;
+  for (const auto& rec : state.partitions) {
+    all.insert(all.end(), rec.members.begin(), rec.members.end());
+  }
+  // Drop the old partition files, then re-run Algorithm 1.
+  for (const auto& rec : state.partitions) {
+    cloud_.erase(partition_path(gid, rec.id));
+  }
+  stats_.repartitions++;
+
+  std::size_t new_size = state.target_partition_size;
+  if (config_.adaptive_partitioning) {
+    new_size = advisor_.recommend(all.size(), config_.min_partition_size,
+                                  enclave_.public_key().max_receivers());
+    advisor_.reset_window();
+  }
+  log_op(gid, LogOp::repartition, "partition_size=" + std::to_string(new_size));
+
+  // create_group_sized rewrites cache_[gid]; adjust counters to not
+  // double-count the group itself.
+  stats_.groups_created--;
+  create_group_sized(gid, all, new_size);
+}
+
+bool AdminApi::is_member(const GroupId& gid, const Identity& id) const {
+  auto it = cache_.find(gid);
+  if (it == cache_.end()) return false;
+  for (const auto& rec : it->second.partitions) {
+    if (std::find(rec.members.begin(), rec.members.end(), id) != rec.members.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t AdminApi::group_size(const GroupId& gid) const {
+  std::size_t total = 0;
+  for (const auto& rec : state_of(gid).partitions) total += rec.members.size();
+  return total;
+}
+
+std::size_t AdminApi::partition_count(const GroupId& gid) const {
+  return state_of(gid).partitions.size();
+}
+
+std::size_t AdminApi::partition_size_target(const GroupId& gid) const {
+  return state_of(gid).target_partition_size;
+}
+
+std::size_t AdminApi::metadata_size(const GroupId& gid) const {
+  const GroupState& state = state_of(gid);
+  std::size_t total = 0;
+  GroupIndex idx;
+  for (const auto& rec : state.partitions) {
+    total += rec.to_bytes().size() + pki::EcdsaSignature::serialized_size;
+    idx.partition_ids.push_back(rec.id);
+    idx.members.push_back(rec.members);
+  }
+  total += idx.to_bytes().size() + pki::EcdsaSignature::serialized_size;
+  return total;
+}
+
+}  // namespace ibbe::system

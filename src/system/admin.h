@@ -1,0 +1,182 @@
+// Administrator API (paper §V, Algorithms 1-3 at system level).
+//
+// The administrator is honest-but-curious: this class runs *outside* the
+// enclave and only ever handles public metadata, sealed blobs, and wrapped
+// keys. All gk/bk-touching work happens in the IbbeEnclave it drives.
+//
+// Responsibilities:
+//   * partition assignment (fixed-size partitions, random placement of
+//     joiners, as in Algorithm 2 line 9);
+//   * the local metadata cache that saves cloud round trips (§IV-C);
+//   * pushing signed metadata to the cloud store;
+//   * the re-partitioning heuristic: if more than half of the partitions are
+//     under two-thirds occupancy, rebuild the group via Algorithm 1.
+//
+// Extensions beyond the paper's evaluation (its §VIII future work):
+//   * batch revocation: remove_users() rotates gk once per batch;
+//   * multi-administrator mode: CAS-protected index updates with cache
+//     re-sync and retry (config.multi_admin);
+//   * dynamic partition sizing: re-partitioning picks the size a cost model
+//     recommends for the observed workload (config.adaptive_partitioning);
+//   * a hash-chained signed membership log for auditing
+//     (config.log_operations, see oplog.h).
+#pragma once
+
+#include <map>
+
+#include "cloud/store.h"
+#include "crypto/drbg.h"
+#include "enclave/ibbe_enclave.h"
+#include "system/advisor.h"
+#include "system/metadata.h"
+#include "system/oplog.h"
+
+namespace ibbe::system {
+
+struct AdminConfig {
+  std::size_t partition_size = 1000;  // the paper's |p|
+  bool repartitioning = true;
+
+  // ---- multi-administrator extension ----
+  /// Enables lock-free concurrent administration: index updates go through
+  /// compare-and-swap, conflicts trigger a cache re-sync and retry, and the
+  /// sealed group key is mirrored to the cloud so peers can pick it up.
+  bool multi_admin = false;
+  /// Distinguishes this administrator's partition ids (high 32 bits) so
+  /// concurrent partition creations never collide.
+  std::uint32_t admin_nonce = 0;
+  /// Verification keys (compressed P-256) of the other administrators whose
+  /// signed metadata this admin accepts during re-sync.
+  std::vector<util::Bytes> peer_verification_keys;
+
+  // ---- dynamic partition sizing extension ----
+  /// When re-partitioning triggers, rebuild with the PartitionAdvisor's
+  /// recommendation instead of the static partition_size.
+  bool adaptive_partitioning = false;
+  std::size_t min_partition_size = 16;
+
+  // ---- audit log extension ----
+  /// Appends every membership change to a hash-chained signed log mirrored
+  /// to the cloud (oplog.h).
+  bool log_operations = false;
+  std::string admin_name = "admin";
+};
+
+struct AdminStats {
+  std::uint64_t groups_created = 0;
+  std::uint64_t users_added = 0;
+  std::uint64_t users_removed = 0;
+  std::uint64_t partitions_created = 0;
+  std::uint64_t repartitions = 0;
+  std::uint64_t cas_conflicts = 0;  // multi-admin: retries caused by peers
+};
+
+class AdminApi {
+ public:
+  AdminApi(enclave::IbbeEnclave& enclave, cloud::CloudStore& cloud,
+           pki::EcdsaKeyPair signing_key, AdminConfig config,
+           std::uint64_t seed = 0);
+
+  /// Algorithm 1: split into fixed-size partitions, one enclave call, push.
+  void create_group(const GroupId& gid, std::span<const core::Identity> members);
+
+  /// Algorithm 2. No-op if the user is already a member.
+  void add_user(const GroupId& gid, const core::Identity& id);
+
+  /// Algorithm 3 (+ re-partitioning heuristic). No-op if not a member.
+  void remove_user(const GroupId& gid, const core::Identity& id);
+
+  /// Batch extensions: `add_users` loops the O(1) add; `remove_users`
+  /// rotates the group key ONCE for all k revocations (one enclave call, one
+  /// re-key per partition) instead of k times.
+  void add_users(const GroupId& gid, std::span<const core::Identity> ids);
+  void remove_users(const GroupId& gid, std::span<const core::Identity> ids);
+
+  /// Multi-admin: rebuilds the local cache for `gid` from signed cloud
+  /// metadata (index, partitions, mirrored sealed gk). Throws on missing or
+  /// unverifiable metadata.
+  void sync_from_cloud(const GroupId& gid);
+
+  [[nodiscard]] bool is_member(const GroupId& gid, const core::Identity& id) const;
+  [[nodiscard]] std::size_t group_size(const GroupId& gid) const;
+  [[nodiscard]] std::size_t partition_count(const GroupId& gid) const;
+  /// Current partition-size target (differs from the configured size once
+  /// adaptive re-partitioning has acted).
+  [[nodiscard]] std::size_t partition_size_target(const GroupId& gid) const;
+  /// Serialized size of all of the group's cloud metadata.
+  [[nodiscard]] std::size_t metadata_size(const GroupId& gid) const;
+
+  [[nodiscard]] const AdminStats& stats() const { return stats_; }
+  /// Workload observations driving adaptive sizing. Decrypt observations are
+  /// reported by the deployment (e.g. the trace replayer), since clients do
+  /// not talk to the administrator on the decrypt path.
+  [[nodiscard]] PartitionAdvisor& advisor() { return advisor_; }
+  /// The group's audit log (empty if log_operations is off).
+  [[nodiscard]] const MembershipLog& log_of(const GroupId& gid) const;
+
+  [[nodiscard]] util::Bytes verification_key() const {
+    return ec::p256_to_bytes(signing_key_.public_key());
+  }
+  [[nodiscard]] const ec::P256Point& verification_point() const {
+    return signing_key_.public_key();
+  }
+
+ private:
+  struct GroupState {
+    std::vector<PartitionRecord> partitions;
+    sgx::SealedBlob sealed_gk;
+    std::size_t target_partition_size = 0;
+    std::uint32_t partition_counter = 0;  // admin-local, see fresh_partition_id
+    std::uint64_t index_version = 0;      // cloud version at last sync/push
+  };
+
+  /// What a mutation attempt did with the cached state.
+  enum class OpOutcome {
+    noop,       // nothing changed, nothing to publish
+    published,  // partitions pushed; index still needs publishing
+    rebuilt,    // rebuild_group ran and already published everything
+  };
+
+  GroupState& state_of(const GroupId& gid);
+  const GroupState& state_of(const GroupId& gid) const;
+  PartitionId fresh_partition_id(GroupState& state) const;
+
+  void create_group_sized(const GroupId& gid,
+                          std::span<const core::Identity> members,
+                          std::size_t partition_size);
+  void push_partition(const GroupId& gid, const PartitionRecord& rec);
+  /// Single-admin: unconditional put (always true). Multi-admin: CAS against
+  /// the cached index version; false signals a concurrent peer update.
+  [[nodiscard]] bool push_index(const GroupId& gid, GroupState& state);
+  void push_sealed_gk(const GroupId& gid, const GroupState& state);
+  [[nodiscard]] bool verify_envelope(const SignedEnvelope& env) const;
+  /// Multi-admin partition files are copy-on-write (every content change
+  /// writes under a fresh id) so a failed CAS attempt can never clobber a
+  /// peer's data; this sweeps files no longer referenced by the index.
+  void gc_partitions(const GroupId& gid, const GroupState& state);
+  /// In multi-admin mode, gives `rec` a fresh id before re-publishing
+  /// changed content (copy-on-write); no-op otherwise.
+  void reassign_if_multi(GroupState& state, PartitionRecord& rec);
+  /// The heuristic from §V-A: more than half of the partitions below 2/3
+  /// occupancy triggers a full rebuild.
+  bool should_repartition(const GroupState& state) const;
+  void rebuild_group(const GroupId& gid, GroupState& state);
+  void log_op(const GroupId& gid, LogOp op, const std::string& subject);
+
+  /// Multi-admin retry wrapper: runs `op` against the cached state and
+  /// publishes the index; on CAS conflict re-syncs and retries.
+  template <typename Op>
+  OpOutcome mutate_with_retry(const GroupId& gid, Op&& op);
+
+  enclave::IbbeEnclave& enclave_;
+  cloud::CloudStore& cloud_;
+  pki::EcdsaKeyPair signing_key_;
+  AdminConfig config_;
+  crypto::Drbg rng_;  // untrusted-side randomness (partition placement only)
+  std::map<GroupId, GroupState> cache_;
+  std::map<GroupId, MembershipLog> logs_;
+  PartitionAdvisor advisor_;
+  AdminStats stats_;
+};
+
+}  // namespace ibbe::system

@@ -1,0 +1,23 @@
+#include "system/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ibbe::system {
+
+std::size_t PartitionAdvisor::recommend(std::size_t group_size,
+                                        std::size_t min_size,
+                                        std::size_t max_size) const {
+  if (max_size < min_size) max_size = min_size;
+  if (removes_ == 0) return min_size;
+  if (decrypts_ == 0) return max_size;
+  double r = static_cast<double>(removes_);
+  double d = static_cast<double>(decrypts_);
+  double n = static_cast<double>(std::max<std::size_t>(group_size, 1));
+  double optimal = std::sqrt(r * n * model_.rekey_seconds /
+                             (d * model_.decrypt_seconds_per_member));
+  auto m = static_cast<std::size_t>(std::llround(optimal));
+  return std::clamp(m, min_size, max_size);
+}
+
+}  // namespace ibbe::system

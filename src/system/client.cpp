@@ -1,0 +1,80 @@
+#include "system/client.h"
+
+#include "crypto/gcm.h"
+
+namespace ibbe::system {
+
+ClientApi::ClientApi(cloud::CloudStore& cloud, core::PublicKey pk,
+                     core::UserSecretKey usk,
+                     ec::P256Point admin_verification_key)
+    : ClientApi(cloud, std::move(pk), std::move(usk),
+                std::vector<ec::P256Point>{admin_verification_key}) {}
+
+ClientApi::ClientApi(cloud::CloudStore& cloud, core::PublicKey pk,
+                     core::UserSecretKey usk,
+                     std::vector<ec::P256Point> admin_keys)
+    : cloud_(cloud),
+      pk_(std::move(pk)),
+      usk_(std::move(usk)),
+      admin_keys_(std::move(admin_keys)) {}
+
+std::optional<util::Bytes> ClientApi::fetch_verified(const std::string& path) {
+  auto raw = cloud_.get(path);
+  if (!raw) return std::nullopt;
+  SignedEnvelope env;
+  try {
+    env = SignedEnvelope::from_bytes(*raw);
+  } catch (const util::DeserializeError&) {
+    ++stats_.signature_failures;
+    return std::nullopt;
+  }
+  for (const auto& key : admin_keys_) {
+    if (env.verify(key)) return env.payload;
+  }
+  ++stats_.signature_failures;
+  return std::nullopt;
+}
+
+std::optional<util::Bytes> ClientApi::fetch_group_key(const GroupId& gid) {
+  ++stats_.fetches;
+  // Record the directory version *before* reading so that a concurrent
+  // update triggers the next wait_for_update rather than being missed.
+  seen_versions_[gid] = cloud_.dir_version(group_dir(gid));
+
+  auto index_payload = fetch_verified(index_path(gid));
+  if (!index_payload) return std::nullopt;
+  GroupIndex idx;
+  try {
+    idx = GroupIndex::from_bytes(*index_payload);
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+
+  auto slot = idx.find_user(usk_.id);
+  if (!slot) return std::nullopt;  // not a member (possibly revoked)
+
+  auto part_payload = fetch_verified(partition_path(gid, idx.partition_ids[*slot]));
+  if (!part_payload) return std::nullopt;
+  PartitionRecord rec;
+  try {
+    rec = PartitionRecord::from_bytes(*part_payload);
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+
+  ++stats_.decryptions;
+  auto bk = core::decrypt(pk_, usk_, rec.members, rec.cipher.ct);
+  if (!bk) return std::nullopt;
+  crypto::Aes256Gcm gcm(bk->hash());
+  return gcm.open(rec.cipher.nonce, rec.cipher.wrapped_gk);
+}
+
+std::optional<util::Bytes> ClientApi::wait_for_update(
+    const GroupId& gid, std::chrono::milliseconds timeout) {
+  std::uint64_t since = seen_versions_[gid];
+  auto version = cloud_.long_poll(group_dir(gid), since, timeout);
+  if (!version) return std::nullopt;
+  return fetch_group_key(gid);
+}
+
+}  // namespace ibbe::system

@@ -1,0 +1,61 @@
+// Client API (paper §V): no SGX required.
+//
+// A client holds the system public key, its provisioned IBBE user key and
+// the administrator's signature-verification key. It derives the group key
+// entirely from public cloud metadata:
+//
+//   index -> my partition -> IBBE decrypt bk (O(|p|^2) + 2 pairings)
+//         -> gk = AES-GCM-open(SHA-256(bk), y_p)
+//
+// Change detection uses the store's long polling on the group directory,
+// mirroring the paper's Dropbox long-polling client.
+#pragma once
+
+#include <chrono>
+
+#include "cloud/store.h"
+#include "ibbe/ibbe.h"
+#include "system/metadata.h"
+
+namespace ibbe::system {
+
+struct ClientStats {
+  std::uint64_t fetches = 0;
+  std::uint64_t decryptions = 0;
+  std::uint64_t signature_failures = 0;
+};
+
+class ClientApi {
+ public:
+  ClientApi(cloud::CloudStore& cloud, core::PublicKey pk,
+            core::UserSecretKey usk, ec::P256Point admin_verification_key);
+  /// Multi-administrator deployments: metadata signed by any of `admin_keys`
+  /// is accepted.
+  ClientApi(cloud::CloudStore& cloud, core::PublicKey pk,
+            core::UserSecretKey usk, std::vector<ec::P256Point> admin_keys);
+
+  /// Full fetch-and-decrypt; std::nullopt if this user is not (or no longer)
+  /// a member, or the metadata fails authentication.
+  [[nodiscard]] std::optional<util::Bytes> fetch_group_key(const GroupId& gid);
+
+  /// Blocks on the group's directory version until it changes relative to
+  /// the last observation, then re-derives the key. std::nullopt on timeout
+  /// or revocation.
+  [[nodiscard]] std::optional<util::Bytes> wait_for_update(
+      const GroupId& gid, std::chrono::milliseconds timeout);
+
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+  [[nodiscard]] const core::Identity& identity() const { return usk_.id; }
+
+ private:
+  [[nodiscard]] std::optional<util::Bytes> fetch_verified(const std::string& path);
+
+  cloud::CloudStore& cloud_;
+  core::PublicKey pk_;
+  core::UserSecretKey usk_;
+  std::vector<ec::P256Point> admin_keys_;
+  std::map<GroupId, std::uint64_t> seen_versions_;
+  ClientStats stats_;
+};
+
+}  // namespace ibbe::system

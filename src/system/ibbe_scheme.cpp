@@ -1,0 +1,72 @@
+#include "system/ibbe_scheme.h"
+
+namespace ibbe::system {
+
+namespace {
+const GroupId kGroup = "g";
+}
+
+IbbeSgxScheme::IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed)
+    : partition_size_(partition_size),
+      platform_(std::make_unique<sgx::EnclavePlatform>("bench-platform")),
+      enclave_(std::make_unique<enclave::IbbeEnclave>(*platform_, partition_size)),
+      cloud_(std::make_unique<cloud::CloudStore>()) {
+  crypto::Drbg key_rng(seed + 1);
+  AdminConfig config;
+  config.partition_size = partition_size;
+  admin_ = std::make_unique<AdminApi>(*enclave_, *cloud_,
+                                      pki::EcdsaKeyPair::generate(key_rng),
+                                      config, seed);
+}
+
+std::string IbbeSgxScheme::name() const {
+  return "IBBE-SGX(|p|=" + std::to_string(partition_size_) + ")";
+}
+
+void IbbeSgxScheme::create_group(std::span<const core::Identity> members) {
+  admin_->create_group(kGroup, members);
+  group_exists_ = true;
+}
+
+void IbbeSgxScheme::add_user(const core::Identity& id) {
+  if (!group_exists_) {
+    std::vector<core::Identity> single{id};
+    create_group(single);
+    return;
+  }
+  admin_->add_user(kGroup, id);
+}
+
+void IbbeSgxScheme::remove_user(const core::Identity& id) {
+  if (group_exists_) admin_->remove_user(kGroup, id);
+}
+
+ClientApi& IbbeSgxScheme::client_for(const core::Identity& id) {
+  auto it = clients_.find(id);
+  if (it == clients_.end()) {
+    // Key provisioning is out-of-band setup work (Fig. 3); the replayer only
+    // times the decrypt path.
+    auto usk = enclave_->ecall_extract_user_key(id);
+    it = clients_
+             .emplace(id, std::make_unique<ClientApi>(
+                              *cloud_, enclave_->public_key(), std::move(usk),
+                              admin_->verification_point()))
+             .first;
+  }
+  return *it->second;
+}
+
+std::optional<util::Bytes> IbbeSgxScheme::user_decrypt(const core::Identity& id) {
+  if (!group_exists_) return std::nullopt;
+  return client_for(id).fetch_group_key(kGroup);
+}
+
+std::size_t IbbeSgxScheme::metadata_size() const {
+  return group_exists_ ? admin_->metadata_size(kGroup) : 0;
+}
+
+std::size_t IbbeSgxScheme::group_size() const {
+  return group_exists_ ? admin_->group_size(kGroup) : 0;
+}
+
+}  // namespace ibbe::system

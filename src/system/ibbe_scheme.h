@@ -1,0 +1,47 @@
+// GroupScheme adapter: the full IBBE-SGX stack (enclave + partitioning +
+// cloud metadata) behind the common interface used by the trace replayer and
+// the comparison benchmarks.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "cloud/store.h"
+#include "he/scheme.h"
+#include "system/admin.h"
+#include "system/client.h"
+
+namespace ibbe::system {
+
+class IbbeSgxScheme : public he::GroupScheme {
+ public:
+  /// Builds a self-contained deployment: platform, enclave sized for
+  /// `partition_size`, zero-latency cloud store, one administrator.
+  explicit IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed = 0);
+
+  [[nodiscard]] std::string name() const override;
+  void create_group(std::span<const core::Identity> members) override;
+  void add_user(const core::Identity& id) override;
+  void remove_user(const core::Identity& id) override;
+  [[nodiscard]] std::optional<util::Bytes> user_decrypt(
+      const core::Identity& id) override;
+  [[nodiscard]] std::size_t metadata_size() const override;
+  [[nodiscard]] std::size_t group_size() const override;
+
+  [[nodiscard]] AdminApi& admin() { return *admin_; }
+  [[nodiscard]] enclave::IbbeEnclave& enclave() { return *enclave_; }
+  [[nodiscard]] cloud::CloudStore& cloud() { return *cloud_; }
+
+ private:
+  ClientApi& client_for(const core::Identity& id);
+
+  std::size_t partition_size_;
+  std::unique_ptr<sgx::EnclavePlatform> platform_;
+  std::unique_ptr<enclave::IbbeEnclave> enclave_;
+  std::unique_ptr<cloud::CloudStore> cloud_;
+  std::unique_ptr<AdminApi> admin_;
+  std::map<core::Identity, std::unique_ptr<ClientApi>> clients_;
+  bool group_exists_ = false;
+};
+
+}  // namespace ibbe::system

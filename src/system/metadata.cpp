@@ -1,0 +1,101 @@
+#include "system/metadata.h"
+
+namespace ibbe::system {
+
+util::Bytes PartitionRecord::to_bytes() const {
+  util::ByteWriter w;
+  w.u64(id);
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (const auto& m : members) w.str(m);
+  w.blob(cipher.to_bytes());
+  return w.take();
+}
+
+PartitionRecord PartitionRecord::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  PartitionRecord rec;
+  rec.id = r.u64();
+  std::uint32_t n = r.u32();
+  rec.members.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) rec.members.push_back(r.str());
+  rec.cipher = enclave::PartitionCiphertext::from_bytes(r.blob());
+  r.expect_end();
+  return rec;
+}
+
+std::optional<std::size_t> GroupIndex::find_user(const core::Identity& id) const {
+  for (std::size_t p = 0; p < members.size(); ++p) {
+    for (const auto& m : members[p]) {
+      if (m == id) return p;
+    }
+  }
+  return std::nullopt;
+}
+
+util::Bytes GroupIndex::to_bytes() const {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(partition_ids.size()));
+  for (std::size_t p = 0; p < partition_ids.size(); ++p) {
+    w.u64(partition_ids[p]);
+    w.u32(static_cast<std::uint32_t>(members[p].size()));
+    for (const auto& m : members[p]) w.str(m);
+  }
+  return w.take();
+}
+
+GroupIndex GroupIndex::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  GroupIndex idx;
+  std::uint32_t parts = r.u32();
+  idx.partition_ids.reserve(parts);
+  idx.members.reserve(parts);
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    idx.partition_ids.push_back(r.u64());
+    std::uint32_t n = r.u32();
+    std::vector<core::Identity> ms;
+    ms.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) ms.push_back(r.str());
+    idx.members.push_back(std::move(ms));
+  }
+  r.expect_end();
+  return idx;
+}
+
+util::Bytes SignedEnvelope::to_bytes() const {
+  util::ByteWriter w;
+  w.blob(payload);
+  w.raw(signature.to_bytes());
+  return w.take();
+}
+
+SignedEnvelope SignedEnvelope::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  SignedEnvelope env;
+  env.payload = r.blob();
+  env.signature =
+      pki::EcdsaSignature::from_bytes(r.raw(pki::EcdsaSignature::serialized_size));
+  r.expect_end();
+  return env;
+}
+
+SignedEnvelope SignedEnvelope::sign(const pki::EcdsaKeyPair& key,
+                                    util::Bytes payload) {
+  SignedEnvelope env;
+  env.payload = std::move(payload);
+  env.signature = key.sign(env.payload);
+  return env;
+}
+
+bool SignedEnvelope::verify(const ec::P256Point& admin_pub) const {
+  return pki::ecdsa_verify(admin_pub, payload, signature);
+}
+
+std::string group_dir(const GroupId& gid) { return "groups/" + gid; }
+
+std::string index_path(const GroupId& gid) { return group_dir(gid) + "/index"; }
+
+std::string partition_path(const GroupId& gid, PartitionId pid) {
+  return group_dir(gid) + "/p" + std::to_string(pid);
+}
+
+}  // namespace ibbe::system

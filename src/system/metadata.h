@@ -1,0 +1,65 @@
+// On-cloud metadata records for the IBBE-SGX access-control system.
+//
+// Layout on the store (bi-level hierarchy, as in the paper's Dropbox
+// deployment where long polling works per directory):
+//
+//   groups/<gid>/index   — GroupIndex: partition ids + their member lists
+//   groups/<gid>/p<k>    — PartitionRecord: the partition ciphertext + y_p
+//
+// Both files are wrapped in SignedEnvelope so clients can authenticate that
+// membership changes come from an administrator (the paper's authenticity
+// requirement; confidentiality of gk needs no signature — it is wrapped).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "enclave/ibbe_enclave.h"
+#include "pki/ecdsa.h"
+
+namespace ibbe::system {
+
+using GroupId = std::string;
+using PartitionId = std::uint64_t;
+
+struct PartitionRecord {
+  PartitionId id = 0;
+  std::vector<core::Identity> members;
+  enclave::PartitionCiphertext cipher;
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static PartitionRecord from_bytes(std::span<const std::uint8_t> data);
+};
+
+/// User -> partition mapping, stored plainly (the model does not hide member
+/// identities; see paper §II).
+struct GroupIndex {
+  std::vector<PartitionId> partition_ids;
+  std::vector<std::vector<core::Identity>> members;  // parallel to ids
+
+  [[nodiscard]] std::optional<std::size_t> find_user(
+      const core::Identity& id) const;
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static GroupIndex from_bytes(std::span<const std::uint8_t> data);
+};
+
+/// payload || ECDSA signature by the administrator.
+struct SignedEnvelope {
+  util::Bytes payload;
+  pki::EcdsaSignature signature;
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static SignedEnvelope from_bytes(std::span<const std::uint8_t> data);
+
+  static SignedEnvelope sign(const pki::EcdsaKeyPair& key, util::Bytes payload);
+  [[nodiscard]] bool verify(const ec::P256Point& admin_pub) const;
+};
+
+/// Cloud paths.
+std::string group_dir(const GroupId& gid);
+std::string index_path(const GroupId& gid);
+std::string partition_path(const GroupId& gid, PartitionId pid);
+
+}  // namespace ibbe::system

@@ -1,0 +1,109 @@
+#include "system/oplog.h"
+
+#include "crypto/sha256.h"
+
+namespace ibbe::system {
+
+std::array<std::uint8_t, 32> LogEntry::compute_hash() const {
+  util::ByteWriter w;
+  w.u64(seq);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(subject);
+  w.str(admin);
+  w.raw(prev_hash);
+  return crypto::Sha256::hash(w.bytes());
+}
+
+util::Bytes LogEntry::to_bytes() const {
+  util::ByteWriter w;
+  w.u64(seq);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(subject);
+  w.str(admin);
+  w.raw(prev_hash);
+  w.raw(hash);
+  w.raw(signature.to_bytes());
+  return w.take();
+}
+
+LogEntry LogEntry::from_bytes(util::ByteReader& r) {
+  LogEntry e;
+  e.seq = r.u64();
+  e.op = static_cast<LogOp>(r.u8());
+  e.subject = r.str();
+  e.admin = r.str();
+  auto prev = r.raw(32);
+  std::copy(prev.begin(), prev.end(), e.prev_hash.begin());
+  auto h = r.raw(32);
+  std::copy(h.begin(), h.end(), e.hash.begin());
+  e.signature =
+      pki::EcdsaSignature::from_bytes(r.raw(pki::EcdsaSignature::serialized_size));
+  return e;
+}
+
+void MembershipLog::append(LogOp op, std::string subject, std::string admin,
+                           const pki::EcdsaKeyPair& key) {
+  LogEntry e;
+  e.seq = entries_.size();
+  e.op = op;
+  e.subject = std::move(subject);
+  e.admin = std::move(admin);
+  if (!entries_.empty()) e.prev_hash = entries_.back().hash;
+  e.hash = e.compute_hash();
+  e.signature = key.sign(e.hash);
+  entries_.push_back(std::move(e));
+}
+
+util::Bytes MembershipLog::to_bytes() const {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) w.raw(e.to_bytes());
+  return w.take();
+}
+
+MembershipLog MembershipLog::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  MembershipLog log;
+  std::uint32_t n = r.u32();
+  log.entries_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    log.entries_.push_back(LogEntry::from_bytes(r));
+  }
+  r.expect_end();
+  return log;
+}
+
+MembershipLog::AuditResult MembershipLog::audit(
+    std::span<const ec::P256Point> admin_keys) const {
+  std::array<std::uint8_t, 32> expected_prev{};
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
+    if (e.seq != i) {
+      return {false, "sequence number mismatch", i};
+    }
+    if (e.prev_hash != expected_prev) {
+      return {false, "hash chain broken", i};
+    }
+    if (e.hash != e.compute_hash()) {
+      return {false, "entry hash does not cover its fields", i};
+    }
+    bool signed_by_admin = false;
+    for (const auto& key : admin_keys) {
+      if (pki::ecdsa_verify(key, e.hash, e.signature)) {
+        signed_by_admin = true;
+        break;
+      }
+    }
+    if (!signed_by_admin) {
+      return {false, "signature by unknown or forged key", i};
+    }
+    expected_prev = e.hash;
+  }
+  return {true, "", 0};
+}
+
+std::string oplog_path(const std::string& gid) {
+  return "groups/" + gid + "/oplog";
+}
+
+}  // namespace ibbe::system

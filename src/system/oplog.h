@@ -1,0 +1,76 @@
+// Hash-chained, signed membership-operation log.
+//
+// The paper's future work suggests "certifying blocks of membership
+// operations logs through blockchain-like technologies" for multi-admin
+// setups. This is the single-chain version of that idea: every membership
+// change appends an entry whose hash covers the previous entry's hash, and
+// each entry is ECDSA-signed by the administrator that performed it. Anyone
+// holding the admin verification keys can audit that (a) the log is intact
+// (no reordering, insertion or deletion) and (b) every operation was
+// performed by an authorized administrator. The cloud can withhold the log's
+// tail (fork/freshness attacks need external anchoring — out of scope, as in
+// the paper), but it cannot rewrite history.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pki/ecdsa.h"
+#include "util/bytes.h"
+
+namespace ibbe::system {
+
+enum class LogOp : std::uint8_t {
+  create_group = 1,
+  add_user = 2,
+  remove_user = 3,
+  repartition = 4,
+};
+
+struct LogEntry {
+  std::uint64_t seq = 0;
+  LogOp op = LogOp::create_group;
+  std::string subject;                       // user id or group summary
+  std::string admin;                         // performing administrator
+  std::array<std::uint8_t, 32> prev_hash{};  // zero for the genesis entry
+  std::array<std::uint8_t, 32> hash{};       // H(seq||op||subject||admin||prev)
+  pki::EcdsaSignature signature;             // over `hash`
+
+  /// Recomputes what `hash` must be for these fields.
+  [[nodiscard]] std::array<std::uint8_t, 32> compute_hash() const;
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static LogEntry from_bytes(util::ByteReader& r);
+};
+
+class MembershipLog {
+ public:
+  /// Appends a signed entry chained onto the current head.
+  void append(LogOp op, std::string subject, std::string admin,
+              const pki::EcdsaKeyPair& key);
+
+  [[nodiscard]] const std::vector<LogEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static MembershipLog from_bytes(std::span<const std::uint8_t> data);
+
+  struct AuditResult {
+    bool ok = false;
+    std::string failure;             // empty when ok
+    std::size_t first_bad_index = 0; // valid when !ok
+  };
+  /// Verifies hashes, chaining, sequence numbers and signatures. Entries
+  /// must be signed by one of `admin_keys`.
+  [[nodiscard]] AuditResult audit(
+      std::span<const ec::P256Point> admin_keys) const;
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+/// Cloud path for a group's log.
+std::string oplog_path(const std::string& gid);
+
+}  // namespace ibbe::system

@@ -1,0 +1,39 @@
+// Trace replay harness: drives a GroupScheme through a MembershipTrace and
+// collects the timings the paper reports in Figs. 9 and 10.
+#pragma once
+
+#include <set>
+
+#include "he/scheme.h"
+#include "trace/trace.h"
+#include "util/stats.h"
+
+namespace ibbe::trace {
+
+struct ReplayOptions {
+  /// Sample a user-side decrypt every N membership operations (0 disables).
+  /// The paper reports the *average user decryption time* alongside the
+  /// total administrator replay time.
+  std::size_t decrypt_sample_every = 0;
+  /// After every op, check that a current member can decrypt and (when one
+  /// exists) that the most recently revoked user cannot. Slow; for tests.
+  bool verify = false;
+};
+
+struct ReplayResult {
+  double admin_seconds = 0;           // total time in scheme membership ops
+  double setup_seconds = 0;           // create_group for initial_members
+  util::Summary add_latencies;        // seconds per add
+  util::Summary remove_latencies;     // seconds per remove
+  util::Summary decrypt_latencies;    // seconds per sampled decrypt
+  std::size_t final_group_size = 0;
+  std::size_t final_metadata_bytes = 0;
+  std::size_t ops_applied = 0;
+};
+
+/// Replays `trace` against `scheme`. Throws std::runtime_error if `verify`
+/// is set and an invariant breaks (member cannot decrypt / revoked user can).
+ReplayResult replay(he::GroupScheme& scheme, const MembershipTrace& trace,
+                    const ReplayOptions& options = {});
+
+}  // namespace ibbe::trace

@@ -1,0 +1,65 @@
+// Membership-operation traces for the macrobenchmarks (paper §VI-B).
+//
+// Two generators:
+//
+//  * linux_kernel_trace — a synthesizer standing in for the Kaggle dump of
+//    the Linux kernel's git history used by the paper (first commit = join,
+//    last commit = leave). The offline environment has no Kaggle data, so we
+//    reproduce the trace's published shape instead: 43,468 membership
+//    operations spanning ten years with the live-contributor set peaking at
+//    2,803 — scaled by the caller. Contributor lifetimes are heavy-tailed
+//    (many drive-by contributors, a long-lived core), which is what makes
+//    the add/remove interleaving realistic.
+//
+//  * revocation_trace — the synthetic workload of Fig. 10: a fixed number of
+//    operations where each step is a revocation with probability `rate` (if
+//    anyone is left to revoke) and a join of a fresh user otherwise.
+//
+// Both are deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ibbe/ibbe.h"
+
+namespace ibbe::trace {
+
+enum class OpKind : std::uint8_t { add, remove };
+
+struct MembershipOp {
+  OpKind kind;
+  core::Identity user;
+};
+
+struct MembershipTrace {
+  std::string label;
+  /// Members present before the first op (replayed as one create_group).
+  std::vector<core::Identity> initial_members;
+  std::vector<MembershipOp> ops;
+
+  /// Members still present after replaying every op.
+  [[nodiscard]] std::vector<core::Identity> final_members() const;
+  /// Largest concurrent membership over the trace.
+  [[nodiscard]] std::size_t peak_size() const;
+  [[nodiscard]] std::size_t add_count() const;
+  [[nodiscard]] std::size_t remove_count() const;
+};
+
+/// Linux-kernel-shaped trace: `total_ops` membership operations whose live
+/// set ramps up to ~`peak_size` and then churns, paper defaults 43468/2803.
+MembershipTrace linux_kernel_trace(std::size_t total_ops = 43468,
+                                   std::size_t peak_size = 2803,
+                                   std::uint64_t seed = 1);
+
+/// Fig. 10 synthetic workload: each op is a removal with probability
+/// `revocation_rate` (in [0,1]). `initial_size` pre-populates the group so
+/// that high revocation rates have members to revoke (with an initially
+/// empty group the removal share is capped at ~50%: every removal needs a
+/// preceding add).
+MembershipTrace revocation_trace(std::size_t total_ops, double revocation_rate,
+                                 std::uint64_t seed = 1,
+                                 std::size_t initial_size = 0);
+
+}  // namespace ibbe::trace

@@ -1,0 +1,22 @@
+// Hexadecimal encoding helpers.
+//
+// Used pervasively for test vectors, fingerprints shown in logs, and the
+// human-readable forms of field elements and digests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibbe::util {
+
+/// Encodes `data` as a lowercase hexadecimal string.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Decodes a hexadecimal string (upper or lower case, optional "0x" prefix).
+/// Throws std::invalid_argument on malformed input (odd length, bad digit).
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace ibbe::util

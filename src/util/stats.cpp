@@ -1,0 +1,65 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ibbe::util {
+
+void Summary::ensure_sorted() const {
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) throw std::logic_error("Summary: no samples");
+  double s = 0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::logic_error("Summary: no samples");
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::logic_error("Summary: no samples");
+  return sorted_.back();
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::logic_error("Summary: no samples");
+  p = std::clamp(p, 0.0, 1.0);
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size())));
+  if (rank > 0) --rank;
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Summary::cdf(std::size_t points) const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(percentile(frac), frac);
+  }
+  return out;
+}
+
+}  // namespace ibbe::util

@@ -1,0 +1,34 @@
+// Small sample-statistics helper for the benchmark harnesses: mean,
+// percentiles and CDF extraction (Fig. 8a of the paper plots a latency CDF).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ibbe::util {
+
+/// Accumulates double-valued samples and answers summary queries.
+class Summary {
+ public:
+  void add(double v) { samples_.push_back(v); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+  /// p in [0,1]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double p) const;
+  /// Returns `points` (value, cumulative fraction) pairs tracing the CDF.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(std::size_t points) const;
+
+ private:
+  // Sorted lazily (and cached) by the query methods.
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+};
+
+}  // namespace ibbe::util

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bigint/biguint.h"
+#include "bigint/mont.h"
+#include "bigint/u256.h"
+
+namespace {
+
+using ibbe::bigint::BigUInt;
+using ibbe::bigint::MontgomeryCtx;
+using ibbe::bigint::U256;
+
+// BN254 base-field and scalar-field moduli; used throughout as realistic test
+// primes.
+const char* const bn_p_hex =
+    "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47";
+const char* const bn_r_hex =
+    "30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001";
+
+U256 random_u256(std::mt19937_64& rng) {
+  U256 out;
+  for (auto& limb : out.limb) limb = rng();
+  return out;
+}
+
+TEST(U256, HexRoundTrip) {
+  U256 v = U256::from_hex(bn_p_hex);
+  EXPECT_EQ(v.to_hex(), bn_p_hex);
+  EXPECT_EQ(U256::from_hex("0x1").to_hex(),
+            "0000000000000000000000000000000000000000000000000000000000000001");
+}
+
+TEST(U256, BytesRoundTrip) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    U256 v = random_u256(rng);
+    EXPECT_EQ(U256::from_be_bytes(v.to_be_bytes()), v);
+  }
+}
+
+TEST(U256, FromHexRejectsBadInput) {
+  EXPECT_THROW(U256::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(U256::from_hex(std::string(65, 'f')), std::invalid_argument);
+}
+
+TEST(U256, AddSubInverse) {
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = random_u256(rng);
+    U256 b = random_u256(rng);
+    U256 sum, back;
+    std::uint64_t carry = ibbe::bigint::add_with_carry(a, b, sum);
+    std::uint64_t borrow = ibbe::bigint::sub_with_borrow(sum, b, back);
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);  // overflow happened iff underflow undoes it
+  }
+}
+
+TEST(U256, CmpAndBitLength) {
+  EXPECT_EQ(ibbe::bigint::cmp(U256::zero(), U256::one()), -1);
+  EXPECT_EQ(ibbe::bigint::cmp(U256::one(), U256::zero()), 1);
+  EXPECT_EQ(ibbe::bigint::cmp(U256::one(), U256::one()), 0);
+  EXPECT_EQ(U256::zero().bit_length(), 0u);
+  EXPECT_EQ(U256::one().bit_length(), 1u);
+  EXPECT_EQ(U256::from_u64(0x100).bit_length(), 9u);
+  EXPECT_EQ(U256::from_hex(bn_p_hex).bit_length(), 254u);
+}
+
+TEST(U256, MulWideMatchesBigUInt) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = random_u256(rng);
+    U256 b = random_u256(rng);
+    auto wide = ibbe::bigint::mul_wide(a, b);
+    BigUInt expect = BigUInt::from_u256(a) * BigUInt::from_u256(b);
+    BigUInt got;
+    for (int j = 7; j >= 0; --j) {
+      got = (got << 64) + BigUInt(wide[static_cast<std::size_t>(j)]);
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(U256, ModMatchesBigUInt) {
+  std::mt19937_64 rng(4);
+  U256 p = U256::from_hex(bn_p_hex);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = random_u256(rng);
+    U256 got = ibbe::bigint::mod(a, p);
+    BigUInt expect = BigUInt::from_u256(a) % BigUInt::from_u256(p);
+    EXPECT_EQ(BigUInt::from_u256(got), expect);
+  }
+}
+
+TEST(U256, ModSmallerThanModulusIsIdentity) {
+  U256 p = U256::from_hex(bn_p_hex);
+  EXPECT_EQ(ibbe::bigint::mod(U256::one(), p), U256::one());
+  EXPECT_EQ(ibbe::bigint::mod(U256::zero(), p), U256::zero());
+}
+
+TEST(BigUInt, HexAndDecimal) {
+  BigUInt v = BigUInt::from_hex("ff");
+  EXPECT_EQ(v.to_dec(), "255");
+  EXPECT_EQ(v.to_hex(), "ff");
+  EXPECT_EQ(BigUInt(0).to_dec(), "0");
+  EXPECT_EQ(BigUInt(0).to_hex(), "0");
+  // BN254 p in decimal, cross-checked against the literature.
+  EXPECT_EQ(BigUInt::from_hex(bn_p_hex).to_dec(),
+            "21888242871839275222246405745257275088696311157297823662689037894"
+            "645226208583");
+  EXPECT_EQ(BigUInt::from_hex(bn_r_hex).to_dec(),
+            "21888242871839275222246405745257275088548364400416034343698204186"
+            "575808495617");
+}
+
+TEST(BigUInt, AddSubMul) {
+  BigUInt a = BigUInt::from_hex("ffffffffffffffffffffffffffffffff");
+  BigUInt b(1);
+  EXPECT_EQ((a + b).to_hex(), "100000000000000000000000000000000");
+  EXPECT_EQ((a + b - b), a);
+  EXPECT_EQ((a * a).to_hex(),
+            "fffffffffffffffffffffffffffffffe00000000000000000000000000000001");
+  EXPECT_THROW(b - a, std::underflow_error);
+}
+
+TEST(BigUInt, Shifts) {
+  BigUInt one(1);
+  EXPECT_EQ((one << 200) >> 200, one);
+  EXPECT_EQ(((one << 64) >> 1).to_hex(), "8000000000000000");
+  EXPECT_TRUE((one >> 1).is_zero());
+  EXPECT_EQ((one << 0), one);
+}
+
+TEST(BigUInt, DivMod) {
+  BigUInt a = BigUInt::from_hex("123456789abcdef0123456789abcdef0");
+  BigUInt b = BigUInt::from_hex("fedcba987");
+  auto [q, r] = BigUInt::divmod(a, b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_TRUE(r < b);
+  EXPECT_THROW(BigUInt::divmod(a, BigUInt{}), std::domain_error);
+}
+
+TEST(BigUInt, DivModRandomizedIdentity) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    BigUInt a;
+    for (int w = 0; w < 8; ++w) a = (a << 64) + BigUInt(rng());
+    BigUInt b;
+    int bw = 1 + static_cast<int>(rng() % 4);
+    for (int w = 0; w < bw; ++w) b = (b << 64) + BigUInt(rng());
+    if (b.is_zero()) continue;
+    auto [q, r] = BigUInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r < b);
+  }
+}
+
+TEST(BigUInt, PowMod) {
+  // Fermat's little theorem with BN254 r (prime): a^(r-1) = 1 mod r.
+  BigUInt r = BigUInt::from_hex(bn_r_hex);
+  BigUInt a = BigUInt::from_hex("abcdef0123456789");
+  EXPECT_EQ(BigUInt::pow_mod(a, r - BigUInt(1), r), BigUInt(1));
+  EXPECT_EQ(BigUInt::pow_mod(a, BigUInt(0), r), BigUInt(1));
+  EXPECT_EQ(BigUInt::pow_mod(a, BigUInt(1), r), a % r);
+}
+
+TEST(BigUInt, InvMod) {
+  BigUInt r = BigUInt::from_hex(bn_r_hex);
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 25; ++i) {
+    BigUInt a;
+    for (int w = 0; w < 4; ++w) a = (a << 64) + BigUInt(rng());
+    a = a % r;
+    if (a.is_zero()) continue;
+    BigUInt inv = BigUInt::inv_mod(a, r);
+    EXPECT_EQ((a * inv) % r, BigUInt(1));
+  }
+  EXPECT_THROW(BigUInt::inv_mod(BigUInt(0), r), std::domain_error);
+}
+
+TEST(BigUInt, InvModNonCoprimeThrows) {
+  EXPECT_THROW(BigUInt::inv_mod(BigUInt(6), BigUInt(9)), std::domain_error);
+}
+
+TEST(BigUInt, BytesRoundTrip) {
+  BigUInt a = BigUInt::from_hex("0123456789abcdef00ff");
+  EXPECT_EQ(BigUInt::from_be_bytes(a.to_be_bytes()), a);
+}
+
+TEST(BigUInt, U256RoundTrip) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    U256 v = random_u256(rng);
+    EXPECT_EQ(BigUInt::from_u256(v).to_u256(), v);
+  }
+  EXPECT_THROW((void)(BigUInt(1) << 256).to_u256(), std::overflow_error);
+}
+
+class MontgomeryTest : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Moduli, MontgomeryTest,
+                         ::testing::Values(
+                             // BN254 p, BN254 r, P-256 p, P-256 n
+                             "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47",
+                             "30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001",
+                             "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
+                             "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"));
+
+TEST_P(MontgomeryTest, ToFromMontRoundTrip) {
+  MontgomeryCtx ctx(U256::from_hex(GetParam()));
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(a)), a);
+  }
+}
+
+TEST_P(MontgomeryTest, MulMatchesBigUIntOracle) {
+  MontgomeryCtx ctx(U256::from_hex(GetParam()));
+  BigUInt n = BigUInt::from_u256(ctx.modulus());
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+    U256 b = ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+    U256 got = ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+    BigUInt expect = (BigUInt::from_u256(a) * BigUInt::from_u256(b)) % n;
+    EXPECT_EQ(BigUInt::from_u256(got), expect);
+  }
+}
+
+TEST_P(MontgomeryTest, AddSubNeg) {
+  MontgomeryCtx ctx(U256::from_hex(GetParam()));
+  BigUInt n = BigUInt::from_u256(ctx.modulus());
+  std::mt19937_64 rng(10);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+    U256 b = ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+    EXPECT_EQ(BigUInt::from_u256(ctx.add(a, b)),
+              (BigUInt::from_u256(a) + BigUInt::from_u256(b)) % n);
+    EXPECT_EQ(ctx.sub(ctx.add(a, b), b), a);
+    EXPECT_EQ(ctx.add(a, ctx.neg(a)), U256::zero());
+  }
+}
+
+TEST_P(MontgomeryTest, PowMatchesOracle) {
+  MontgomeryCtx ctx(U256::from_hex(GetParam()));
+  BigUInt n = BigUInt::from_u256(ctx.modulus());
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 10; ++i) {
+    U256 a = ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+    U256 e = random_u256(rng);
+    U256 got = ctx.from_mont(ctx.pow(ctx.to_mont(a), e));
+    BigUInt expect =
+        BigUInt::pow_mod(BigUInt::from_u256(a), BigUInt::from_u256(e), n);
+    EXPECT_EQ(BigUInt::from_u256(got), expect);
+  }
+}
+
+TEST_P(MontgomeryTest, InverseOfProduct) {
+  // All four moduli are prime, so Fermat inversion applies.
+  MontgomeryCtx ctx(U256::from_hex(GetParam()));
+  std::mt19937_64 rng(12);
+  for (int i = 0; i < 20; ++i) {
+    U256 a = ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+    if (a.is_zero()) continue;
+    U256 am = ctx.to_mont(a);
+    EXPECT_EQ(ctx.mul(am, ctx.inv(am)), ctx.one());
+  }
+  EXPECT_THROW((void)ctx.inv(U256::zero()), std::domain_error);
+}
+
+TEST_P(MontgomeryTest, OneIsMultiplicativeIdentity) {
+  MontgomeryCtx ctx(U256::from_hex(GetParam()));
+  std::mt19937_64 rng(13);
+  U256 a = ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+  U256 am = ctx.to_mont(a);
+  EXPECT_EQ(ctx.mul(am, ctx.one()), am);
+  EXPECT_EQ(ctx.from_mont(ctx.one()), U256::one());
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_THROW(MontgomeryCtx(U256::from_u64(100)), std::invalid_argument);
+  EXPECT_THROW(MontgomeryCtx(U256::from_u64(1)), std::invalid_argument);
+}
+
+TEST(Montgomery, PowWithBigUIntExponent) {
+  MontgomeryCtx ctx(U256::from_hex(bn_r_hex));
+  // a^(r-1) == 1 (Fermat), exercised through the BigUInt-exponent overload.
+  U256 a = U256::from_u64(123456789);
+  BigUInt e = BigUInt::from_hex(bn_r_hex) - BigUInt(1);
+  EXPECT_EQ(ctx.pow(ctx.to_mont(a), e), ctx.one());
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cloud/store.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+using ibbe::cloud::CloudStore;
+using ibbe::util::Bytes;
+
+TEST(CloudStore, PutGetRoundTrip) {
+  CloudStore store;
+  store.put("groups/g1/p0", Bytes{1, 2, 3});
+  auto got = store.get("groups/g1/p0");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, (Bytes{1, 2, 3}));
+  EXPECT_FALSE(store.get("groups/g1/p1").has_value());
+}
+
+TEST(CloudStore, OverwriteReplaces) {
+  CloudStore store;
+  store.put("a/b", Bytes{1});
+  store.put("a/b", Bytes{2, 2});
+  EXPECT_EQ(*store.get("a/b"), (Bytes{2, 2}));
+}
+
+TEST(CloudStore, EraseRemoves) {
+  CloudStore store;
+  store.put("a/b", Bytes{1});
+  EXPECT_TRUE(store.erase("a/b"));
+  EXPECT_FALSE(store.get("a/b").has_value());
+  EXPECT_FALSE(store.erase("a/b"));
+}
+
+TEST(CloudStore, ListByPrefix) {
+  CloudStore store;
+  store.put("groups/g1/index", Bytes{1});
+  store.put("groups/g1/p0", Bytes{1});
+  store.put("groups/g1/p1", Bytes{1});
+  store.put("groups/g2/p0", Bytes{1});
+  auto g1 = store.list("groups/g1/");
+  ASSERT_EQ(g1.size(), 3u);
+  EXPECT_EQ(g1[0], "groups/g1/index");
+  EXPECT_EQ(g1[1], "groups/g1/p0");
+  EXPECT_EQ(store.list("groups/").size(), 4u);
+  EXPECT_TRUE(store.list("nothing/").empty());
+}
+
+TEST(CloudStore, DirectoryVersionsBumpOnWrites) {
+  CloudStore store;
+  EXPECT_EQ(store.dir_version("groups/g1"), 0u);
+  store.put("groups/g1/p0", Bytes{1});
+  auto v1 = store.dir_version("groups/g1");
+  EXPECT_GT(v1, 0u);
+  // Ancestors are bumped too (long polling at any level works).
+  EXPECT_EQ(store.dir_version("groups"), v1);
+  EXPECT_EQ(store.dir_version(""), v1);
+  store.put("groups/g1/p1", Bytes{1});
+  EXPECT_GT(store.dir_version("groups/g1"), v1);
+  // Sibling directories are unaffected.
+  EXPECT_EQ(store.dir_version("groups/g2"), 0u);
+}
+
+TEST(CloudStore, EraseBumpsVersions) {
+  CloudStore store;
+  store.put("g/x", Bytes{1});
+  auto v = store.dir_version("g");
+  store.erase("g/x");
+  EXPECT_GT(store.dir_version("g"), v);
+}
+
+TEST(CloudStore, LongPollTimesOutWithoutChange) {
+  CloudStore store;
+  store.put("g/x", Bytes{1});
+  auto v = store.dir_version("g");
+  EXPECT_FALSE(store.long_poll("g", v, 30ms).has_value());
+}
+
+TEST(CloudStore, LongPollReturnsImmediatelyIfBehind) {
+  CloudStore store;
+  store.put("g/x", Bytes{1});
+  auto result = store.long_poll("g", 0, 1s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, store.dir_version("g"));
+}
+
+TEST(CloudStore, LongPollWakesOnPut) {
+  CloudStore store;
+  store.put("g/x", Bytes{1});
+  auto since = store.dir_version("g");
+
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    auto result = store.long_poll("g", since, 5s);
+    woke = result.has_value();
+  });
+  std::this_thread::sleep_for(20ms);
+  store.put("g/y", Bytes{2});
+  waiter.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(CloudStore, StatsAndFootprint) {
+  CloudStore store;
+  store.put("a/b", Bytes(100, 1));
+  (void)store.get("a/b");
+  (void)store.get("a/missing");
+  auto stats = store.stats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.gets, 2u);
+  EXPECT_EQ(stats.bytes_uploaded, 100u);
+  EXPECT_EQ(stats.bytes_downloaded, 100u);
+  EXPECT_EQ(store.stored_bytes(), 100u + 3u);  // value + path
+}
+
+TEST(CloudStore, LatencyModelDelays) {
+  ibbe::cloud::LatencyModel latency;
+  latency.get = std::chrono::microseconds(20000);
+  CloudStore store(latency);
+  store.put("a/b", Bytes{1});
+  ibbe::util::Stopwatch watch;
+  (void)store.get("a/b");
+  EXPECT_GE(watch.millis(), 15.0);
+}
+
+}  // namespace

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bigint/biguint.h"
+#include "field/fields.h"
+#include "field/fp12.h"
+#include "field/fp2.h"
+#include "field/fp6.h"
+#include "field/tower_consts.h"
+
+namespace {
+
+using ibbe::bigint::BigUInt;
+using ibbe::bigint::U256;
+using ibbe::field::Fp;
+using ibbe::field::Fp12;
+using ibbe::field::Fp2;
+using ibbe::field::Fp6;
+using ibbe::field::Fr;
+
+std::mt19937_64& rng() {
+  static std::mt19937_64 gen(42);
+  return gen;
+}
+
+Fp random_fp() {
+  U256 v;
+  for (auto& limb : v.limb) limb = rng()();
+  return Fp::from_u256_reduce(v);
+}
+
+Fr random_fr() {
+  U256 v;
+  for (auto& limb : v.limb) limb = rng()();
+  return Fr::from_u256_reduce(v);
+}
+
+Fp2 random_fp2() { return {random_fp(), random_fp()}; }
+Fp6 random_fp6() { return {random_fp2(), random_fp2(), random_fp2()}; }
+Fp12 random_fp12() { return {random_fp6(), random_fp6()}; }
+
+BigUInt fp_modulus_big() { return BigUInt::from_u256(Fp::modulus()); }
+
+// -------------------------------------------------------------------- Fp
+
+TEST(Fp, AdditiveGroupLaws) {
+  for (int i = 0; i < 20; ++i) {
+    Fp a = random_fp(), b = random_fp(), c = random_fp();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + Fp::zero(), a);
+    EXPECT_EQ(a + a.neg(), Fp::zero());
+    EXPECT_EQ(a - b, a + b.neg());
+  }
+}
+
+TEST(Fp, MultiplicativeLaws) {
+  for (int i = 0; i < 20; ++i) {
+    Fp a = random_fp(), b = random_fp(), c = random_fp();
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * Fp::one(), a);
+    EXPECT_EQ(a.square(), a * a);
+    EXPECT_EQ(a.dbl(), a + a);
+    if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Fp::one());
+  }
+}
+
+TEST(Fp, FromU256RejectsUnreduced) {
+  EXPECT_THROW(Fp::from_u256(Fp::modulus()), std::invalid_argument);
+  EXPECT_NO_THROW(Fp::from_u256_reduce(Fp::modulus()));
+  EXPECT_TRUE(Fp::from_u256_reduce(Fp::modulus()).is_zero());
+}
+
+TEST(Fp, RoundTrips) {
+  for (int i = 0; i < 20; ++i) {
+    Fp a = random_fp();
+    EXPECT_EQ(Fp::from_u256(a.to_u256()), a);
+    EXPECT_EQ(Fp::from_hex(a.to_hex()), a);
+    EXPECT_EQ(Fp::from_be_bytes_reduce(a.to_be_bytes()), a);
+  }
+}
+
+TEST(Fp, SqrtOfSquares) {
+  for (int i = 0; i < 20; ++i) {
+    Fp a = random_fp();
+    auto root = a.square().sqrt();
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(*root == a || *root == a.neg());
+  }
+}
+
+TEST(Fp, SqrtRejectsNonResidue) {
+  // Exactly one of x, -x is a QR when x != 0 (p = 3 mod 4 => -1 is a non-residue).
+  int rejected = 0;
+  for (int i = 0; i < 20; ++i) {
+    Fp a = random_fp();
+    if (a.is_zero()) continue;
+    bool qr_a = a.sqrt().has_value();
+    bool qr_neg = a.neg().sqrt().has_value();
+    EXPECT_NE(qr_a, qr_neg);
+    rejected += qr_a ? 0 : 1;
+  }
+  EXPECT_GT(rejected, 0);  // statistically certain over 20 draws
+}
+
+TEST(Fp, PowMatchesFermat) {
+  Fp a = random_fp();
+  BigUInt p = fp_modulus_big();
+  EXPECT_EQ(a.pow(p - BigUInt(1)), Fp::one());
+  EXPECT_EQ(a.pow(p), a);  // Frobenius is identity on the prime field
+}
+
+TEST(Fr, DistinctModulusFromFp) {
+  EXPECT_NE(ibbe::bigint::cmp(Fr::modulus(), Fp::modulus()), 0);
+  // r < p for BN curves.
+  EXPECT_LT(Fr::modulus(), Fp::modulus());
+}
+
+TEST(Fr, BasicFieldSanity) {
+  Fr a = random_fr();
+  if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Fr::one());
+  EXPECT_EQ(a + a.neg(), Fr::zero());
+}
+
+// -------------------------------------------------------------------- Fp2
+
+TEST(Fp2, RingLaws) {
+  for (int i = 0; i < 20; ++i) {
+    Fp2 a = random_fp2(), b = random_fp2(), c = random_fp2();
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a.square(), a * a);
+    if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Fp2::one());
+  }
+}
+
+TEST(Fp2, ISquaredIsMinusOne) {
+  Fp2 i(Fp::zero(), Fp::one());
+  EXPECT_EQ(i * i, Fp2(Fp::one().neg(), Fp::zero()));
+}
+
+TEST(Fp2, MulByXiMatchesGenericMul) {
+  for (int i = 0; i < 20; ++i) {
+    Fp2 a = random_fp2();
+    EXPECT_EQ(a.mul_by_xi(), a * Fp2::xi());
+  }
+}
+
+TEST(Fp2, ConjugateIsFrobenius) {
+  // x^p = conj(x) in Fp2.
+  BigUInt p = fp_modulus_big();
+  for (int i = 0; i < 5; ++i) {
+    Fp2 a = random_fp2();
+    EXPECT_EQ(a.pow(p), a.conjugate());
+  }
+}
+
+TEST(Fp2, SqrtOfSquares) {
+  for (int i = 0; i < 10; ++i) {
+    Fp2 a = random_fp2();
+    auto root = a.square().sqrt();
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(*root == a || *root == a.neg());
+  }
+}
+
+TEST(Fp2, SqrtRejectsNonResidues) {
+  // xi = 9 + i is a sextic (hence quadratic) non-residue by construction.
+  EXPECT_FALSE(Fp2::xi().sqrt().has_value());
+}
+
+TEST(Fp2, XiIsCubicNonResidue) {
+  // Required for Fp6 = Fp2[v]/(v^3 - xi) to be a field: xi^((q-1)/3) != 1
+  // where q = p^2.
+  BigUInt p = fp_modulus_big();
+  BigUInt e = (p * p - BigUInt(1)) / BigUInt(3);
+  EXPECT_NE(Fp2::xi().pow(e), Fp2::one());
+}
+
+// -------------------------------------------------------------------- Fp6
+
+TEST(Fp6, RingLaws) {
+  for (int i = 0; i < 10; ++i) {
+    Fp6 a = random_fp6(), b = random_fp6(), c = random_fp6();
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Fp6::one());
+  }
+}
+
+TEST(Fp6, VCubedIsXi) {
+  Fp6 v(Fp2::zero(), Fp2::one(), Fp2::zero());
+  Fp6 xi(Fp2::xi(), Fp2::zero(), Fp2::zero());
+  EXPECT_EQ(v * v * v, xi);
+}
+
+TEST(Fp6, MulByVMatchesGenericMul) {
+  Fp6 v(Fp2::zero(), Fp2::one(), Fp2::zero());
+  for (int i = 0; i < 10; ++i) {
+    Fp6 a = random_fp6();
+    EXPECT_EQ(a.mul_by_v(), a * v);
+  }
+}
+
+TEST(Fp6, FrobeniusMatchesPow) {
+  BigUInt p = fp_modulus_big();
+  for (int i = 0; i < 3; ++i) {
+    Fp6 a = random_fp6();
+    Fp6 expected = Fp6::one();
+    // a^p by square-and-multiply over Fp6.
+    for (unsigned bit = p.bit_length(); bit-- > 0;) {
+      expected = expected * expected;
+      if (p.bit(bit)) expected = expected * a;
+    }
+    EXPECT_EQ(a.frobenius(), expected);
+  }
+}
+
+// -------------------------------------------------------------------- Fp12
+
+TEST(Fp12, RingLaws) {
+  for (int i = 0; i < 5; ++i) {
+    Fp12 a = random_fp12(), b = random_fp12(), c = random_fp12();
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a.square(), a * a);
+    if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Fp12::one());
+  }
+}
+
+TEST(Fp12, WSquaredIsV) {
+  Fp12 w(Fp6::zero(), Fp6::one());
+  Fp6 v(Fp2::zero(), Fp2::one(), Fp2::zero());
+  EXPECT_EQ(w * w, Fp12(v, Fp6::zero()));
+}
+
+TEST(Fp12, FrobeniusMatchesPow) {
+  BigUInt p = fp_modulus_big();
+  Fp12 a = random_fp12();
+  EXPECT_EQ(a.frobenius(), a.pow(p));
+}
+
+TEST(Fp12, FrobeniusTwelfthPowerIsIdentity) {
+  Fp12 a = random_fp12();
+  Fp12 cur = a;
+  for (int i = 0; i < 12; ++i) cur = cur.frobenius();
+  EXPECT_EQ(cur, a);
+}
+
+TEST(Fp12, ConjugateIsPSixthFrobenius) {
+  Fp12 a = random_fp12();
+  Fp12 cur = a;
+  for (int i = 0; i < 6; ++i) cur = cur.frobenius();
+  EXPECT_EQ(cur, a.conjugate());
+}
+
+TEST(Fp12, MulByLineMatchesGenericMul) {
+  for (int i = 0; i < 10; ++i) {
+    Fp12 f = random_fp12();
+    Fp a = random_fp();
+    Fp2 b = random_fp2(), c = random_fp2();
+    Fp12 line(Fp6(Fp2::from_fp(a), Fp2::zero(), Fp2::zero()),
+              Fp6(b, c, Fp2::zero()));
+    EXPECT_EQ(f.mul_by_line(a, b, c), f * line);
+  }
+}
+
+TEST(Fp12, CyclotomicSquareAgreesOnCyclotomicSubgroup) {
+  // Map a random element into the cyclotomic subgroup with x^((p^6-1)(p^2+1))
+  // and compare squarings.
+  BigUInt p = fp_modulus_big();
+  BigUInt p2 = p * p;
+  BigUInt p6 = p2 * p2 * p2;
+  for (int i = 0; i < 3; ++i) {
+    Fp12 x = random_fp12();
+    Fp12 y = x.pow(p6 - BigUInt(1));
+    y = y.pow(p2 + BigUInt(1));
+    EXPECT_EQ(y.cyclotomic_square(), y.square());
+    EXPECT_EQ(y * y.conjugate(), Fp12::one());  // unitary
+  }
+}
+
+TEST(Fp12, PowCyclotomicMatchesPow) {
+  BigUInt p = fp_modulus_big();
+  BigUInt p2 = p * p;
+  BigUInt p6 = p2 * p2 * p2;
+  Fp12 x = random_fp12();
+  Fp12 y = x.pow(p6 - BigUInt(1)).pow(p2 + BigUInt(1));
+  U256 e;
+  for (auto& limb : e.limb) limb = rng()();
+  EXPECT_EQ(y.pow_cyclotomic(e), y.pow(e));
+}
+
+TEST(Fp12, SerializationRoundTrip) {
+  for (int i = 0; i < 5; ++i) {
+    Fp12 a = random_fp12();
+    auto bytes = a.to_bytes();
+    ASSERT_EQ(bytes.size(), Fp12::serialized_size);
+    EXPECT_EQ(Fp12::from_bytes(bytes), a);
+  }
+  EXPECT_THROW(Fp12::from_bytes(std::vector<std::uint8_t>(10)),
+               ibbe::util::DeserializeError);
+}
+
+TEST(TowerConsts, GammaPowersConsistent) {
+  const auto& g = ibbe::field::TowerConsts::get().gamma;
+  // g[k] = g1^(k+1); g1^6 = xi^(p-1).
+  for (int k = 1; k < 5; ++k) {
+    EXPECT_EQ(g[static_cast<std::size_t>(k)],
+              g[static_cast<std::size_t>(k - 1)] * g[0]);
+  }
+  BigUInt p = fp_modulus_big();
+  EXPECT_EQ(g[0].pow(BigUInt(6)), Fp2::xi().pow(p - BigUInt(1)));
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Robustness sweep over every wire format in the system: valid encodings
+// survive a round trip; truncated, bit-flipped and random inputs must either
+// parse to *something* or throw DeserializeError — never crash, hang, or
+// throw anything else. (This is what "parse untrusted cloud bytes" means for
+// the clients and the re-syncing administrators.)
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+#include "enclave/ibbe_enclave.h"
+#include "ibbe/ibbe.h"
+#include "pki/cert.h"
+#include "sgx/enclave.h"
+#include "system/metadata.h"
+#include "system/oplog.h"
+
+namespace {
+
+using ibbe::util::Bytes;
+using ibbe::util::DeserializeError;
+
+struct Format {
+  const char* name;
+  Bytes valid;  // a syntactically valid encoding of this format
+  std::function<void(std::span<const std::uint8_t>)> parse;
+};
+
+/// Builds one valid specimen of every format plus its parser.
+std::vector<Format> all_formats() {
+  std::vector<Format> formats;
+
+  ibbe::crypto::Drbg rng(2718);
+  auto keys = ibbe::core::setup(4, rng);
+  std::vector<ibbe::core::Identity> users = {"a", "b", "c"};
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  auto usk = ibbe::core::extract_user_key(keys.msk, "a");
+
+  formats.push_back({"PublicKey", keys.pk.to_bytes(), [](auto d) {
+                       (void)ibbe::core::PublicKey::from_bytes(d);
+                     }});
+  formats.push_back({"UserSecretKey", usk.to_bytes(), [](auto d) {
+                       (void)ibbe::core::UserSecretKey::from_bytes(d);
+                     }});
+  formats.push_back({"BroadcastCiphertext", enc.ct.to_bytes(), [](auto d) {
+                       (void)ibbe::core::BroadcastCiphertext::from_bytes(d);
+                     }});
+  formats.push_back({"G1", ibbe::ec::g1_to_bytes(keys.msk.g), [](auto d) {
+                       (void)ibbe::ec::g1_from_bytes(d);
+                     }});
+  formats.push_back({"G2", ibbe::ec::g2_to_bytes(keys.pk.h()), [](auto d) {
+                       (void)ibbe::ec::g2_from_bytes(d);
+                     }});
+
+  // SGX formats.
+  ibbe::sgx::EnclavePlatform platform("fuzz-box");
+  ibbe::enclave::IbbeEnclave enclave(platform, 4);
+  auto group = enclave.ecall_create_group({{users}});
+  formats.push_back({"SealedBlob", group.sealed_gk.to_bytes(), [](auto d) {
+                       (void)ibbe::sgx::SealedBlob::from_bytes(d);
+                     }});
+  formats.push_back({"Quote", enclave.attestation_quote().to_bytes(),
+                     [](auto d) { (void)ibbe::sgx::Quote::from_bytes(d); }});
+  formats.push_back(
+      {"PartitionCiphertext", group.partitions[0].to_bytes(), [](auto d) {
+         (void)ibbe::enclave::PartitionCiphertext::from_bytes(d);
+       }});
+
+  // PKI formats.
+  auto admin_key = ibbe::pki::EcdsaKeyPair::generate(rng);
+  ibbe::pki::CertificateAuthority ca("fuzz-ca", rng);
+  auto cert = ca.issue("subject", admin_key.public_key_bytes(), Bytes(32, 1));
+  formats.push_back({"Certificate", cert.to_bytes(), [](auto d) {
+                       (void)ibbe::pki::Certificate::from_bytes(d);
+                     }});
+  formats.push_back({"EcdsaSignature", admin_key.sign("x").to_bytes(),
+                     [](auto d) { (void)ibbe::pki::EcdsaSignature::from_bytes(d); }});
+
+  // System metadata formats.
+  ibbe::system::PartitionRecord rec;
+  rec.id = 7;
+  rec.members = users;
+  rec.cipher = group.partitions[0];
+  formats.push_back({"PartitionRecord", rec.to_bytes(), [](auto d) {
+                       (void)ibbe::system::PartitionRecord::from_bytes(d);
+                     }});
+  ibbe::system::GroupIndex idx;
+  idx.partition_ids = {7};
+  idx.members = {users};
+  formats.push_back({"GroupIndex", idx.to_bytes(), [](auto d) {
+                       (void)ibbe::system::GroupIndex::from_bytes(d);
+                     }});
+  auto env = ibbe::system::SignedEnvelope::sign(admin_key, Bytes(40, 9));
+  formats.push_back({"SignedEnvelope", env.to_bytes(), [](auto d) {
+                       (void)ibbe::system::SignedEnvelope::from_bytes(d);
+                     }});
+  ibbe::system::MembershipLog log;
+  log.append(ibbe::system::LogOp::create_group, "m=3", "admin", admin_key);
+  log.append(ibbe::system::LogOp::add_user, "d", "admin", admin_key);
+  formats.push_back({"MembershipLog", log.to_bytes(), [](auto d) {
+                       (void)ibbe::system::MembershipLog::from_bytes(d);
+                     }});
+  return formats;
+}
+
+/// Runs the parser and fails the test on anything but success or
+/// DeserializeError (std::bad_alloc from a hostile length prefix counts as a
+/// failure: parsers must validate lengths before allocating).
+void expect_graceful(const Format& format, std::span<const std::uint8_t> data) {
+  try {
+    format.parse(data);
+  } catch (const DeserializeError&) {
+    // expected rejection
+  } catch (const std::exception& e) {
+    FAIL() << format.name << ": wrong exception type: " << e.what();
+  }
+}
+
+TEST(FuzzDeserialize, ValidEncodingsParse) {
+  for (const auto& format : all_formats()) {
+    EXPECT_NO_THROW(format.parse(format.valid)) << format.name;
+  }
+}
+
+TEST(FuzzDeserialize, AllTruncationsAreGraceful) {
+  for (const auto& format : all_formats()) {
+    // Every prefix, and for large formats a stride to keep runtime sane.
+    std::size_t stride = format.valid.size() > 512 ? 7 : 1;
+    for (std::size_t len = 0; len < format.valid.size(); len += stride) {
+      expect_graceful(format,
+                      std::span<const std::uint8_t>(format.valid.data(), len));
+    }
+  }
+}
+
+TEST(FuzzDeserialize, BitFlipsAreGraceful) {
+  std::mt19937_64 rng(99);
+  for (const auto& format : all_formats()) {
+    for (int trial = 0; trial < 64; ++trial) {
+      Bytes mutated = format.valid;
+      std::size_t pos = rng() % mutated.size();
+      mutated[pos] ^= static_cast<std::uint8_t>(1 << (rng() % 8));
+      expect_graceful(format, mutated);
+    }
+  }
+}
+
+TEST(FuzzDeserialize, RandomGarbageIsGraceful) {
+  std::mt19937_64 rng(7);
+  for (const auto& format : all_formats()) {
+    for (int trial = 0; trial < 32; ++trial) {
+      Bytes garbage(format.valid.size());
+      for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+      expect_graceful(format, garbage);
+    }
+    // And garbage of random lengths.
+    for (int trial = 0; trial < 16; ++trial) {
+      Bytes garbage(rng() % 200);
+      for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+      expect_graceful(format, garbage);
+    }
+  }
+}
+
+TEST(FuzzDeserialize, TrailingBytesAreRejected) {
+  for (const auto& format : all_formats()) {
+    // Fixed-size point formats tolerate no trailing data by construction;
+    // the length-prefixed ones must call expect_end. Either way appending a
+    // byte must not produce a silently different object.
+    Bytes extended = format.valid;
+    extended.push_back(0xab);
+    expect_graceful(format, extended);
+  }
+}
+
+}  // namespace

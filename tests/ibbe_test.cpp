@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "ibbe/ibbe.h"
+
+namespace {
+
+using ibbe::core::BroadcastCiphertext;
+using ibbe::core::Identity;
+using ibbe::core::PublicKey;
+using ibbe::core::SystemKeys;
+using ibbe::core::UserSecretKey;
+using ibbe::crypto::Drbg;
+
+std::vector<Identity> make_users(std::size_t n, const std::string& prefix = "user") {
+  std::vector<Identity> users;
+  users.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    users.push_back(prefix + std::to_string(i) + "@example.com");
+  }
+  return users;
+}
+
+struct IbbeFixture : ::testing::Test {
+  IbbeFixture() : rng(99), keys(ibbe::core::setup(32, rng)) {}
+
+  UserSecretKey usk(const Identity& id) {
+    return ibbe::core::extract_user_key(keys.msk, id);
+  }
+
+  Drbg rng;
+  SystemKeys keys;
+};
+
+// ------------------------------------------------------------------- setup
+
+TEST_F(IbbeFixture, SetupShapes) {
+  EXPECT_EQ(keys.pk.max_receivers(), 32u);
+  EXPECT_EQ(keys.pk.h_powers.size(), 33u);
+  EXPECT_FALSE(keys.msk.gamma.is_zero());
+  // w = g^gamma.
+  EXPECT_EQ(keys.pk.w, keys.msk.g.mul(keys.msk.gamma));
+  // h_powers[i+1] = h_powers[i]^gamma.
+  EXPECT_EQ(keys.pk.h_powers[1], keys.pk.h().mul(keys.msk.gamma));
+  EXPECT_EQ(keys.pk.h_powers[5], keys.pk.h_powers[4].mul(keys.msk.gamma));
+}
+
+TEST(IbbeSetup, RejectsZeroSize) {
+  Drbg rng(1);
+  EXPECT_THROW(ibbe::core::setup(0, rng), std::invalid_argument);
+}
+
+TEST_F(IbbeFixture, HashIdentityIsStableAndNonZero) {
+  auto a = ibbe::core::hash_identity("alice");
+  EXPECT_EQ(a, ibbe::core::hash_identity("alice"));
+  EXPECT_FALSE(a.is_zero());
+  EXPECT_NE(a, ibbe::core::hash_identity("bob"));
+}
+
+TEST_F(IbbeFixture, ExtractedKeysVerify) {
+  auto key = usk("alice");
+  EXPECT_TRUE(ibbe::core::verify_user_key(keys.pk, key));
+  // A key presented under a different identity fails the pairing check.
+  UserSecretKey forged = key;
+  forged.id = "bob";
+  EXPECT_FALSE(ibbe::core::verify_user_key(keys.pk, forged));
+}
+
+// --------------------------------------------------------- encrypt/decrypt
+
+class IbbeRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(SetSizes, IbbeRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 8u, 17u));
+
+TEST_P(IbbeRoundTrip, EveryMemberRecoversBk) {
+  Drbg rng(5);
+  auto keys = ibbe::core::setup(20, rng);
+  auto users = make_users(GetParam());
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  for (const auto& id : users) {
+    auto usk = ibbe::core::extract_user_key(keys.msk, id);
+    auto bk = ibbe::core::decrypt(keys.pk, usk, users, enc.ct);
+    ASSERT_TRUE(bk.has_value()) << id;
+    EXPECT_EQ(*bk, enc.bk) << id;
+  }
+}
+
+TEST_P(IbbeRoundTrip, PublicEncryptMatchesMskEncryptStructure) {
+  Drbg rng(6);
+  auto keys = ibbe::core::setup(20, rng);
+  auto users = make_users(GetParam());
+  // C3 is randomizer-free, so the two paths must agree on it exactly.
+  auto enc_msk = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  auto enc_pub = ibbe::core::encrypt_public(keys.pk, users, rng);
+  EXPECT_EQ(enc_msk.ct.c3, enc_pub.ct.c3);
+  EXPECT_EQ(enc_msk.ct.c3, ibbe::core::compute_c3_public(keys.pk, users));
+  // And a member can decrypt the public-path ciphertext.
+  auto usk = ibbe::core::extract_user_key(keys.msk, users.front());
+  auto bk = ibbe::core::decrypt(keys.pk, usk, users, enc_pub.ct);
+  ASSERT_TRUE(bk.has_value());
+  EXPECT_EQ(*bk, enc_pub.bk);
+}
+
+TEST_F(IbbeFixture, NonMemberGetsNullopt) {
+  auto users = make_users(4);
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  auto outsider = usk("outsider@example.com");
+  EXPECT_FALSE(ibbe::core::decrypt(keys.pk, outsider, users, enc.ct).has_value());
+}
+
+TEST_F(IbbeFixture, WrongKeyYieldsWrongBk) {
+  // A member identity with someone else's USK decrypts to garbage, not bk.
+  auto users = make_users(3);
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  UserSecretKey mismatched = usk(users[1]);
+  mismatched.id = users[0];  // claims to be user0 but holds user1's key
+  auto bk = ibbe::core::decrypt(keys.pk, mismatched, users, enc.ct);
+  ASSERT_TRUE(bk.has_value());
+  EXPECT_NE(*bk, enc.bk);
+}
+
+TEST_F(IbbeFixture, EncryptRejectsEmptyAndOversizedSets) {
+  std::vector<Identity> empty;
+  EXPECT_THROW(ibbe::core::encrypt_with_msk(keys.msk, keys.pk, empty, rng),
+               std::invalid_argument);
+  auto too_many = make_users(33);
+  EXPECT_THROW(ibbe::core::encrypt_with_msk(keys.msk, keys.pk, too_many, rng),
+               std::invalid_argument);
+  EXPECT_THROW(ibbe::core::encrypt_public(keys.pk, too_many, rng),
+               std::invalid_argument);
+}
+
+TEST_F(IbbeFixture, DecryptRejectsOversizedSet) {
+  auto users = make_users(4);
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  auto too_many = make_users(33);
+  auto key = usk(too_many[0]);
+  EXPECT_FALSE(ibbe::core::decrypt(keys.pk, key, too_many, enc.ct).has_value());
+}
+
+TEST_F(IbbeFixture, FreshRandomizerPerEncrypt) {
+  auto users = make_users(2);
+  auto e1 = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  auto e2 = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  EXPECT_NE(e1.bk, e2.bk);
+  EXPECT_FALSE(e1.ct.c1 == e2.ct.c1);
+  EXPECT_EQ(e1.ct.c3, e2.ct.c3);  // C3 has no randomizer
+}
+
+// -------------------------------------------------------- membership ops
+
+TEST_F(IbbeFixture, AddUserKeepsBkAndExtendsSet) {
+  auto users = make_users(3);
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+
+  Identity newcomer = "newcomer@example.com";
+  ibbe::core::add_user_with_msk(keys.msk, enc.ct, newcomer);
+  auto extended = users;
+  extended.push_back(newcomer);
+
+  // C3 invariant: matches a from-scratch public computation on the new set.
+  EXPECT_EQ(enc.ct.c3, ibbe::core::compute_c3_public(keys.pk, extended));
+
+  // The newcomer and the old members all recover the *unchanged* bk.
+  for (const auto& id : extended) {
+    auto bk = ibbe::core::decrypt(keys.pk, usk(id), extended, enc.ct);
+    ASSERT_TRUE(bk.has_value()) << id;
+    EXPECT_EQ(*bk, enc.bk) << id;
+  }
+}
+
+TEST_F(IbbeFixture, RemoveUserRekeysAndShrinksSet) {
+  auto users = make_users(4);
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+
+  Identity leaver = users[2];
+  auto removed =
+      ibbe::core::remove_user_with_msk(keys.msk, keys.pk, enc.ct, leaver, rng);
+  std::vector<Identity> remaining = {users[0], users[1], users[3]};
+
+  EXPECT_NE(removed.bk, enc.bk);
+  EXPECT_EQ(removed.ct.c3, ibbe::core::compute_c3_public(keys.pk, remaining));
+
+  for (const auto& id : remaining) {
+    auto bk = ibbe::core::decrypt(keys.pk, usk(id), remaining, removed.ct);
+    ASSERT_TRUE(bk.has_value()) << id;
+    EXPECT_EQ(*bk, removed.bk) << id;
+  }
+  // The leaver is no longer in the receiver set.
+  EXPECT_FALSE(
+      ibbe::core::decrypt(keys.pk, usk(leaver), remaining, removed.ct).has_value());
+  // Even pretending to still be in the set, the old key yields a wrong bk.
+  auto cheat = ibbe::core::decrypt(keys.pk, usk(leaver), users, removed.ct);
+  if (cheat.has_value()) EXPECT_NE(*cheat, removed.bk);
+}
+
+TEST_F(IbbeFixture, RekeyChangesBkNotMembership) {
+  auto users = make_users(3);
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  auto rekeyed = ibbe::core::rekey(keys.pk, enc.ct, rng);
+
+  EXPECT_NE(rekeyed.bk, enc.bk);
+  EXPECT_EQ(rekeyed.ct.c3, enc.ct.c3);
+  for (const auto& id : users) {
+    auto bk = ibbe::core::decrypt(keys.pk, usk(id), users, rekeyed.ct);
+    ASSERT_TRUE(bk.has_value());
+    EXPECT_EQ(*bk, rekeyed.bk);
+  }
+}
+
+TEST_F(IbbeFixture, AddThenRemoveIsConsistent) {
+  auto users = make_users(2);
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  Identity temp = "temp@example.com";
+  ibbe::core::add_user_with_msk(keys.msk, enc.ct, temp);
+  auto removed = ibbe::core::remove_user_with_msk(keys.msk, keys.pk, enc.ct, temp, rng);
+  // Back to the original receiver set.
+  EXPECT_EQ(removed.ct.c3, ibbe::core::compute_c3_public(keys.pk, users));
+  auto bk = ibbe::core::decrypt(keys.pk, usk(users[0]), users, removed.ct);
+  ASSERT_TRUE(bk.has_value());
+  EXPECT_EQ(*bk, removed.bk);
+}
+
+// ----------------------------------------------------------- serialization
+
+TEST_F(IbbeFixture, PublicKeyRoundTrip) {
+  auto bytes = keys.pk.to_bytes();
+  auto back = PublicKey::from_bytes(bytes);
+  EXPECT_EQ(back.w, keys.pk.w);
+  EXPECT_EQ(back.v, keys.pk.v);
+  ASSERT_EQ(back.h_powers.size(), keys.pk.h_powers.size());
+  for (std::size_t i = 0; i < back.h_powers.size(); ++i) {
+    EXPECT_EQ(back.h_powers[i], keys.pk.h_powers[i]) << i;
+  }
+}
+
+TEST_F(IbbeFixture, UserKeyRoundTrip) {
+  auto key = usk("alice");
+  auto back = UserSecretKey::from_bytes(key.to_bytes());
+  EXPECT_EQ(back.id, key.id);
+  EXPECT_EQ(back.value, key.value);
+  EXPECT_TRUE(ibbe::core::verify_user_key(keys.pk, back));
+}
+
+TEST_F(IbbeFixture, CiphertextRoundTrip) {
+  auto users = make_users(3);
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  auto bytes = enc.ct.to_bytes();
+  EXPECT_EQ(bytes.size(), BroadcastCiphertext::serialized_size);
+  auto back = BroadcastCiphertext::from_bytes(bytes);
+  EXPECT_EQ(back.c1, enc.ct.c1);
+  EXPECT_EQ(back.c2, enc.ct.c2);
+  EXPECT_EQ(back.c3, enc.ct.c3);
+  // Deserialized ciphertext still decrypts.
+  auto bk = ibbe::core::decrypt(keys.pk, usk(users[1]), users, back);
+  ASSERT_TRUE(bk.has_value());
+  EXPECT_EQ(*bk, enc.bk);
+}
+
+TEST_F(IbbeFixture, CiphertextIsConstantSize) {
+  // The headline IBBE property: ciphertext size independent of |S|.
+  auto small = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, make_users(1), rng);
+  auto large = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, make_users(30), rng);
+  EXPECT_EQ(small.ct.to_bytes().size(), large.ct.to_bytes().size());
+}
+
+}  // namespace

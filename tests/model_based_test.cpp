@@ -1,0 +1,173 @@
+// Model-based randomized integration testing.
+//
+// A trivially-correct reference model (a set of members plus a key epoch)
+// runs in lockstep with a real GroupScheme through random operation
+// sequences. After every step the scheme must agree with the model on:
+//
+//   * membership: exactly the model's members can derive a key;
+//   * convergence: all members derive the *same* key;
+//   * rotation: the derived key changes across a removal epoch and is stable
+//     across adds within an epoch;
+//   * revocation: a removed user's old key never matches the current one.
+//
+// The same harness runs against the full IBBE-SGX stack and both Hybrid
+// Encryption baselines — any divergence between scheme semantics shows up as
+// a model violation in whichever scheme is wrong.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <random>
+#include <set>
+
+#include "he/he_ibe.h"
+#include "he/he_pki.h"
+#include "system/ibbe_scheme.h"
+
+namespace {
+
+using ibbe::core::Identity;
+using ibbe::he::GroupScheme;
+using ibbe::util::Bytes;
+
+struct ReferenceModel {
+  std::set<Identity> members;
+  std::uint64_t epoch = 0;  // bumped on every removal of an actual member
+
+  void add(const Identity& id) { members.insert(id); }
+  bool remove(const Identity& id) {
+    if (members.erase(id) == 0) return false;
+    ++epoch;
+    return true;
+  }
+};
+
+struct SchemeFactory {
+  const char* name;
+  std::function<std::unique_ptr<GroupScheme>(std::uint64_t seed)> make;
+  std::size_t ops;      // sequence length (IBBE decrypts are pricier)
+  std::size_t checks;   // membership samples verified per step
+};
+
+std::vector<SchemeFactory> factories() {
+  return {
+      {"ibbe_sgx",
+       [](std::uint64_t seed) {
+         return std::make_unique<ibbe::system::IbbeSgxScheme>(5, seed);
+       },
+       28, 2},
+      {"he_pki",
+       [](std::uint64_t seed) { return std::make_unique<ibbe::he::HePkiScheme>(seed); },
+       80, 4},
+      {"he_ibe",
+       [](std::uint64_t seed) { return std::make_unique<ibbe::he::HeIbeScheme>(seed); },
+       30, 2},
+  };
+}
+
+class ModelBasedTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, ModelBasedTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),        // factory index
+                       ::testing::Values(101u, 202u)),    // RNG seed
+    [](const auto& info) {
+      return std::string(factories()[static_cast<std::size_t>(
+                             std::get<0>(info.param))]
+                             .name) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(ModelBasedTest, SchemeAgreesWithReferenceModel) {
+  auto factory = factories()[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  std::uint64_t seed = std::get<1>(GetParam());
+  std::mt19937_64 rng(seed);
+
+  auto scheme = factory.make(seed);
+  ReferenceModel model;
+
+  // Bootstrap with a few members.
+  std::vector<Identity> bootstrap = {"m0", "m1", "m2", "m3"};
+  scheme->create_group(bootstrap);
+  for (const auto& id : bootstrap) model.add(id);
+
+  std::uint64_t next_user = 0;
+  std::optional<Bytes> epoch_key;          // key observed this epoch
+  std::uint64_t epoch_of_key = model.epoch;
+  std::map<Identity, Bytes> revoked_keys;  // last key each leaver held
+
+  for (std::size_t step = 0; step < factory.ops; ++step) {
+    // --- pick and apply a random operation on both scheme and model.
+    bool do_remove = model.members.size() > 1 && rng() % 100 < 40;
+    if (do_remove) {
+      auto it = model.members.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng() % model.members.size()));
+      Identity leaver = *it;
+      if (epoch_key) revoked_keys[leaver] = *epoch_key;
+      scheme->remove_user(leaver);
+      model.remove(leaver);
+    } else if (rng() % 4 == 0 && !revoked_keys.empty()) {
+      // Re-admit a previously revoked user.
+      auto it = revoked_keys.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng() % revoked_keys.size()));
+      scheme->add_user(it->first);
+      model.add(it->first);
+      revoked_keys.erase(it);
+    } else {
+      Identity joiner = "n" + std::to_string(next_user++);
+      scheme->add_user(joiner);
+      model.add(joiner);
+    }
+
+    // --- scheme must agree with the model.
+    ASSERT_EQ(scheme->group_size(), model.members.size()) << "step " << step;
+
+    // Sampled members all derive one key.
+    std::optional<Bytes> current;
+    for (std::size_t c = 0; c < factory.checks && !model.members.empty(); ++c) {
+      auto it = model.members.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng() % model.members.size()));
+      auto gk = scheme->user_decrypt(*it);
+      ASSERT_TRUE(gk.has_value())
+          << factory.name << ": member " << *it << " locked out at step " << step;
+      if (current) {
+        ASSERT_EQ(*gk, *current)
+            << factory.name << ": key divergence at step " << step;
+      }
+      current = *gk;
+    }
+
+    if (current) {
+      // Key stability within an epoch, rotation across epochs.
+      if (epoch_key && epoch_of_key == model.epoch) {
+        ASSERT_EQ(*current, *epoch_key)
+            << factory.name << ": key rotated without a removal (step " << step << ")";
+      }
+      if (epoch_key && epoch_of_key != model.epoch) {
+        ASSERT_NE(*current, *epoch_key)
+            << factory.name << ": key not rotated on removal (step " << step << ")";
+      }
+      epoch_key = current;
+      epoch_of_key = model.epoch;
+
+      // No revoked user's stale key may equal the current key, and revoked
+      // users must not be able to re-derive (sample one).
+      if (!revoked_keys.empty()) {
+        auto it = revoked_keys.begin();
+        std::advance(it,
+                     static_cast<std::ptrdiff_t>(rng() % revoked_keys.size()));
+        ASSERT_NE(it->second, *current)
+            << factory.name << ": revoked key still current at step " << step;
+        if (model.members.find(it->first) == model.members.end()) {
+          auto stale = scheme->user_decrypt(it->first);
+          ASSERT_FALSE(stale.has_value())
+              << factory.name << ": revoked user " << it->first
+              << " re-derived a key at step " << step;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+#include "sgx/attestation.h"
+#include "sgx/enclave.h"
+
+namespace {
+
+using ibbe::crypto::Drbg;
+using ibbe::sgx::AttestationService;
+using ibbe::sgx::Auditor;
+using ibbe::sgx::EnclaveBase;
+using ibbe::sgx::EnclaveImage;
+using ibbe::sgx::EnclavePlatform;
+using ibbe::sgx::Quote;
+using ibbe::sgx::SealedBlob;
+using ibbe::util::Bytes;
+
+EnclaveImage test_image(const std::string& version = "1.0") {
+  EnclaveImage img;
+  img.name = "test-enclave";
+  img.version = version;
+  img.code_hash = Bytes(32, 0x5a);
+  return img;
+}
+
+/// Minimal concrete enclave for exercising the base-class facilities.
+class TestEnclave : public EnclaveBase {
+ public:
+  TestEnclave(EnclavePlatform& platform, const EnclaveImage& image)
+      : EnclaveBase(platform, image) {}
+
+  SealedBlob ecall_seal(const Bytes& secret) {
+    EcallScope scope(*this);
+    return seal(secret);
+  }
+  std::optional<Bytes> ecall_unseal(const SealedBlob& blob) {
+    EcallScope scope(*this);
+    return unseal(blob);
+  }
+  void ecall_use_epc(std::size_t bytes) {
+    EcallScope scope(*this);
+    epc_alloc(bytes);
+  }
+  void ecall_release_epc(std::size_t bytes) {
+    EcallScope scope(*this);
+    epc_free(bytes);
+  }
+};
+
+TEST(Measurement, DependsOnEveryImageField) {
+  auto base = test_image().measure();
+  EXPECT_EQ(base, test_image().measure());
+  EXPECT_NE(base, test_image("1.1").measure());
+  auto img = test_image();
+  img.code_hash[0] ^= 1;
+  EXPECT_NE(base, img.measure());
+  img = test_image();
+  img.name = "other";
+  EXPECT_NE(base, img.measure());
+}
+
+TEST(Sealing, RoundTripSameEnclave) {
+  EnclavePlatform platform("machine-a");
+  TestEnclave enclave(platform, test_image());
+  Bytes secret = {'m', 's', 'k'};
+  auto blob = enclave.ecall_seal(secret);
+  auto opened = enclave.ecall_unseal(blob);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, secret);
+}
+
+TEST(Sealing, BoundToMeasurement) {
+  // A different enclave build on the same machine cannot unseal (MRENCLAVE
+  // policy).
+  EnclavePlatform platform("machine-a");
+  TestEnclave v1(platform, test_image("1.0"));
+  TestEnclave v2(platform, test_image("2.0"));
+  auto blob = v1.ecall_seal(Bytes(16, 1));
+  EXPECT_FALSE(v2.ecall_unseal(blob).has_value());
+  EXPECT_TRUE(v1.ecall_unseal(blob).has_value());
+}
+
+TEST(Sealing, BoundToPlatform) {
+  // The same enclave build on a different machine cannot unseal (fuse key).
+  EnclavePlatform a("machine-a"), b("machine-b");
+  TestEnclave on_a(a, test_image());
+  TestEnclave on_b(b, test_image());
+  auto blob = on_a.ecall_seal(Bytes(16, 2));
+  EXPECT_FALSE(on_b.ecall_unseal(blob).has_value());
+}
+
+TEST(Sealing, DetectsCorruption) {
+  EnclavePlatform platform("machine-a");
+  TestEnclave enclave(platform, test_image());
+  auto blob = enclave.ecall_seal(Bytes(16, 3));
+  blob.ciphertext[4] ^= 1;
+  EXPECT_FALSE(enclave.ecall_unseal(blob).has_value());
+}
+
+TEST(Sealing, BlobSerializationRoundTrip) {
+  EnclavePlatform platform("machine-a");
+  TestEnclave enclave(platform, test_image());
+  Bytes secret(40, 9);
+  auto blob = enclave.ecall_seal(secret);
+  auto back = SealedBlob::from_bytes(blob.to_bytes());
+  auto opened = enclave.ecall_unseal(back);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, secret);
+}
+
+TEST(Instrumentation, EcallCounterAndEpcMeter) {
+  EnclavePlatform platform("machine-a");
+  TestEnclave enclave(platform, test_image());
+  EXPECT_EQ(enclave.ecall_count(), 0u);
+  enclave.ecall_use_epc(1000);
+  enclave.ecall_use_epc(500);
+  enclave.ecall_release_epc(800);
+  EXPECT_EQ(enclave.ecall_count(), 3u);
+  EXPECT_EQ(enclave.epc_bytes_used(), 700u);
+  EXPECT_EQ(enclave.epc_bytes_peak(), 1500u);
+}
+
+TEST(Instrumentation, EpcLimitEnforced) {
+  EnclavePlatform platform("machine-a");
+  TestEnclave enclave(platform, test_image());
+  EXPECT_THROW(enclave.ecall_use_epc(EnclaveBase::epc_limit + 1),
+               std::runtime_error);
+}
+
+// -------------------------------------------------------------- attestation
+
+TEST(Attestation, QuoteVerifiesOnRegisteredPlatform) {
+  EnclavePlatform platform("machine-a");
+  TestEnclave enclave(platform, test_image());
+  AttestationService ias;
+  ias.register_platform(platform);
+  auto quote = enclave.generate_quote(Bytes{1, 2, 3});
+  EXPECT_TRUE(ias.verify_quote(quote));
+}
+
+TEST(Attestation, RejectsUnknownPlatform) {
+  EnclavePlatform platform("machine-a");
+  TestEnclave enclave(platform, test_image());
+  AttestationService ias;  // nothing registered
+  EXPECT_FALSE(ias.verify_quote(enclave.generate_quote({})));
+}
+
+TEST(Attestation, RejectsTamperedQuote) {
+  EnclavePlatform platform("machine-a");
+  TestEnclave enclave(platform, test_image());
+  AttestationService ias;
+  ias.register_platform(platform);
+  auto quote = enclave.generate_quote(Bytes{1});
+  quote.report_data = Bytes{2};
+  EXPECT_FALSE(ias.verify_quote(quote));
+}
+
+TEST(Attestation, QuoteSerializationRoundTrip) {
+  EnclavePlatform platform("machine-a");
+  TestEnclave enclave(platform, test_image());
+  AttestationService ias;
+  ias.register_platform(platform);
+  auto quote = enclave.generate_quote(Bytes{9, 9});
+  auto back = Quote::from_bytes(quote.to_bytes());
+  EXPECT_TRUE(ias.verify_quote(back));
+  EXPECT_EQ(back.measurement, quote.measurement);
+}
+
+// ------------------------------------------------------------------ auditor
+
+struct AuditorFixture : ::testing::Test {
+  AuditorFixture()
+      : platform("machine-a"),
+        enclave(platform, test_image()),
+        key(ibbe::pki::EcdsaKeyPair::generate(rng)) {
+    ias.register_platform(platform);
+  }
+
+  Quote quote_for_key(const Bytes& pubkey) {
+    auto digest = ibbe::crypto::Sha256::hash(pubkey);
+    return enclave.generate_quote(Bytes(digest.begin(), digest.end()));
+  }
+
+  Drbg rng{77};
+  EnclavePlatform platform;
+  TestEnclave enclave;
+  AttestationService ias;
+  ibbe::pki::EcdsaKeyPair key;
+};
+
+TEST_F(AuditorFixture, CertifiesExpectedMeasurement) {
+  Auditor auditor("auditor", ias, test_image().measure(), rng);
+  auto pub = key.public_key_bytes();
+  auto cert = auditor.attest_and_certify(quote_for_key(pub), pub);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_TRUE(ibbe::pki::CertificateAuthority::verify(*cert,
+                                                      auditor.ca_public_key()));
+  EXPECT_EQ(cert->public_key, pub);
+}
+
+TEST_F(AuditorFixture, RejectsUnexpectedMeasurement) {
+  Auditor auditor("auditor", ias, test_image("9.9").measure(), rng);
+  auto pub = key.public_key_bytes();
+  EXPECT_FALSE(auditor.attest_and_certify(quote_for_key(pub), pub).has_value());
+}
+
+TEST_F(AuditorFixture, RejectsKeyNotBoundToQuote) {
+  Auditor auditor("auditor", ias, test_image().measure(), rng);
+  auto pub = key.public_key_bytes();
+  auto other = ibbe::pki::EcdsaKeyPair::generate(rng).public_key_bytes();
+  // Quote commits to `pub` but the rogue presents `other`.
+  EXPECT_FALSE(auditor.attest_and_certify(quote_for_key(pub), other).has_value());
+}
+
+TEST_F(AuditorFixture, RejectsForgedQuote) {
+  Auditor auditor("auditor", ias, test_image().measure(), rng);
+  auto pub = key.public_key_bytes();
+  auto quote = quote_for_key(pub);
+  quote.platform_id = "machine-unknown";
+  EXPECT_FALSE(auditor.attest_and_certify(quote, pub).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "system/admin.h"
+#include "system/client.h"
+#include "system/ibbe_scheme.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+using ibbe::core::Identity;
+using ibbe::system::AdminApi;
+using ibbe::system::AdminConfig;
+using ibbe::system::ClientApi;
+using ibbe::system::GroupId;
+using ibbe::util::Bytes;
+
+std::vector<Identity> make_users(std::size_t n, std::size_t offset = 0) {
+  std::vector<Identity> users;
+  for (std::size_t i = 0; i < n; ++i) {
+    users.push_back("user" + std::to_string(offset + i));
+  }
+  return users;
+}
+
+struct SystemFixture : ::testing::Test {
+  SystemFixture()
+      : platform("admin-box"),
+        enclave(platform, 8),
+        rng(11),
+        admin(enclave, cloud, ibbe::pki::EcdsaKeyPair::generate(rng),
+              AdminConfig{.partition_size = 3, .repartitioning = true},
+              /*seed=*/5) {}
+
+  ClientApi client(const Identity& id) {
+    return ClientApi(cloud, enclave.public_key(),
+                     enclave.ecall_extract_user_key(id),
+                     admin.verification_point());
+  }
+
+  ibbe::sgx::EnclavePlatform platform;
+  ibbe::enclave::IbbeEnclave enclave;
+  ibbe::cloud::CloudStore cloud;
+  ibbe::crypto::Drbg rng;
+  AdminApi admin;
+  const GroupId gid = "team-alpha";
+};
+
+TEST_F(SystemFixture, CreateGroupSplitsIntoFixedPartitions) {
+  admin.create_group(gid, make_users(8));
+  EXPECT_EQ(admin.group_size(gid), 8u);
+  EXPECT_EQ(admin.partition_count(gid), 3u);  // 3+3+2 under |p|=3
+  // Cloud layout: index + one file per partition.
+  EXPECT_EQ(cloud.list("groups/" + gid + "/").size(), 4u);
+}
+
+TEST_F(SystemFixture, EveryMemberDerivesTheSameKey) {
+  auto users = make_users(7);
+  admin.create_group(gid, users);
+  std::optional<Bytes> seen;
+  for (const auto& id : users) {
+    auto c = client(id);
+    auto gk = c.fetch_group_key(gid);
+    ASSERT_TRUE(gk.has_value()) << id;
+    if (!seen) seen = *gk;
+    EXPECT_EQ(*gk, *seen) << id;
+  }
+}
+
+TEST_F(SystemFixture, NonMemberCannotDeriveKey) {
+  admin.create_group(gid, make_users(4));
+  auto c = client("outsider");
+  EXPECT_FALSE(c.fetch_group_key(gid).has_value());
+}
+
+TEST_F(SystemFixture, AddUserGrantsAccessWithoutRotation) {
+  auto users = make_users(4);
+  admin.create_group(gid, users);
+  auto before = client(users[0]).fetch_group_key(gid);
+
+  admin.add_user(gid, "late-joiner");
+  auto joined = client("late-joiner").fetch_group_key(gid);
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_EQ(*joined, *before);  // adds do not re-key (paper semantics)
+  EXPECT_EQ(admin.group_size(gid), 5u);
+}
+
+TEST_F(SystemFixture, AddOverflowsIntoNewPartition) {
+  admin.create_group(gid, make_users(6));  // two full partitions of 3
+  EXPECT_EQ(admin.partition_count(gid), 2u);
+  admin.add_user(gid, "overflow");
+  EXPECT_EQ(admin.partition_count(gid), 3u);
+  EXPECT_TRUE(client("overflow").fetch_group_key(gid).has_value());
+}
+
+TEST_F(SystemFixture, DuplicateAddIsIdempotent) {
+  admin.create_group(gid, make_users(3));
+  admin.add_user(gid, "user1");
+  EXPECT_EQ(admin.group_size(gid), 3u);
+}
+
+TEST_F(SystemFixture, RemoveRevokesAndRotates) {
+  auto users = make_users(6);
+  admin.create_group(gid, users);
+  auto before = client(users[0]).fetch_group_key(gid);
+  ASSERT_TRUE(before.has_value());
+
+  admin.remove_user(gid, users[4]);
+  EXPECT_EQ(admin.group_size(gid), 5u);
+  EXPECT_FALSE(admin.is_member(gid, users[4]));
+
+  auto revoked = client(users[4]).fetch_group_key(gid);
+  EXPECT_FALSE(revoked.has_value());
+
+  // Remaining members (across *all* partitions) see one fresh key.
+  auto after = client(users[0]).fetch_group_key(gid);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_NE(*after, *before);
+  for (const auto& id : {users[1], users[2], users[3], users[5]}) {
+    auto gk = client(id).fetch_group_key(gid);
+    ASSERT_TRUE(gk.has_value()) << id;
+    EXPECT_EQ(*gk, *after) << id;
+  }
+}
+
+TEST_F(SystemFixture, RemoveUnknownUserIsNoOp) {
+  admin.create_group(gid, make_users(3));
+  auto before = client("user0").fetch_group_key(gid);
+  admin.remove_user(gid, "ghost");
+  EXPECT_EQ(client("user0").fetch_group_key(gid), before);
+}
+
+TEST_F(SystemFixture, EmptiedPartitionIsDropped) {
+  admin.create_group(gid, make_users(3));
+  admin.add_user(gid, "solo");  // new partition with a single member
+  ASSERT_EQ(admin.partition_count(gid), 2u);
+  admin.remove_user(gid, "solo");
+  EXPECT_EQ(admin.partition_count(gid), 1u);
+  EXPECT_EQ(cloud.list("groups/" + gid + "/").size(), 2u);  // index + p0
+}
+
+TEST_F(SystemFixture, RepartitioningMergesSparsePartitions) {
+  // Build 3 partitions of 3, then remove users until most are sparse.
+  auto users = make_users(9);
+  admin.create_group(gid, users);
+  ASSERT_EQ(admin.partition_count(gid), 3u);
+  auto before_repartitions = admin.stats().repartitions;
+
+  // Removing one user from each partition leaves all at 2/3 occupancy =>
+  // every partition below ceil(2/3*3)=2? occupancy 2 == threshold... remove
+  // two users from two partitions to force clearly sparse layouts.
+  admin.remove_user(gid, users[0]);
+  admin.remove_user(gid, users[1]);
+  admin.remove_user(gid, users[3]);
+  admin.remove_user(gid, users[4]);
+
+  EXPECT_GT(admin.stats().repartitions, before_repartitions);
+  // After the rebuild the survivors still share one key.
+  auto a = client(users[2]).fetch_group_key(gid);
+  auto b = client(users[8]).fetch_group_key(gid);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, *b);
+  // And the rebuilt layout is compact: 5 members in 2 partitions.
+  EXPECT_EQ(admin.group_size(gid), 5u);
+  EXPECT_EQ(admin.partition_count(gid), 2u);
+}
+
+TEST_F(SystemFixture, ClientRejectsForgedMetadata) {
+  admin.create_group(gid, make_users(3));
+  // A curious cloud tampers with the stored index.
+  auto path = "groups/" + gid + "/index";
+  auto raw = cloud.get(path);
+  ASSERT_TRUE(raw.has_value());
+  (*raw)[raw->size() / 2] ^= 1;
+  cloud.put(path, *raw);
+  auto c = client("user0");
+  EXPECT_FALSE(c.fetch_group_key(gid).has_value());
+  EXPECT_GT(c.stats().signature_failures, 0u);
+}
+
+TEST_F(SystemFixture, LongPollObservesMembershipChange) {
+  auto users = make_users(3);
+  admin.create_group(gid, users);
+  auto c = client(users[0]);
+  auto initial = c.fetch_group_key(gid);
+  ASSERT_TRUE(initial.has_value());
+
+  // No change: times out.
+  EXPECT_FALSE(c.wait_for_update(gid, 30ms).has_value());
+
+  // A revocation elsewhere rotates the key; the poller picks it up.
+  admin.remove_user(gid, users[2]);
+  auto updated = c.wait_for_update(gid, 1s);
+  ASSERT_TRUE(updated.has_value());
+  EXPECT_NE(*updated, *initial);
+}
+
+TEST_F(SystemFixture, MetadataSizeTracksCloudContent) {
+  admin.create_group(gid, make_users(6));
+  // Reported metadata should be close to what is actually stored for the
+  // group (paths and envelope framing differ slightly).
+  auto reported = admin.metadata_size(gid);
+  auto stored = cloud.stored_bytes();
+  EXPECT_GT(reported, 0u);
+  EXPECT_NEAR(static_cast<double>(reported), static_cast<double>(stored),
+              static_cast<double>(stored) * 0.2);
+}
+
+TEST_F(SystemFixture, UnknownGroupThrows) {
+  EXPECT_THROW(admin.add_user("nope", "x"), std::out_of_range);
+  EXPECT_THROW((void)admin.group_size("nope"), std::out_of_range);
+}
+
+TEST_F(SystemFixture, PartitionSizeMustFitEnclaveBound) {
+  EXPECT_THROW(AdminApi(enclave, cloud, ibbe::pki::EcdsaKeyPair::generate(rng),
+                        AdminConfig{.partition_size = 9}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ scheme adapter
+
+TEST(IbbeSgxScheme, BehavesLikeAGroupScheme) {
+  ibbe::system::IbbeSgxScheme scheme(/*partition_size=*/4, /*seed=*/3);
+  auto users = make_users(6);
+  scheme.create_group(users);
+  EXPECT_EQ(scheme.group_size(), 6u);
+
+  auto gk = scheme.user_decrypt(users[0]);
+  ASSERT_TRUE(gk.has_value());
+
+  scheme.add_user("extra");
+  EXPECT_EQ(scheme.user_decrypt("extra"), gk);
+
+  scheme.remove_user(users[0]);
+  EXPECT_FALSE(scheme.user_decrypt(users[0]).has_value());
+  auto rotated = scheme.user_decrypt(users[1]);
+  ASSERT_TRUE(rotated.has_value());
+  EXPECT_NE(*rotated, *gk);
+  EXPECT_GT(scheme.metadata_size(), 0u);
+}
+
+TEST(IbbeSgxScheme, AddBeforeCreateBootstrapsGroup) {
+  ibbe::system::IbbeSgxScheme scheme(4, 3);
+  scheme.add_user("first");
+  EXPECT_EQ(scheme.group_size(), 1u);
+  EXPECT_TRUE(scheme.user_decrypt("first").has_value());
+}
+
+TEST(IbbeSgxScheme, ConstantMetadataPerPartition) {
+  // The headline storage property: metadata is per-partition constant, so a
+  // full partition of n users stores barely more than one of 1 user.
+  ibbe::system::IbbeSgxScheme small(8, 1);
+  std::vector<Identity> one = {"a"};
+  small.create_group(one);
+  ibbe::system::IbbeSgxScheme big(8, 1);
+  big.create_group(make_users(8));
+  // 8x the members, same single partition: only the member lists grow (each
+  // identity appears once in the partition record and once in the index,
+  // with 4-byte framing); the cryptographic payload stays constant.
+  std::size_t per_member = 2 * (4 + 5);  // "userN" in record + index
+  EXPECT_LT(big.metadata_size(), small.metadata_size() + 8 * per_member + 16);
+}
+
+}  // namespace

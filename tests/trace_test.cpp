@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "he/he_pki.h"
+#include "system/ibbe_scheme.h"
+#include "trace/replay.h"
+#include "trace/trace.h"
+
+namespace {
+
+using ibbe::trace::MembershipTrace;
+using ibbe::trace::OpKind;
+
+// ----------------------------------------------------------- generators
+
+TEST(LinuxKernelTrace, MatchesRequestedShape) {
+  auto trace = ibbe::trace::linux_kernel_trace(2000, 150, /*seed=*/1);
+  EXPECT_EQ(trace.ops.size(), 2000u);
+  // Peak approaches the target from below and never exceeds the hard cap.
+  EXPECT_GE(trace.peak_size(), 120u);
+  EXPECT_LE(trace.peak_size(), 150u);
+  EXPECT_GT(trace.remove_count(), 200u);  // real churn, not just adds
+}
+
+TEST(LinuxKernelTrace, DeterministicPerSeed) {
+  auto a = ibbe::trace::linux_kernel_trace(500, 50, 7);
+  auto b = ibbe::trace::linux_kernel_trace(500, 50, 7);
+  auto c = ibbe::trace::linux_kernel_trace(500, 50, 8);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind);
+    EXPECT_EQ(a.ops[i].user, b.ops[i].user);
+  }
+  bool differs = false;
+  for (std::size_t i = 0; i < std::min(a.ops.size(), c.ops.size()); ++i) {
+    if (a.ops[i].user != c.ops[i].user || a.ops[i].kind != c.ops[i].kind) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LinuxKernelTrace, OpsAreConsistent) {
+  // A remove always targets a currently-live user; adds are always fresh.
+  auto trace = ibbe::trace::linux_kernel_trace(1500, 100, 3);
+  std::set<std::string> live;
+  for (const auto& op : trace.ops) {
+    if (op.kind == OpKind::add) {
+      EXPECT_TRUE(live.insert(op.user).second) << "re-added " << op.user;
+    } else {
+      EXPECT_EQ(live.erase(op.user), 1u) << "removed non-member " << op.user;
+    }
+  }
+}
+
+TEST(RevocationTrace, RateZeroIsAllAdds) {
+  auto trace = ibbe::trace::revocation_trace(300, 0.0, 1);
+  EXPECT_EQ(trace.add_count(), 300u);
+  EXPECT_EQ(trace.final_members().size(), 300u);
+}
+
+TEST(RevocationTrace, RateControlsRemovalShare) {
+  // From an empty group the removal share is capped near 50% (each removal
+  // needs a prior add), so the expected share is min(rate, ~0.5).
+  for (double rate : {0.2, 0.5, 0.8}) {
+    auto trace = ibbe::trace::revocation_trace(4000, rate, 2);
+    double observed = static_cast<double>(trace.remove_count()) /
+                      static_cast<double>(trace.ops.size());
+    double expected = std::min(rate, 0.5);
+    EXPECT_NEAR(observed, expected, 0.07) << rate;
+  }
+}
+
+TEST(RevocationTrace, InitialSizeUnlocksHighRates) {
+  // With a pre-populated group, high revocation rates are achievable.
+  auto trace = ibbe::trace::revocation_trace(1000, 0.9, 2, /*initial_size=*/1500);
+  EXPECT_EQ(trace.initial_members.size(), 1500u);
+  double observed = static_cast<double>(trace.remove_count()) /
+                    static_cast<double>(trace.ops.size());
+  EXPECT_NEAR(observed, 0.9, 0.05);
+  EXPECT_EQ(trace.final_members().size(),
+            1500u + trace.add_count() - trace.remove_count());
+}
+
+TEST(Replay, InitialMembersBootstrapTheGroup) {
+  ibbe::he::HePkiScheme scheme(12);
+  auto trace = ibbe::trace::revocation_trace(20, 0.5, 3, /*initial_size=*/10);
+  ibbe::trace::ReplayOptions options;
+  options.verify = true;
+  auto result = ibbe::trace::replay(scheme, trace, options);
+  EXPECT_GT(result.setup_seconds, 0.0);
+  EXPECT_EQ(result.final_group_size, trace.final_members().size());
+}
+
+TEST(RevocationTrace, FullRateOscillates) {
+  // rate=1.0 degenerates to add-remove-add-remove (can't remove from empty).
+  auto trace = ibbe::trace::revocation_trace(100, 1.0, 3);
+  EXPECT_LE(trace.final_members().size(), 1u);
+}
+
+TEST(RevocationTrace, RejectsBadRate) {
+  EXPECT_THROW(ibbe::trace::revocation_trace(10, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(ibbe::trace::revocation_trace(10, -0.1, 1), std::invalid_argument);
+}
+
+TEST(RevocationTrace, RemovesTargetLiveUsers) {
+  auto trace = ibbe::trace::revocation_trace(2000, 0.5, 4);
+  std::set<std::string> live;
+  for (const auto& op : trace.ops) {
+    if (op.kind == OpKind::add) {
+      EXPECT_TRUE(live.insert(op.user).second);
+    } else {
+      EXPECT_EQ(live.erase(op.user), 1u);
+    }
+  }
+}
+
+// -------------------------------------------------------------- replayer
+
+TEST(Replay, DrivesHePkiWithVerification) {
+  ibbe::he::HePkiScheme scheme(9);
+  auto trace = ibbe::trace::revocation_trace(60, 0.3, 5);
+  ibbe::trace::ReplayOptions options;
+  options.verify = true;
+  options.decrypt_sample_every = 10;
+  auto result = ibbe::trace::replay(scheme, trace, options);
+  EXPECT_EQ(result.ops_applied, 60u);
+  EXPECT_EQ(result.final_group_size, trace.final_members().size());
+  EXPECT_GT(result.admin_seconds, 0.0);
+  EXPECT_GT(result.decrypt_latencies.count(), 0u);
+  EXPECT_EQ(result.add_latencies.count(), trace.add_count());
+  EXPECT_EQ(result.remove_latencies.count(), trace.remove_count());
+}
+
+TEST(Replay, DrivesIbbeSgxWithVerification) {
+  // End-to-end: enclave + partitioning + cloud + client decrypts, with the
+  // security invariant checked after every operation.
+  ibbe::system::IbbeSgxScheme scheme(/*partition_size=*/5, /*seed=*/6);
+  auto trace = ibbe::trace::revocation_trace(40, 0.35, 6);
+  ibbe::trace::ReplayOptions options;
+  options.verify = true;
+  auto result = ibbe::trace::replay(scheme, trace, options);
+  EXPECT_EQ(result.ops_applied, 40u);
+  EXPECT_EQ(result.final_group_size, trace.final_members().size());
+}
+
+TEST(Replay, LinuxTraceOnIbbeSgxKeepsInvariants) {
+  ibbe::system::IbbeSgxScheme scheme(/*partition_size=*/6, /*seed=*/7);
+  auto trace = ibbe::trace::linux_kernel_trace(80, 20, 8);
+  ibbe::trace::ReplayOptions options;
+  options.verify = true;
+  auto result = ibbe::trace::replay(scheme, trace, options);
+  EXPECT_EQ(result.ops_applied, 80u);
+}
+
+TEST(Replay, MetadataReportedAtEnd) {
+  ibbe::he::HePkiScheme scheme(10);
+  auto trace = ibbe::trace::revocation_trace(30, 0.0, 9);
+  auto result = ibbe::trace::replay(scheme, trace);
+  EXPECT_GT(result.final_metadata_bytes, 0u);
+  EXPECT_EQ(result.final_group_size, 30u);
+}
+
+}  // namespace
