@@ -19,8 +19,8 @@ namespace ibbe::bench {
 enum class Scale { smoke, standard, full };
 
 inline Scale parse_scale(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc + 1; ++i) {
-    if (i < argc && std::string_view(argv[i]) == "--scale" && i + 1 < argc) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--scale") {
       std::string_view v = argv[i + 1];
       if (v == "smoke") return Scale::smoke;
       if (v == "full") return Scale::full;

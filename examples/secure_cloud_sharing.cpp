@@ -113,6 +113,10 @@ int main() {
                           admin.verification_point());
   system::ClientApi bob(cloud, enclave.public_key(), provision_user("bob"),
                         admin.verification_point());
+  if (!alice.verify_credentials() || !bob.verify_credentials()) {
+    std::printf("client credential check failed\n");
+    return 1;
+  }
 
   // ------------------------------------------------------------------
   // Collaborative editing.

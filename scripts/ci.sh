@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Harness-level CI: configure, build, run the test suite, then run every
+# bench binary at --scale smoke (and a short micro-crypto sweep) so that a
+# perf regression or bit-rotted bench fails the pipeline, not just a broken
+# unit test.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+# Figure/table reproduction benches, smoke scale (seconds each).
+for bench in "$BUILD_DIR"/bench_fig* "$BUILD_DIR"/bench_table* \
+             "$BUILD_DIR"/bench_ablation*; do
+  [ -x "$bench" ] || continue
+  echo "==> $bench --scale smoke"
+  "$bench" --scale smoke
+done
+
+# Micro benches of the crypto substrate (built only when google-benchmark is
+# available); keep the run short — this is a regression tripwire, not a
+# measurement.
+if [ -x "$BUILD_DIR/bench_micro_crypto" ]; then
+  echo "==> $BUILD_DIR/bench_micro_crypto (smoke)"
+  "$BUILD_DIR/bench_micro_crypto" \
+    --benchmark_filter='FrInverse|G1ScalarMul|GtExp|Pairing' \
+    --benchmark_min_time=0.05
+fi
+
+echo "ci.sh: all stages passed"

@@ -35,6 +35,7 @@ class MontgomeryCtx {
   [[nodiscard]] U256 dbl(const U256& a) const { return add(a, a); }
 
   /// base^exp with base in Montgomery form; result in Montgomery form.
+  /// 4-bit fixed-window ladder (this backs every Fermat inversion).
   [[nodiscard]] U256 pow(const U256& base, const U256& exp) const;
   [[nodiscard]] U256 pow(const U256& base, const BigUInt& exp) const;
 

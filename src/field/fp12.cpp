@@ -35,14 +35,13 @@ Fp12 Fp12::frobenius() const {
   return {c0_.frobenius(), c1_.frobenius().mul_by_fp2(g[0])};
 }
 
-Fp12 Fp12::mul_by_line(const Fp& a, const Fp2& b, const Fp2& c) const {
-  // Line element L = A + B w with A = (a, 0, 0), B = (b, c, 0).
-  Fp6 big_a(Fp2::from_fp(a), Fp2::zero(), Fp2::zero());
-  Fp6 big_b(b, c, Fp2::zero());
+Fp12 Fp12::mul_by_line(const Fp2& a, const Fp2& b, const Fp2& c) const {
+  // Line element L = A + B w with A = (a, 0, 0), B = (b, c, 0), so
+  // A + B = (a + b, c, 0) and both Fp6 products are mul_by_01-sparse.
   // Karatsuba as in operator*, but with the cheaper sparse operands.
-  Fp6 t0 = c0_.mul_by_fp2(Fp2::from_fp(a));
-  Fp6 t1 = c1_ * big_b;
-  Fp6 mixed = (c0_ + c1_) * (big_a + big_b);
+  Fp6 t0 = c0_.mul_by_fp2(a);
+  Fp6 t1 = c1_.mul_by_01(b, c);
+  Fp6 mixed = (c0_ + c1_).mul_by_01(a + b, c);
   return {t0 + t1.mul_by_v(), mixed - t0 - t1};
 }
 

@@ -43,10 +43,11 @@ class Fp12 {
   /// p-power Frobenius.
   [[nodiscard]] Fp12 frobenius() const;
 
-  /// Sparse multiplication by an optimal-ate line l = a + (b + c*v) * w,
-  /// where a is an Fp (embedded), b, c in Fp2. Saves roughly half of a full
-  /// Fp12 multiplication during the Miller loop.
-  [[nodiscard]] Fp12 mul_by_line(const Fp& a, const Fp2& b, const Fp2& c) const;
+  /// Sparse multiplication by an optimal-ate line l = a + (b + c*v) * w with
+  /// a, b, c in Fp2 (13 Fp2 multiplications instead of the 18 of a full Fp12
+  /// multiplication). The projective Miller loop scales its lines by Fp2
+  /// denominators, so all three coefficients live in Fp2.
+  [[nodiscard]] Fp12 mul_by_line(const Fp2& a, const Fp2& b, const Fp2& c) const;
 
   [[nodiscard]] Fp12 pow(const bigint::BigUInt& e) const;
   [[nodiscard]] Fp12 pow(const bigint::U256& e) const;

@@ -18,6 +18,17 @@ Fp6 operator*(const Fp6& a, const Fp6& b) {
   return {c0, c1, c2};
 }
 
+Fp6 Fp6::mul_by_01(const Fp2& b0, const Fp2& b1) const {
+  // (a0 + a1 v + a2 v^2)(b0 + b1 v) with v^3 = xi:
+  // c0 = a0b0 + xi a2b1, c1 = a0b1 + a1b0, c2 = a1b1 + a2b0.
+  Fp2 v0 = c0_ * b0;
+  Fp2 v1 = c1_ * b1;
+  Fp2 c0 = v0 + ((c1_ + c2_) * b1 - v1).mul_by_xi();
+  Fp2 c1 = (c0_ + c1_) * (b0 + b1) - v0 - v1;
+  Fp2 c2 = (c0_ + c2_) * b0 - v0 + v1;
+  return {c0, c1, c2};
+}
+
 Fp6 Fp6::inverse() const {
   // Standard cubic-extension inversion (e.g. Guide to Pairing-Based
   // Cryptography, alg. 5.23).

@@ -46,6 +46,9 @@ class Fp6 {
   [[nodiscard]] Fp6 mul_by_fp2(const Fp2& s) const {
     return {c0_ * s, c1_ * s, c2_ * s};
   }
+  /// Sparse multiplication by b0 + b1 v (the shape of a Miller-loop line
+  /// factor embedded in Fp6): 5 Fp2 multiplications instead of 6.
+  [[nodiscard]] Fp6 mul_by_01(const Fp2& b0, const Fp2& b1) const;
 
   /// p-power Frobenius.
   [[nodiscard]] Fp6 frobenius() const;

@@ -31,6 +31,7 @@ const util::Bytes& zero_nonce() {
 HeIbeScheme::HeIbeScheme(std::uint64_t seed) : rng_(seed) {
   master_s_ = random_nonzero_fr(rng_);
   p_pub_ = G2::generator().mul(master_s_);
+  p_pub_prepared_ = pairing::G2Prepared(p_pub_);
 }
 
 const G1& HeIbeScheme::user_key(const core::Identity& id) {
@@ -44,7 +45,7 @@ const G1& HeIbeScheme::user_key(const core::Identity& id) {
 void HeIbeScheme::grant(const core::Identity& id) {
   Fr r = random_nonzero_fr(rng_);
   G2 u = G2::generator().mul(r);
-  auto shared = pairing::pairing(ec::hash_to_g1(id), p_pub_).exp(r);
+  auto shared = pairing::pairing(ec::hash_to_g1(id), p_pub_prepared_).exp(r);
   crypto::Aes256Gcm gcm(shared.hash());
   Entry entry;
   entry.u_bytes = ec::g2_to_bytes(u);

@@ -95,6 +95,34 @@ EncryptResult assemble_from_c3(const PublicKey& pk, const G2& c3,
 
 // ------------------------------------------------------------ serialization
 
+namespace {
+
+/// Double-checked lazy init so concurrent first calls on a shared const
+/// PublicKey race benignly (one winner, losers adopt its table) instead of
+/// tearing a shared_ptr.
+const pairing::G2Prepared& prepare_cached(
+    std::shared_ptr<const pairing::G2Prepared>& slot, const G2& q) {
+  auto cur = std::atomic_load_explicit(&slot, std::memory_order_acquire);
+  if (!cur) {
+    auto fresh = std::make_shared<const pairing::G2Prepared>(q);
+    if (!std::atomic_compare_exchange_strong(&slot, &cur, fresh)) {
+      return *cur;  // another thread won; cur now holds its table
+    }
+    return *fresh;
+  }
+  return *cur;
+}
+
+}  // namespace
+
+const pairing::G2Prepared& PublicKey::prepared_h() const {
+  return prepare_cached(prep_h_, h());
+}
+
+const pairing::G2Prepared& PublicKey::prepared_h_gamma() const {
+  return prepare_cached(prep_h_gamma_, h_powers.at(1));
+}
+
 util::Bytes PublicKey::to_bytes() const {
   util::ByteWriter out;
   out.blob(ec::g1_to_bytes(w));
@@ -279,8 +307,14 @@ G2 compute_c3_public(const PublicKey& pk, std::span<const Identity> receivers) {
 
 bool verify_user_key(const PublicKey& pk, const UserSecretKey& usk) {
   if (pk.h_powers.size() < 2) return false;
-  G2 rhs = pk.h_powers[1] + pk.h().mul(hash_identity(usk.id));
-  return pairing::pairing(usk.value, rhs) == pk.v;
+  // e(usk, h^gamma) * e(usk^H(id), h) == v: moving H(id) to the (4x cheaper)
+  // G1 side leaves both G2 arguments fixed per PK, so the cached line tables
+  // and the shared-squaring multi-pairing do all the work.
+  std::array<pairing::PairingInput, 2> inputs = {{
+      {usk.value, &pk.prepared_h_gamma()},
+      {usk.value.mul(hash_identity(usk.id)), &pk.prepared_h()},
+  }};
+  return pairing::pairing_product_prepared(inputs) == pk.v;
 }
 
 }  // namespace ibbe::core

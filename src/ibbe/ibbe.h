@@ -20,6 +20,7 @@
 //   decrypt            O(|S|^2) — polynomial expansion, then 2 pairings
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -53,8 +54,20 @@ struct PublicKey {
   /// size in IBBE-SGX, the group size in raw IBBE).
   [[nodiscard]] std::size_t max_receivers() const { return h_powers.size() - 1; }
 
+  /// Pairing precomputation (Miller-loop line tables) for h = h_powers[0]
+  /// and h^gamma = h_powers[1] — the two fixed G2 arguments every
+  /// verify_user_key pairing uses. Built lazily on first use (concurrent
+  /// first calls race benignly: one table wins) and cached for the lifetime
+  /// of this key — rebuild the key if h_powers change.
+  [[nodiscard]] const pairing::G2Prepared& prepared_h() const;
+  [[nodiscard]] const pairing::G2Prepared& prepared_h_gamma() const;
+
   [[nodiscard]] util::Bytes to_bytes() const;
   static PublicKey from_bytes(std::span<const std::uint8_t> data);
+
+ private:
+  mutable std::shared_ptr<const pairing::G2Prepared> prep_h_;
+  mutable std::shared_ptr<const pairing::G2Prepared> prep_h_gamma_;
 };
 
 struct UserSecretKey {
@@ -133,7 +146,8 @@ EncryptResult remove_users_with_msk(const MasterSecretKey& msk,
 EncryptResult rekey(const PublicKey& pk, const BroadcastCiphertext& ct,
                     crypto::Drbg& rng);
 
-/// User-side decrypt: O(|S|^2) + 2 pairings (shared final exponentiation).
+/// User-side decrypt: O(|S|^2) + a 2-pair multi-pairing (shared Miller-loop
+/// squarings and a single final exponentiation).
 /// Returns the broadcast key; std::nullopt if `usk.id` is not in `receivers`
 /// or the set exceeds the PK bound. (A wrong-but-well-formed ciphertext still
 /// yields a wrong bk — callers authenticate via the AEAD wrap above this
@@ -147,9 +161,13 @@ std::optional<pairing::Gt> decrypt(const PublicKey& pk,
 /// Formula 5 remark) — O(|S|^2). Used to validate cached C3 values in tests.
 ec::G2 compute_c3_public(const PublicKey& pk, std::span<const Identity> receivers);
 
-/// Pairing check e(USK, h^gamma * h^H(id)) == v that lets a user validate a
+/// Pairing check e(USK, h^gamma) * e(USK^H(id), h) == v (the bilinear
+/// rewrite of e(USK, h^gamma * h^H(id)) == v) that lets a user validate a
 /// provisioned key against the public system parameters (guards against a
-/// rogue key issuer handing out garbage).
+/// rogue key issuer handing out garbage). Both G2 arguments are fixed PK
+/// powers, so repeated checks reuse the PK's cached G2Prepared line tables
+/// instead of paying a G2 scalar multiplication and Miller-loop point
+/// arithmetic per call.
 bool verify_user_key(const PublicKey& pk, const UserSecretKey& usk);
 
 }  // namespace ibbe::core

@@ -7,6 +7,7 @@
 namespace ibbe::pairing {
 
 using bigint::BigUInt;
+using bigint::U256;
 using ec::G1;
 using ec::G2;
 using field::Fp;
@@ -16,20 +17,50 @@ using field::TowerConsts;
 
 namespace {
 
-/// The BN parameter u = 4965661367192848881 for BN254 / alt_bn128.
+/// The BN parameter u = 4965661367192848881 for BN254 / alt_bn128 (63 bits,
+/// positive — the hard-part chain below assumes u > 0).
+constexpr std::uint64_t kBnU = 0x44e992b44a6909f1ULL;
+
 const BigUInt& bn_u() {
-  static const BigUInt u = BigUInt::from_hex("44e992b44a6909f1");
+  static const BigUInt u = BigUInt::from_u256(U256::from_u64(kBnU));
   return u;
 }
 
-/// Optimal-ate Miller loop length 6u + 2.
+/// Optimal-ate Miller loop length 6u + 2 (65 bits).
 const BigUInt& ate_loop_count() {
   static const BigUInt s = BigUInt(6) * bn_u() + BigUInt(2);
   return s;
 }
 
-/// Hard-part exponent (p^4 - p^2 + 1)/r. The exact divisibility doubles as a
-/// consistency check on the curve constants.
+/// Signed NAF digits of 6u + 2, least significant first. Derived once at
+/// first use; the Miller loop and G2 preparation walk this table instead of
+/// scanning BigUInt bits per iteration, and the signed form trades additions
+/// for (free) twist-point negations.
+const std::vector<std::int8_t>& ate_naf_digits() {
+  static const std::vector<std::int8_t> digits = [] {
+    std::vector<std::int8_t> d;
+    auto n = static_cast<unsigned __int128>(6) * kBnU + 2;
+    while (n != 0) {
+      if (n & 1) {
+        if ((n & 3) == 3) {
+          d.push_back(-1);
+          n += 1;
+        } else {
+          d.push_back(1);
+          n -= 1;
+        }
+      } else {
+        d.push_back(0);
+      }
+      n >>= 1;
+    }
+    return d;
+  }();
+  return digits;
+}
+
+/// Hard-part exponent (p^4 - p^2 + 1)/r for the naive oracle. The exact
+/// divisibility doubles as a consistency check on the curve constants.
 const BigUInt& hard_exponent() {
   static const BigUInt d = [] {
     BigUInt p = BigUInt::from_u256(Fp::modulus());
@@ -45,7 +76,7 @@ const BigUInt& hard_exponent() {
   return d;
 }
 
-/// Affine working point on the twist during the Miller loop.
+/// Affine point on the twist (inputs and Frobenius images of Q).
 struct TwistPoint {
   Fp2 x;
   Fp2 y;
@@ -57,34 +88,105 @@ TwistPoint twist_frobenius(const TwistPoint& q) {
   return {q.x.conjugate() * g[1], q.y.conjugate() * g[2]};
 }
 
-/// Tangent-line step: multiplies f by l_{T,T}(P) and doubles T in place.
-void dbl_step(Fp12& f, TwistPoint& t, const Fp& xp, const Fp& yp) {
-  Fp2 lambda = (t.x.square().dbl() + t.x.square()) * t.y.dbl().inverse();
-  Fp2 c = lambda * t.x - t.y;
-  f = f.mul_by_line(yp, lambda.mul_by_fp(xp).neg(), c);
-  Fp2 x3 = lambda.square() - t.x.dbl();
-  t.y = lambda * (t.x - x3) - t.y;
-  t.x = x3;
+// ------------------------------------------------- projective Miller steps
+//
+// The working point lives in homogeneous projective coordinates (X, Y, Z),
+// x = X/Z, y = Y/Z, so both step types are inversion-free: each line is
+// scaled by its Fp2 denominator, which the final exponentiation annihilates.
+
+struct ProjPoint {
+  Fp2 x;
+  Fp2 y;
+  Fp2 z;
+};
+
+/// Tangent step: emits the line l_{T,T} (scaled by 2YZ^2) and doubles T.
+///   lambda = 3X^2 / (2YZ);  A = 3X^2, B = 2YZ
+///   X3 = UB, Y3 = A(XB^2 - U) - YB^3, Z3 = B^3 Z,  U = A^2 Z - 2XB^2
+LineCoeffs dbl_step(ProjPoint& t) {
+  Fp2 xx = t.x.square();
+  Fp2 a = xx.dbl() + xx;           // 3X^2
+  Fp2 b = (t.y * t.z).dbl();       // 2YZ
+  Fp2 b2 = b.square();
+  Fp2 az = a * t.z;
+  Fp2 xb2 = t.x * b2;
+  Fp2 u = a * az - xb2.dbl();
+  Fp2 b3 = b * b2;
+
+  LineCoeffs l;
+  l.a = b * t.z;                   // 2YZ^2  (times y_P)
+  l.b = az.neg();                  // -3X^2 Z (times x_P)
+  l.c = a * t.x - t.y * b;         // 3X^3 - 2Y^2 Z
+
+  Fp2 y3 = a * (xb2 - u) - t.y * b3;
+  t.x = u * b;
+  t.y = y3;
+  t.z = b3 * t.z;
+  return l;
 }
 
-/// Chord-line step: multiplies f by l_{T,Q}(P) and sets T <- T + Q.
-void add_step(Fp12& f, TwistPoint& t, const TwistPoint& q, const Fp& xp,
-              const Fp& yp) {
-  if (t.x == q.x) {
+/// Chord step: emits the line l_{T,Q} (scaled by F = x_Q Z - X) and sets
+/// T <- T + Q for an affine Q.
+///   lambda = E/F;  E = y_Q Z - Y, F = x_Q Z - X
+///   X3 = HF, Y3 = E(XF^2 - H) - YF^3, Z3 = F^3 Z,  H = E^2 Z - F^3 - 2XF^2
+LineCoeffs add_step(ProjPoint& t, const TwistPoint& q) {
+  Fp2 e = q.y * t.z - t.y;
+  Fp2 f = q.x * t.z - t.x;
+  if (f.is_zero()) {
     // T = Q would need a tangent and T = -Q a vertical; neither can occur for
     // order-r inputs at the multiples visited by the ate loop.
-    if (t.y == q.y) {
-      dbl_step(f, t, xp, yp);
-      return;
-    }
+    if (e.is_zero()) return dbl_step(t);
     throw std::logic_error("pairing: degenerate addition step (input not in G2?)");
   }
-  Fp2 lambda = (q.y - t.y) * (q.x - t.x).inverse();
-  Fp2 c = lambda * t.x - t.y;
-  f = f.mul_by_line(yp, lambda.mul_by_fp(xp).neg(), c);
-  Fp2 x3 = lambda.square() - t.x - q.x;
-  t.y = lambda * (t.x - x3) - t.y;
-  t.x = x3;
+  Fp2 f2 = f.square();
+  Fp2 f3 = f2 * f;
+  Fp2 e2z = e.square() * t.z;
+  Fp2 xf2 = t.x * f2;
+  Fp2 h = e2z - f3 - xf2.dbl();
+
+  LineCoeffs l;
+  l.a = f;                         // (times y_P)
+  l.b = e.neg();                   // (times x_P)
+  l.c = e * q.x - f * q.y;
+
+  Fp2 y3 = e * (xf2 - h) - t.y * f3;
+  t.x = h * f;
+  t.y = y3;
+  t.z = f3 * t.z;
+  return l;
+}
+
+/// One multi-pairing operand: P's affine coordinates plus Q's line table.
+struct MillerArg {
+  Fp xp;
+  Fp yp;
+  const std::vector<LineCoeffs>* coeffs;
+};
+
+/// Shared-squaring Miller loop driver: one f.square() per NAF digit for ALL
+/// operands. Every prepared table is generated from the same digit pattern,
+/// so a single cursor walks all of them in lockstep.
+Fp12 miller_loop_many(std::span<const MillerArg> args) {
+  Fp12 f = Fp12::one();
+  if (args.empty()) return f;
+  const auto& digits = ate_naf_digits();
+  std::size_t cursor = 0;
+  auto eat_lines = [&] {
+    for (const auto& arg : args) {
+      const LineCoeffs& l = (*arg.coeffs)[cursor];
+      f = f.mul_by_line(l.a.mul_by_fp(arg.yp), l.b.mul_by_fp(arg.xp), l.c);
+    }
+    ++cursor;
+  };
+  for (std::size_t i = digits.size() - 1; i-- > 0;) {
+    f = f.square();
+    eat_lines();
+    if (digits[i] != 0) eat_lines();
+  }
+  // Final two Frobenius line steps of the optimal ate pairing.
+  eat_lines();
+  eat_lines();
+  return f;
 }
 
 Fp12 pow_cyclotomic_big(const Fp12& base, const BigUInt& e) {
@@ -96,9 +198,57 @@ Fp12 pow_cyclotomic_big(const Fp12& base, const BigUInt& e) {
   return result;
 }
 
+/// f^u over the cyclotomic subgroup (u is 63 bits and positive).
+Fp12 pow_u(const Fp12& f) {
+  return f.pow_cyclotomic(U256::from_u64(kBnU));
+}
+
+/// Easy part f^((p^6 - 1)(p^2 + 1)); lands in the cyclotomic subgroup.
+Fp12 easy_part(const Fp12& f) {
+  Fp12 t = f.conjugate() * f.inverse();
+  return t.frobenius().frobenius() * t;
+}
+
 }  // namespace
 
+G2Prepared::G2Prepared(const ec::G2& q) {
+  auto qa = q.to_affine();
+  if (!qa) return;  // stays empty: prepared infinity
+  const TwistPoint q0{qa->first, qa->second};
+  const TwistPoint q0_neg{q0.x, q0.y.neg()};
+
+  const auto& digits = ate_naf_digits();
+  std::size_t adds = 0;
+  for (std::size_t i = digits.size() - 1; i-- > 0;) adds += digits[i] != 0;
+  coeffs_.reserve((digits.size() - 1) + adds + 2);
+
+  ProjPoint t{q0.x, q0.y, Fp2::one()};
+  for (std::size_t i = digits.size() - 1; i-- > 0;) {
+    coeffs_.push_back(dbl_step(t));
+    if (digits[i] == 1) {
+      coeffs_.push_back(add_step(t, q0));
+    } else if (digits[i] == -1) {
+      coeffs_.push_back(add_step(t, q0_neg));
+    }
+  }
+  TwistPoint q1 = twist_frobenius(q0);
+  TwistPoint q2 = twist_frobenius(q1);
+  coeffs_.push_back(add_step(t, q1));
+  coeffs_.push_back(add_step(t, {q2.x, q2.y.neg()}));
+}
+
 Fp12 miller_loop(const G1& p, const G2& q) {
+  return miller_loop(p, G2Prepared(q));
+}
+
+Fp12 miller_loop(const G1& p, const G2Prepared& q) {
+  auto pa = p.to_affine();
+  if (!pa || q.is_infinity()) return Fp12::one();
+  MillerArg arg{pa->first, pa->second, &q.coeffs()};
+  return miller_loop_many({&arg, 1});
+}
+
+Fp12 miller_loop_affine(const G1& p, const G2& q) {
   auto pa = p.to_affine();
   auto qa = q.to_affine();
   if (!pa || !qa) return Fp12::one();
@@ -106,48 +256,118 @@ Fp12 miller_loop(const G1& p, const G2& q) {
   const Fp yp = pa->second;
   const TwistPoint q0{qa->first, qa->second};
 
+  // Affine tangent/chord steps, one Fp2 inversion each.
   TwistPoint t = q0;
+  auto affine_dbl = [&](Fp12& f) {
+    Fp2 xx = t.x.square();
+    Fp2 lambda = (xx.dbl() + xx) * t.y.dbl().inverse();
+    Fp2 c = lambda * t.x - t.y;
+    f = f.mul_by_line(Fp2::from_fp(yp), lambda.mul_by_fp(xp).neg(), c);
+    Fp2 x3 = lambda.square() - t.x.dbl();
+    t.y = lambda * (t.x - x3) - t.y;
+    t.x = x3;
+  };
+  auto affine_add = [&](Fp12& f, const TwistPoint& q_add) {
+    if (t.x == q_add.x) {
+      if (t.y != q_add.y) {
+        throw std::logic_error("pairing: degenerate addition step (input not in G2?)");
+      }
+      affine_dbl(f);
+      return;
+    }
+    Fp2 lambda = (q_add.y - t.y) * (q_add.x - t.x).inverse();
+    Fp2 c = lambda * t.x - t.y;
+    f = f.mul_by_line(Fp2::from_fp(yp), lambda.mul_by_fp(xp).neg(), c);
+    Fp2 x3 = lambda.square() - t.x - q_add.x;
+    t.y = lambda * (t.x - x3) - t.y;
+    t.x = x3;
+  };
+
   Fp12 f = Fp12::one();
   const BigUInt& s = ate_loop_count();
   for (unsigned i = s.bit_length() - 1; i-- > 0;) {
     f = f.square();
-    dbl_step(f, t, xp, yp);
-    if (s.bit(i)) add_step(f, t, q0, xp, yp);
+    affine_dbl(f);
+    if (s.bit(i)) affine_add(f, q0);
   }
-
-  // Final two Frobenius line steps of the optimal ate pairing.
   TwistPoint q1 = twist_frobenius(q0);
   TwistPoint q2 = twist_frobenius(q1);
-  add_step(f, t, q1, xp, yp);
-  add_step(f, t, {q2.x, q2.y.neg()}, xp, yp);
+  affine_add(f, q1);
+  affine_add(f, {q2.x, q2.y.neg()});
   return f;
 }
 
 Fp12 final_exponentiation(const Fp12& f) {
-  // Easy part: f^((p^6 - 1)(p^2 + 1)).
-  Fp12 t = f.conjugate() * f.inverse();
-  t = t.frobenius().frobenius() * t;
-  // Hard part; t is now in the cyclotomic subgroup, so the cheap squaring
-  // applies (equivalence with the naive path is covered by tests).
-  return pow_cyclotomic_big(t, hard_exponent());
+  Fp12 t = easy_part(f);
+  // Hard part t^((p^4 - p^2 + 1)/r) by the BN u-decomposition (the addition
+  // chain of Scott et al., "On the final exponentiation for calculating
+  // pairings on ordinary elliptic curves", for u > 0): three 63-bit
+  // cyclotomic exponentiations by u, Frobenius maps, and conjugations (free
+  // inversions in the cyclotomic subgroup) replace the naive ~1000-bit
+  // exponentiation. Equivalence with the naive path is covered by tests.
+  Fp12 fp = t.frobenius();
+  Fp12 fp2 = fp.frobenius();
+  Fp12 fp3 = fp2.frobenius();
+  Fp12 fu = pow_u(t);
+  Fp12 fu2 = pow_u(fu);
+  Fp12 fu3 = pow_u(fu2);
+  Fp12 y0 = fp * fp2 * fp3;
+  Fp12 y1 = t.conjugate();
+  Fp12 y2 = fu2.frobenius().frobenius();
+  Fp12 y3 = fu.frobenius().conjugate();
+  Fp12 y4 = (fu * fu2.frobenius()).conjugate();
+  Fp12 y5 = fu2.conjugate();
+  Fp12 y6 = (fu3 * fu3.frobenius()).conjugate();
+
+  Fp12 t0 = y6.cyclotomic_square() * y4 * y5;
+  Fp12 t1 = y3 * y5 * t0;
+  t0 = t0 * y2;
+  t1 = t1.cyclotomic_square() * t0;
+  t1 = t1.cyclotomic_square();
+  t0 = t1 * y1;
+  t1 = t1 * y0;
+  t0 = t0.cyclotomic_square();
+  return t0 * t1;
 }
 
 Fp12 final_exponentiation_naive(const Fp12& f) {
-  Fp12 t = f.conjugate() * f.inverse();
-  t = t.frobenius().frobenius() * t;
-  return t.pow(hard_exponent());
+  return pow_cyclotomic_big(easy_part(f), hard_exponent());
 }
 
 Gt pairing(const G1& p, const G2& q) {
   return Gt::from_fp12_unchecked(final_exponentiation(miller_loop(p, q)));
 }
 
+Gt pairing(const G1& p, const G2Prepared& q) {
+  return Gt::from_fp12_unchecked(final_exponentiation(miller_loop(p, q)));
+}
+
 Gt pairing_product(std::span<const std::pair<G1, G2>> pairs) {
-  Fp12 f = Fp12::one();
+  std::vector<G2Prepared> prepared;
+  prepared.reserve(pairs.size());
+  std::vector<MillerArg> args;
+  args.reserve(pairs.size());
   for (const auto& [p, q] : pairs) {
-    f *= miller_loop(p, q);
+    auto pa = p.to_affine();
+    if (!pa || q.is_infinity()) continue;
+    prepared.emplace_back(q);
+    args.push_back({pa->first, pa->second, &prepared.back().coeffs()});
   }
-  return Gt::from_fp12_unchecked(final_exponentiation(f));
+  return Gt::from_fp12_unchecked(final_exponentiation(miller_loop_many(args)));
+}
+
+Gt pairing_product_prepared(std::span<const PairingInput> pairs) {
+  std::vector<MillerArg> args;
+  args.reserve(pairs.size());
+  for (const auto& input : pairs) {
+    if (input.g2 == nullptr) {
+      throw std::invalid_argument("pairing_product_prepared: null G2Prepared");
+    }
+    auto pa = input.g1.to_affine();
+    if (!pa || input.g2->is_infinity()) continue;
+    args.push_back({pa->first, pa->second, &input.g2->coeffs()});
+  }
+  return Gt::from_fp12_unchecked(final_exponentiation(miller_loop_many(args)));
 }
 
 }  // namespace ibbe::pairing

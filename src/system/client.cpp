@@ -18,6 +18,10 @@ ClientApi::ClientApi(cloud::CloudStore& cloud, core::PublicKey pk,
       usk_(std::move(usk)),
       admin_keys_(std::move(admin_keys)) {}
 
+bool ClientApi::verify_credentials() const {
+  return core::verify_user_key(pk_, usk_);
+}
+
 std::optional<util::Bytes> ClientApi::fetch_verified(const std::string& path) {
   auto raw = cloud_.get(path);
   if (!raw) return std::nullopt;

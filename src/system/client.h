@@ -34,6 +34,11 @@ class ClientApi {
   ClientApi(cloud::CloudStore& cloud, core::PublicKey pk,
             core::UserSecretKey usk, std::vector<ec::P256Point> admin_keys);
 
+  /// Validates the provisioned user key against the system public key
+  /// (core::verify_user_key) — the paper's guard against a rogue issuer.
+  /// Repeated calls reuse the PK's cached pairing precomputation.
+  [[nodiscard]] bool verify_credentials() const;
+
   /// Full fetch-and-decrypt; std::nullopt if this user is not (or no longer)
   /// a member, or the metadata fails authentication.
   [[nodiscard]] std::optional<util::Bytes> fetch_group_key(const GroupId& gid);

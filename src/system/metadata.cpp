@@ -15,9 +15,9 @@ PartitionRecord PartitionRecord::from_bytes(std::span<const std::uint8_t> data) 
   util::ByteReader r(data);
   PartitionRecord rec;
   rec.id = r.u64();
-  std::uint32_t n = r.u32();
+  std::size_t n = r.count(4);  // each member is at least a u32 str prefix
   rec.members.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) rec.members.push_back(r.str());
+  for (std::size_t i = 0; i < n; ++i) rec.members.push_back(r.str());
   rec.cipher = enclave::PartitionCiphertext::from_bytes(r.blob());
   r.expect_end();
   return rec;
@@ -46,15 +46,15 @@ util::Bytes GroupIndex::to_bytes() const {
 GroupIndex GroupIndex::from_bytes(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
   GroupIndex idx;
-  std::uint32_t parts = r.u32();
+  std::size_t parts = r.count(12);  // each partition: u64 id + u32 count
   idx.partition_ids.reserve(parts);
   idx.members.reserve(parts);
-  for (std::uint32_t p = 0; p < parts; ++p) {
+  for (std::size_t p = 0; p < parts; ++p) {
     idx.partition_ids.push_back(r.u64());
-    std::uint32_t n = r.u32();
+    std::size_t n = r.count(4);  // each member is at least a u32 str prefix
     std::vector<core::Identity> ms;
     ms.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) ms.push_back(r.str());
+    for (std::size_t i = 0; i < n; ++i) ms.push_back(r.str());
     idx.members.push_back(std::move(ms));
   }
   r.expect_end();

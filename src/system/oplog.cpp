@@ -64,9 +64,13 @@ util::Bytes MembershipLog::to_bytes() const {
 MembershipLog MembershipLog::from_bytes(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
   MembershipLog log;
-  std::uint32_t n = r.u32();
+  // Minimum wire size of one entry: seq + op + two empty strings + both
+  // hashes + the signature.
+  constexpr std::size_t min_entry =
+      8 + 1 + 4 + 4 + 32 + 32 + pki::EcdsaSignature::serialized_size;
+  std::size_t n = r.count(min_entry);
   log.entries_.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     log.entries_.push_back(LogEntry::from_bytes(r));
   }
   r.expect_end();

@@ -75,6 +75,17 @@ Bytes ByteReader::raw(std::size_t n) {
   return out;
 }
 
+std::size_t ByteReader::count(std::size_t min_element_bytes) {
+  if (min_element_bytes == 0) {
+    throw std::invalid_argument("ByteReader::count: min_element_bytes must be > 0");
+  }
+  std::uint32_t n = u32();
+  if (n > remaining() / min_element_bytes) {
+    throw DeserializeError("ByteReader: element count exceeds input size");
+  }
+  return n;
+}
+
 Bytes ByteReader::blob() {
   std::uint32_t n = u32();
   return raw(n);

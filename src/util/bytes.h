@@ -62,6 +62,11 @@ class ByteReader {
   /// Reads a u32 length prefix then that many bytes.
   Bytes blob();
   std::string str();
+  /// Reads a u32 element count and validates it against the bytes remaining
+  /// (each element must consume at least `min_element_bytes` > 0), so a
+  /// hostile prefix fails with DeserializeError before any allocation
+  /// instead of driving a reserve() into std::bad_alloc.
+  std::size_t count(std::size_t min_element_bytes);
 
   [[nodiscard]] bool empty() const { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <random>
 
 #include "ec/curves.h"
@@ -94,6 +95,77 @@ TEST(Pairing, FastFinalExpMatchesNaive) {
             ibbe::pairing::final_exponentiation_naive(f));
 }
 
+TEST(Pairing, FastFinalExpMatchesNaiveOnRandomPoints) {
+  // The u-decomposed hard part must agree with the naive (p^4-p^2+1)/r
+  // exponentiation on arbitrary Miller-loop outputs, not just the generator
+  // pairing.
+  for (int i = 0; i < 3; ++i) {
+    Fp12 f = ibbe::pairing::miller_loop(G1::generator().mul(random_fr()),
+                                        G2::generator().mul(random_fr()));
+    EXPECT_EQ(ibbe::pairing::final_exponentiation(f),
+              ibbe::pairing::final_exponentiation_naive(f));
+  }
+}
+
+TEST(Pairing, ProjectiveMillerLoopMatchesAffine) {
+  // The inversion-free projective loop and the affine oracle walk different
+  // addition chains (NAF vs binary) but compute the same f_{6u+2,Q}(P) up to
+  // factors the final exponentiation kills, so compare after final exp.
+  for (int i = 0; i < 4; ++i) {
+    G1 p = G1::generator().mul(random_fr());
+    G2 q = G2::generator().mul(random_fr());
+    Fp12 proj = ibbe::pairing::miller_loop(p, q);
+    Fp12 affine = ibbe::pairing::miller_loop_affine(p, q);
+    EXPECT_EQ(ibbe::pairing::final_exponentiation(proj),
+              ibbe::pairing::final_exponentiation(affine));
+  }
+}
+
+TEST(Pairing, AffineMillerLoopInfinityIsOne) {
+  EXPECT_TRUE(
+      ibbe::pairing::miller_loop_affine(G1::infinity(), G2::generator()).is_one());
+  EXPECT_TRUE(
+      ibbe::pairing::miller_loop_affine(G1::generator(), G2::infinity()).is_one());
+}
+
+TEST(G2Prepared, MatchesUnpreparedPairing) {
+  for (int i = 0; i < 3; ++i) {
+    G1 p = G1::generator().mul(random_fr());
+    G2 q = G2::generator().mul(random_fr());
+    ibbe::pairing::G2Prepared prep(q);
+    EXPECT_EQ(ibbe::pairing::pairing(p, prep), ibbe::pairing::pairing(p, q));
+  }
+}
+
+TEST(G2Prepared, InfinityPairsToOne) {
+  ibbe::pairing::G2Prepared prep_inf;
+  EXPECT_TRUE(prep_inf.is_infinity());
+  EXPECT_TRUE(ibbe::pairing::pairing(G1::generator(), prep_inf).is_one());
+  EXPECT_TRUE(
+      ibbe::pairing::G2Prepared(G2::infinity()).is_infinity());
+}
+
+TEST(G2Prepared, PreparedProductMatchesIndependentPairings) {
+  Fr a = random_fr(), b = random_fr(), c = random_fr();
+  G2 q1 = G2::generator().mul(b);
+  G2 q2 = G2::generator().mul(c);
+  ibbe::pairing::G2Prepared prep1(q1), prep2(q2);
+  std::array<ibbe::pairing::PairingInput, 2> inputs = {{
+      {G1::generator().mul(a), &prep1},
+      {G1::generator(), &prep2},
+  }};
+  Gt combined = ibbe::pairing::pairing_product_prepared(inputs);
+  Gt expected = ibbe::pairing::pairing(inputs[0].g1, q1) *
+                ibbe::pairing::pairing(inputs[1].g1, q2);
+  EXPECT_EQ(combined, expected);
+}
+
+TEST(G2Prepared, NullInputRejected) {
+  std::array<ibbe::pairing::PairingInput, 1> inputs = {{{G1::generator(), nullptr}}};
+  EXPECT_THROW((void)ibbe::pairing::pairing_product_prepared(inputs),
+               std::invalid_argument);
+}
+
 TEST(Pairing, ProductMatchesIndividualPairings) {
   Fr a = random_fr(), b = random_fr();
   std::vector<std::pair<G1, G2>> pairs = {
@@ -108,6 +180,17 @@ TEST(Pairing, ProductMatchesIndividualPairings) {
 
 TEST(Pairing, EmptyProductIsOne) {
   EXPECT_TRUE(ibbe::pairing::pairing_product({}).is_one());
+}
+
+TEST(Pairing, ProductSkipsInfinityPairs) {
+  Fr a = random_fr();
+  std::vector<std::pair<G1, G2>> pairs = {
+      {G1::generator().mul(a), G2::generator()},
+      {G1::infinity(), G2::generator()},
+      {G1::generator(), G2::infinity()},
+  };
+  EXPECT_EQ(ibbe::pairing::pairing_product(pairs),
+            ibbe::pairing::pairing(pairs[0].first, pairs[0].second));
 }
 
 TEST(Pairing, RegressionPinOnGeneratorPairing) {

@@ -138,4 +138,22 @@ TEST(Summary, Stddev) {
   EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
 }
 
+TEST(ByteReader, CountAcceptsPlausiblePrefixes) {
+  ByteWriter w;
+  w.u32(3);
+  w.raw(std::vector<std::uint8_t>(12, 0xaa));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.count(4), 3u);
+}
+
+TEST(ByteReader, CountRejectsHostilePrefixBeforeAllocating) {
+  // A count claiming more elements than the remaining bytes could possibly
+  // encode must throw DeserializeError, not drive reserve() into bad_alloc.
+  ByteWriter w;
+  w.u32(0xffffffffu);
+  w.raw(std::vector<std::uint8_t>(8, 0));
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.count(4), ibbe::util::DeserializeError);
+}
+
 }  // namespace
