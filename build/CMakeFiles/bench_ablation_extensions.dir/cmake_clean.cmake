@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_extensions.dir/bench/bench_ablation_extensions.cpp.o"
+  "CMakeFiles/bench_ablation_extensions.dir/bench/bench_ablation_extensions.cpp.o.d"
+  "bench_ablation_extensions"
+  "bench_ablation_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_synthetic.dir/bench/bench_fig10_synthetic.cpp.o"
+  "CMakeFiles/bench_fig10_synthetic.dir/bench/bench_fig10_synthetic.cpp.o.d"
+  "bench_fig10_synthetic"
+  "bench_fig10_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

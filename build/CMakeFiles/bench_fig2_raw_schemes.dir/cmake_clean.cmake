@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_raw_schemes.dir/bench/bench_fig2_raw_schemes.cpp.o"
+  "CMakeFiles/bench_fig2_raw_schemes.dir/bench/bench_fig2_raw_schemes.cpp.o.d"
+  "bench_fig2_raw_schemes"
+  "bench_fig2_raw_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_raw_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

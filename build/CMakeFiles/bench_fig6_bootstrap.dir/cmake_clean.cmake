@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bootstrap.dir/bench/bench_fig6_bootstrap.cpp.o"
+  "CMakeFiles/bench_fig6_bootstrap.dir/bench/bench_fig6_bootstrap.cpp.o.d"
+  "bench_fig6_bootstrap"
+  "bench_fig6_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

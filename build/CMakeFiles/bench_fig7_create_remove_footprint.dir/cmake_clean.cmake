@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_create_remove_footprint.dir/bench/bench_fig7_create_remove_footprint.cpp.o"
+  "CMakeFiles/bench_fig7_create_remove_footprint.dir/bench/bench_fig7_create_remove_footprint.cpp.o.d"
+  "bench_fig7_create_remove_footprint"
+  "bench_fig7_create_remove_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_create_remove_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_add_decrypt.dir/bench/bench_fig8_add_decrypt.cpp.o"
+  "CMakeFiles/bench_fig8_add_decrypt.dir/bench/bench_fig8_add_decrypt.cpp.o.d"
+  "bench_fig8_add_decrypt"
+  "bench_fig8_add_decrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_add_decrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_linux_trace.dir/bench/bench_fig9_linux_trace.cpp.o"
+  "CMakeFiles/bench_fig9_linux_trace.dir/bench/bench_fig9_linux_trace.cpp.o.d"
+  "bench_fig9_linux_trace"
+  "bench_fig9_linux_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_linux_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

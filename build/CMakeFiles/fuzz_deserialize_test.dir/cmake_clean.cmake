@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_deserialize_test.dir/tests/fuzz_deserialize_test.cpp.o"
+  "CMakeFiles/fuzz_deserialize_test.dir/tests/fuzz_deserialize_test.cpp.o.d"
+  "fuzz_deserialize_test"
+  "fuzz_deserialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_deserialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/he_test.dir/tests/he_test.cpp.o"
+  "CMakeFiles/he_test.dir/tests/he_test.cpp.o.d"
+  "he_test"
+  "he_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/he_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

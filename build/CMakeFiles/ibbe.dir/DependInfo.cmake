@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/biguint.cpp" "CMakeFiles/ibbe.dir/src/bigint/biguint.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/bigint/biguint.cpp.o.d"
+  "/root/repo/src/bigint/mont.cpp" "CMakeFiles/ibbe.dir/src/bigint/mont.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/bigint/mont.cpp.o.d"
+  "/root/repo/src/bigint/u256.cpp" "CMakeFiles/ibbe.dir/src/bigint/u256.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/bigint/u256.cpp.o.d"
+  "/root/repo/src/cloud/store.cpp" "CMakeFiles/ibbe.dir/src/cloud/store.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/cloud/store.cpp.o.d"
+  "/root/repo/src/crypto/aes256.cpp" "CMakeFiles/ibbe.dir/src/crypto/aes256.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/crypto/aes256.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "CMakeFiles/ibbe.dir/src/crypto/chacha20.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/crypto/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "CMakeFiles/ibbe.dir/src/crypto/drbg.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/crypto/drbg.cpp.o.d"
+  "/root/repo/src/crypto/gcm.cpp" "CMakeFiles/ibbe.dir/src/crypto/gcm.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/crypto/gcm.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/ibbe.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/ibbe.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/ec/curves.cpp" "CMakeFiles/ibbe.dir/src/ec/curves.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/ec/curves.cpp.o.d"
+  "/root/repo/src/enclave/ibbe_enclave.cpp" "CMakeFiles/ibbe.dir/src/enclave/ibbe_enclave.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/enclave/ibbe_enclave.cpp.o.d"
+  "/root/repo/src/field/fp12.cpp" "CMakeFiles/ibbe.dir/src/field/fp12.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/field/fp12.cpp.o.d"
+  "/root/repo/src/field/fp2.cpp" "CMakeFiles/ibbe.dir/src/field/fp2.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/field/fp2.cpp.o.d"
+  "/root/repo/src/field/fp6.cpp" "CMakeFiles/ibbe.dir/src/field/fp6.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/field/fp6.cpp.o.d"
+  "/root/repo/src/field/tower_consts.cpp" "CMakeFiles/ibbe.dir/src/field/tower_consts.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/field/tower_consts.cpp.o.d"
+  "/root/repo/src/he/he_ibe.cpp" "CMakeFiles/ibbe.dir/src/he/he_ibe.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/he/he_ibe.cpp.o.d"
+  "/root/repo/src/he/he_pki.cpp" "CMakeFiles/ibbe.dir/src/he/he_pki.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/he/he_pki.cpp.o.d"
+  "/root/repo/src/ibbe/ibbe.cpp" "CMakeFiles/ibbe.dir/src/ibbe/ibbe.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/ibbe/ibbe.cpp.o.d"
+  "/root/repo/src/pairing/gt.cpp" "CMakeFiles/ibbe.dir/src/pairing/gt.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/pairing/gt.cpp.o.d"
+  "/root/repo/src/pairing/pairing.cpp" "CMakeFiles/ibbe.dir/src/pairing/pairing.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/pairing/pairing.cpp.o.d"
+  "/root/repo/src/pki/cert.cpp" "CMakeFiles/ibbe.dir/src/pki/cert.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/pki/cert.cpp.o.d"
+  "/root/repo/src/pki/ecdsa.cpp" "CMakeFiles/ibbe.dir/src/pki/ecdsa.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/pki/ecdsa.cpp.o.d"
+  "/root/repo/src/pki/ecies.cpp" "CMakeFiles/ibbe.dir/src/pki/ecies.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/pki/ecies.cpp.o.d"
+  "/root/repo/src/sgx/attestation.cpp" "CMakeFiles/ibbe.dir/src/sgx/attestation.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/sgx/attestation.cpp.o.d"
+  "/root/repo/src/sgx/enclave.cpp" "CMakeFiles/ibbe.dir/src/sgx/enclave.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/sgx/enclave.cpp.o.d"
+  "/root/repo/src/system/admin.cpp" "CMakeFiles/ibbe.dir/src/system/admin.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/system/admin.cpp.o.d"
+  "/root/repo/src/system/advisor.cpp" "CMakeFiles/ibbe.dir/src/system/advisor.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/system/advisor.cpp.o.d"
+  "/root/repo/src/system/client.cpp" "CMakeFiles/ibbe.dir/src/system/client.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/system/client.cpp.o.d"
+  "/root/repo/src/system/ibbe_scheme.cpp" "CMakeFiles/ibbe.dir/src/system/ibbe_scheme.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/system/ibbe_scheme.cpp.o.d"
+  "/root/repo/src/system/metadata.cpp" "CMakeFiles/ibbe.dir/src/system/metadata.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/system/metadata.cpp.o.d"
+  "/root/repo/src/system/oplog.cpp" "CMakeFiles/ibbe.dir/src/system/oplog.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/system/oplog.cpp.o.d"
+  "/root/repo/src/trace/replay.cpp" "CMakeFiles/ibbe.dir/src/trace/replay.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/trace/replay.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "CMakeFiles/ibbe.dir/src/trace/trace.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/trace/trace.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "CMakeFiles/ibbe.dir/src/util/bytes.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/util/bytes.cpp.o.d"
+  "/root/repo/src/util/hex.cpp" "CMakeFiles/ibbe.dir/src/util/hex.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/util/hex.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/ibbe.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/ibbe.dir/src/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

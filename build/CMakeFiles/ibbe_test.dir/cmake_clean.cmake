@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibbe_test.dir/tests/ibbe_test.cpp.o"
+  "CMakeFiles/ibbe_test.dir/tests/ibbe_test.cpp.o.d"
+  "ibbe_test"
+  "ibbe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibbe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_based_test.dir/tests/model_based_test.cpp.o"
+  "CMakeFiles/model_based_test.dir/tests/model_based_test.cpp.o.d"
+  "model_based_test"
+  "model_based_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

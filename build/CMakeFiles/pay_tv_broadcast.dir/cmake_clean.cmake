@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pay_tv_broadcast.dir/examples/pay_tv_broadcast.cpp.o"
+  "CMakeFiles/pay_tv_broadcast.dir/examples/pay_tv_broadcast.cpp.o.d"
+  "pay_tv_broadcast"
+  "pay_tv_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pay_tv_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pki_test.dir/tests/pki_test.cpp.o"
+  "CMakeFiles/pki_test.dir/tests/pki_test.cpp.o.d"
+  "pki_test"
+  "pki_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pki_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_cloud_sharing.dir/examples/secure_cloud_sharing.cpp.o"
+  "CMakeFiles/secure_cloud_sharing.dir/examples/secure_cloud_sharing.cpp.o.d"
+  "secure_cloud_sharing"
+  "secure_cloud_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_cloud_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for secure_cloud_sharing.
+# This may be replaced when dependencies are built.

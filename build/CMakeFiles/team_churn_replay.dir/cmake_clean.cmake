@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/team_churn_replay.dir/examples/team_churn_replay.cpp.o"
+  "CMakeFiles/team_churn_replay.dir/examples/team_churn_replay.cpp.o.d"
+  "team_churn_replay"
+  "team_churn_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/team_churn_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
