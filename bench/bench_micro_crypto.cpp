@@ -10,6 +10,8 @@
 #include "crypto/gcm.h"
 #include "crypto/sha256.h"
 #include "ec/curves.h"
+#include "ec/glv.h"
+#include "ec/msm.h"
 #include "ibbe/ibbe.h"
 #include "pairing/pairing.h"
 #include "pki/ecies.h"
@@ -49,6 +51,7 @@ void BM_FrInverse(benchmark::State& state) {
 }
 BENCHMARK(BM_FrInverse);
 
+// Generator multiplications hit the fixed-base comb tables.
 void BM_G1ScalarMul(benchmark::State& state) {
   Drbg rng(3);
   G1 p = G1::generator();
@@ -68,6 +71,101 @@ void BM_G2ScalarMul(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_G2ScalarMul);
+
+// Arbitrary-point multiplications: the GLV/GLS endomorphism path vs the
+// plain double-and-add ladder it replaced.
+void BM_G1MulGlv(benchmark::State& state) {
+  Drbg rng(3);
+  G1 p = G1::generator().mul(random_fr(rng));
+  Fr k = random_fr(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.mul(k));
+  }
+}
+BENCHMARK(BM_G1MulGlv);
+
+void BM_G1MulNaive(benchmark::State& state) {
+  Drbg rng(3);
+  G1 p = G1::generator().mul(random_fr(rng));
+  Fr k = random_fr(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.scalar_mul(k.to_u256()));
+  }
+}
+BENCHMARK(BM_G1MulNaive);
+
+void BM_G2MulGls(benchmark::State& state) {
+  Drbg rng(4);
+  G2 p = G2::generator().mul(random_fr(rng));
+  Fr k = random_fr(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.mul(k));
+  }
+}
+BENCHMARK(BM_G2MulGls);
+
+void BM_G2MulNaive(benchmark::State& state) {
+  Drbg rng(4);
+  G2 p = G2::generator().mul(random_fr(rng));
+  Fr k = random_fr(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.scalar_mul(k.to_u256()));
+  }
+}
+BENCHMARK(BM_G2MulNaive);
+
+// One-shot MSM (Straus at 17, Pippenger at 64/100) vs the n scalar_mul +
+// adds it replaces.
+void BM_MsmG2(benchmark::State& state) {
+  Drbg rng(9);
+  auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<G2> bases;
+  std::vector<Fr> scalars;
+  for (std::size_t i = 0; i < n; ++i) {
+    bases.push_back(G2::generator().mul(random_fr(rng)));
+    scalars.push_back(random_fr(rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibbe::ec::msm(std::span<const G2>(bases),
+                                           std::span<const Fr>(scalars)));
+  }
+}
+BENCHMARK(BM_MsmG2)->Arg(17)->Arg(64);
+
+void BM_MsmG2Naive(benchmark::State& state) {
+  Drbg rng(9);
+  auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<G2> bases;
+  std::vector<Fr> scalars;
+  for (std::size_t i = 0; i < n; ++i) {
+    bases.push_back(G2::generator().mul(random_fr(rng)));
+    scalars.push_back(random_fr(rng));
+  }
+  for (auto _ : state) {
+    G2 acc = G2::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += bases[i].scalar_mul(scalars[i].to_u256());
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MsmG2Naive)->Arg(17)->Arg(64);
+
+void BM_MsmG1(benchmark::State& state) {
+  Drbg rng(10);
+  auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<G1> bases;
+  std::vector<Fr> scalars;
+  for (std::size_t i = 0; i < n; ++i) {
+    bases.push_back(G1::generator().mul(random_fr(rng)));
+    scalars.push_back(random_fr(rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibbe::ec::msm(std::span<const G1>(bases),
+                                           std::span<const Fr>(scalars)));
+  }
+}
+BENCHMARK(BM_MsmG1)->Arg(64);
 
 void BM_GtExp(benchmark::State& state) {
   Drbg rng(5);

@@ -1,0 +1,127 @@
+// Scalar-multiplication perf trajectory: a small always-built suite (no
+// google-benchmark dependency) that times the operations ISSUE/ROADMAP track
+// across PRs — pairing, G1/G2 single muls (naive ladder vs endomorphism
+// path), a 64-term G2 MSM, and end-to-end decrypt(|S|=16) — and optionally
+// writes them as JSON so CI can diff a BENCH_scalar.json between revisions.
+//
+// Usage: bench_scalar_suite [--json PATH] [--scale smoke|default|full]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "crypto/drbg.h"
+#include "ec/curves.h"
+#include "ec/glv.h"
+#include "ec/msm.h"
+#include "ibbe/ibbe.h"
+#include "pairing/pairing.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using ibbe::crypto::Drbg;
+using ibbe::ec::G1;
+using ibbe::ec::G2;
+using ibbe::field::Fr;
+
+/// Median-free mean over `iters` runs after one warm-up call.
+template <typename F>
+double time_us(F&& f, int iters) {
+  f();  // warm-up (also builds lazy tables so they are not billed below)
+  ibbe::util::Stopwatch sw;
+  for (int i = 0; i < iters; ++i) f();
+  return sw.micros() / iters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ibbe::bench::Scale scale = ibbe::bench::parse_scale(argc, argv);
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  const int iters = scale == ibbe::bench::Scale::smoke  ? 5
+                    : scale == ibbe::bench::Scale::full ? 200
+                                                        : 50;
+
+  Drbg rng(2718);
+  auto random_fr = [&rng] {
+    Fr k = Fr::from_be_bytes_reduce(rng.bytes(32));
+    return k.is_zero() ? Fr::one() : k;
+  };
+
+  const G1 p1 = G1::generator().mul(random_fr());
+  const G2 p2 = G2::generator().mul(random_fr());
+  const Fr k = random_fr();
+  const auto ku = k.to_u256();
+
+  std::vector<G2> msm_bases;
+  std::vector<Fr> msm_scalars;
+  for (int i = 0; i < 64; ++i) {
+    msm_bases.push_back(G2::generator().mul(random_fr()));
+    msm_scalars.push_back(random_fr());
+  }
+
+  auto keys = ibbe::core::setup(16, rng);
+  std::vector<ibbe::core::Identity> users;
+  for (int i = 0; i < 16; ++i) users.push_back("user" + std::to_string(i));
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  auto usk = ibbe::core::extract_user_key(keys.msk, users[0]);
+
+  struct Metric {
+    const char* name;
+    double us;
+  };
+  std::vector<Metric> metrics;
+  metrics.push_back({"pairing_us", time_us(
+      [] {
+        volatile bool sink =
+            ibbe::pairing::pairing(G1::generator(), G2::generator()).is_one();
+        (void)sink;
+      },
+      iters)});
+  metrics.push_back({"g1_mul_naive_us",
+                     time_us([&] { (void)p1.scalar_mul(ku); }, iters)});
+  metrics.push_back({"g1_mul_glv_us", time_us([&] { (void)p1.mul(k); }, iters)});
+  metrics.push_back({"g2_mul_naive_us",
+                     time_us([&] { (void)p2.scalar_mul(ku); }, iters)});
+  metrics.push_back({"g2_mul_gls_us", time_us([&] { (void)p2.mul(k); }, iters)});
+  metrics.push_back({"msm_g2_64_us", time_us(
+      [&] {
+        (void)ibbe::ec::msm(std::span<const G2>(msm_bases),
+                            std::span<const Fr>(msm_scalars));
+      },
+      iters)});
+  metrics.push_back({"decrypt_16_us", time_us(
+      [&] { (void)ibbe::core::decrypt(keys.pk, usk, users, enc.ct); },
+      iters)});
+
+  ibbe::bench::Table table("scalar suite (" +
+                               std::string(ibbe::bench::scale_name(scale)) +
+                               ")",
+                           {"metric", "time_us"});
+  for (const auto& m : metrics) {
+    table.row({m.name, std::to_string(m.us)});
+  }
+  table.print();
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.2f%s\n", metrics[i].name, metrics[i].us,
+                   i + 1 < metrics.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

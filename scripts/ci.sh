@@ -2,7 +2,8 @@
 # Harness-level CI: configure, build, run the test suite, then run every
 # bench binary at --scale smoke (and a short micro-crypto sweep) so that a
 # perf regression or bit-rotted bench fails the pipeline, not just a broken
-# unit test.
+# unit test. Also emits BENCH_scalar.json (pairing, G1/G2 mul, MSM-64,
+# decrypt-16) so future revisions have a perf trajectory to diff against.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -10,6 +11,21 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc)"
+
+# The build tree must stay out of version control: refuse to build into a
+# directory git would track (build/ is in .gitignore; anything else needs to
+# be ignored too, or live outside the work tree).
+if git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+  ignore_status=0
+  git check-ignore -q "$BUILD_DIR/.ci-probe" 2> /dev/null || ignore_status=$?
+  # 0 = ignored (fine); 128 = outside the work tree (also fine); 1 = a
+  # build into the work tree that git would pick up.
+  if [ "$ignore_status" -eq 1 ]; then
+    echo "ci.sh: build dir '$BUILD_DIR' is not git-ignored;" \
+         "add it to .gitignore or build outside the work tree" >&2
+    exit 1
+  fi
+fi
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
@@ -23,13 +39,19 @@ for bench in "$BUILD_DIR"/bench_fig* "$BUILD_DIR"/bench_table* \
   "$bench" --scale smoke
 done
 
+# Scalar-multiplication perf trajectory: machine-readable summary for
+# cross-revision diffing.
+echo "==> $BUILD_DIR/bench_scalar_suite"
+"$BUILD_DIR/bench_scalar_suite" --scale smoke --json "$BUILD_DIR/BENCH_scalar.json"
+cat "$BUILD_DIR/BENCH_scalar.json"
+
 # Micro benches of the crypto substrate (built only when google-benchmark is
 # available); keep the run short — this is a regression tripwire, not a
 # measurement.
 if [ -x "$BUILD_DIR/bench_micro_crypto" ]; then
   echo "==> $BUILD_DIR/bench_micro_crypto (smoke)"
   "$BUILD_DIR/bench_micro_crypto" \
-    --benchmark_filter='FrInverse|G1ScalarMul|GtExp|Pairing' \
+    --benchmark_filter='FrInverse|G1ScalarMul|G1MulGlv|G2MulGls|MsmG2|GtExp|Pairing' \
     --benchmark_min_time=0.05
 fi
 

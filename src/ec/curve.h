@@ -14,12 +14,23 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "bigint/u256.h"
+#include "ec/wnaf.h"
 
 namespace ibbe::ec {
+
+/// Affine point for precomputed tables: cheaper mixed additions and half the
+/// memory of a Jacobian point. `inf` marks the identity.
+template <typename F>
+struct AffinePt {
+  F x{};
+  F y{};
+  bool inf = true;
+};
 
 template <typename Params>
 class JacobianPoint {
@@ -41,6 +52,22 @@ class JacobianPoint {
     p.z_ = Field::one();
     return p;
   }
+  static JacobianPoint from_affine(const AffinePt<Field>& a) {
+    return a.inf ? infinity() : from_affine(a.x, a.y);
+  }
+  /// Raw Jacobian coordinates (x = X/Z^2, y = Y/Z^3); no validation. Used by
+  /// the endomorphism maps, which act coordinate-wise.
+  static JacobianPoint from_jacobian(const Field& x, const Field& y,
+                                     const Field& z) {
+    JacobianPoint p;
+    p.x_ = x;
+    p.y_ = y;
+    p.z_ = z;
+    return p;
+  }
+  [[nodiscard]] const Field& jac_x() const { return x_; }
+  [[nodiscard]] const Field& jac_y() const { return y_; }
+  [[nodiscard]] const Field& jac_z() const { return z_; }
 
   [[nodiscard]] bool is_infinity() const { return z_.is_zero(); }
 
@@ -111,6 +138,57 @@ class JacobianPoint {
   }
   JacobianPoint& operator+=(const JacobianPoint& o) { return *this = *this + o; }
 
+  /// Mixed addition with an affine point (Z2 = 1): saves the Z2 work of the
+  /// general formula. Precomputed-table hot path (Straus/Pippenger/comb).
+  [[nodiscard]] JacobianPoint add_mixed(const AffinePt<Field>& q) const {
+    if (q.inf) return *this;
+    if (is_infinity()) return from_affine(q.x, q.y);
+    Field z1z1 = z_.square();
+    Field u2 = q.x * z1z1;
+    Field s2 = q.y * z1z1 * z_;
+    if (x_ == u2) {
+      if (y_ == s2) return dbl();
+      return infinity();  // P + (-P)
+    }
+    Field h = u2 - x_;
+    Field r = s2 - y_;
+    Field h2 = h.square();
+    Field h3 = h2 * h;
+    Field u1h2 = x_ * h2;
+    JacobianPoint out;
+    out.x_ = r.square() - h3 - u1h2.dbl();
+    out.y_ = r * (u1h2 - out.x_) - y_ * h3;
+    out.z_ = z_ * h;
+    return out;
+  }
+
+  /// Normalizes a batch of points to affine with ONE field inversion
+  /// (Montgomery's trick). Infinity entries come back with `inf` set.
+  static std::vector<AffinePt<Field>> batch_to_affine(
+      std::span<const JacobianPoint> pts) {
+    std::vector<AffinePt<Field>> out(pts.size());
+    // prefix[i] = product of the non-zero Zs among pts[0..i).
+    std::vector<Field> prefix;
+    prefix.reserve(pts.size() + 1);
+    prefix.push_back(Field::one());
+    for (const auto& p : pts) {
+      prefix.push_back(p.is_infinity() ? prefix.back()
+                                       : prefix.back() * p.z_);
+    }
+    Field inv = prefix.back().inverse();  // non-zero: product of non-zero Zs
+    for (std::size_t i = pts.size(); i-- > 0;) {
+      const auto& p = pts[i];
+      if (p.is_infinity()) continue;
+      Field zinv = inv * prefix[i];
+      inv *= p.z_;
+      Field zinv2 = zinv.square();
+      out[i].x = p.x_ * zinv2;
+      out[i].y = p.y_ * zinv2 * zinv;
+      out[i].inf = false;
+    }
+    return out;
+  }
+
   /// Left-to-right double-and-add. Scalars are canonical U256 values.
   [[nodiscard]] JacobianPoint scalar_mul(const bigint::U256& k) const {
     JacobianPoint acc = infinity();
@@ -143,7 +221,10 @@ class JacobianPoint {
     }
     return acc;
   }
-  /// Scalar given as a field element of the (prime) group order.
+  /// Scalar given as a field element of the (prime) group order. The
+  /// concrete curves specialize this (see ec/curves.h): fixed-base comb
+  /// tables for the generators, GLV/GLS endomorphism splitting for other
+  /// BN254 points, wNAF for other P-256 points.
   template <typename Scalar>
   [[nodiscard]] JacobianPoint mul(const Scalar& k) const {
     return scalar_mul(k.to_u256());
@@ -160,39 +241,6 @@ class JacobianPoint {
   }
 
  private:
-  /// Signed-digit recoding: digits[i] is the coefficient of 2^i, each either
-  /// zero or odd with |d| < 2^(w-1), and any two non-zero digits at least w
-  /// positions apart.
-  static std::vector<int> wnaf_digits(const bigint::U256& k, unsigned w) {
-    // Work on a mutable bit array with headroom for the final carry.
-    std::vector<std::uint8_t> bits(256 + w + 1, 0);
-    for (unsigned i = 0; i < 256; ++i) bits[i] = k.bit(i) ? 1 : 0;
-    std::vector<int> digits(bits.size(), 0);
-    for (std::size_t i = 0; i < bits.size();) {
-      if (bits[i] == 0) {
-        ++i;
-        continue;
-      }
-      int val = 0;
-      for (unsigned j = 0; j < w && i + j < bits.size(); ++j) {
-        val |= bits[i + j] << j;
-      }
-      int d = val;
-      if (d >= (1 << (w - 1))) {
-        d -= 1 << w;
-        // Borrowed from the next window: propagate a carry upward.
-        std::size_t pos = i + w;
-        while (pos < bits.size() && bits[pos] == 1) bits[pos++] = 0;
-        if (pos < bits.size()) bits[pos] = 1;
-      }
-      for (unsigned j = 0; j < w && i + j < bits.size(); ++j) bits[i + j] = 0;
-      digits[i] = d;
-      i += w;
-    }
-    while (!digits.empty() && digits.back() == 0) digits.pop_back();
-    return digits;
-  }
-
   Field x_{};
   Field y_{};
   Field z_{};  // zero => infinity

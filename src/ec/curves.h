@@ -44,6 +44,23 @@ using G1 = JacobianPoint<G1Params>;
 using G2 = JacobianPoint<G2Params>;
 using P256Point = JacobianPoint<P256Params>;
 
+// Fast-path routing for scalar-times-group-element (defined in msm.cpp;
+// declared here so every translation unit that multiplies picks them up):
+// generator multiplications use precomputed fixed-base comb tables, other
+// G1/G2 points go through GLV/GLS endomorphism decomposition (ec/glv.h),
+// and other P-256 points use wNAF. The generic scalar_mul/scalar_mul_wnaf
+// remain available as endomorphism-free oracles.
+template <>
+template <>
+JacobianPoint<G1Params> JacobianPoint<G1Params>::mul(const field::Fr& k) const;
+template <>
+template <>
+JacobianPoint<G2Params> JacobianPoint<G2Params>::mul(const field::Fr& k) const;
+template <>
+template <>
+JacobianPoint<P256Params> JacobianPoint<P256Params>::mul(
+    const field::P256Fr& k) const;
+
 // --------------------------------------------------------------------------
 // Compressed serialization.
 //

@@ -1,0 +1,438 @@
+#include "ec/glv.h"
+
+#include <array>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "bigint/biguint.h"
+#include "ec/wnaf.h"
+#include "field/fields.h"
+#include "field/tower_consts.h"
+
+namespace ibbe::ec {
+
+using bigint::BigUInt;
+using bigint::U256;
+using field::Fp;
+using field::Fp2;
+using field::Fr;
+
+namespace {
+
+// ------------------------------------------------------------ 512-bit bits
+//
+// The per-scalar decomposition works on 8-limb products from mul_wide so it
+// never allocates; BigUInt appears on the derivation (init) path only.
+
+using Limbs8 = std::array<std::uint64_t, 8>;
+
+void add_bit_512(Limbs8& a, unsigned bit) {
+  unsigned idx = bit / 64;
+  std::uint64_t add = std::uint64_t{1} << (bit % 64);
+  for (unsigned i = idx; i < 8 && add; ++i) {
+    std::uint64_t s = a[i] + add;
+    add = s < a[i] ? 1 : 0;
+    a[i] = s;
+  }
+}
+
+/// floor((a + 2^(shift-1)) / 2^shift) for products that fit well below
+/// 2^(shift+256): round-to-nearest shift extraction.
+U256 round_shift_512(Limbs8 a, unsigned shift) {
+  add_bit_512(a, shift - 1);
+  U256 out;
+  unsigned idx = shift / 64, off = shift % 64;
+  for (unsigned i = 0; i < 4; ++i) {
+    std::uint64_t lo = idx + i < 8 ? a[idx + i] : 0;
+    std::uint64_t hi = (off && idx + i + 1 < 8) ? a[idx + i + 1] : 0;
+    out.limb[i] = off ? (lo >> off) | (hi << (64 - off)) : lo;
+  }
+  return out;
+}
+
+struct S512 {
+  Limbs8 mag{};
+  bool neg = false;
+
+  [[nodiscard]] bool is_zero() const {
+    for (auto l : mag) {
+      if (l) return false;
+    }
+    return true;
+  }
+};
+
+int cmp_512(const Limbs8& a, const Limbs8& b) {
+  for (unsigned i = 8; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+Limbs8 add_512(const Limbs8& a, const Limbs8& b) {
+  Limbs8 out;
+  unsigned __int128 carry = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    carry += a[i];
+    carry += b[i];
+    out[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  return out;
+}
+
+/// a - b; requires a >= b.
+Limbs8 sub_512(const Limbs8& a, const Limbs8& b) {
+  Limbs8 out;
+  std::uint64_t borrow = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    std::uint64_t bi = b[i] + borrow;
+    borrow = (bi < b[i]) || (a[i] < bi) ? 1 : 0;
+    out[i] = a[i] - bi;
+  }
+  return out;
+}
+
+S512 signed_add(const S512& a, const S512& b) {
+  if (a.neg == b.neg) return {add_512(a.mag, b.mag), a.neg};
+  int c = cmp_512(a.mag, b.mag);
+  if (c == 0) return {};
+  if (c > 0) return {sub_512(a.mag, b.mag), a.neg};
+  return {sub_512(b.mag, a.mag), b.neg};
+}
+
+S512 signed_sub(const S512& a, const S512& b) {
+  return signed_add(a, {b.mag, !b.neg});
+}
+
+S512 from_u256(const U256& v, bool neg = false) {
+  S512 out;
+  for (unsigned i = 0; i < 4; ++i) out.mag[i] = v.limb[i];
+  out.neg = neg;
+  return out;
+}
+
+/// Magnitude as U256; false if it does not fit in 256 bits.
+bool to_u256(const S512& v, U256& out) {
+  for (unsigned i = 4; i < 8; ++i) {
+    if (v.mag[i]) return false;
+  }
+  for (unsigned i = 0; i < 4; ++i) out.limb[i] = v.mag[i];
+  return true;
+}
+
+// ------------------------------------------------- init-time signed BigUInt
+
+struct SB {
+  BigUInt v;
+  bool neg = false;
+};
+
+SB sb_sub(const SB& a, const SB& b) {
+  if (a.neg != b.neg) return {a.v + b.v, a.neg};
+  if (a.v >= b.v) return {a.v - b.v, a.neg};
+  return {b.v - a.v, !b.neg};
+}
+
+/// (a + b * eig) mod n, all signed inputs with |.| arbitrary.
+BigUInt eval_mod(const BigUInt& a_mag, bool a_neg, const BigUInt& b_mag,
+                 bool b_neg, const BigUInt& eig, const BigUInt& n) {
+  BigUInt am = a_mag % n;
+  if (a_neg && !am.is_zero()) am = n - am;
+  BigUInt bm = (b_mag % n) * eig % n;
+  if (b_neg && !bm.is_zero()) bm = n - bm;
+  return (am + bm) % n;
+}
+
+/// Smallest non-trivial cube root of unity in the field, via g^((q-1)/3)
+/// for ascending small g. Throws if the field has none (q != 1 mod 3).
+template <typename Field>
+Field cube_root_of_unity() {
+  BigUInt q = BigUInt::from_u256(Field::modulus());
+  auto [e, rem] = BigUInt::divmod(q - BigUInt(1), BigUInt(3));
+  if (!rem.is_zero()) {
+    throw std::logic_error("glv: field order is not 1 mod 3");
+  }
+  U256 exp = e.to_u256();
+  for (std::uint64_t g = 2; g < 64; ++g) {
+    Field c = Field::from_u64(g).pow(exp);
+    if (!c.is_one()) return c;
+  }
+  throw std::logic_error("glv: no cube root of unity found");
+}
+
+// ----------------------------------------------------------------- G1 GLV
+
+struct GlvCtx {
+  Fp beta;          // phi(x, y) = (beta x, y)
+  U256 lambda;      // phi = [lambda] on G1
+  // Lattice basis of {(a, b) : a + b lambda = 0 mod r}: v1 = (a1, b1),
+  // v2 = (a2, b2). The a_i are positive by construction (Euclidean
+  // remainders); the b_i carry signs.
+  U256 a1, a2, b1, b2;
+  bool b1_neg = false, b2_neg = false;
+  // Barrett-style rounding constants: c1 = round(k |b2| / r) and
+  // c2 = round(k |b1| / r) computed as ((k * g_i) + 2^253) >> 254 with
+  // g_i = round((|b_i| << 254) / r).
+  U256 g1c, g2c;
+  bool c1_neg = false, c2_neg = false;  // signs of c1, c2 for k >= 0
+
+  GlvCtx() {
+    const BigUInt n = BigUInt::from_u256(Fr::modulus());
+
+    beta = cube_root_of_unity<Fp>();
+    Fr lr = cube_root_of_unity<Fr>();
+    // Pair the Fr root with beta: phi must act as [lambda] on G1.
+    const G1 g = G1::generator();
+    const G1 phi_g =
+        G1::from_jacobian(g.jac_x() * beta, g.jac_y(), g.jac_z());
+    if (g.scalar_mul(lr.to_u256()) != phi_g) {
+      lr = lr * lr;  // the other primitive root
+      if (g.scalar_mul(lr.to_u256()) != phi_g) {
+        throw std::logic_error("glv: no cube root matches the endomorphism");
+      }
+    }
+    lambda = lr.to_u256();
+
+    // Extended Euclid on (r, lambda): remainders r_i = s_i r + t_i lambda.
+    // Stop at the first remainder below sqrt(r); the surrounding rows give
+    // the classic GLV short basis (Gallant-Lambert-Vanstone, CRYPTO 2001).
+    BigUInt r0 = n, r1 = BigUInt::from_u256(lambda);
+    SB t0{BigUInt(0), false}, t1{BigUInt(1), false};
+    while (r1 * r1 >= n) {
+      auto [q, r2] = BigUInt::divmod(r0, r1);
+      SB t2 = sb_sub(t0, {q * t1.v, t1.neg});
+      r0 = std::move(r1);
+      r1 = std::move(r2);
+      t0 = std::move(t1);
+      t1 = std::move(t2);
+    }
+    // v1 = (r_{l+1}, -t_{l+1}); v2 = shorter of (r_l, -t_l), (r_{l+2}, -t_{l+2}).
+    auto [q, r2] = BigUInt::divmod(r0, r1);
+    SB t2 = sb_sub(t0, {q * t1.v, t1.neg});
+    BigUInt va = r1;
+    SB vb{t1.v, !t1.neg};
+    BigUInt wa = r0;
+    SB wb{t0.v, !t0.neg};
+    if (r2 * r2 + t2.v * t2.v < wa * wa + wb.v * wb.v) {
+      wa = r2;
+      wb = {t2.v, !t2.neg};
+    }
+    for (const auto* p : {&va, &wa}) {
+      const SB& b = p == &va ? vb : wb;
+      if (!eval_mod(*p, false, b.v, b.neg, BigUInt::from_u256(lambda), n)
+               .is_zero() ||
+          p->bit_length() > 140 || b.v.bit_length() > 140) {
+        throw std::logic_error("glv: lattice basis derivation failed");
+      }
+    }
+    a1 = va.to_u256();
+    b1 = vb.v.to_u256();
+    b1_neg = vb.neg;
+    a2 = wa.to_u256();
+    b2 = wb.v.to_u256();
+    b2_neg = wb.neg;
+
+    // (k, 0) = (k b2 / det) v1 - (k b1 / det) v2 with det = a1 b2 - a2 b1
+    // = +-r, so the rounding signs depend on the determinant's sign.
+    SB det = sb_sub({BigUInt::from_u256(a1) * BigUInt::from_u256(b2), b2_neg},
+                    {BigUInt::from_u256(a2) * BigUInt::from_u256(b1), b1_neg});
+    if (det.v != n) {
+      throw std::logic_error("glv: basis determinant is not +-r");
+    }
+    auto barrett = [&](const U256& b_mag) {
+      auto [quo, rem] =
+          BigUInt::divmod(BigUInt::from_u256(b_mag) << 254, n);
+      if (rem + rem >= n) quo = quo + BigUInt(1);
+      return quo.to_u256();
+    };
+    g1c = barrett(b2);
+    c1_neg = det.neg ? !b2_neg : b2_neg;
+    g2c = barrett(b1);
+    c2_neg = det.neg ? b1_neg : !b1_neg;
+
+    // End-to-end self-check: decompose a few scalars and confirm both
+    // k0 + k1 * lambda == k (mod r) and that the halves are short.
+    for (const U256& k :
+         {U256::one(), U256::from_u64(0xdeadbeefcafef00dULL),
+          bigint::mod(U256{{~0ull, ~0ull, ~0ull, ~0ull}}, Fr::modulus())}) {
+      EndoDecomp d = decompose(k);
+      BigUInt lhs = eval_mod(BigUInt::from_u256(d.k0), d.neg0,
+                             BigUInt::from_u256(d.k1), d.neg1,
+                             BigUInt::from_u256(lambda), n);
+      if (lhs != BigUInt::from_u256(k) % n || d.k0.bit_length() > 132 ||
+          d.k1.bit_length() > 132) {
+        throw std::logic_error("glv: decomposition self-check failed");
+      }
+    }
+  }
+
+  [[nodiscard]] EndoDecomp decompose(const U256& k) const {
+    // c_i = round(k |b_j| / r) via the precomputed reciprocals.
+    U256 c1 = round_shift_512(bigint::mul_wide(k, g1c), 254);
+    U256 c2 = round_shift_512(bigint::mul_wide(k, g2c), 254);
+    // k0 = k - c1 a1 - c2 a2 ; k1 = -(c1 b1 + c2 b2), all signed.
+    S512 s_k0 = signed_sub(
+        signed_sub(from_u256(k), S512{bigint::mul_wide(c1, a1), c1_neg}),
+        S512{bigint::mul_wide(c2, a2), c2_neg});
+    S512 s_k1 = signed_add(S512{bigint::mul_wide(c1, b1), !(c1_neg ^ b1_neg)},
+                           S512{bigint::mul_wide(c2, b2), !(c2_neg ^ b2_neg)});
+    EndoDecomp d;
+    if (!to_u256(s_k0, d.k0) || !to_u256(s_k1, d.k1)) {
+      throw std::logic_error("glv: decomposition out of range");
+    }
+    d.neg0 = s_k0.neg;
+    d.neg1 = s_k1.neg;
+    return d;
+  }
+
+  static const GlvCtx& get() {
+    static const GlvCtx ctx;
+    return ctx;
+  }
+};
+
+// ----------------------------------------------------------------- G2 GLS
+
+struct GlsCtx {
+  U256 mu;    // psi = [mu] on G2; mu = 6u^2 = p mod r, ~127 bits
+  U256 recip; // floor(2^381 / mu) for the Barrett division below
+
+  GlsCtx() {
+    // u = 4965661367192848881, the BN254 curve parameter.
+    const BigUInt u = BigUInt::from_u256(U256::from_u64(0x44e992b44a6909f1ULL));
+    const BigUInt mu_big = BigUInt(6) * u * u;
+    mu = mu_big.to_u256();
+    recip = ((BigUInt(1) << 381) / mu_big).to_u256();
+
+    const G2 g = G2::generator();
+    if (g.scalar_mul(mu) != apply_psi(g)) {
+      throw std::logic_error("gls: psi does not act as [6u^2] on G2");
+    }
+  }
+
+  /// k = k1 mu + k0 by Barrett division (floor quotient, then <= 2 fixups).
+  [[nodiscard]] EndoDecomp decompose(const U256& k) const {
+    U256 q;
+    {
+      Limbs8 prod = bigint::mul_wide(k, recip);
+      // floor shift by 381 = 5*64 + 61 (no rounding bit: under-estimate).
+      for (unsigned i = 0; i < 4; ++i) {
+        std::uint64_t lo = 5 + i < 8 ? prod[5 + i] : 0;
+        std::uint64_t hi = 6 + i < 8 ? prod[6 + i] : 0;
+        q.limb[i] = (lo >> 61) | (hi << 3);
+      }
+    }
+    Limbs8 qm = bigint::mul_wide(q, mu);
+    U256 low{{qm[0], qm[1], qm[2], qm[3]}};
+    U256 rem;
+    bigint::sub_with_borrow(k, low, rem);
+    while (bigint::cmp(rem, mu) >= 0) {
+      bigint::sub_with_borrow(rem, mu, rem);
+      bigint::add_with_carry(q, U256::one(), q);
+    }
+    EndoDecomp d;
+    d.k0 = rem;
+    d.k1 = q;
+    return d;
+  }
+
+  static const GlsCtx& get() {
+    static const GlsCtx ctx;
+    return ctx;
+  }
+};
+
+U256 reduce_mod_r(const U256& k) {
+  if (bigint::cmp(k, Fr::modulus()) < 0) return k;
+  return bigint::mod(k, Fr::modulus());
+}
+
+/// Simultaneous double-and-add over the two half-length sub-scalars with
+/// width-4 wNAF. The second odd-multiple table is the endomorphism image of
+/// the first (one cheap map per entry instead of point additions).
+template <typename Point, typename ApplyEndo>
+Point dual_wnaf_mul(const Point& p, const EndoDecomp& d, ApplyEndo&& endo) {
+  constexpr unsigned kWindow = 4;
+  auto d0 = wnaf_digits(d.k0, kWindow);
+  auto d1 = wnaf_digits(d.k1, kWindow);
+  if (d0.empty() && d1.empty()) return Point::infinity();
+
+  std::array<Point, 4> t0;  // (2i+1) * (+-P)
+  t0[0] = d.neg0 ? p.neg() : p;
+  Point twice = t0[0].dbl();
+  for (std::size_t i = 1; i < t0.size(); ++i) t0[i] = t0[i - 1] + twice;
+  std::array<Point, 4> t1;  // (2i+1) * (+-endo(P))
+  const bool flip = d.neg0 != d.neg1;
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    t1[i] = endo(t0[i]);
+    if (flip) t1[i] = t1[i].neg();
+  }
+
+  Point acc = Point::infinity();
+  for (std::size_t i = std::max(d0.size(), d1.size()); i-- > 0;) {
+    acc = acc.dbl();
+    if (i < d0.size() && d0[i] != 0) {
+      int v = d0[i];
+      acc += v > 0 ? t0[static_cast<std::size_t>(v / 2)]
+                   : t0[static_cast<std::size_t>(-v / 2)].neg();
+    }
+    if (i < d1.size() && d1[i] != 0) {
+      int v = d1[i];
+      acc += v > 0 ? t1[static_cast<std::size_t>(v / 2)]
+                   : t1[static_cast<std::size_t>(-v / 2)].neg();
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+G1 apply_phi(const G1& p) {
+  if (p.is_infinity()) return p;
+  return G1::from_jacobian(p.jac_x() * GlvCtx::get().beta, p.jac_y(),
+                           p.jac_z());
+}
+
+G2 apply_psi(const G2& p) {
+  if (p.is_infinity()) return p;
+  const auto& g = field::TowerConsts::get().gamma;
+  return G2::from_jacobian(p.jac_x().conjugate() * g[1],
+                           p.jac_y().conjugate() * g[2],
+                           p.jac_z().conjugate());
+}
+
+AffinePt<Fp2> apply_psi(const AffinePt<Fp2>& p) {
+  if (p.inf) return p;
+  const auto& g = field::TowerConsts::get().gamma;
+  return {p.x.conjugate() * g[1], p.y.conjugate() * g[2], false};
+}
+
+const U256& glv_lambda() { return GlvCtx::get().lambda; }
+const U256& gls_mu() { return GlsCtx::get().mu; }
+
+EndoDecomp decompose_glv(const U256& k) {
+  return GlvCtx::get().decompose(reduce_mod_r(k));
+}
+
+EndoDecomp decompose_gls(const U256& k) {
+  return GlsCtx::get().decompose(reduce_mod_r(k));
+}
+
+G1 g1_mul_endo(const G1& p, const U256& k) {
+  if (p.is_infinity()) return p;
+  U256 kr = reduce_mod_r(k);
+  if (kr.is_zero()) return G1::infinity();
+  return dual_wnaf_mul(p, GlvCtx::get().decompose(kr), apply_phi);
+}
+
+G2 g2_mul_endo(const G2& q, const U256& k) {
+  if (q.is_infinity()) return q;
+  U256 kr = reduce_mod_r(k);
+  if (kr.is_zero()) return G2::infinity();
+  return dual_wnaf_mul(q, GlsCtx::get().decompose(kr),
+                       [](const G2& p) { return apply_psi(p); });
+}
+
+}  // namespace ibbe::ec

@@ -1,0 +1,61 @@
+// Endomorphism-accelerated scalar multiplication for the BN254 groups.
+//
+// G1 (GLV): the curve y^2 = x^3 + 3 has the cheap endomorphism
+//   phi(x, y) = (beta x, y),   beta a primitive cube root of unity in Fp,
+// which acts on the order-r subgroup as multiplication by lambda, a cube
+// root of unity mod r. A scalar k splits as k = k0 + k1*lambda (mod r) with
+// |k0|, |k1| ~ sqrt(r) via lattice reduction, so one ~254-bit ladder becomes
+// a simultaneous ~128-bit double-and-add over {P, phi(P)}.
+//
+// G2 (GLS): the untwist-Frobenius-twist map
+//   psi(x, y) = (conj(x) g2, conj(y) g3),   g_k = xi^(k(p-1)/6),
+// acts on G2 as multiplication by p = t - 1 = 6u^2 (mod r). Since
+// 6u^2 ~ sqrt(r), plain integer division k = k1*(6u^2) + k0 already yields
+// two half-length non-negative sub-scalars — no lattice needed.
+//
+// All constants (beta, lambda, the GLV lattice basis, 6u^2) are derived and
+// cross-checked at first use against scalar_mul, so a transcription error
+// turns into a startup exception instead of silent wrong results.
+#pragma once
+
+#include "bigint/u256.h"
+#include "ec/curves.h"
+
+namespace ibbe::ec {
+
+/// phi(X, Y, Z) = (beta X, Y, Z); multiplication by glv_lambda() on G1.
+G1 apply_phi(const G1& p);
+
+/// psi = twist o Frobenius o untwist; multiplication by gls_mu() on G2.
+G2 apply_psi(const G2& p);
+/// psi on an affine table entry (stays affine: the map is coordinate-wise).
+AffinePt<field::Fp2> apply_psi(const AffinePt<field::Fp2>& p);
+
+/// The G1 eigenvalue lambda (cube root of unity mod r) and the G2 eigenvalue
+/// mu = 6u^2 = p mod r. Exposed for tests.
+const bigint::U256& glv_lambda();
+const bigint::U256& gls_mu();
+
+/// Two-dimensional scalar decomposition: k = (-1)^neg0 k0 + (-1)^neg1 k1 * eig
+/// (mod r), with k0, k1 < ~2^131. GLS decompositions are always non-negative.
+struct EndoDecomp {
+  bigint::U256 k0;
+  bigint::U256 k1;
+  bool neg0 = false;
+  bool neg1 = false;
+};
+
+/// GLV split of k (any U256; reduced mod r internally).
+EndoDecomp decompose_glv(const bigint::U256& k);
+/// GLS split of k (any U256; reduced mod r internally).
+EndoDecomp decompose_gls(const bigint::U256& k);
+
+/// k*P via GLV (valid for any P in G1; k reduced mod r, which agrees with
+/// plain scalar_mul because G1 has order r).
+G1 g1_mul_endo(const G1& p, const bigint::U256& k);
+/// k*Q via GLS. Q must lie in the order-r subgroup (true for every G2 value
+/// produced by this library; untrusted twist points outside the subgroup
+/// must use scalar_mul).
+G2 g2_mul_endo(const G2& q, const bigint::U256& k);
+
+}  // namespace ibbe::ec

@@ -1,0 +1,133 @@
+#include "ec/msm.h"
+
+#include <cstdlib>
+
+#include "ec/glv.h"
+
+namespace ibbe::ec {
+
+using bigint::U256;
+using field::Fp2;
+using field::Fr;
+
+namespace {
+
+/// Shared shape of the G1/G2 endo-MSM wrappers: split each scalar into two
+/// half-length parts, pair the second with the endomorphism image of the
+/// base, and feed the doubled list to the generic engine (whose shared
+/// ladder is now ~128 doublings instead of ~256).
+template <typename Point, typename Decompose, typename ApplyEndo>
+Point endo_msm(std::span<const Point> bases, std::span<const Fr> scalars,
+               Decompose&& decompose, ApplyEndo&& endo) {
+  const std::size_t n = std::min(bases.size(), scalars.size());
+  std::vector<Point> pts;
+  std::vector<U256> subs;
+  pts.reserve(2 * n);
+  subs.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scalars[i].is_zero() || bases[i].is_infinity()) continue;
+    EndoDecomp d = decompose(scalars[i].to_u256());
+    if (!d.k0.is_zero()) {
+      pts.push_back(d.neg0 ? bases[i].neg() : bases[i]);
+      subs.push_back(d.k0);
+    }
+    if (!d.k1.is_zero()) {
+      Point e = endo(bases[i]);
+      pts.push_back(d.neg1 ? e.neg() : e);
+      subs.push_back(d.k1);
+    }
+  }
+  return msm_u256(std::span<const Point>(pts), std::span<const U256>(subs));
+}
+
+}  // namespace
+
+G1 msm(std::span<const G1> bases, std::span<const Fr> scalars) {
+  return endo_msm(bases, scalars, decompose_glv,
+                  [](const G1& p) { return apply_phi(p); });
+}
+
+G2 msm(std::span<const G2> bases, std::span<const Fr> scalars) {
+  return endo_msm(bases, scalars, decompose_gls,
+                  [](const G2& p) { return apply_psi(p); });
+}
+
+// ------------------------------------------------------------- G2PowersMsm
+
+G2PowersMsm::G2PowersMsm(std::span<const G2> bases, unsigned window)
+    : w_(window), per_(std::size_t{1} << (window - 2)), n_(bases.size()) {
+  std::vector<G2> jac;
+  jac.reserve(n_ * per_);
+  for (const G2& base : bases) {
+    msm_detail::append_odd_multiples(jac, base, per_);
+  }
+  tbl_ = G2::batch_to_affine(jac);
+  tbl_psi_.reserve(tbl_.size());
+  for (const auto& e : tbl_) tbl_psi_.push_back(apply_psi(e));
+}
+
+G2 G2PowersMsm::msm(std::span<const Fr> coefs) const {
+  struct Term {
+    const AffinePt<Fp2>* row;
+    std::vector<int> digits;
+  };
+  std::vector<Term> terms;
+  const std::size_t m = std::min(n_, coefs.size());
+  std::size_t maxlen = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (coefs[i].is_zero()) continue;
+    EndoDecomp d = decompose_gls(coefs[i].to_u256());
+    if (!d.k0.is_zero()) {
+      terms.push_back({&tbl_[i * per_], wnaf_digits(d.k0, w_)});
+      maxlen = std::max(maxlen, terms.back().digits.size());
+    }
+    if (!d.k1.is_zero()) {
+      terms.push_back({&tbl_psi_[i * per_], wnaf_digits(d.k1, w_)});
+      maxlen = std::max(maxlen, terms.back().digits.size());
+    }
+  }
+  G2 acc = G2::infinity();
+  for (std::size_t b = maxlen; b-- > 0;) {
+    acc = acc.dbl();
+    for (const Term& t : terms) {
+      if (b >= t.digits.size() || t.digits[b] == 0) continue;
+      int v = t.digits[b];
+      AffinePt<Fp2> e = t.row[static_cast<std::size_t>(v > 0 ? v : -v) / 2];
+      if (v < 0) e.y = e.y.neg();
+      acc = acc.add_mixed(e);
+    }
+  }
+  return acc;
+}
+
+// ----------------------------------------------- JacobianPoint::mul routing
+//
+// Declared in curves.h so every call site sees them: generator
+// multiplications hit the fixed-base comb tables; arbitrary G1/G2 points go
+// through the GLV/GLS decomposition; arbitrary P-256 points use wNAF.
+
+template <>
+template <>
+JacobianPoint<G1Params> JacobianPoint<G1Params>::mul(const field::Fr& k) const {
+  if (*this == generator()) return generator_table<G1>().mul(k.to_u256());
+  return g1_mul_endo(*this, k.to_u256());
+}
+
+template <>
+template <>
+JacobianPoint<G2Params> JacobianPoint<G2Params>::mul(const field::Fr& k) const {
+  if (*this == generator()) return generator_table<G2>().mul(k.to_u256());
+  return g2_mul_endo(*this, k.to_u256());
+}
+
+template <>
+template <>
+JacobianPoint<P256Params> JacobianPoint<P256Params>::mul(
+    const field::P256Fr& k) const {
+  if (*this == generator()) {
+    return generator_table<P256Point>().mul(k.to_u256());
+  }
+  return scalar_mul_wnaf(k.to_u256(), 5);
+}
+
+}  // namespace ibbe::ec

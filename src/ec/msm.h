@@ -1,0 +1,228 @@
+// Multi-scalar multiplication engine and fixed-base precomputation.
+//
+// Three tiers, picked by workload shape:
+//
+//   msm_u256 / msm      — one-shot Σ k_i P_i. Straus interleaved wNAF with
+//                         batch-normalized odd-multiple tables for n <= 32,
+//                         Pippenger bucket aggregation above. The Fr
+//                         overloads first split every scalar with GLV (G1) /
+//                         GLS (G2), so the shared doubling ladder is half
+//                         length.
+//   FixedBaseTable      — single fixed base (the group generators): a full
+//                         windowed comb tbl[i][d] = d 2^(wi) B, so one
+//                         multiplication is ~64 mixed additions and zero
+//                         doublings.
+//   G2PowersMsm         — many fixed G2 bases (the IBBE public key's
+//                         h^(gamma^i) powers): per-base affine odd-multiple
+//                         tables plus their psi-images, consumed by a
+//                         GLS-decomposed Straus loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bigint/u256.h"
+#include "ec/curves.h"
+#include "ec/wnaf.h"
+#include "field/fields.h"
+
+namespace ibbe::ec {
+
+/// Bits [lo, lo + width) of k as an unsigned value (width <= 32).
+inline unsigned window_value(const bigint::U256& k, unsigned lo,
+                             unsigned width) {
+  if (lo >= 256) return 0;
+  unsigned idx = lo / 64, off = lo % 64;
+  std::uint64_t v = k.limb[idx] >> off;
+  if (off + width > 64 && idx + 1 < 4) v |= k.limb[idx + 1] << (64 - off);
+  return static_cast<unsigned>(v) & ((1u << width) - 1);
+}
+
+namespace msm_detail {
+
+/// Appends the first `per` odd multiples base, 3*base, ..., (2 per - 1)*base
+/// to `jac` (the wNAF table layout shared by Straus and G2PowersMsm).
+template <typename Point>
+void append_odd_multiples(std::vector<Point>& jac, const Point& base,
+                          std::size_t per) {
+  Point m = base;
+  Point twice = base.dbl();
+  for (std::size_t d = 0; d < per; ++d) {
+    jac.push_back(m);
+    m += twice;
+  }
+}
+
+inline unsigned max_bit_length(std::span<const bigint::U256> scalars,
+                               std::size_t n) {
+  unsigned bits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    bits = std::max(bits, scalars[i].bit_length());
+  }
+  return bits;
+}
+
+/// Straus: one shared doubling ladder, per-point wNAF digits against
+/// batch-normalized odd-multiple tables (one field inversion total).
+template <typename Point>
+Point straus(std::span<const Point> bases,
+             std::span<const bigint::U256> scalars, std::size_t n) {
+  using Field = typename Point::Field;
+  constexpr unsigned kWindow = 4;
+  constexpr std::size_t kPer = 4;  // odd multiples 1,3,5,7
+
+  std::vector<std::vector<int>> digits(n);
+  std::size_t maxlen = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    digits[i] = wnaf_digits(scalars[i], kWindow);
+    maxlen = std::max(maxlen, digits[i].size());
+  }
+  std::vector<Point> jac;
+  jac.reserve(n * kPer);
+  for (std::size_t i = 0; i < n; ++i) {
+    append_odd_multiples(jac, bases[i], kPer);
+  }
+  auto tbl = Point::batch_to_affine(jac);
+
+  Point acc = Point::infinity();
+  for (std::size_t b = maxlen; b-- > 0;) {
+    acc = acc.dbl();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b >= digits[i].size() || digits[i][b] == 0) continue;
+      int v = digits[i][b];
+      AffinePt<Field> e =
+          tbl[i * kPer + static_cast<std::size_t>(v > 0 ? v : -v) / 2];
+      if (v < 0) e.y = e.y.neg();
+      acc = acc.add_mixed(e);
+    }
+  }
+  return acc;
+}
+
+/// Pippenger: per-window buckets with a running-sum sweep. Window width
+/// grows with n, so the per-point cost approaches one addition per window.
+template <typename Point>
+Point pippenger(std::span<const Point> bases,
+                std::span<const bigint::U256> scalars, std::size_t n,
+                unsigned max_bits) {
+  unsigned nbits = 0;
+  for (std::size_t v = n; v > 0; v >>= 1) ++nbits;
+  const unsigned c = std::min(12u, std::max(4u, nbits - 2));
+  const unsigned wins = (max_bits + c - 1) / c;
+
+  std::vector<Point> buckets((std::size_t{1} << c) - 1);
+  Point acc = Point::infinity();
+  for (unsigned win = wins; win-- > 0;) {
+    if (win + 1 != wins) {
+      for (unsigned j = 0; j < c; ++j) acc = acc.dbl();
+    }
+    for (auto& b : buckets) b = Point::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      unsigned d = window_value(scalars[i], win * c, c);
+      if (d) buckets[d - 1] += bases[i];
+    }
+    // Σ d * bucket[d] via the running-sum identity.
+    Point run = Point::infinity();
+    Point sum = Point::infinity();
+    for (std::size_t j = buckets.size(); j-- > 0;) {
+      run += buckets[j];
+      sum += run;
+    }
+    acc += sum;
+  }
+  return acc;
+}
+
+}  // namespace msm_detail
+
+/// Σ scalars[i] * bases[i] over min(sizes) terms; plain integer semantics
+/// (works for any curve instantiation, no subgroup assumption).
+template <typename Point>
+Point msm_u256(std::span<const Point> bases,
+               std::span<const bigint::U256> scalars) {
+  const std::size_t n = std::min(bases.size(), scalars.size());
+  if (n == 0) return Point::infinity();
+  const unsigned max_bits = msm_detail::max_bit_length(scalars, n);
+  if (max_bits == 0) return Point::infinity();
+  if (n <= 32) return msm_detail::straus(bases, scalars, n);
+  return msm_detail::pippenger(bases, scalars, n, max_bits);
+}
+
+/// Endomorphism-decomposed MSM: every scalar is split GLV (G1) / GLS (G2)
+/// into two half-length sub-scalars first, halving the shared doubling
+/// ladder. Defined in msm.cpp. G2 bases must lie in the order-r subgroup.
+G1 msm(std::span<const G1> bases, std::span<const field::Fr> scalars);
+G2 msm(std::span<const G2> bases, std::span<const field::Fr> scalars);
+
+/// Full windowed comb for one fixed base: tbl[i][d] = d * 2^(w i) * base,
+/// batch-normalized to affine. A multiplication is ceil(256/w) mixed
+/// additions and no doublings.
+template <typename Point>
+class FixedBaseTable {
+ public:
+  using Field = typename Point::Field;
+
+  explicit FixedBaseTable(const Point& base, unsigned window = 4)
+      : w_(window), wins_((256 + window - 1) / window) {
+    const unsigned per = (1u << w_) - 1;
+    std::vector<Point> jac;
+    jac.reserve(std::size_t{wins_} * per);
+    Point shifted = base;  // 2^(w i) * base
+    for (unsigned i = 0; i < wins_; ++i) {
+      Point m = shifted;
+      for (unsigned d = 1; d <= per; ++d) {
+        jac.push_back(m);
+        if (d < per) m += shifted;
+      }
+      for (unsigned j = 0; j < w_; ++j) shifted = shifted.dbl();
+    }
+    tbl_ = Point::batch_to_affine(jac);
+  }
+
+  [[nodiscard]] Point mul(const bigint::U256& k) const {
+    const unsigned per = (1u << w_) - 1;
+    Point acc = Point::infinity();
+    for (unsigned i = 0; i < wins_; ++i) {
+      unsigned d = window_value(k, i * w_, w_);
+      if (d) acc = acc.add_mixed(tbl_[std::size_t{i} * per + d - 1]);
+    }
+    return acc;
+  }
+
+ private:
+  unsigned w_;
+  unsigned wins_;
+  std::vector<AffinePt<Field>> tbl_;
+};
+
+/// Lazily-built comb table for the group generator (thread-safe static).
+template <typename Point>
+const FixedBaseTable<Point>& generator_table() {
+  static const FixedBaseTable<Point> tbl(Point::generator());
+  return tbl;
+}
+
+/// Prepared multi-base MSM over fixed G2 points in the order-r subgroup
+/// (the IBBE public key's h^(gamma^i) powers): per-base affine odd-multiple
+/// tables plus psi-images, consumed by a GLS-split Straus loop. Build cost
+/// ~9 G2 operations per base, one field inversion total.
+class G2PowersMsm {
+ public:
+  explicit G2PowersMsm(std::span<const G2> bases, unsigned window = 5);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Σ coefs[i] * bases[i] over min(size(), coefs.size()) terms; zero
+  /// coefficients are skipped.
+  [[nodiscard]] G2 msm(std::span<const field::Fr> coefs) const;
+
+ private:
+  unsigned w_;
+  std::size_t per_;  // odd multiples per base = 2^(w-2)
+  std::size_t n_;
+  std::vector<AffinePt<field::Fp2>> tbl_;      // n_ * per_
+  std::vector<AffinePt<field::Fp2>> tbl_psi_;  // psi image of tbl_
+};
+
+}  // namespace ibbe::ec

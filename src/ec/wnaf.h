@@ -1,0 +1,45 @@
+// Windowed non-adjacent-form (wNAF) scalar recoding, shared by the generic
+// curve template, the GLV/GLS fast paths, and the MSM engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/u256.h"
+
+namespace ibbe::ec {
+
+/// Signed-digit recoding: digits[i] is the coefficient of 2^i, each either
+/// zero or odd with |d| < 2^(w-1), and any two non-zero digits at least w
+/// positions apart. Trailing zeros are stripped (zero scalar -> empty).
+inline std::vector<int> wnaf_digits(const bigint::U256& k, unsigned w) {
+  // Work on a mutable bit array with headroom for the final carry.
+  std::vector<std::uint8_t> bits(256 + w + 1, 0);
+  for (unsigned i = 0; i < 256; ++i) bits[i] = k.bit(i) ? 1 : 0;
+  std::vector<int> digits(bits.size(), 0);
+  for (std::size_t i = 0; i < bits.size();) {
+    if (bits[i] == 0) {
+      ++i;
+      continue;
+    }
+    int val = 0;
+    for (unsigned j = 0; j < w && i + j < bits.size(); ++j) {
+      val |= bits[i + j] << j;
+    }
+    int d = val;
+    if (d >= (1 << (w - 1))) {
+      d -= 1 << w;
+      // Borrowed from the next window: propagate a carry upward.
+      std::size_t pos = i + w;
+      while (pos < bits.size() && bits[pos] == 1) bits[pos++] = 0;
+      if (pos < bits.size()) bits[pos] = 1;
+    }
+    for (unsigned j = 0; j < w && i + j < bits.size(); ++j) bits[i + j] = 0;
+    digits[i] = d;
+    i += w;
+  }
+  while (!digits.empty() && digits.back() == 0) digits.pop_back();
+  return digits;
+}
+
+}  // namespace ibbe::ec

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "crypto/sha256.h"
+#include "ec/msm.h"
+#include "ibbe/poly.h"
 
 namespace ibbe::core {
 
@@ -43,40 +45,33 @@ void check_receivers(const PublicKey& pk, std::span<const Identity> receivers) {
 }
 
 /// Coefficients (ascending degree) of prod_u (x + H(u)) over Zr — the
-/// quadratic-cost polynomial expansion of the paper's Formula 4. `skip`
-/// excludes exactly ONE occurrence (decrypt divides a single (gamma+H(i))
-/// factor out of the product, even if an identity is duplicated in S).
+/// polynomial expansion of the paper's Formula 4, via a subproduct tree for
+/// large sets (ibbe/poly.h). `skip` excludes exactly ONE occurrence (decrypt
+/// divides a single (gamma+H(i)) factor out of the product, even if an
+/// identity is duplicated in S).
 std::vector<Fr> expand_polynomial(std::span<const Identity> receivers,
                                   const Identity* skip) {
-  std::vector<Fr> coef{Fr::one()};
+  std::vector<Fr> roots;
+  roots.reserve(receivers.size());
   bool skipped = false;
   for (const Identity& id : receivers) {
     if (skip && !skipped && id == *skip) {
       skipped = true;
       continue;
     }
-    Fr hu = hash_identity(id);
-    coef.push_back(Fr::zero());
-    // Multiply by (x + hu), highest coefficient first.
-    for (std::size_t i = coef.size(); i-- > 1;) {
-      coef[i] = coef[i - 1] + coef[i] * hu;
-    }
-    coef[0] = coef[0] * hu;
+    roots.push_back(hash_identity(id));
   }
-  return coef;
+  return poly::expand_roots(roots);
 }
 
-/// h^(poly(gamma)) assembled from the PK powers: prod_i (h^gamma^i)^coef_i.
+/// h^(poly(gamma)) assembled from the PK powers: prod_i (h^gamma^i)^coef_i,
+/// one GLS-decomposed multi-scalar multiplication over the key's cached
+/// affine tables instead of |coef| independent G2 ladders.
 G2 evaluate_in_exponent(const PublicKey& pk, std::span<const Fr> coef) {
   if (coef.size() > pk.h_powers.size()) {
     throw std::invalid_argument("ibbe: polynomial degree exceeds PK powers");
   }
-  G2 acc = G2::infinity();
-  for (std::size_t i = 0; i < coef.size(); ++i) {
-    if (coef[i].is_zero()) continue;
-    acc += pk.h_powers[i].mul(coef[i]);
-  }
-  return acc;
+  return pk.powers_msm(coef.size())->msm(coef);
 }
 
 /// Completes (bk, C1, C2) for a fresh randomizer k over an existing C3.
@@ -121,6 +116,26 @@ const pairing::G2Prepared& PublicKey::prepared_h() const {
 
 const pairing::G2Prepared& PublicKey::prepared_h_gamma() const {
   return prepare_cached(prep_h_gamma_, h_powers.at(1));
+}
+
+std::shared_ptr<const ec::G2PowersMsm> PublicKey::powers_msm(
+    std::size_t need) const {
+  need = std::min(need, h_powers.size());
+  auto cur = std::atomic_load_explicit(&prep_msm_, std::memory_order_acquire);
+  if (cur && cur->size() >= need) return cur;
+  // Cover at least `need` powers, growing geometrically (and jumping
+  // straight to the full key once past half of it), so steadily growing
+  // receiver sets trigger at most O(log m) rebuilds.
+  std::size_t size = std::max(need, cur ? 2 * cur->size() : need);
+  if (2 * size >= h_powers.size()) size = h_powers.size();
+  auto fresh = std::make_shared<const ec::G2PowersMsm>(
+      std::span<const ec::G2>(h_powers.data(), size));
+  while (true) {
+    if (cur && cur->size() >= need) return cur;
+    if (std::atomic_compare_exchange_strong(&prep_msm_, &cur, fresh)) {
+      return fresh;
+    }
+  }
 }
 
 util::Bytes PublicKey::to_bytes() const {

@@ -32,6 +32,10 @@
 #include "pairing/pairing.h"
 #include "util/bytes.h"
 
+namespace ibbe::ec {
+class G2PowersMsm;  // ec/msm.h
+}
+
 namespace ibbe::core {
 
 using Identity = std::string;
@@ -62,12 +66,20 @@ struct PublicKey {
   [[nodiscard]] const pairing::G2Prepared& prepared_h() const;
   [[nodiscard]] const pairing::G2Prepared& prepared_h_gamma() const;
 
+  /// Prepared multi-scalar-multiplication tables over the first `need`
+  /// h_powers (grown to the full key once `need` passes half of it), for the
+  /// Σ coef_i * h^(gamma^i) sums in encrypt/decrypt. Built lazily, cached
+  /// with the same benign-race discipline as the pairing tables above.
+  [[nodiscard]] std::shared_ptr<const ec::G2PowersMsm> powers_msm(
+      std::size_t need) const;
+
   [[nodiscard]] util::Bytes to_bytes() const;
   static PublicKey from_bytes(std::span<const std::uint8_t> data);
 
  private:
   mutable std::shared_ptr<const pairing::G2Prepared> prep_h_;
   mutable std::shared_ptr<const pairing::G2Prepared> prep_h_gamma_;
+  mutable std::shared_ptr<const ec::G2PowersMsm> prep_msm_;
 };
 
 struct UserSecretKey {

@@ -1,0 +1,33 @@
+// Dense polynomial arithmetic over the BN254 scalar field.
+//
+// The IBBE hot paths expand prod_u (x + H(u)) into coefficients (the paper's
+// Formula 4). The classic incremental expansion is O(|S|^2) Zr
+// multiplications; for large receiver sets a subproduct tree with Karatsuba
+// multiplication brings that down to O(|S|^1.585).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "field/fields.h"
+
+namespace ibbe::core::poly {
+
+/// Product of two dense polynomials (coefficients ascending). Schoolbook for
+/// small operands, Karatsuba above a threshold. Empty input = zero
+/// polynomial.
+std::vector<field::Fr> mul(std::span<const field::Fr> a,
+                           std::span<const field::Fr> b);
+
+/// Coefficients (ascending, monic, degree = roots.size()) of
+/// prod_i (x + roots[i]) by incremental multiplication — the O(n^2)
+/// reference used below the tree threshold and as a test oracle.
+std::vector<field::Fr> expand_roots_incremental(
+    std::span<const field::Fr> roots);
+
+/// Same product via a subproduct tree: split the root set in halves, expand
+/// recursively, multiply the halves with Karatsuba. Falls back to the
+/// incremental expansion below a small threshold.
+std::vector<field::Fr> expand_roots(std::span<const field::Fr> roots);
+
+}  // namespace ibbe::core::poly

@@ -100,28 +100,36 @@ struct ProjPoint {
   Fp2 z;
 };
 
-/// Tangent step: emits the line l_{T,T} (scaled by 2YZ^2) and doubles T.
-///   lambda = 3X^2 / (2YZ);  A = 3X^2, B = 2YZ
-///   X3 = UB, Y3 = A(XB^2 - U) - YB^3, Z3 = B^3 Z,  U = A^2 Z - 2XB^2
+/// Tangent step: emits the line l_{T,T} and doubles T, with the dedicated
+/// Costello–Lauter–Naehrig formulas for y^2 = x^3 + b' in homogeneous
+/// coordinates (3M + 6S + 1 mult-by-b', vs ~12M + 2S for the generic
+/// lambda-derived step):
+///   A = XY/2, B = Y^2, C = Z^2, E = 3b'C, F = 3E, G = (B+F)/2,
+///   H = (Y+Z)^2 - (B+C) = 2YZ, I = E - B, J = X^2
+///   X3 = A(B - F), Y3 = G^2 - 3E^2, Z3 = BH
+///   line = -H y_P + 3J x_P + I   (the old line scaled by -1/Z, which the
+///   final exponentiation annihilates)
 LineCoeffs dbl_step(ProjPoint& t) {
-  Fp2 xx = t.x.square();
-  Fp2 a = xx.dbl() + xx;           // 3X^2
-  Fp2 b = (t.y * t.z).dbl();       // 2YZ
-  Fp2 b2 = b.square();
-  Fp2 az = a * t.z;
-  Fp2 xb2 = t.x * b2;
-  Fp2 u = a * az - xb2.dbl();
-  Fp2 b3 = b * b2;
+  static const Fp two_inv = Fp::from_u64(2).inverse();
+  Fp2 a = (t.x * t.y).mul_by_fp(two_inv);
+  Fp2 b = t.y.square();
+  Fp2 c = t.z.square();
+  Fp2 e = ec::G2Params::b() * (c.dbl() + c);
+  Fp2 f = e.dbl() + e;
+  Fp2 g = (b + f).mul_by_fp(two_inv);
+  Fp2 h = (t.y + t.z).square() - (b + c);
+  Fp2 i = e - b;
+  Fp2 j = t.x.square();
+  Fp2 e2 = e.square();
 
   LineCoeffs l;
-  l.a = b * t.z;                   // 2YZ^2  (times y_P)
-  l.b = az.neg();                  // -3X^2 Z (times x_P)
-  l.c = a * t.x - t.y * b;         // 3X^3 - 2Y^2 Z
+  l.a = h.neg();        // -2YZ       (times y_P)
+  l.b = j.dbl() + j;    // 3X^2       (times x_P)
+  l.c = i;              // 3b'Z^2 - Y^2
 
-  Fp2 y3 = a * (xb2 - u) - t.y * b3;
-  t.x = u * b;
-  t.y = y3;
-  t.z = b3 * t.z;
+  t.x = a * (b - f);
+  t.y = g.square() - (e2.dbl() + e2);
+  t.z = b * h;
   return l;
 }
 

@@ -1,9 +1,11 @@
 #include "pki/ecdsa.h"
 
+#include <array>
 #include <stdexcept>
 
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "ec/msm.h"
 
 namespace ibbe::pki {
 
@@ -95,8 +97,11 @@ bool ecdsa_verify(const P256Point& public_key,
   P256Fr s_inv = sig.s.inverse();
   P256Fr u1 = z * s_inv;
   P256Fr u2 = sig.r * s_inv;
-  P256Point candidate =
-      P256Point::generator().mul(u1) + public_key.mul(u2);
+  // u1 G + u2 Q as one Straus multi-scalar multiplication: the doubling
+  // ladder is shared between the two terms.
+  const std::array<P256Point, 2> bases = {P256Point::generator(), public_key};
+  const std::array<bigint::U256, 2> scalars = {u1.to_u256(), u2.to_u256()};
+  P256Point candidate = ec::msm_u256<P256Point>(bases, scalars);
   auto affine = candidate.to_affine();
   if (!affine) return false;
   return P256Fr::from_u256_reduce(affine->first.to_u256()) == sig.r;
