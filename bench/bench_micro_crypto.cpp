@@ -13,6 +13,7 @@
 #include "ec/glv.h"
 #include "ec/msm.h"
 #include "ibbe/ibbe.h"
+#include "pairing/gt_exp.h"
 #include "pairing/pairing.h"
 #include "pki/ecies.h"
 
@@ -168,6 +169,7 @@ void BM_MsmG1(benchmark::State& state) {
 BENCHMARK(BM_MsmG1)->Arg(64);
 
 void BM_GtExp(benchmark::State& state) {
+  // Routes through the cyclotomic engine: 4-dim Frobenius decomposition.
   Drbg rng(5);
   auto e = ibbe::pairing::pairing(G1::generator(), G2::generator());
   Fr k = random_fr(rng);
@@ -176,6 +178,36 @@ void BM_GtExp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GtExp);
+
+void BM_GtExpNaive(benchmark::State& state) {
+  // The pre-engine path: plain bit-scan over Granger-Scott squarings.
+  Drbg rng(5);
+  auto e = ibbe::pairing::pairing(G1::generator(), G2::generator());
+  auto k = random_fr(rng).to_u256();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.value().pow_cyclotomic(k));
+  }
+}
+BENCHMARK(BM_GtExpNaive);
+
+void BM_GtPowU(benchmark::State& state) {
+  // The final exponentiation's u-ladder: NAF-of-u over Karabina compressed
+  // squarings with one batched decompression. Three of these per pairing.
+  auto e = ibbe::pairing::pairing(G1::generator(), G2::generator());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibbe::pairing::gt_pow_u(e.value()));
+  }
+}
+BENCHMARK(BM_GtPowU);
+
+void BM_GtPowUNaive(benchmark::State& state) {
+  auto e = ibbe::pairing::pairing(G1::generator(), G2::generator());
+  auto u = ibbe::bigint::U256::from_u64(0x44e992b44a6909f1ULL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.value().pow_cyclotomic(u));
+  }
+}
+BENCHMARK(BM_GtPowUNaive);
 
 void BM_Pairing(benchmark::State& state) {
   for (auto _ : state) {
@@ -259,6 +291,32 @@ void BM_IbbeDecrypt(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IbbeDecrypt)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_IbbeDecryptBatched4(benchmark::State& state) {
+  // One client in four |S|=range partitions, decrypted in one batched call;
+  // compare against 4x BM_IbbeDecrypt at the same size.
+  Drbg rng(8);
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto keys = ibbe::core::setup(n, rng);
+  std::vector<std::vector<ibbe::core::Identity>> sets;
+  std::vector<ibbe::core::EncryptResult> encs;
+  for (int p = 0; p < 4; ++p) {
+    std::vector<ibbe::core::Identity> set;
+    for (std::size_t i = 0; i < n; ++i) {
+      set.push_back("p" + std::to_string(p) + "u" + std::to_string(i));
+    }
+    set[0] = "u0";  // the shared client
+    encs.push_back(ibbe::core::encrypt_with_msk(keys.msk, keys.pk, set, rng));
+    sets.push_back(std::move(set));
+  }
+  auto usk = ibbe::core::extract_user_key(keys.msk, "u0");
+  std::vector<ibbe::core::PartitionRef> parts;
+  for (std::size_t p = 0; p < 4; ++p) parts.push_back({sets[p], &encs[p].ct});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibbe::core::decrypt_batched(keys.pk, usk, parts));
+  }
+}
+BENCHMARK(BM_IbbeDecryptBatched4)->Arg(16);
 
 }  // namespace
 

@@ -1,8 +1,10 @@
 // Scalar-multiplication perf trajectory: a small always-built suite (no
 // google-benchmark dependency) that times the operations ISSUE/ROADMAP track
 // across PRs — pairing, G1/G2 single muls (naive ladder vs endomorphism
-// path), a 64-term G2 MSM, and end-to-end decrypt(|S|=16) — and optionally
-// writes them as JSON so CI can diff a BENCH_scalar.json between revisions.
+// path), GT exponentiation (naive ladder vs cyclotomic engine), a 64-term
+// G2 MSM, end-to-end decrypt(|S|=16), and a 4-partition batched decrypt —
+// and optionally writes them as JSON so CI can diff a BENCH_scalar.json
+// between revisions. The schema is documented in docs/benchmarks.md.
 //
 // Usage: bench_scalar_suite [--json PATH] [--scale smoke|default|full]
 #include <cstdio>
@@ -16,6 +18,7 @@
 #include "ec/glv.h"
 #include "ec/msm.h"
 #include "ibbe/ibbe.h"
+#include "pairing/gt_exp.h"
 #include "pairing/pairing.h"
 #include "util/stopwatch.h"
 
@@ -71,6 +74,28 @@ int main(int argc, char** argv) {
   auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
   auto usk = ibbe::core::extract_user_key(keys.msk, users[0]);
 
+  // GT exponentiation operands: a genuine order-r element and a scalar.
+  const auto gt_elem =
+      ibbe::pairing::pairing(G1::generator().mul(random_fr()), p2);
+  const Fr gt_k = random_fr();
+
+  // Four |S|=16 partitions sharing the client user0 (distinct otherwise).
+  std::vector<std::vector<ibbe::core::Identity>> part_sets;
+  std::vector<ibbe::core::EncryptResult> part_encs;
+  for (int p = 0; p < 4; ++p) {
+    std::vector<ibbe::core::Identity> set;
+    for (int i = 0; i < 16; ++i) {
+      set.push_back("part" + std::to_string(p) + "-user" + std::to_string(i));
+    }
+    set[0] = users[0];
+    part_encs.push_back(ibbe::core::encrypt_with_msk(keys.msk, keys.pk, set, rng));
+    part_sets.push_back(std::move(set));
+  }
+  std::vector<ibbe::core::PartitionRef> parts;
+  for (std::size_t p = 0; p < 4; ++p) {
+    parts.push_back({part_sets[p], &part_encs[p].ct});
+  }
+
   struct Metric {
     const char* name;
     double us;
@@ -89,6 +114,10 @@ int main(int argc, char** argv) {
   metrics.push_back({"g2_mul_naive_us",
                      time_us([&] { (void)p2.scalar_mul(ku); }, iters)});
   metrics.push_back({"g2_mul_gls_us", time_us([&] { (void)p2.mul(k); }, iters)});
+  metrics.push_back({"gt_pow_naive_us", time_us(
+      [&] { (void)gt_elem.value().pow_cyclotomic(gt_k.to_u256()); }, iters)});
+  metrics.push_back({"gt_pow_us", time_us(
+      [&] { (void)gt_elem.exp(gt_k); }, iters)});
   metrics.push_back({"msm_g2_64_us", time_us(
       [&] {
         (void)ibbe::ec::msm(std::span<const G2>(msm_bases),
@@ -97,6 +126,9 @@ int main(int argc, char** argv) {
       iters)});
   metrics.push_back({"decrypt_16_us", time_us(
       [&] { (void)ibbe::core::decrypt(keys.pk, usk, users, enc.ct); },
+      iters)});
+  metrics.push_back({"decrypt_batched_4x16_us", time_us(
+      [&] { (void)ibbe::core::decrypt_batched(keys.pk, usk, parts); },
       iters)});
 
   ibbe::bench::Table table("scalar suite (" +

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Harness-level CI: configure, build, run the test suite, then run every
-# bench binary at --scale smoke (and a short micro-crypto sweep) so that a
-# perf regression or bit-rotted bench fails the pipeline, not just a broken
-# unit test. Also emits BENCH_scalar.json (pairing, G1/G2 mul, MSM-64,
-# decrypt-16) so future revisions have a perf trajectory to diff against.
+# Harness-level CI: docs checks (module READMEs present, markdown links
+# resolve), configure, build, run the test suite, then run every bench
+# binary at --scale smoke (and a short micro-crypto sweep) so that a perf
+# regression or bit-rotted bench fails the pipeline, not just a broken unit
+# test. Also emits BENCH_scalar.json (pairing / G1 / G2 / GT exponentiation
+# / MSM-64 / decrypt-16 / batched decrypt; schema in docs/benchmarks.md) so
+# future revisions have a perf trajectory to diff against.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -26,6 +28,42 @@ if git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
     exit 1
   fi
 fi
+
+# Documentation gate: every src/<module>/ must carry a README.md, and no
+# markdown link in any README.md (or docs/*.md) may point at a nonexistent
+# file — so the module map cannot rot silently.
+docs_failed=0
+for module_dir in src/*/; do
+  if [ ! -f "$module_dir/README.md" ]; then
+    echo "ci.sh: missing $module_dir/README.md" >&2
+    docs_failed=1
+  fi
+done
+# Relative markdown links: [text](target). External links (scheme:// or
+# mailto:) and pure #anchors are skipped; optional "title" suffixes are
+# stripped; /-rooted targets resolve against the repo root; intra-repo
+# anchors are checked by file part.
+while IFS=: read -r doc target; do
+  target="${target%% \"*}"
+  target="${target%% \'*}"
+  case "$target" in
+    *://*|mailto:*|'#'*) continue ;;
+    /*) resolved=".${target%%#*}" ;;
+    *)  resolved="$(dirname "$doc")/${target%%#*}" ;;
+  esac
+  if [ ! -e "$resolved" ]; then
+    echo "ci.sh: broken link in $doc -> $target" >&2
+    docs_failed=1
+  fi
+done < <(find . \( -name 'build*' -o -name '.git' \) -prune -o -name '*.md' -print \
+           | grep -E 'README\.md$|^\./docs/' \
+           | xargs grep -oE '\]\([^)]+\)' /dev/null \
+           | sed -E 's/\]\(([^)]*)\)$/\1/')
+if [ "$docs_failed" -ne 0 ]; then
+  echo "ci.sh: documentation checks failed" >&2
+  exit 1
+fi
+echo "ci.sh: documentation checks passed"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
@@ -51,7 +89,7 @@ cat "$BUILD_DIR/BENCH_scalar.json"
 if [ -x "$BUILD_DIR/bench_micro_crypto" ]; then
   echo "==> $BUILD_DIR/bench_micro_crypto (smoke)"
   "$BUILD_DIR/bench_micro_crypto" \
-    --benchmark_filter='FrInverse|G1ScalarMul|G1MulGlv|G2MulGls|MsmG2|GtExp|Pairing' \
+    --benchmark_filter='FrInverse|G1ScalarMul|G1MulGlv|G2MulGls|MsmG2|GtExp|GtPowU|Pairing' \
     --benchmark_min_time=0.05
 fi
 

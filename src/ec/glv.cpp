@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bigint/biguint.h"
+#include "bigint/int512.h"
 #include "ec/wnaf.h"
 #include "field/fields.h"
 #include "field/tower_consts.h"
@@ -20,120 +21,20 @@ using field::Fr;
 
 namespace {
 
-// ------------------------------------------------------------ 512-bit bits
-//
-// The per-scalar decomposition works on 8-limb products from mul_wide so it
-// never allocates; BigUInt appears on the derivation (init) path only.
+// The per-scalar decomposition works on 8-limb products from mul_wide via
+// the shared bigint/int512.h toolkit so it never allocates; BigUInt appears
+// on the derivation (init) path only.
+using bigint::Limbs8;
+using bigint::round_shift_512;
+using bigint::S512;
+using bigint::signed_add;
+using bigint::signed_sub;
+using bigint::s512_from_u256;
+using bigint::s512_to_u256;
 
-using Limbs8 = std::array<std::uint64_t, 8>;
-
-void add_bit_512(Limbs8& a, unsigned bit) {
-  unsigned idx = bit / 64;
-  std::uint64_t add = std::uint64_t{1} << (bit % 64);
-  for (unsigned i = idx; i < 8 && add; ++i) {
-    std::uint64_t s = a[i] + add;
-    add = s < a[i] ? 1 : 0;
-    a[i] = s;
-  }
-}
-
-/// floor((a + 2^(shift-1)) / 2^shift) for products that fit well below
-/// 2^(shift+256): round-to-nearest shift extraction.
-U256 round_shift_512(Limbs8 a, unsigned shift) {
-  add_bit_512(a, shift - 1);
-  U256 out;
-  unsigned idx = shift / 64, off = shift % 64;
-  for (unsigned i = 0; i < 4; ++i) {
-    std::uint64_t lo = idx + i < 8 ? a[idx + i] : 0;
-    std::uint64_t hi = (off && idx + i + 1 < 8) ? a[idx + i + 1] : 0;
-    out.limb[i] = off ? (lo >> off) | (hi << (64 - off)) : lo;
-  }
-  return out;
-}
-
-struct S512 {
-  Limbs8 mag{};
-  bool neg = false;
-
-  [[nodiscard]] bool is_zero() const {
-    for (auto l : mag) {
-      if (l) return false;
-    }
-    return true;
-  }
-};
-
-int cmp_512(const Limbs8& a, const Limbs8& b) {
-  for (unsigned i = 8; i-- > 0;) {
-    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
-  }
-  return 0;
-}
-
-Limbs8 add_512(const Limbs8& a, const Limbs8& b) {
-  Limbs8 out;
-  unsigned __int128 carry = 0;
-  for (unsigned i = 0; i < 8; ++i) {
-    carry += a[i];
-    carry += b[i];
-    out[i] = static_cast<std::uint64_t>(carry);
-    carry >>= 64;
-  }
-  return out;
-}
-
-/// a - b; requires a >= b.
-Limbs8 sub_512(const Limbs8& a, const Limbs8& b) {
-  Limbs8 out;
-  std::uint64_t borrow = 0;
-  for (unsigned i = 0; i < 8; ++i) {
-    std::uint64_t bi = b[i] + borrow;
-    borrow = (bi < b[i]) || (a[i] < bi) ? 1 : 0;
-    out[i] = a[i] - bi;
-  }
-  return out;
-}
-
-S512 signed_add(const S512& a, const S512& b) {
-  if (a.neg == b.neg) return {add_512(a.mag, b.mag), a.neg};
-  int c = cmp_512(a.mag, b.mag);
-  if (c == 0) return {};
-  if (c > 0) return {sub_512(a.mag, b.mag), a.neg};
-  return {sub_512(b.mag, a.mag), b.neg};
-}
-
-S512 signed_sub(const S512& a, const S512& b) {
-  return signed_add(a, {b.mag, !b.neg});
-}
-
-S512 from_u256(const U256& v, bool neg = false) {
-  S512 out;
-  for (unsigned i = 0; i < 4; ++i) out.mag[i] = v.limb[i];
-  out.neg = neg;
-  return out;
-}
-
-/// Magnitude as U256; false if it does not fit in 256 bits.
-bool to_u256(const S512& v, U256& out) {
-  for (unsigned i = 4; i < 8; ++i) {
-    if (v.mag[i]) return false;
-  }
-  for (unsigned i = 0; i < 4; ++i) out.limb[i] = v.mag[i];
-  return true;
-}
-
-// ------------------------------------------------- init-time signed BigUInt
-
-struct SB {
-  BigUInt v;
-  bool neg = false;
-};
-
-SB sb_sub(const SB& a, const SB& b) {
-  if (a.neg != b.neg) return {a.v + b.v, a.neg};
-  if (a.v >= b.v) return {a.v - b.v, a.neg};
-  return {b.v - a.v, !b.neg};
-}
+// Init-time signed BigUInt arithmetic also comes from the shared toolkit.
+using SB = bigint::SBig;
+using bigint::sbig_sub;
 
 /// (a + b * eig) mod n, all signed inputs with |.| arbitrary.
 BigUInt eval_mod(const BigUInt& a_mag, bool a_neg, const BigUInt& b_mag,
@@ -202,7 +103,7 @@ struct GlvCtx {
     SB t0{BigUInt(0), false}, t1{BigUInt(1), false};
     while (r1 * r1 >= n) {
       auto [q, r2] = BigUInt::divmod(r0, r1);
-      SB t2 = sb_sub(t0, {q * t1.v, t1.neg});
+      SB t2 = sbig_sub(t0, {q * t1.v, t1.neg});
       r0 = std::move(r1);
       r1 = std::move(r2);
       t0 = std::move(t1);
@@ -210,7 +111,7 @@ struct GlvCtx {
     }
     // v1 = (r_{l+1}, -t_{l+1}); v2 = shorter of (r_l, -t_l), (r_{l+2}, -t_{l+2}).
     auto [q, r2] = BigUInt::divmod(r0, r1);
-    SB t2 = sb_sub(t0, {q * t1.v, t1.neg});
+    SB t2 = sbig_sub(t0, {q * t1.v, t1.neg});
     BigUInt va = r1;
     SB vb{t1.v, !t1.neg};
     BigUInt wa = r0;
@@ -236,7 +137,7 @@ struct GlvCtx {
 
     // (k, 0) = (k b2 / det) v1 - (k b1 / det) v2 with det = a1 b2 - a2 b1
     // = +-r, so the rounding signs depend on the determinant's sign.
-    SB det = sb_sub({BigUInt::from_u256(a1) * BigUInt::from_u256(b2), b2_neg},
+    SB det = sbig_sub({BigUInt::from_u256(a1) * BigUInt::from_u256(b2), b2_neg},
                     {BigUInt::from_u256(a2) * BigUInt::from_u256(b1), b1_neg});
     if (det.v != n) {
       throw std::logic_error("glv: basis determinant is not +-r");
@@ -274,12 +175,12 @@ struct GlvCtx {
     U256 c2 = round_shift_512(bigint::mul_wide(k, g2c), 254);
     // k0 = k - c1 a1 - c2 a2 ; k1 = -(c1 b1 + c2 b2), all signed.
     S512 s_k0 = signed_sub(
-        signed_sub(from_u256(k), S512{bigint::mul_wide(c1, a1), c1_neg}),
+        signed_sub(s512_from_u256(k), S512{bigint::mul_wide(c1, a1), c1_neg}),
         S512{bigint::mul_wide(c2, a2), c2_neg});
     S512 s_k1 = signed_add(S512{bigint::mul_wide(c1, b1), !(c1_neg ^ b1_neg)},
                            S512{bigint::mul_wide(c2, b2), !(c2_neg ^ b2_neg)});
     EndoDecomp d;
-    if (!to_u256(s_k0, d.k0) || !to_u256(s_k1, d.k1)) {
+    if (!s512_to_u256(s_k0, d.k0) || !s512_to_u256(s_k1, d.k1)) {
       throw std::logic_error("glv: decomposition out of range");
     }
     d.neg0 = s_k0.neg;

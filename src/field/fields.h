@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "bigint/biguint.h"
 #include "bigint/mont.h"
@@ -153,5 +154,26 @@ using Fp = Fp256<BnBaseTag>;
 using Fr = Fp256<BnScalarTag>;
 using P256Fp = Fp256<P256BaseTag>;
 using P256Fr = Fp256<P256ScalarTag>;
+
+/// Montgomery's simultaneous-inversion trick: replaces every element of `xs`
+/// by its inverse at the cost of ONE field inversion plus 3(n-1)
+/// multiplications. Works for any field-like type with operator* and a
+/// throwing inverse() (Fp256, Fp2, Fp12, ...); throws std::domain_error if
+/// any element is zero, leaving `xs` unspecified.
+template <typename F>
+void batch_inverse(std::span<F> xs) {
+  if (xs.empty()) return;
+  // Prefix products, one inversion of the total, then peel the suffix off.
+  std::vector<F> prefix(xs.size());
+  prefix[0] = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) prefix[i] = prefix[i - 1] * xs[i];
+  F inv = prefix.back().inverse();
+  for (std::size_t i = xs.size(); i-- > 1;) {
+    F xi_inv = inv * prefix[i - 1];
+    inv = inv * xs[i];
+    xs[i] = xi_inv;
+  }
+  xs[0] = inv;
+}
 
 }  // namespace ibbe::field

@@ -110,6 +110,81 @@ Fp12 Fp12::pow_cyclotomic(const bigint::U256& e) const {
   return result;
 }
 
+Fp12Compressed Fp12::compress() const {
+  return {c1_.c0(), c0_.c2(), c0_.c1(), c1_.c2()};
+}
+
+Fp12Compressed Fp12Compressed::square() const {
+  // The Granger–Scott output coordinates (c0.c1, c0.c2, c1.c0, c1.c2) depend
+  // only on those same four inputs (see cyclotomic_square above); these are
+  // its formulas restricted to that closed subsystem.
+  Fp2 g2_sq = g2_.square();
+  Fp2 g3_sq = g3_.square();
+  Fp2 g4_sq = g4_.square();
+  Fp2 g5_sq = g5_.square();
+
+  Fp2 t5 = g3_sq.mul_by_xi() + g2_sq;           // fp4_square(c1.c0, c0.c2).a
+  Fp2 t7 = g5_sq.mul_by_xi() + g4_sq;           // fp4_square(c0.c1, c1.c2).a
+  Fp2 t6 = (g2_ + g3_).square() - g2_sq - g3_sq;  // 2 c1.c0 c0.c2
+  Fp2 t9 = ((g4_ + g5_).square() - g4_sq - g5_sq).mul_by_xi();
+
+  Fp2 out_g4 = (t5 - g4_).dbl() + t5;
+  Fp2 out_g3 = (t7 - g3_).dbl() + t7;
+  Fp2 out_g2 = (t9 + g2_).dbl() + t9;
+  Fp2 out_g5 = (t6 + g5_).dbl() + t6;
+  return {out_g2, out_g3, out_g4, out_g5};
+}
+
+void Fp12Compressed::g1_fraction(Fp2& num, Fp2& den) const {
+  if (!g2_.is_zero()) {
+    // g1 = (xi g5^2 + 3 g4^2 - 2 g3) / (4 g2)
+    Fp2 g4_sq = g4_.square();
+    num = g5_.square().mul_by_xi() + g4_sq.dbl() + g4_sq - g3_.dbl();
+    den = g2_.dbl().dbl();
+    return;
+  }
+  // g2 = 0 branch: g1 = 2 g4 g5 / g3. A cyclotomic element with g2 = g3 = 0
+  // has g1 = 0 (the identity is the canonical case), so fall back to 0/1
+  // rather than evaluating the now-indeterminate quotient.
+  if (g3_.is_zero()) {
+    num = Fp2::zero();
+    den = Fp2::one();
+    return;
+  }
+  num = (g4_ * g5_).dbl();
+  den = g3_;
+}
+
+Fp12 Fp12Compressed::complete(const Fp2& g1) const {
+  // g0 = xi (2 g1^2 + g2 g5 - 3 g3 g4) + 1
+  Fp2 g3g4 = g3_ * g4_;
+  Fp2 t = g1.square().dbl() + g2_ * g5_ - g3g4.dbl() - g3g4;
+  Fp2 g0 = t.mul_by_xi() + Fp2::one();
+  return {Fp6(g0, g4_, g3_), Fp6(g2_, g1, g5_)};
+}
+
+Fp12 Fp12Compressed::decompress() const {
+  Fp2 num, den;
+  g1_fraction(num, den);
+  return complete(num * den.inverse());
+}
+
+std::vector<Fp12> Fp12Compressed::decompress_many(
+    std::span<const Fp12Compressed> xs) {
+  std::vector<Fp2> nums(xs.size());
+  std::vector<Fp2> dens(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i].g1_fraction(nums[i], dens[i]);
+  }
+  batch_inverse(std::span<Fp2>(dens));
+  std::vector<Fp12> out;
+  out.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out.push_back(xs[i].complete(nums[i] * dens[i]));
+  }
+  return out;
+}
+
 util::Bytes Fp12::to_bytes() const {
   util::ByteWriter w;
   for (const Fp6* h : {&c0_, &c1_}) {

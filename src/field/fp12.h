@@ -5,11 +5,16 @@
 // elements routes through it (see pairing/gt.h).
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "bigint/biguint.h"
 #include "field/fp6.h"
 #include "util/bytes.h"
 
 namespace ibbe::field {
+
+class Fp12Compressed;
 
 class Fp12 {
  public:
@@ -57,6 +62,8 @@ class Fp12 {
   [[nodiscard]] Fp12 cyclotomic_square() const;
   /// Exponentiation using cyclotomic squarings (same subgroup caveat).
   [[nodiscard]] Fp12 pow_cyclotomic(const bigint::U256& e) const;
+  /// Karabina compression (same subgroup caveat); see Fp12Compressed.
+  [[nodiscard]] Fp12Compressed compress() const;
 
   /// 384-byte canonical serialization (12 Fp values, big-endian, tower
   /// order c0.c0.c0, c0.c0.c1, c0.c1.c0, ..., c1.c2.c1).
@@ -69,6 +76,47 @@ class Fp12 {
  private:
   Fp6 c0_;
   Fp6 c1_;
+};
+
+/// Karabina compressed representation of a cyclotomic-subgroup element
+/// (eprint 2010/542): of the six Fp2 coordinates, (c0.c0, c1.c1) are
+/// redundant for norm-1 elements and are dropped. The remaining four form a
+/// closed system under cyclotomic squaring — `square` costs 6 Fp2 squarings
+/// versus the 9 of the full Granger–Scott formula — at the price of one Fp2
+/// inversion to decompress.
+/// Square-heavy ladders (the final exponentiation's three pow-by-u chains)
+/// stay compressed through the squaring runs and batch their decompressions
+/// through one shared inversion (`decompress_many`, Montgomery's trick).
+///
+/// Only sound for cyclotomic-subgroup elements; compressing anything else
+/// silently loses information.
+class Fp12Compressed {
+ public:
+  /// Compressed cyclotomic squaring (6 Fp2 squarings).
+  [[nodiscard]] Fp12Compressed square() const;
+
+  /// Single-element decompression: one Fp2 inversion.
+  [[nodiscard]] Fp12 decompress() const;
+  /// Batch decompression: one Fp2 inversion total (Montgomery's
+  /// simultaneous-inversion trick) plus a few multiplications per element.
+  static std::vector<Fp12> decompress_many(std::span<const Fp12Compressed> xs);
+
+ private:
+  friend class Fp12;
+  Fp12Compressed(const Fp2& g2, const Fp2& g3, const Fp2& g4, const Fp2& g5)
+      : g2_(g2), g3_(g3), g4_(g4), g5_(g5) {}
+
+  /// Numerator and denominator of the dropped c1.c1 coordinate (the final
+  /// division is what `decompress`/`decompress_many` share).
+  void g1_fraction(Fp2& num, Fp2& den) const;
+  /// Rebuilds the full element from the recovered c1.c1.
+  [[nodiscard]] Fp12 complete(const Fp2& g1) const;
+
+  // Karabina's (g2, g3, g4, g5) = our (c1.c0, c0.c2, c0.c1, c1.c2).
+  Fp2 g2_;
+  Fp2 g3_;
+  Fp2 g4_;
+  Fp2 g5_;
 };
 
 }  // namespace ibbe::field

@@ -53,10 +53,36 @@ void HeIbeScheme::grant(const core::Identity& id) {
   entries_[id] = std::move(entry);
 }
 
+void HeIbeScheme::grant_many(std::span<const core::Identity> ids) {
+  // One grant per member, but with the per-member final exponentiations
+  // batched (pairing::final_exponentiation_many shares the easy part's field
+  // inversion) and the per-member key derivation routed through the GT
+  // exponentiation engine via Gt::exp.
+  std::vector<Fr> rs;
+  std::vector<field::Fp12> millers;
+  rs.reserve(ids.size());
+  millers.reserve(ids.size());
+  for (const auto& id : ids) {
+    Fr r = random_nonzero_fr(rng_);
+    G2 u = G2::generator().mul(r);
+    Entry entry;
+    entry.u_bytes = ec::g2_to_bytes(u);
+    entries_[id] = std::move(entry);
+    rs.push_back(r);
+    millers.push_back(pairing::miller_loop(ec::hash_to_g1(id), p_pub_prepared_));
+  }
+  auto exps = pairing::final_exponentiation_many(millers);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto shared = pairing::Gt::from_fp12_unchecked(exps[i]).exp(rs[i]);
+    crypto::Aes256Gcm gcm(shared.hash());
+    entries_[ids[i]].body = gcm.seal(zero_nonce(), gk_);
+  }
+}
+
 void HeIbeScheme::create_group(std::span<const core::Identity> members) {
   entries_.clear();
   gk_ = rng_.bytes(gk_size);
-  for (const auto& id : members) grant(id);
+  grant_many(members);
 }
 
 void HeIbeScheme::add_user(const core::Identity& id) {
@@ -67,10 +93,10 @@ void HeIbeScheme::add_user(const core::Identity& id) {
 void HeIbeScheme::remove_user(const core::Identity& id) {
   entries_.erase(id);
   gk_ = rng_.bytes(gk_size);
-  for (auto& [member, entry] : entries_) {
-    (void)entry;
-    grant(member);
-  }
+  std::vector<core::Identity> remaining;
+  remaining.reserve(entries_.size());
+  for (const auto& [member, entry] : entries_) remaining.push_back(member);
+  grant_many(remaining);
 }
 
 std::optional<util::Bytes> HeIbeScheme::user_decrypt(const core::Identity& id) {

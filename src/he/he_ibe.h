@@ -42,6 +42,9 @@ class HeIbeScheme : public GroupScheme {
   /// TA key extraction, memoized per identity.
   const ec::G1& user_key(const core::Identity& id);
   void grant(const core::Identity& id);
+  /// Bulk grant (group creation / post-revocation re-key): per-member Miller
+  /// loops against the prepared Ppub, then one batched final exponentiation.
+  void grant_many(std::span<const core::Identity> ids);
 
   crypto::Drbg rng_;
   util::Bytes gk_;

@@ -284,9 +284,18 @@ EncryptResult rekey(const PublicKey& pk, const BroadcastCiphertext& ct,
   return assemble_from_c3(pk, ct.c3, rng);
 }
 
-std::optional<Gt> decrypt(const PublicKey& pk, const UserSecretKey& usk,
-                          std::span<const Identity> receivers,
-                          const BroadcastCiphertext& ct) {
+namespace {
+
+/// The per-partition polynomial work shared by decrypt and decrypt_batched:
+/// membership check, Delta, and the MSM-assembled h^(p_i(gamma)).
+struct PartitionPlan {
+  Fr delta;
+  G2 h_pi;
+};
+
+std::optional<PartitionPlan> plan_partition(const PublicKey& pk,
+                                            const UserSecretKey& usk,
+                                            std::span<const Identity> receivers) {
   if (receivers.size() > pk.max_receivers()) return std::nullopt;
   bool member = false;
   for (const Identity& id : receivers) {
@@ -299,19 +308,67 @@ std::optional<Gt> decrypt(const PublicKey& pk, const UserSecretKey& usk,
 
   // coef = coefficients of prod_{j != i}(x + H(j)); Delta = constant term.
   auto coef = expand_polynomial(receivers, &usk.id);
-  Fr delta = coef[0];
+  PartitionPlan plan;
+  plan.delta = coef[0];
   // p_i(gamma) = (prod_{j != i}(gamma + H(j)) - Delta) / gamma: strip the
   // constant term and shift degrees down by one.
   std::vector<Fr> p_coef(coef.begin() + 1, coef.end());
-  G2 h_pi = evaluate_in_exponent(pk, p_coef);
+  plan.h_pi = evaluate_in_exponent(pk, p_coef);
+  return plan;
+}
 
-  // bk = (e(C1, h^p_i) * e(USK, C2))^(1/Delta), one shared final exp.
+}  // namespace
+
+std::optional<Gt> decrypt(const PublicKey& pk, const UserSecretKey& usk,
+                          std::span<const Identity> receivers,
+                          const BroadcastCiphertext& ct) {
+  auto plan = plan_partition(pk, usk, receivers);
+  if (!plan) return std::nullopt;
+
+  // bk = (e(C1, h^p_i) * e(USK, C2))^(1/Delta), one shared final exp, then
+  // the 1/Delta tail through the GT engine (Gt::exp).
   std::array<std::pair<G1, G2>, 2> pairs = {
-      std::make_pair(ct.c1, h_pi),
+      std::make_pair(ct.c1, plan->h_pi),
       std::make_pair(usk.value, ct.c2),
   };
   Gt combined = pairing::pairing_product(pairs);
-  return combined.exp(delta.inverse());
+  return combined.exp(plan->delta.inverse());
+}
+
+std::vector<std::optional<Gt>> decrypt_batched(
+    const PublicKey& pk, const UserSecretKey& usk,
+    std::span<const PartitionRef> parts) {
+  std::vector<std::optional<Gt>> out(parts.size());
+  std::vector<std::size_t> live;       // indices with a successful plan
+  std::vector<Fr> deltas;              // their Deltas (batch-inverted below)
+  std::vector<field::Fp12> millers;    // their 2-pair Miller products
+  live.reserve(parts.size());
+  deltas.reserve(parts.size());
+  millers.reserve(parts.size());
+
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].ct == nullptr) {
+      throw std::invalid_argument("decrypt_batched: null ciphertext");
+    }
+    auto plan = plan_partition(pk, usk, parts[i].receivers);
+    if (!plan) continue;  // out[i] stays nullopt, exactly as decrypt would
+    std::array<std::pair<G1, G2>, 2> pairs = {
+        std::make_pair(parts[i].ct->c1, plan->h_pi),
+        std::make_pair(usk.value, parts[i].ct->c2),
+    };
+    live.push_back(i);
+    deltas.push_back(plan->delta);
+    millers.push_back(pairing::miller_loop_product(pairs));
+  }
+
+  // One batched easy-part inversion for all final exponentiations, one
+  // batched Fr inversion for all Deltas, then the per-partition GT tails.
+  auto exped = pairing::final_exponentiation_many(millers);
+  field::batch_inverse(std::span<Fr>(deltas));
+  for (std::size_t j = 0; j < live.size(); ++j) {
+    out[live[j]] = Gt::from_fp12_unchecked(exped[j]).exp(deltas[j]);
+  }
+  return out;
 }
 
 G2 compute_c3_public(const PublicKey& pk, std::span<const Identity> receivers) {

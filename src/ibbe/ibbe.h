@@ -159,7 +159,8 @@ EncryptResult rekey(const PublicKey& pk, const BroadcastCiphertext& ct,
                     crypto::Drbg& rng);
 
 /// User-side decrypt: O(|S|^2) + a 2-pair multi-pairing (shared Miller-loop
-/// squarings and a single final exponentiation).
+/// squarings and a single final exponentiation), then one GT exponentiation
+/// by 1/Delta through the cyclotomic engine (pairing/gt_exp.h).
 /// Returns the broadcast key; std::nullopt if `usk.id` is not in `receivers`
 /// or the set exceeds the PK bound. (A wrong-but-well-formed ciphertext still
 /// yields a wrong bk — callers authenticate via the AEAD wrap above this
@@ -168,6 +169,32 @@ std::optional<pairing::Gt> decrypt(const PublicKey& pk,
                                    const UserSecretKey& usk,
                                    std::span<const Identity> receivers,
                                    const BroadcastCiphertext& ct);
+
+/// One partition's decrypt inputs: the receiver set a ciphertext was
+/// produced for, plus the ciphertext. The spans/pointers must stay alive for
+/// the duration of the decrypt_batched call; nothing is copied.
+struct PartitionRef {
+  std::span<const Identity> receivers;
+  const BroadcastCiphertext* ct = nullptr;
+};
+
+/// Batched decrypt for a client that belongs to many partitions (the same
+/// usk against several receiver sets / ciphertexts under one PK — e.g. one
+/// user in n groups, or the paper's partitioned group on re-key). Element i
+/// equals exactly what decrypt(pk, usk, parts[i].receivers, *parts[i].ct)
+/// would return, including std::nullopt for partitions the user is not in.
+///
+/// Each partition's broadcast key is an independent GT element, so the
+/// per-partition Miller loops and hard-part exponentiations are irreducible
+/// (a single shared-squaring multi-pairing would only yield the PRODUCT of
+/// the keys); what the batch amortizes is everything around them: ONE
+/// Montgomery-batched field inversion for all easy parts
+/// (pairing::final_exponentiation_many), ONE batched Fr inversion for all
+/// 1/Delta exponents, and the PK's cached MSM/pairing tables warmed once.
+/// Throws std::invalid_argument on a null ct pointer.
+std::vector<std::optional<pairing::Gt>> decrypt_batched(
+    const PublicKey& pk, const UserSecretKey& usk,
+    std::span<const PartitionRef> parts);
 
 /// Rebuilds C3 = h^(prod (gamma+H(u))) from the public key alone (paper
 /// Formula 5 remark) — O(|S|^2). Used to validate cached C3 values in tests.

@@ -1,0 +1,339 @@
+#include "pairing/gt_exp.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "bigint/biguint.h"
+#include "bigint/int512.h"
+#include "ec/wnaf.h"
+#include "field/fields.h"
+#include "pairing/pairing.h"
+
+namespace ibbe::pairing {
+
+using bigint::BigUInt;
+using bigint::Limbs8;
+using bigint::S512;
+using bigint::U256;
+using field::Fp12;
+using field::Fp12Compressed;
+using field::Fr;
+
+namespace {
+
+/// The BN parameter u = 4965661367192848881 (63 bits, positive), the same
+/// constant the Miller loop and final exponentiation are built from.
+constexpr std::uint64_t kBnU = 0x44e992b44a6909f1ULL;
+
+// Init-time signed BigUInt arithmetic comes from the shared decomposition
+// toolkit (bigint/int512.h, also used by ec/glv.cpp).
+using bigint::SBig;
+using bigint::sbig_add;
+using bigint::sbig_mod;
+using bigint::sbig_mul;
+using bigint::sbig_sub;
+
+// -------------------------------------------------------- NAF of u (static)
+
+/// Signed NAF digits of u, least significant first (top digit is +1):
+/// width-2 wNAF from the shared recoding helper IS the canonical NAF.
+const std::vector<int>& u_naf_digits() {
+  static const std::vector<int> digits =
+      ec::wnaf_digits(U256::from_u64(kBnU), 2);
+  return digits;
+}
+
+/// x^u over the compressed-squaring ladder; factored out of gt_pow_u so the
+/// context self-checks can call it before the context finishes constructing.
+Fp12 pow_u_impl(const Fp12& x) {
+  const auto& naf = u_naf_digits();
+  // Snapshot x^(2^i) (compressed) at every nonzero digit position i >= 1;
+  // one batched decompression then recovers all of them together.
+  std::vector<Fp12Compressed> snaps;
+  std::vector<int> signs;
+  snaps.reserve(naf.size() / 3 + 1);
+  Fp12Compressed run = x.compress();
+  for (std::size_t i = 1; i < naf.size(); ++i) {
+    run = run.square();
+    if (naf[i] != 0) {
+      snaps.push_back(run);
+      signs.push_back(naf[i]);
+    }
+  }
+  std::vector<Fp12> full = Fp12Compressed::decompress_many(snaps);
+  Fp12 acc = naf[0] == 1    ? x
+             : naf[0] == -1 ? x.conjugate()
+                            : Fp12::one();
+  for (std::size_t j = 0; j < full.size(); ++j) {
+    acc *= signs[j] > 0 ? full[j] : full[j].conjugate();
+  }
+  return acc;
+}
+
+/// Deterministic non-trivial member of the cyclotomic subgroup GPhi12(p):
+/// the easy part f^((p^6-1)(p^2+1)) of a fixed element, computed with plain
+/// field arithmetic so the self-checks need no pairing machinery.
+Fp12 sample_cyclotomic() {
+  using field::Fp;
+  using field::Fp2;
+  using field::Fp6;
+  Fp6 c0(Fp2(Fp::from_u64(1), Fp::from_u64(2)),
+         Fp2(Fp::from_u64(3), Fp::from_u64(4)),
+         Fp2(Fp::from_u64(5), Fp::from_u64(6)));
+  Fp6 c1(Fp2(Fp::from_u64(7), Fp::from_u64(8)),
+         Fp2(Fp::from_u64(9), Fp::from_u64(10)),
+         Fp2(Fp::from_u64(11), Fp::from_u64(12)));
+  Fp12 f(c0, c1);
+  Fp12 t = f.conjugate() * f.inverse();   // f^(p^6 - 1)
+  return t.frobenius().frobenius() * t;   // ^(p^2 + 1)
+}
+
+// -------------------------------------------------- Karabina / NAF-of-u ctx
+
+struct UCtx {
+  UCtx() {
+    const Fp12 x = sample_cyclotomic();
+    if (x.is_one()) throw std::logic_error("gt_exp: degenerate sample element");
+    if (x.compress().decompress() != x) {
+      throw std::logic_error("gt_exp: Karabina decompression round-trip failed");
+    }
+    if (x.compress().square().decompress() != x.cyclotomic_square()) {
+      throw std::logic_error("gt_exp: Karabina compressed squaring mismatch");
+    }
+    if (pow_u_impl(x) != x.pow_cyclotomic(U256::from_u64(kBnU))) {
+      throw std::logic_error("gt_exp: NAF-of-u exponentiation mismatch");
+    }
+  }
+
+  static const UCtx& get() {
+    static const UCtx ctx;
+    return ctx;
+  }
+};
+
+// ----------------------------------------------------- 4-dim Frobenius ctx
+
+struct Gt4Ctx {
+  U256 lambda;  // p mod r = 6u^2
+
+  // LLL-reduced basis of {(a0..a3) : sum a_i lambda^i = 0 mod r}, rows b_j;
+  // every entry is +-u, +-(u+1), +-2u or +-(2u+1), so the whole basis is
+  // pinned by the curve parameter. Determinant is -r (index-r sublattice).
+  struct Entry {
+    std::uint64_t mag;
+    bool neg;
+  };
+  std::array<std::array<Entry, 4>, 4> basis;
+
+  // Babai round-off reciprocals: ghat[j] = round(2^256 |C_j0| / r) with
+  // C_j0 the (j,0) cofactor of the basis matrix. The Babai coefficient is
+  // c_j = k C_j0 / det with det = -r, so its sign is the NEGATED cofactor
+  // sign: c_j = sign_j * round(k * ghat[j] / 2^256), sign_j = -sign(C_j0).
+  // The 2^-256 Barrett slack is far below the half-integer rounding margin
+  // for k < 2^254.
+  std::array<U256, 4> ghat;
+  std::array<bool, 4> csign;
+
+  Gt4Ctx() {
+    const BigUInt n = BigUInt::from_u256(Fr::modulus());
+    const BigUInt u(kBnU);
+    lambda = (BigUInt(6) * u * u).to_u256();
+
+    const std::uint64_t U = kBnU;
+    basis = {{
+        {{{2 * U, false}, {U + 1, false}, {U, true}, {U, false}}},
+        {{{U, true}, {U, false}, {U, true}, {2 * U + 1, true}}},
+        {{{U + 1, false}, {U, false}, {U, false}, {2 * U, true}}},
+        {{{2 * U + 1, false}, {U, true}, {U + 1, true}, {U, true}}},
+    }};
+
+    // Every row must be a lattice vector: sum_i b_ji lambda^i = 0 (mod r).
+    const BigUInt lam = BigUInt::from_u256(lambda);
+    std::array<BigUInt, 4> lam_pow{BigUInt(1), lam, lam * lam % n,
+                                   lam * lam % n * lam % n};
+    for (const auto& row : basis) {
+      SBig acc;
+      for (int i = 0; i < 4; ++i) {
+        acc = sbig_add(acc, sbig_mul({BigUInt(row[i].mag), row[i].neg},
+                                     {lam_pow[static_cast<std::size_t>(i)],
+                                      false}));
+      }
+      if (!sbig_mod(acc, n).is_zero()) {
+        throw std::logic_error("gt_exp: basis row is not in the lattice");
+      }
+    }
+
+    // Cofactors C_j0 (for the first column) and the determinant, by direct
+    // 3x3 minor expansion over signed BigUInt.
+    auto minor3 = [&](int drop_row) {
+      std::array<std::array<SBig, 3>, 3> m;
+      int rr = 0;
+      for (int r_i = 0; r_i < 4; ++r_i) {
+        if (r_i == drop_row) continue;
+        for (int c_i = 1; c_i < 4; ++c_i) {
+          m[static_cast<std::size_t>(rr)][static_cast<std::size_t>(c_i - 1)] =
+              {BigUInt(basis[static_cast<std::size_t>(r_i)]
+                            [static_cast<std::size_t>(c_i)].mag),
+               basis[static_cast<std::size_t>(r_i)]
+                    [static_cast<std::size_t>(c_i)].neg};
+        }
+        ++rr;
+      }
+      SBig det = sbig_sub(sbig_mul(m[0][0], sbig_sub(sbig_mul(m[1][1], m[2][2]),
+                                                     sbig_mul(m[1][2], m[2][1]))),
+                          sbig_mul(m[0][1], sbig_sub(sbig_mul(m[1][0], m[2][2]),
+                                                     sbig_mul(m[1][2], m[2][0]))));
+      return sbig_add(det,
+                      sbig_mul(m[0][2], sbig_sub(sbig_mul(m[1][0], m[2][1]),
+                                                 sbig_mul(m[1][1], m[2][0]))));
+    };
+
+    SBig det;
+    for (int j = 0; j < 4; ++j) {
+      SBig cof = minor3(j);
+      if (j % 2 == 1) cof.neg = !cof.neg;  // (-1)^(j+0)
+      // ghat[j] = round(2^256 |C_j0| / r)
+      auto [quo, rem] = BigUInt::divmod(cof.v << 256, n);
+      if (rem + rem >= n) quo = quo + BigUInt(1);
+      ghat[static_cast<std::size_t>(j)] = quo.to_u256();
+      csign[static_cast<std::size_t>(j)] = !cof.neg;
+      // det = sum_j b_j0 C_j0
+      det = sbig_add(det, sbig_mul({BigUInt(basis[static_cast<std::size_t>(j)]
+                                                 [0].mag),
+                                    basis[static_cast<std::size_t>(j)][0].neg},
+                                   cof));
+    }
+    if (det.v != n) {
+      throw std::logic_error("gt_exp: basis determinant is not +-r");
+    }
+
+    // End-to-end self-checks on a genuine order-r element (one final
+    // exponentiation; its u-ladders route through the UCtx above, which is
+    // independent of this context, so there is no initialization cycle).
+    const Fp12 x = final_exponentiation(sample_cyclotomic());
+    if (x.is_one() || !x.pow_cyclotomic(Fr::modulus()).is_one()) {
+      throw std::logic_error("gt_exp: sample element is not order r");
+    }
+    if (x.frobenius() != x.pow_cyclotomic(lambda)) {
+      throw std::logic_error("gt_exp: Frobenius does not act as [lambda]");
+    }
+    for (const U256& k :
+         {U256::one(), U256::from_u64(0xdeadbeefcafef00dULL),
+          bigint::mod(U256{{~0ull, ~0ull, ~0ull, ~0ull}}, Fr::modulus())}) {
+      Gt4Decomp d = decompose(k);
+      SBig lhs;
+      for (int i = 0; i < 4; ++i) {
+        auto idx = static_cast<std::size_t>(i);
+        if (d.k[idx].bit_length() > 72) {
+          throw std::logic_error("gt_exp: decomposition is not short");
+        }
+        lhs = sbig_add(lhs, sbig_mul({BigUInt::from_u256(d.k[idx]), d.neg[idx]},
+                                     {lam_pow[idx], false}));
+      }
+      if (sbig_mod(lhs, n) != BigUInt::from_u256(k)) {
+        throw std::logic_error("gt_exp: decomposition self-check failed");
+      }
+      if (pow(x, k) != x.pow_cyclotomic(k)) {
+        throw std::logic_error("gt_exp: 4-dim exponentiation mismatch");
+      }
+    }
+  }
+
+  /// Babai round-off: c_j from the precomputed reciprocals, then
+  /// eps_i = k delta_i0 - sum_j c_j b_ji over signed 512-bit limbs.
+  [[nodiscard]] Gt4Decomp decompose(const U256& k) const {
+    std::array<U256, 4> c;
+    for (std::size_t j = 0; j < 4; ++j) {
+      c[j] = bigint::round_shift_512(bigint::mul_wide(k, ghat[j]), 256);
+    }
+    Gt4Decomp d;
+    for (std::size_t i = 0; i < 4; ++i) {
+      S512 eps = i == 0 ? bigint::s512_from_u256(k) : S512{};
+      for (std::size_t j = 0; j < 4; ++j) {
+        const Entry& b = basis[j][i];
+        S512 term{bigint::mul_wide(c[j], U256::from_u64(b.mag)),
+                  // sign of -c_j * b_ji with sign(c_j) = csign[j]
+                  !(csign[j] != b.neg)};
+        eps = bigint::signed_add(eps, term);
+      }
+      if (!bigint::s512_to_u256(eps, d.k[i])) {
+        throw std::logic_error("gt_exp: decomposition out of range");
+      }
+      d.neg[i] = eps.neg;
+    }
+    return d;
+  }
+
+  /// The 4-way joint wNAF ladder; callable from the constructor self-check.
+  [[nodiscard]] Fp12 pow(const Fp12& x, const U256& k) const {
+    if (k.is_zero()) return Fp12::one();
+    Gt4Decomp d = decompose(k);
+
+    constexpr unsigned kWindow = 4;
+    std::array<std::vector<int>, 4> digits;
+    std::size_t len = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      digits[i] = ec::wnaf_digits(d.k[i], kWindow);
+      len = std::max(len, digits[i].size());
+    }
+    if (len == 0) return Fp12::one();
+
+    // Odd-multiple tables: tbl[0] costs one squaring and three
+    // multiplications; the other three are Frobenius images of it
+    // (pi(x^m) = pi(x)^m, one cheap map per entry). Sub-scalar signs fold
+    // into the digit sign at application time (conjugation is free).
+    std::array<std::array<Fp12, 4>, 4> tbl;
+    tbl[0][0] = x;
+    Fp12 x2 = x.cyclotomic_square();
+    for (std::size_t m = 1; m < 4; ++m) tbl[0][m] = tbl[0][m - 1] * x2;
+    for (std::size_t i = 1; i < 4; ++i) {
+      for (std::size_t m = 0; m < 4; ++m) tbl[i][m] = tbl[i - 1][m].frobenius();
+    }
+
+    Fp12 acc = Fp12::one();
+    bool started = false;
+    for (std::size_t pos = len; pos-- > 0;) {
+      if (started) acc = acc.cyclotomic_square();
+      for (std::size_t i = 0; i < 4; ++i) {
+        if (pos >= digits[i].size() || digits[i][pos] == 0) continue;
+        int v = digits[i][pos];
+        bool negate = (v < 0) != d.neg[i];
+        const Fp12& entry = tbl[i][static_cast<std::size_t>(v < 0 ? -v : v) / 2];
+        acc *= negate ? entry.conjugate() : entry;
+        started = true;
+      }
+    }
+    return acc;
+  }
+
+  static const Gt4Ctx& get() {
+    static const Gt4Ctx ctx;
+    return ctx;
+  }
+};
+
+}  // namespace
+
+Fp12 gt_pow(const Fp12& x, const U256& k) {
+  const U256 kr = bigint::cmp(k, Fr::modulus()) < 0
+                      ? k
+                      : bigint::mod(k, Fr::modulus());
+  return Gt4Ctx::get().pow(x, kr);
+}
+
+Fp12 gt_pow_u(const Fp12& x) {
+  UCtx::get();
+  return pow_u_impl(x);
+}
+
+const U256& gt_lambda() { return Gt4Ctx::get().lambda; }
+
+Gt4Decomp decompose_gt(const U256& k) {
+  if (bigint::cmp(k, Fr::modulus()) >= 0) {
+    throw std::invalid_argument("decompose_gt: scalar not reduced mod r");
+  }
+  return Gt4Ctx::get().decompose(k);
+}
+
+}  // namespace ibbe::pairing

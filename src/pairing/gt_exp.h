@@ -1,0 +1,58 @@
+// Cyclotomic exponentiation engine for the pairing target group.
+//
+// Two exponentiation strategies, both built on the structure the final
+// exponentiation leaves behind:
+//
+//  * `gt_pow` — GLS-style 4-dimensional decomposition for ORDER-r elements
+//    (true GT members). The p-power Frobenius pi acts on the order-r
+//    subgroup as exponentiation by lambda = p mod r = 6u^2, and lambda
+//    satisfies the cyclotomic quartic lambda^4 - lambda^2 + 1 = 0 (mod r),
+//    so a 254-bit exponent splits into four ~65-bit sub-scalars over the
+//    bases {x, pi(x), pi^2(x), pi^3(x)} (Babai round-off against an
+//    LLL-reduced lattice basis whose entries are linear in u, with the same
+//    Barrett-style rounding machinery as ec/glv.*). One joint width-4 wNAF
+//    ladder then costs ~66 cyclotomic squarings instead of ~254, with
+//    conjugation as the free inversion for negative digits.
+//
+//  * `gt_pow_u` — exponentiation by the fixed BN parameter u for ANY element
+//    of the cyclotomic subgroup GPhi12(p) (easy-part outputs included, where
+//    the 4-dim split is NOT valid because the element order exceeds r).
+//    Walks the signed NAF of u over Karabina compressed squarings,
+//    snapshotting the compressed ladder at nonzero digits and recovering all
+//    snapshots with one batched decompression (field/fp12.h).
+//
+// All derived constants (the lattice basis, its determinant, the rounding
+// reciprocals, the NAF of u, the Karabina formulas) are self-checked at
+// first use against the naive pow / cyclotomic_square oracles, so a
+// transcription error throws at startup instead of corrupting ciphertexts.
+#pragma once
+
+#include <array>
+
+#include "bigint/u256.h"
+#include "field/fp12.h"
+
+namespace ibbe::pairing {
+
+/// x^k for x in the order-r subgroup of Fp12 (outputs of a final
+/// exponentiation and products thereof). k is reduced mod r. For elements of
+/// the cyclotomic subgroup that are NOT order r, use Fp12::pow_cyclotomic.
+field::Fp12 gt_pow(const field::Fp12& x, const bigint::U256& k);
+
+/// x^u (u = the BN254 curve parameter, 63 bits) for x anywhere in the
+/// cyclotomic subgroup GPhi12(p). The final exponentiation's hard part runs
+/// its three u-ladders through this.
+field::Fp12 gt_pow_u(const field::Fp12& x);
+
+/// The GT Frobenius eigenvalue lambda = p mod r = 6u^2. Exposed for tests.
+const bigint::U256& gt_lambda();
+
+/// Four-dimensional decomposition k = sum_i (-1)^neg[i] k[i] lambda^i
+/// (mod r) with k[i] < ~2^66. Exposed for tests; requires k < r.
+struct Gt4Decomp {
+  std::array<bigint::U256, 4> k;
+  std::array<bool, 4> neg;
+};
+Gt4Decomp decompose_gt(const bigint::U256& k);
+
+}  // namespace ibbe::pairing

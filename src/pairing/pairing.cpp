@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "field/tower_consts.h"
+#include "pairing/gt_exp.h"
 
 namespace ibbe::pairing {
 
@@ -206,15 +207,50 @@ Fp12 pow_cyclotomic_big(const Fp12& base, const BigUInt& e) {
   return result;
 }
 
-/// f^u over the cyclotomic subgroup (u is 63 bits and positive).
-Fp12 pow_u(const Fp12& f) {
-  return f.pow_cyclotomic(U256::from_u64(kBnU));
+/// f^u over the cyclotomic subgroup (u is 63 bits and positive): signed NAF
+/// of u over Karabina compressed squarings with one batched decompression
+/// (pairing/gt_exp.h). Valid for any GPhi12(p) member, order r or not.
+Fp12 pow_u(const Fp12& f) { return gt_pow_u(f); }
+
+/// Easy part f^((p^6 - 1)(p^2 + 1)) given a precomputed f^-1; lands in the
+/// cyclotomic subgroup.
+Fp12 easy_part_with_inv(const Fp12& f, const Fp12& f_inv) {
+  Fp12 t = f.conjugate() * f_inv;
+  return t.frobenius().frobenius() * t;
 }
 
-/// Easy part f^((p^6 - 1)(p^2 + 1)); lands in the cyclotomic subgroup.
-Fp12 easy_part(const Fp12& f) {
-  Fp12 t = f.conjugate() * f.inverse();
-  return t.frobenius().frobenius() * t;
+Fp12 easy_part(const Fp12& f) { return easy_part_with_inv(f, f.inverse()); }
+
+/// Hard part t^((p^4 - p^2 + 1)/r) by the BN u-decomposition (the addition
+/// chain of Scott et al., "On the final exponentiation for calculating
+/// pairings on ordinary elliptic curves", for u > 0): three 63-bit
+/// cyclotomic exponentiations by u, Frobenius maps, and conjugations (free
+/// inversions in the cyclotomic subgroup) replace the naive ~1000-bit
+/// exponentiation. Equivalence with the naive path is covered by tests.
+Fp12 hard_part(const Fp12& t) {
+  Fp12 fp = t.frobenius();
+  Fp12 fp2 = fp.frobenius();
+  Fp12 fp3 = fp2.frobenius();
+  Fp12 fu = pow_u(t);
+  Fp12 fu2 = pow_u(fu);
+  Fp12 fu3 = pow_u(fu2);
+  Fp12 y0 = fp * fp2 * fp3;
+  Fp12 y1 = t.conjugate();
+  Fp12 y2 = fu2.frobenius().frobenius();
+  Fp12 y3 = fu.frobenius().conjugate();
+  Fp12 y4 = (fu * fu2.frobenius()).conjugate();
+  Fp12 y5 = fu2.conjugate();
+  Fp12 y6 = (fu3 * fu3.frobenius()).conjugate();
+
+  Fp12 t0 = y6.cyclotomic_square() * y4 * y5;
+  Fp12 t1 = y3 * y5 * t0;
+  t0 = t0 * y2;
+  t1 = t1.cyclotomic_square() * t0;
+  t1 = t1.cyclotomic_square();
+  t0 = t1 * y1;
+  t1 = t1 * y0;
+  t0 = t0.cyclotomic_square();
+  return t0 * t1;
 }
 
 }  // namespace
@@ -305,37 +341,21 @@ Fp12 miller_loop_affine(const G1& p, const G2& q) {
   return f;
 }
 
-Fp12 final_exponentiation(const Fp12& f) {
-  Fp12 t = easy_part(f);
-  // Hard part t^((p^4 - p^2 + 1)/r) by the BN u-decomposition (the addition
-  // chain of Scott et al., "On the final exponentiation for calculating
-  // pairings on ordinary elliptic curves", for u > 0): three 63-bit
-  // cyclotomic exponentiations by u, Frobenius maps, and conjugations (free
-  // inversions in the cyclotomic subgroup) replace the naive ~1000-bit
-  // exponentiation. Equivalence with the naive path is covered by tests.
-  Fp12 fp = t.frobenius();
-  Fp12 fp2 = fp.frobenius();
-  Fp12 fp3 = fp2.frobenius();
-  Fp12 fu = pow_u(t);
-  Fp12 fu2 = pow_u(fu);
-  Fp12 fu3 = pow_u(fu2);
-  Fp12 y0 = fp * fp2 * fp3;
-  Fp12 y1 = t.conjugate();
-  Fp12 y2 = fu2.frobenius().frobenius();
-  Fp12 y3 = fu.frobenius().conjugate();
-  Fp12 y4 = (fu * fu2.frobenius()).conjugate();
-  Fp12 y5 = fu2.conjugate();
-  Fp12 y6 = (fu3 * fu3.frobenius()).conjugate();
+Fp12 final_exponentiation(const Fp12& f) { return hard_part(easy_part(f)); }
 
-  Fp12 t0 = y6.cyclotomic_square() * y4 * y5;
-  Fp12 t1 = y3 * y5 * t0;
-  t0 = t0 * y2;
-  t1 = t1.cyclotomic_square() * t0;
-  t1 = t1.cyclotomic_square();
-  t0 = t1 * y1;
-  t1 = t1 * y0;
-  t0 = t0.cyclotomic_square();
-  return t0 * t1;
+std::vector<Fp12> final_exponentiation_many(std::span<const Fp12> fs) {
+  if (fs.empty()) return {};
+  // Per-element results are identical to final_exponentiation; the only
+  // sharing is the easy part's field inversion, which Montgomery's trick
+  // turns into one inversion for the whole batch.
+  std::vector<Fp12> inv(fs.begin(), fs.end());
+  field::batch_inverse(std::span<Fp12>(inv));
+  std::vector<Fp12> out;
+  out.reserve(fs.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    out.push_back(hard_part(easy_part_with_inv(fs[i], inv[i])));
+  }
+  return out;
 }
 
 Fp12 final_exponentiation_naive(const Fp12& f) {
@@ -350,7 +370,7 @@ Gt pairing(const G1& p, const G2Prepared& q) {
   return Gt::from_fp12_unchecked(final_exponentiation(miller_loop(p, q)));
 }
 
-Gt pairing_product(std::span<const std::pair<G1, G2>> pairs) {
+Fp12 miller_loop_product(std::span<const std::pair<G1, G2>> pairs) {
   std::vector<G2Prepared> prepared;
   prepared.reserve(pairs.size());
   std::vector<MillerArg> args;
@@ -361,7 +381,12 @@ Gt pairing_product(std::span<const std::pair<G1, G2>> pairs) {
     prepared.emplace_back(q);
     args.push_back({pa->first, pa->second, &prepared.back().coeffs()});
   }
-  return Gt::from_fp12_unchecked(final_exponentiation(miller_loop_many(args)));
+  return miller_loop_many(args);
+}
+
+Gt pairing_product(std::span<const std::pair<G1, G2>> pairs) {
+  return Gt::from_fp12_unchecked(
+      final_exponentiation(miller_loop_product(pairs)));
 }
 
 Gt pairing_product_prepared(std::span<const PairingInput> pairs) {

@@ -76,6 +76,14 @@ field::Fp12 miller_loop_affine(const ec::G1& p, const ec::G2& q);
 /// (p^12 - 1)/r exponentiation: easy part + u-decomposed cyclotomic hard part.
 field::Fp12 final_exponentiation(const field::Fp12& f);
 
+/// Final exponentiation of many INDEPENDENT Miller-loop outputs (distinct
+/// pairing values, not one product). Element-wise identical to calling
+/// final_exponentiation on each, but the easy part's Fp12 inversions are
+/// batched through one Montgomery simultaneous inversion. Used by the
+/// batched decrypt and group-bootstrap paths.
+std::vector<field::Fp12> final_exponentiation_many(
+    std::span<const field::Fp12> fs);
+
 /// Reference implementation of the hard part by naive big-integer
 /// exponentiation of (p^4 - p^2 + 1)/r; exposed for the cross-check tests.
 field::Fp12 final_exponentiation_naive(const field::Fp12& f);
@@ -83,6 +91,12 @@ field::Fp12 final_exponentiation_naive(const field::Fp12& f);
 /// The full pairing.
 Gt pairing(const ec::G1& p, const ec::G2& q);
 Gt pairing(const ec::G1& p, const G2Prepared& q);
+
+/// Shared-squaring Miller loop over several pairs WITHOUT the final
+/// exponentiation: the raw f value of prod_i e(p_i, q_i). Callers that
+/// compute many independent products (batched decrypt) finish them together
+/// with final_exponentiation_many.
+field::Fp12 miller_loop_product(std::span<const std::pair<ec::G1, ec::G2>> pairs);
 
 /// prod_i e(p_i, q_i) as a true multi-pairing: one shared f.square() per
 /// Miller iteration across all pairs and a single final exponentiation — the

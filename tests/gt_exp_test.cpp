@@ -1,0 +1,209 @@
+// The cyclotomic GT exponentiation engine (pairing/gt_exp.h) against the
+// naive Fp12::pow / pow_cyclotomic oracles, plus the Karabina compression
+// round-trips it builds on.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "bigint/biguint.h"
+#include "ec/curves.h"
+#include "field/fields.h"
+#include "field/fp12.h"
+#include "pairing/gt_exp.h"
+#include "pairing/pairing.h"
+
+namespace {
+
+using ibbe::bigint::BigUInt;
+using ibbe::bigint::U256;
+using ibbe::ec::G1;
+using ibbe::ec::G2;
+using ibbe::field::Fp12;
+using ibbe::field::Fp12Compressed;
+using ibbe::field::Fr;
+
+constexpr std::uint64_t kBnU = 0x44e992b44a6909f1ULL;
+
+std::mt19937_64& rng() {
+  static std::mt19937_64 gen(42);
+  return gen;
+}
+
+U256 random_u256() {
+  U256 v;
+  for (auto& limb : v.limb) limb = rng()();
+  return v;
+}
+
+/// A "random" order-r element: e(aG1, bG2) for random a, b.
+Fp12 random_gt() {
+  Fr a = Fr::from_u256_reduce(random_u256());
+  Fr b = Fr::from_u256_reduce(random_u256());
+  if (a.is_zero()) a = Fr::one();
+  if (b.is_zero()) b = Fr::one();
+  return ibbe::pairing::pairing(G1::generator().mul(a), G2::generator().mul(b))
+      .value();
+}
+
+/// Oracle: plain square-and-multiply in the full field (no cyclotomic or
+/// order-r assumptions at all).
+Fp12 pow_oracle(const Fp12& x, const U256& e) { return x.pow(e); }
+
+// ------------------------------------------------------------- decomposition
+
+TEST(GtDecompose, ReassemblesModR) {
+  const BigUInt n = BigUInt::from_u256(Fr::modulus());
+  const BigUInt lam = BigUInt::from_u256(ibbe::pairing::gt_lambda());
+  for (int trial = 0; trial < 50; ++trial) {
+    U256 k = ibbe::bigint::mod(random_u256(), Fr::modulus());
+    auto d = ibbe::pairing::decompose_gt(k);
+    BigUInt acc;
+    BigUInt lam_pow(1);
+    for (int i = 0; i < 4; ++i) {
+      auto idx = static_cast<std::size_t>(i);
+      EXPECT_LE(d.k[idx].bit_length(), 72u) << "sub-scalar " << i << " too long";
+      BigUInt term = BigUInt::from_u256(d.k[idx]) * lam_pow % n;
+      if (d.neg[idx] && !term.is_zero()) term = n - term;
+      acc = (acc + term) % n;
+      lam_pow = lam_pow * lam % n;
+    }
+    EXPECT_EQ(acc, BigUInt::from_u256(k));
+  }
+}
+
+TEST(GtDecompose, LambdaIsSixUSquared) {
+  BigUInt u(kBnU);
+  EXPECT_EQ(BigUInt::from_u256(ibbe::pairing::gt_lambda()), BigUInt(6) * u * u);
+}
+
+TEST(GtDecompose, RejectsUnreducedScalar) {
+  EXPECT_THROW(ibbe::pairing::decompose_gt(Fr::modulus()),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- gt_pow
+
+TEST(GtPow, EdgeExponents) {
+  Fp12 x = random_gt();
+  // 0 and r (== 0 mod r) give the identity; 1 gives x back.
+  EXPECT_TRUE(ibbe::pairing::gt_pow(x, U256::zero()).is_one());
+  EXPECT_TRUE(ibbe::pairing::gt_pow(x, Fr::modulus()).is_one());
+  EXPECT_EQ(ibbe::pairing::gt_pow(x, U256::one()), x);
+  // r - 1 is the inverse, i.e. the conjugate for unitary elements.
+  U256 r_minus_1 = (BigUInt::from_u256(Fr::modulus()) - BigUInt(1)).to_u256();
+  EXPECT_EQ(ibbe::pairing::gt_pow(x, r_minus_1), x.conjugate());
+  EXPECT_EQ(ibbe::pairing::gt_pow(x, r_minus_1), pow_oracle(x, r_minus_1));
+}
+
+TEST(GtPow, MatchesOracleOn63BitU) {
+  Fp12 x = random_gt();
+  EXPECT_EQ(ibbe::pairing::gt_pow(x, U256::from_u64(kBnU)),
+            pow_oracle(x, U256::from_u64(kBnU)));
+}
+
+TEST(GtPow, MatchesOracleOnRandom256Bit) {
+  for (int trial = 0; trial < 5; ++trial) {
+    Fp12 x = random_gt();
+    U256 k = random_u256();  // full 256 bits; gt_pow reduces mod r
+    EXPECT_EQ(ibbe::pairing::gt_pow(x, k),
+              pow_oracle(x, ibbe::bigint::mod(k, Fr::modulus())));
+  }
+}
+
+TEST(GtPow, IdentityBaseStaysIdentity) {
+  EXPECT_TRUE(ibbe::pairing::gt_pow(Fp12::one(), random_u256()).is_one());
+}
+
+// ---------------------------------------------------------------- gt_pow_u
+
+TEST(GtPowU, MatchesOracleOnOrderRElements) {
+  Fp12 x = random_gt();
+  EXPECT_EQ(ibbe::pairing::gt_pow_u(x), pow_oracle(x, U256::from_u64(kBnU)));
+}
+
+TEST(GtPowU, MatchesOracleOutsideOrderRSubgroup) {
+  // Easy-part outputs are cyclotomic but typically NOT order r — exactly the
+  // elements the final exponentiation feeds through pow_u. Build one.
+  Fp12 f = random_gt() + Fp12::one();  // generic nonzero field element
+  Fp12 t = f.conjugate() * f.inverse();
+  Fp12 x = t.frobenius().frobenius() * t;
+  ASSERT_FALSE(x.is_one());
+  EXPECT_EQ(ibbe::pairing::gt_pow_u(x), pow_oracle(x, U256::from_u64(kBnU)));
+}
+
+// ----------------------------------------------------- Karabina compression
+
+TEST(Karabina, RoundTrip) {
+  for (int trial = 0; trial < 5; ++trial) {
+    Fp12 x = random_gt();
+    EXPECT_EQ(x.compress().decompress(), x);
+  }
+}
+
+TEST(Karabina, CompressedSquareMatchesCyclotomicSquare) {
+  Fp12 x = random_gt();
+  Fp12Compressed c = x.compress();
+  Fp12 full = x;
+  for (int step = 0; step < 8; ++step) {
+    c = c.square();
+    full = full.cyclotomic_square();
+    EXPECT_EQ(c.decompress(), full) << "diverged at squaring " << step;
+  }
+}
+
+TEST(Karabina, IdentityRoundTrips) {
+  EXPECT_TRUE(Fp12::one().compress().decompress().is_one());
+  EXPECT_TRUE(Fp12::one().compress().square().decompress().is_one());
+}
+
+TEST(Karabina, BatchDecompressMatchesSingle) {
+  std::vector<Fp12Compressed> compressed;
+  std::vector<Fp12> expected;
+  Fp12Compressed run = random_gt().compress();
+  for (int i = 0; i < 10; ++i) {
+    run = run.square();
+    compressed.push_back(run);
+    expected.push_back(run.decompress());
+  }
+  auto batch = Fp12Compressed::decompress_many(compressed);
+  ASSERT_EQ(batch.size(), expected.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i], expected[i]) << "element " << i;
+  }
+  EXPECT_TRUE(Fp12Compressed::decompress_many({}).empty());
+}
+
+// ------------------------------------------------------- engine integration
+
+TEST(GtEngine, GtExpRoutesThroughEngine) {
+  // Gt::exp and the oracle must agree on a real pairing output.
+  auto e = ibbe::pairing::pairing(G1::generator(), G2::generator());
+  Fr k = Fr::from_u256_reduce(random_u256());
+  EXPECT_EQ(e.exp(k).value(), pow_oracle(e.value(), k.to_u256()));
+}
+
+TEST(GtEngine, FinalExponentiationStillMatchesNaive) {
+  // pow_u now runs NAF-of-u over compressed squarings; the whole hard part
+  // must still agree with the naive big-integer oracle.
+  Fp12 f = ibbe::pairing::miller_loop(G1::generator(), G2::generator());
+  EXPECT_EQ(ibbe::pairing::final_exponentiation(f),
+            ibbe::pairing::final_exponentiation_naive(f));
+}
+
+TEST(GtEngine, FinalExponentiationManyMatchesSingle) {
+  std::vector<Fp12> fs;
+  for (int i = 1; i <= 4; ++i) {
+    fs.push_back(ibbe::pairing::miller_loop(
+        G1::generator().mul(Fr::from_u64(static_cast<std::uint64_t>(i))),
+        G2::generator()));
+  }
+  auto batch = ibbe::pairing::final_exponentiation_many(fs);
+  ASSERT_EQ(batch.size(), fs.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    EXPECT_EQ(batch[i], ibbe::pairing::final_exponentiation(fs[i]));
+  }
+  EXPECT_TRUE(ibbe::pairing::final_exponentiation_many({}).empty());
+}
+
+}  // namespace

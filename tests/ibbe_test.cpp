@@ -267,4 +267,75 @@ TEST_F(IbbeFixture, CiphertextIsConstantSize) {
   EXPECT_EQ(small.ct.to_bytes().size(), large.ct.to_bytes().size());
 }
 
+// -------------------------------------------------------- batched decrypt
+
+TEST_F(IbbeFixture, BatchedDecryptMatchesPerPartitionDecrypt) {
+  // One client ("user0...") in four partitions with otherwise disjoint
+  // receiver sets — the multi-group / multi-partition client of the paper.
+  auto key = usk(make_users(1)[0]);
+  std::vector<std::vector<Identity>> sets;
+  std::vector<ibbe::core::EncryptResult> encs;
+  for (int p = 0; p < 4; ++p) {
+    auto set = make_users(5, "p" + std::to_string(p) + "-member");
+    set[2] = key.id;  // the common client, at different positions
+    encs.push_back(ibbe::core::encrypt_with_msk(keys.msk, keys.pk, set, rng));
+    sets.push_back(std::move(set));
+  }
+
+  std::vector<ibbe::core::PartitionRef> parts;
+  for (int p = 0; p < 4; ++p) {
+    auto idx = static_cast<std::size_t>(p);
+    parts.push_back({sets[idx], &encs[idx].ct});
+  }
+  auto batched = ibbe::core::decrypt_batched(keys.pk, key, parts);
+  ASSERT_EQ(batched.size(), 4u);
+  for (int p = 0; p < 4; ++p) {
+    auto idx = static_cast<std::size_t>(p);
+    auto single = ibbe::core::decrypt(keys.pk, key, sets[idx], encs[idx].ct);
+    ASSERT_TRUE(single.has_value());
+    ASSERT_TRUE(batched[idx].has_value()) << "partition " << p;
+    EXPECT_EQ(*batched[idx], *single) << "partition " << p;
+    EXPECT_EQ(*batched[idx], encs[idx].bk) << "partition " << p;
+  }
+}
+
+TEST_F(IbbeFixture, BatchedDecryptSkipsNonMemberPartitions) {
+  auto key = usk(make_users(1)[0]);
+  auto in_set = make_users(4);                    // contains user0
+  auto out_set = make_users(4, "stranger");       // does not
+  auto enc_in = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, in_set, rng);
+  auto enc_out = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, out_set, rng);
+
+  std::vector<ibbe::core::PartitionRef> parts = {
+      {out_set, &enc_out.ct},
+      {in_set, &enc_in.ct},
+      {out_set, &enc_out.ct},
+  };
+  auto batched = ibbe::core::decrypt_batched(keys.pk, key, parts);
+  ASSERT_EQ(batched.size(), 3u);
+  EXPECT_FALSE(batched[0].has_value());
+  ASSERT_TRUE(batched[1].has_value());
+  EXPECT_EQ(*batched[1], enc_in.bk);
+  EXPECT_FALSE(batched[2].has_value());
+}
+
+TEST_F(IbbeFixture, BatchedDecryptEmptyAndErrors) {
+  auto key = usk(make_users(1)[0]);
+  EXPECT_TRUE(ibbe::core::decrypt_batched(keys.pk, key, {}).empty());
+  std::vector<ibbe::core::PartitionRef> bad = {{make_users(2), nullptr}};
+  EXPECT_THROW(ibbe::core::decrypt_batched(keys.pk, key, bad),
+               std::invalid_argument);
+}
+
+TEST_F(IbbeFixture, BatchedDecryptSinglePartitionEqualsDecrypt) {
+  auto users = make_users(8);
+  auto key = usk(users[3]);
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  std::vector<ibbe::core::PartitionRef> parts = {{users, &enc.ct}};
+  auto batched = ibbe::core::decrypt_batched(keys.pk, key, parts);
+  ASSERT_EQ(batched.size(), 1u);
+  ASSERT_TRUE(batched[0].has_value());
+  EXPECT_EQ(*batched[0], *ibbe::core::decrypt(keys.pk, key, users, enc.ct));
+}
+
 }  // namespace
