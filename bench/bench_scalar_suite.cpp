@@ -12,11 +12,13 @@
 #include <string>
 #include <vector>
 
+#include "bigint/mont_backend.h"
 #include "common.h"
 #include "crypto/drbg.h"
 #include "ec/curves.h"
 #include "ec/glv.h"
 #include "ec/msm.h"
+#include "field/fp12.h"
 #include "ibbe/ibbe.h"
 #include "pairing/gt_exp.h"
 #include "pairing/pairing.h"
@@ -36,6 +38,19 @@ double time_us(F&& f, int iters) {
   ibbe::util::Stopwatch sw;
   for (int i = 0; i < iters; ++i) f();
   return sw.micros() / iters;
+}
+
+/// Nanoseconds per op for sub-microsecond field operations: a DEPENDENT
+/// multiplication chain (x <- x * y), so the number is the serial latency the
+/// tower formulas actually wait on, not a throughput figure.
+template <typename F>
+double chain_ns(F x, const F& y, int iters) {
+  ibbe::util::Stopwatch sw;
+  for (int i = 0; i < iters; ++i) x *= y;
+  double ns = sw.micros() * 1000.0 / iters;
+  volatile bool sink = x.is_zero();  // keep the chain alive
+  (void)sink;
+  return ns;
 }
 
 }  // namespace
@@ -96,11 +111,32 @@ int main(int argc, char** argv) {
     parts.push_back({part_sets[p], &part_encs[p].ct});
   }
 
+  std::printf("montgomery backend: %s\n", ibbe::bigint::backend::name());
+
+  // Base-field / tower operands for the ns-scale metrics.
+  using ibbe::field::Fp;
+  const Fp fp_x = Fp::from_be_bytes_reduce(rng.bytes(32));
+  const Fp fp_y = Fp::from_be_bytes_reduce(rng.bytes(32));
+  const ibbe::field::Fp2 fp2_x(fp_x, fp_y);
+  const ibbe::field::Fp2 fp2_y(fp_y, fp_x + fp_y);
+  const ibbe::field::Fp12 fp12_x = ibbe::pairing::miller_loop(p1, p2);
+  const ibbe::field::Fp12 fp12_y = fp12_x.square();
+  const int fp_iters = iters * 80000;    // ~25-45 ns each
+  const int fp2_iters = iters * 20000;   // ~150-250 ns each
+  const int fp12_iters = iters * 800;    // ~2-4 us each
+
+  // The cached-decrypt path: everything receiver-set-dependent prepared once.
+  const auto prepared_part =
+      ibbe::core::PreparedPartition::prepare(keys.pk, usk, users);
+
   struct Metric {
     const char* name;
     double us;
   };
   std::vector<Metric> metrics;
+  metrics.push_back({"fp_mul_ns", chain_ns(fp_x, fp_y, fp_iters)});
+  metrics.push_back({"fp2_mul_ns", chain_ns(fp2_x, fp2_y, fp2_iters)});
+  metrics.push_back({"fp12_mul_ns", chain_ns(fp12_x, fp12_y, fp12_iters)});
   metrics.push_back({"pairing_us", time_us(
       [] {
         volatile bool sink =
@@ -127,6 +163,8 @@ int main(int argc, char** argv) {
   metrics.push_back({"decrypt_16_us", time_us(
       [&] { (void)ibbe::core::decrypt(keys.pk, usk, users, enc.ct); },
       iters)});
+  metrics.push_back({"decrypt_16_prepared_us", time_us(
+      [&] { (void)ibbe::core::decrypt(*prepared_part, enc.ct); }, iters)});
   metrics.push_back({"decrypt_batched_4x16_us", time_us(
       [&] { (void)ibbe::core::decrypt_batched(keys.pk, usk, parts); },
       iters)});

@@ -78,10 +78,20 @@ for bench in "$BUILD_DIR"/bench_fig* "$BUILD_DIR"/bench_table* \
 done
 
 # Scalar-multiplication perf trajectory: machine-readable summary for
-# cross-revision diffing.
+# cross-revision diffing. The bench header prints which Montgomery backend
+# (MULX/ADX vs portable) the run dispatched to.
 echo "==> $BUILD_DIR/bench_scalar_suite"
 "$BUILD_DIR/bench_scalar_suite" --scale smoke --json "$BUILD_DIR/BENCH_scalar.json"
 cat "$BUILD_DIR/BENCH_scalar.json"
+
+# Diff against the committed baseline snapshot: prints per-metric ratios and
+# WARNS (never fails — container timings jitter) on >1.15x regressions.
+if [ -f BENCH_baseline.json ]; then
+  echo "==> bench_diff vs BENCH_baseline.json"
+  python3 scripts/bench_diff.py BENCH_baseline.json "$BUILD_DIR/BENCH_scalar.json"
+else
+  echo "ci.sh: no BENCH_baseline.json committed; skipping perf diff" >&2
+fi
 
 # Micro benches of the crypto substrate (built only when google-benchmark is
 # available); keep the run short — this is a regression tripwire, not a
@@ -91,6 +101,30 @@ if [ -x "$BUILD_DIR/bench_micro_crypto" ]; then
   "$BUILD_DIR/bench_micro_crypto" \
     --benchmark_filter='FrInverse|G1ScalarMul|G1MulGlv|G2MulGls|MsmG2|GtExp|GtPowU|Pairing' \
     --benchmark_min_time=0.05
+fi
+
+# When this machine can run the MULX/ADX Montgomery backend, the suite above
+# exercised only the accelerated path — build and test a second tree with the
+# backend compiled out (-DIBBE_FORCE_PORTABLE_MUL=ON) and the runtime
+# override exported too, so the portable fallback stays green on every
+# commit. Results are bit-identical by construction; only timings differ.
+if [ -r /proc/cpuinfo ] && grep -qw adx /proc/cpuinfo; then
+  PORTABLE_DIR="${BUILD_DIR}-portable"
+  if git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+    portable_ignore=0
+    git check-ignore -q "$PORTABLE_DIR/.ci-probe" 2> /dev/null || portable_ignore=$?
+    if [ "$portable_ignore" -eq 1 ]; then
+      echo "ci.sh: portable build dir '$PORTABLE_DIR' is not git-ignored" >&2
+      exit 1
+    fi
+  fi
+  echo "==> portable-fallback build ($PORTABLE_DIR)"
+  cmake -B "$PORTABLE_DIR" -S . -DIBBE_FORCE_PORTABLE_MUL=ON
+  cmake --build "$PORTABLE_DIR" -j"$JOBS"
+  IBBE_FORCE_PORTABLE_MUL=1 ctest --test-dir "$PORTABLE_DIR" \
+    --output-on-failure -j"$JOBS"
+else
+  echo "ci.sh: no ADX on this CPU; default build already covers the portable path"
 fi
 
 echo "ci.sh: all stages passed"

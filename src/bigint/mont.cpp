@@ -4,8 +4,6 @@
 
 namespace ibbe::bigint {
 
-using u128 = unsigned __int128;
-
 MontgomeryCtx::MontgomeryCtx(const U256& modulus) : n_(modulus) {
   if (!modulus.is_odd() || modulus.bit_length() < 2) {
     throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 2");
@@ -23,46 +21,12 @@ MontgomeryCtx::MontgomeryCtx(const U256& modulus) : n_(modulus) {
   r_ = ((BigUInt(1) << 256) % n_big).to_u256();
   r2_ = ((BigUInt(1) << 512) % n_big).to_u256();
   sub_with_borrow(n_, U256::from_u64(2), n_minus_2_);
-}
+  n_sq_ = mul_wide(n_, n_);
 
-U256 MontgomeryCtx::mul(const U256& a, const U256& b) const {
-  // CIOS (coarsely integrated operand scanning), 4 limbs.
-  std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};
-  for (int i = 0; i < 4; ++i) {
-    // t += a * b[i]
-    std::uint64_t carry = 0;
-    std::uint64_t bi = b.limb[static_cast<std::size_t>(i)];
-    for (int j = 0; j < 4; ++j) {
-      u128 cur = static_cast<u128>(a.limb[static_cast<std::size_t>(j)]) * bi +
-                 t[j] + carry;
-      t[j] = static_cast<std::uint64_t>(cur);
-      carry = static_cast<std::uint64_t>(cur >> 64);
-    }
-    u128 s = static_cast<u128>(t[4]) + carry;
-    t[4] = static_cast<std::uint64_t>(s);
-    t[5] = static_cast<std::uint64_t>(s >> 64);
-
-    // Reduce one limb: m = t[0] * n0inv; t = (t + m*n) / 2^64
-    std::uint64_t m = t[0] * n0inv_;
-    u128 cur = static_cast<u128>(m) * n_.limb[0] + t[0];
-    carry = static_cast<std::uint64_t>(cur >> 64);
-    for (int j = 1; j < 4; ++j) {
-      cur = static_cast<u128>(m) * n_.limb[static_cast<std::size_t>(j)] + t[j] + carry;
-      t[j - 1] = static_cast<std::uint64_t>(cur);
-      carry = static_cast<std::uint64_t>(cur >> 64);
-    }
-    s = static_cast<u128>(t[4]) + carry;
-    t[3] = static_cast<std::uint64_t>(s);
-    t[4] = t[5] + static_cast<std::uint64_t>(s >> 64);
-  }
-  U256 result{{t[0], t[1], t[2], t[3]}};
-  // Final conditional subtraction: t[4] can be at most 1.
-  if (t[4] != 0 || cmp(result, n_) >= 0) {
-    U256 tmp;
-    sub_with_borrow(result, n_, tmp);
-    result = tmp;
-  }
-  return result;
+  // The asm REDC's per-round carry fold requires the top modulus limb to
+  // leave one unit of headroom (see mont_backend.h); every prime in the
+  // project does.
+  accel_ = backend::accelerated() && n_.limb[3] <= ~std::uint64_t{1};
 }
 
 U256 MontgomeryCtx::add(const U256& a, const U256& b) const {

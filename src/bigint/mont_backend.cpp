@@ -1,0 +1,55 @@
+#include "bigint/mont_backend.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ibbe::bigint::backend {
+
+namespace {
+
+enum class Choice {
+  accel,
+  portable_env,      // IBBE_FORCE_PORTABLE_MUL set at runtime
+  portable_cpu,      // CPU lacks BMI2 or ADX
+  portable_compile,  // asm path not compiled in
+};
+
+Choice resolve() {
+#if IBBE_HAVE_MULX_ASM
+  const char* force = std::getenv("IBBE_FORCE_PORTABLE_MUL");
+  if (force != nullptr && *force != '\0' && std::strcmp(force, "0") != 0) {
+    return Choice::portable_env;
+  }
+  if (__builtin_cpu_supports("bmi2") && __builtin_cpu_supports("adx")) {
+    return Choice::accel;
+  }
+  return Choice::portable_cpu;
+#else
+  return Choice::portable_compile;
+#endif
+}
+
+Choice choice() {
+  static const Choice c = resolve();
+  return c;
+}
+
+}  // namespace
+
+bool accelerated() { return choice() == Choice::accel; }
+
+const char* name() {
+  switch (choice()) {
+    case Choice::accel:
+      return "mulx+adx (x86-64 BMI2/ADX carry chains)";
+    case Choice::portable_env:
+      return "portable CIOS (forced by IBBE_FORCE_PORTABLE_MUL)";
+    case Choice::portable_cpu:
+      return "portable CIOS (CPU lacks BMI2/ADX)";
+    case Choice::portable_compile:
+      return "portable CIOS (accelerated path not compiled in)";
+  }
+  return "portable CIOS";
+}
+
+}  // namespace ibbe::bigint::backend

@@ -1,0 +1,390 @@
+// Montgomery multiplication backends: portable C++ and x86-64 MULX/ADX.
+//
+// Two interchangeable implementations of the same three primitives —
+// 256x256 -> 512 multiply, 512 -> 256 Montgomery reduction (REDC), and the
+// fused Montgomery multiply — selected once per process:
+//
+//   * portable — unsigned __int128 carry chains. Always compiled; the
+//     differential oracle for the accelerated path and the fallback on
+//     non-x86 targets.
+//   * accel — inline-asm 4-limb schoolbook with flattened dual carry chains
+//     (MULX for flag-free products, ADCX/ADOX for two independent carry
+//     chains per row). Compiled on x86-64 GCC/Clang unless the build forces
+//     portability (-DIBBE_FORCE_PORTABLE_MUL=ON), used at runtime only when
+//     CPUID reports BMI2+ADX and the IBBE_FORCE_PORTABLE_MUL environment
+//     variable is unset/0.
+//
+// Both paths produce canonical (fully reduced) REDC outputs, so every build
+// and machine computes bit-identical results — the backends differ in speed
+// only. `MontgomeryCtx` (mont.h) owns the per-modulus dispatch; this header
+// keeps the primitives inline so the field layer's hot loops pay no extra
+// call.
+//
+// REDC here accepts ANY 512-bit input, not just products of reduced
+// operands: the lazy-reduction tower (field/lazy.h) accumulates several
+// unreduced products (bounded sums < 2^512) before reducing, and the final
+// correction loop brings the quotient-estimate back below the modulus
+// (at most ~R/n + 1 ~ 5 subtractions for the 254-bit BN primes; one for the
+// fused multiply of reduced operands).
+//
+// Precondition for the asm REDC: n.limb[3] <= 2^64 - 2 (the per-round carry
+// word hi + CF + OF <= n3 + 1 must not wrap). All four project moduli
+// satisfy this; MontgomeryCtx checks it before enabling the backend.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(IBBE_PORTABLE_MUL_ONLY)
+#define IBBE_HAVE_MULX_ASM 1
+#else
+#define IBBE_HAVE_MULX_ASM 0
+#endif
+
+namespace ibbe::bigint::backend {
+
+/// True when the MULX/ADX path is compiled in, the CPU reports BMI2+ADX, and
+/// the IBBE_FORCE_PORTABLE_MUL environment variable does not force the
+/// portable path. Resolved once on first call (thread-safe static).
+bool accelerated();
+
+/// Human-readable backend description for bench headers and logs, including
+/// the reason when the portable path is active.
+const char* name();
+
+// ------------------------------------------------------------ portable path
+
+/// out = a * b, full 512-bit product (operand scanning, u128 carries).
+inline void mul4_portable(std::uint64_t out[8], const std::uint64_t a[4],
+                          const std::uint64_t b[4]) {
+  using u128 = unsigned __int128;
+  std::uint64_t t[8] = {};
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = static_cast<u128>(a[j]) * b[i] + t[i + j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    t[i + 4] = carry;
+  }
+  for (int i = 0; i < 8; ++i) out[i] = t[i];
+}
+
+namespace detail {
+
+/// r >= n over 4 limbs.
+inline bool geq4(const std::uint64_t r[4], const std::uint64_t n[4]) {
+  for (int i = 3; i >= 0; --i) {
+    if (r[i] != n[i]) return r[i] > n[i];
+  }
+  return true;
+}
+
+/// r -= n over 4 limbs (borrow discarded — callers subtract only when the
+/// value, including any carry bit they track, is >= n).
+inline void sub4(std::uint64_t r[4], const std::uint64_t n[4]) {
+  using u128 = unsigned __int128;
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 d = static_cast<u128>(r[i]) - n[i] - borrow;
+    r[i] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) & 1;
+  }
+}
+
+/// Shared final correction: value = extra * 2^256 + r with extra in {0, 1},
+/// value < 2^256 + n. Brings r to the canonical representative.
+inline void redc_correct(std::uint64_t r[4], std::uint64_t extra,
+                         const std::uint64_t n[4]) {
+  if (extra) sub4(r, n);  // the borrow cancels the 2^256 carry bit
+  while (geq4(r, n)) sub4(r, n);
+}
+
+}  // namespace detail
+
+/// Montgomery reduction of an arbitrary 512-bit t: out = t * 2^-256 mod n,
+/// canonical. n odd, n0inv = -n^-1 mod 2^64.
+inline void redc_portable(std::uint64_t out[4], const std::uint64_t t_in[8],
+                          const std::uint64_t n[4], std::uint64_t n0inv) {
+  using u128 = unsigned __int128;
+  std::uint64_t t[9];
+  for (int i = 0; i < 8; ++i) t[i] = t_in[i];
+  t[8] = 0;
+  for (int j = 0; j < 4; ++j) {
+    std::uint64_t m = t[j] * n0inv;
+    u128 cur = static_cast<u128>(m) * n[0] + t[j];
+    std::uint64_t carry = static_cast<std::uint64_t>(cur >> 64);
+    for (int i = 1; i < 4; ++i) {
+      cur = static_cast<u128>(m) * n[i] + t[j + i] + carry;
+      t[j + i] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    for (int k = j + 4; k < 9 && carry; ++k) {
+      u128 s = static_cast<u128>(t[k]) + carry;
+      t[k] = static_cast<std::uint64_t>(s);
+      carry = static_cast<std::uint64_t>(s >> 64);
+    }
+  }
+  std::uint64_t r[4] = {t[4], t[5], t[6], t[7]};
+  detail::redc_correct(r, t[8], n);
+  for (int i = 0; i < 4; ++i) out[i] = r[i];
+}
+
+/// Fused Montgomery multiply, CIOS (coarsely integrated operand scanning):
+/// out = a * b * 2^-256 mod n for reduced a, b. This is the seed
+/// implementation, kept verbatim as the differential oracle.
+inline void mont_mul_portable(std::uint64_t out[4], const std::uint64_t a[4],
+                              const std::uint64_t b[4],
+                              const std::uint64_t n[4], std::uint64_t n0inv) {
+  using u128 = unsigned __int128;
+  std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    std::uint64_t bi = b[i];
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = static_cast<u128>(a[j]) * bi + t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    u128 s = static_cast<u128>(t[4]) + carry;
+    t[4] = static_cast<std::uint64_t>(s);
+    t[5] = static_cast<std::uint64_t>(s >> 64);
+
+    std::uint64_t m = t[0] * n0inv;
+    u128 cur = static_cast<u128>(m) * n[0] + t[0];
+    carry = static_cast<std::uint64_t>(cur >> 64);
+    for (int j = 1; j < 4; ++j) {
+      cur = static_cast<u128>(m) * n[j] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    s = static_cast<u128>(t[4]) + carry;
+    t[3] = static_cast<std::uint64_t>(s);
+    t[4] = t[5] + static_cast<std::uint64_t>(s >> 64);
+  }
+  std::uint64_t r[4] = {t[0], t[1], t[2], t[3]};
+  if (t[4] != 0 || detail::geq4(r, n)) detail::sub4(r, n);
+  for (int i = 0; i < 4; ++i) out[i] = r[i];
+}
+
+// ----------------------------------------------------------- MULX/ADX path
+
+#if IBBE_HAVE_MULX_ASM
+
+// 4x4 schoolbook multiply of a[0..3] * b[0..3] into local registers t0..t7
+// (which the expansion site must declare). Row 0 is a plain MULX/ADC chain;
+// rows 1-3 accumulate with the ADCX/ADOX dual carry chains (low words ride
+// the CF chain, high words the OF chain), folding both flags into the fresh
+// top limb at the end of each row — the fold cannot wrap because the row's
+// true carry word is < 2^64. Operands are passed as pointers with a blanket
+// memory clobber: precise per-limb "m" constraints would let the product
+// stay in registers across blocks, but 16-operand asm statements send GCC's
+// register allocator into multi-minute compiles when inlined into unrolled
+// -O3 loops.
+#define IBBE_MUL4_BODY_                                                        \
+  __asm__("movq 0(%[b]), %%rdx\n\t"                                            \
+          "mulxq 0(%[a]), %[t0], %[t1]\n\t"                                    \
+          "mulxq 8(%[a]), %%rax, %[t2]\n\t"                                    \
+          "addq %%rax, %[t1]\n\t"                                              \
+          "mulxq 16(%[a]), %%rax, %[t3]\n\t"                                   \
+          "adcq %%rax, %[t2]\n\t"                                              \
+          "mulxq 24(%[a]), %%rax, %[t4]\n\t"                                   \
+          "adcq %%rax, %[t3]\n\t"                                              \
+          "adcq $0, %[t4]\n\t"                                                 \
+          "movq 8(%[b]), %%rdx\n\t"                                            \
+          "xorq %[t5], %[t5]\n\t" /* zero + clears CF/OF */                    \
+          "mulxq 0(%[a]), %%rax, %%rbx\n\t"                                    \
+          "adcxq %%rax, %[t1]\n\t"                                             \
+          "adoxq %%rbx, %[t2]\n\t"                                             \
+          "mulxq 8(%[a]), %%rax, %%rbx\n\t"                                    \
+          "adcxq %%rax, %[t2]\n\t"                                             \
+          "adoxq %%rbx, %[t3]\n\t"                                             \
+          "mulxq 16(%[a]), %%rax, %%rbx\n\t"                                   \
+          "adcxq %%rax, %[t3]\n\t"                                             \
+          "adoxq %%rbx, %[t4]\n\t"                                             \
+          "mulxq 24(%[a]), %%rax, %%rbx\n\t"                                   \
+          "adcxq %%rax, %[t4]\n\t"                                             \
+          "adoxq %%rbx, %[t5]\n\t"                                             \
+          "movl $0, %%eax\n\t" /* keeps flags; rax = 0 */                      \
+          "adcxq %%rax, %[t5]\n\t"                                             \
+          "movq 16(%[b]), %%rdx\n\t"                                           \
+          "xorq %[t6], %[t6]\n\t"                                              \
+          "mulxq 0(%[a]), %%rax, %%rbx\n\t"                                    \
+          "adcxq %%rax, %[t2]\n\t"                                             \
+          "adoxq %%rbx, %[t3]\n\t"                                             \
+          "mulxq 8(%[a]), %%rax, %%rbx\n\t"                                    \
+          "adcxq %%rax, %[t3]\n\t"                                             \
+          "adoxq %%rbx, %[t4]\n\t"                                             \
+          "mulxq 16(%[a]), %%rax, %%rbx\n\t"                                   \
+          "adcxq %%rax, %[t4]\n\t"                                             \
+          "adoxq %%rbx, %[t5]\n\t"                                             \
+          "mulxq 24(%[a]), %%rax, %%rbx\n\t"                                   \
+          "adcxq %%rax, %[t5]\n\t"                                             \
+          "adoxq %%rbx, %[t6]\n\t"                                             \
+          "movl $0, %%eax\n\t"                                                 \
+          "adcxq %%rax, %[t6]\n\t"                                             \
+          "movq 24(%[b]), %%rdx\n\t"                                           \
+          "xorq %[t7], %[t7]\n\t"                                              \
+          "mulxq 0(%[a]), %%rax, %%rbx\n\t"                                    \
+          "adcxq %%rax, %[t3]\n\t"                                             \
+          "adoxq %%rbx, %[t4]\n\t"                                             \
+          "mulxq 8(%[a]), %%rax, %%rbx\n\t"                                    \
+          "adcxq %%rax, %[t4]\n\t"                                             \
+          "adoxq %%rbx, %[t5]\n\t"                                             \
+          "mulxq 16(%[a]), %%rax, %%rbx\n\t"                                   \
+          "adcxq %%rax, %[t5]\n\t"                                             \
+          "adoxq %%rbx, %[t6]\n\t"                                             \
+          "mulxq 24(%[a]), %%rax, %%rbx\n\t"                                   \
+          "adcxq %%rax, %[t6]\n\t"                                             \
+          "adoxq %%rbx, %[t7]\n\t"                                             \
+          "movl $0, %%eax\n\t"                                                 \
+          "adcxq %%rax, %[t7]\n\t"                                             \
+          : [t0] "=&r"(t0), [t1] "=&r"(t1), [t2] "=&r"(t2), [t3] "=&r"(t3),    \
+            [t4] "=&r"(t4), [t5] "=&r"(t5), [t6] "=&r"(t6), [t7] "=&r"(t7)     \
+          : [a] "r"(a), [b] "r"(b)                                             \
+          : "rax", "rbx", "rdx", "cc", "memory")
+
+/// out = a * b, full 512-bit product.
+inline void mul4_accel(std::uint64_t out[8], const std::uint64_t a[4],
+                       const std::uint64_t b[4]) {
+  std::uint64_t t0, t1, t2, t3, t4, t5, t6, t7;
+  IBBE_MUL4_BODY_;
+  out[0] = t0;
+  out[1] = t1;
+  out[2] = t2;
+  out[3] = t3;
+  out[4] = t4;
+  out[5] = t5;
+  out[6] = t6;
+  out[7] = t7;
+}
+
+// One REDC round: m = t[j] * n0inv; t[j..j+4] += m * n (dual carry chains);
+// the folded carry word (high limb + CF + OF, bounded by n3 + 1 < 2^64 for
+// n3 <= 2^64 - 2) ripples through the tail limbs via TAIL.
+#define IBBE_REDC_ROUND_(TJ, TJ1, TJ2, TJ3, TAIL) \
+  "movq " TJ ", %%rdx\n\t"                        \
+  "imulq %[n0inv], %%rdx\n\t"                     \
+  "xorl %%eax, %%eax\n\t"                         \
+  "mulxq 0(%[n]), %%rax, %%rbx\n\t"               \
+  "adcxq %%rax, " TJ "\n\t"                       \
+  "adoxq %%rbx, " TJ1 "\n\t"                      \
+  "mulxq 8(%[n]), %%rax, %%rbx\n\t"               \
+  "adcxq %%rax, " TJ1 "\n\t"                      \
+  "adoxq %%rbx, " TJ2 "\n\t"                      \
+  "mulxq 16(%[n]), %%rax, %%rbx\n\t"              \
+  "adcxq %%rax, " TJ2 "\n\t"                      \
+  "adoxq %%rbx, " TJ3 "\n\t"                      \
+  "mulxq 24(%[n]), %%rax, %%rbx\n\t"              \
+  "adcxq %%rax, " TJ3 "\n\t"                      \
+  "movl $0, %%eax\n\t"                            \
+  "adoxq %%rax, %%rbx\n\t"                        \
+  "adcxq %%rax, %%rbx\n\t" TAIL
+
+// The four unrolled rounds shared by both asm REDC variants. After them the
+// value is t8 * 2^256 + (t4..t7) < 2^256 + n, t8 in {0, 1}.
+#define IBBE_REDC_BODY_                              \
+  IBBE_REDC_ROUND_("%[t0]", "%[t1]", "%[t2]",        \
+                   "%[t3]",                          \
+                   "addq %%rbx, %[t4]\n\t"           \
+                   "adcq $0, %[t5]\n\t"              \
+                   "adcq $0, %[t6]\n\t"              \
+                   "adcq $0, %[t7]\n\t"              \
+                   "adcq $0, %[t8]\n\t")             \
+  IBBE_REDC_ROUND_("%[t1]", "%[t2]", "%[t3]",        \
+                   "%[t4]",                          \
+                   "addq %%rbx, %[t5]\n\t"           \
+                   "adcq $0, %[t6]\n\t"              \
+                   "adcq $0, %[t7]\n\t"              \
+                   "adcq $0, %[t8]\n\t")             \
+  IBBE_REDC_ROUND_("%[t2]", "%[t3]", "%[t4]",        \
+                   "%[t5]",                          \
+                   "addq %%rbx, %[t6]\n\t"           \
+                   "adcq $0, %[t7]\n\t"              \
+                   "adcq $0, %[t8]\n\t")             \
+  IBBE_REDC_ROUND_("%[t3]", "%[t4]", "%[t5]",        \
+                   "%[t6]",                          \
+                   "addq %%rbx, %[t7]\n\t"           \
+                   "adcq $0, %[t8]\n\t")
+
+/// Montgomery reduction of an arbitrary 512-bit t (the lazy-reduction entry
+/// point). Final correction in C (up to ~5 subtractions; typically 0-1).
+inline void redc_accel(std::uint64_t out[4], const std::uint64_t t_in[8],
+                       const std::uint64_t n[4], std::uint64_t n0inv) {
+  std::uint64_t t0 = t_in[0], t1 = t_in[1], t2 = t_in[2], t3 = t_in[3];
+  std::uint64_t t4 = t_in[4], t5 = t_in[5], t6 = t_in[6], t7 = t_in[7];
+  std::uint64_t t8 = 0;
+  __asm__(IBBE_REDC_BODY_
+          : [t0] "+&r"(t0), [t1] "+&r"(t1), [t2] "+&r"(t2), [t3] "+&r"(t3),
+            [t4] "+&r"(t4), [t5] "+&r"(t5), [t6] "+&r"(t6), [t7] "+&r"(t7),
+            [t8] "+&r"(t8)
+          : [n] "r"(n), [n0inv] "m"(n0inv)
+          : "rax", "rbx", "rdx", "cc", "memory");
+  std::uint64_t r[4] = {t4, t5, t6, t7};
+  detail::redc_correct(r, t8, n);
+  for (int i = 0; i < 4; ++i) out[i] = r[i];
+}
+
+/// Fused Montgomery multiply of reduced operands: the product is < n * 2^256,
+/// so the REDC estimate is < 2n and a single branchless conditional
+/// subtraction (SBB across the limbs plus the carry bit, CMOV select)
+/// canonicalizes it. The product stays in the t0..t7 registers between the
+/// two asm blocks.
+inline void mont_mul_accel(std::uint64_t out[4], const std::uint64_t a[4],
+                           const std::uint64_t b[4], const std::uint64_t n[4],
+                           std::uint64_t n0inv) {
+  std::uint64_t t0, t1, t2, t3, t4, t5, t6, t7;
+  IBBE_MUL4_BODY_;
+  std::uint64_t t8 = 0;
+  __asm__(IBBE_REDC_BODY_
+          // Branchless conditional subtract: CF after the chained SBB
+          // (including the t8 carry bit) is set iff the value is < n.
+          "movq %[t4], %%rax\n\t"
+          "movq %[t5], %%rbx\n\t"
+          "movq %[t6], %%rdx\n\t"
+          "movq %[t7], %[t0]\n\t"
+          "subq 0(%[n]), %%rax\n\t"
+          "sbbq 8(%[n]), %%rbx\n\t"
+          "sbbq 16(%[n]), %%rdx\n\t"
+          "sbbq 24(%[n]), %[t0]\n\t"
+          "sbbq $0, %[t8]\n\t"
+          "cmovncq %%rax, %[t4]\n\t"
+          "cmovncq %%rbx, %[t5]\n\t"
+          "cmovncq %%rdx, %[t6]\n\t"
+          "cmovncq %[t0], %[t7]\n\t"
+          : [t0] "+&r"(t0), [t1] "+&r"(t1), [t2] "+&r"(t2), [t3] "+&r"(t3),
+            [t4] "+&r"(t4), [t5] "+&r"(t5), [t6] "+&r"(t6), [t7] "+&r"(t7),
+            [t8] "+&r"(t8)
+          : [n] "r"(n), [n0inv] "m"(n0inv)
+          : "rax", "rbx", "rdx", "cc", "memory");
+  out[0] = t4;
+  out[1] = t5;
+  out[2] = t6;
+  out[3] = t7;
+}
+
+#undef IBBE_REDC_BODY_
+#undef IBBE_REDC_ROUND_
+#undef IBBE_MUL4_BODY_
+
+#endif  // IBBE_HAVE_MULX_ASM
+
+/// The single runtime dispatch point for the full 256x256 -> 512 product —
+/// both `bigint::mul_wide` and `MontgomeryCtx::mul_wide` route through here,
+/// so a backend change cannot leave the two entry points disagreeing. The
+/// dispatch result is cached in a local static: this runs 27 times per lazy
+/// Fp6 multiplication, too hot for a cross-TU accelerated() call each time.
+inline void mul4(std::uint64_t out[8], const std::uint64_t a[4],
+                 const std::uint64_t b[4]) {
+#if IBBE_HAVE_MULX_ASM
+  static const bool use_accel = accelerated();
+  if (use_accel) {
+    mul4_accel(out, a, b);
+    return;
+  }
+#endif
+  mul4_portable(out, a, b);
+}
+
+}  // namespace ibbe::bigint::backend

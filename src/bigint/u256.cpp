@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "bigint/mont_backend.h"
 #include "util/hex.h"
 
 namespace ibbe::bigint {
@@ -92,17 +93,7 @@ std::uint64_t sub_with_borrow(const U256& a, const U256& b, U256& out) {
 
 std::array<std::uint64_t, 8> mul_wide(const U256& a, const U256& b) {
   std::array<std::uint64_t, 8> t{};
-  for (int i = 0; i < 4; ++i) {
-    std::uint64_t carry = 0;
-    for (int j = 0; j < 4; ++j) {
-      u128 cur = static_cast<u128>(a.limb[static_cast<std::size_t>(i)]) *
-                     b.limb[static_cast<std::size_t>(j)] +
-                 t[static_cast<std::size_t>(i + j)] + carry;
-      t[static_cast<std::size_t>(i + j)] = static_cast<std::uint64_t>(cur);
-      carry = static_cast<std::uint64_t>(cur >> 64);
-    }
-    t[static_cast<std::size_t>(i + 4)] = carry;
-  }
+  backend::mul4(t.data(), a.limb.data(), b.limb.data());
   return t;
 }
 

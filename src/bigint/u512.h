@@ -1,0 +1,53 @@
+// Fixed-width 512-bit unsigned integers: the unreduced-accumulator word of
+// the lazy-reduction field tower.
+//
+// A U512 holds a full 256x256-bit product (or a bounded sum of such
+// products) between a `mul_wide` and the Montgomery reduction that folds it
+// back to 4 limbs (`MontgomeryCtx::redc`). Unlike `int512.h` (sign-magnitude
+// helpers for the endomorphism lattice math), this type is unsigned and
+// wrap-around: subtraction is two's-complement, and the *caller* is
+// responsible for keeping every intermediate mathematically non-negative and
+// below 2^512 (the field layer does this by adding p^2 offsets before
+// subtracting and by tracking per-formula bounds; see field/lazy.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ibbe::bigint {
+
+/// 512-bit unsigned integer, little-endian limbs.
+struct U512 {
+  std::array<std::uint64_t, 8> limb{0, 0, 0, 0, 0, 0, 0, 0};
+
+  friend bool operator==(const U512&, const U512&) = default;
+};
+
+/// out += a. Returns the carry out of the top limb — 0 whenever the caller's
+/// bound analysis is right; the field layer asserts this in debug builds.
+inline std::uint64_t u512_add(U512& out, const U512& a) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    unsigned __int128 s = static_cast<unsigned __int128>(out.limb[static_cast<std::size_t>(i)]) +
+                          a.limb[static_cast<std::size_t>(i)] + carry;
+    out.limb[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+/// out -= a (two's-complement wraparound). Returns the borrow out of the top
+/// limb — 0 whenever out >= a as integers, which the caller must ensure
+/// (typically by adding a p^2 offset first).
+inline std::uint64_t u512_sub(U512& out, const U512& a) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 8; ++i) {
+    unsigned __int128 d = static_cast<unsigned __int128>(out.limb[static_cast<std::size_t>(i)]) -
+                          a.limb[static_cast<std::size_t>(i)] - borrow;
+    out.limb[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) & 1;
+  }
+  return static_cast<std::uint64_t>(borrow);
+}
+
+}  // namespace ibbe::bigint

@@ -55,6 +55,12 @@ class Fp256 {
   /// Zero element.
   constexpr Fp256() = default;
 
+  // __attribute__((const)) is sound here — the function always returns the
+  // same reference — and lets the compiler hoist the magic-static guard
+  // check out of multiplication-chain loops.
+#if defined(__GNUC__)
+  __attribute__((const))
+#endif
   static const bigint::MontgomeryCtx& ctx() {
     static const bigint::MontgomeryCtx instance(
         U256::from_hex(Tag::modulus_hex));
@@ -108,7 +114,10 @@ class Fp256 {
   }
   Fp256& operator+=(const Fp256& o) { return *this = *this + o; }
   Fp256& operator-=(const Fp256& o) { return *this = *this - o; }
-  Fp256& operator*=(const Fp256& o) { return *this = *this * o; }
+  Fp256& operator*=(const Fp256& o) {
+    ctx().mul_into(v_, o.v_, v_);  // in-place: no result copy
+    return *this;
+  }
 
   [[nodiscard]] Fp256 neg() const { return from_mont(ctx().neg(v_)); }
   [[nodiscard]] Fp256 square() const { return from_mont(ctx().sqr(v_)); }
@@ -137,6 +146,13 @@ class Fp256 {
 
   /// Parity of the canonical representative; used for point compression.
   [[nodiscard]] bool is_odd() const { return to_u256().is_odd(); }
+
+  /// The raw Montgomery residue and its unchecked inverse. These exist for
+  /// the lazy-reduction tower (field/lazy.h), which multiplies and
+  /// accumulates residues in 512-bit unreduced form and re-wraps the REDC
+  /// output; `v` must be a canonical residue (< modulus, Montgomery form).
+  [[nodiscard]] const U256& mont_repr() const { return v_; }
+  static Fp256 from_mont_unchecked(const U256& v) { return from_mont(v); }
 
   friend bool operator==(const Fp256&, const Fp256&) = default;
 

@@ -1,27 +1,25 @@
 #include "field/fp2.h"
 
+#include "field/lazy.h"
+
 namespace ibbe::field {
 
 Fp2 operator*(const Fp2& a, const Fp2& b) {
-  // Karatsuba over i^2 = -1.
-  Fp t0 = a.c0_ * b.c0_;
-  Fp t1 = a.c1_ * b.c1_;
-  Fp mixed = (a.c0_ + a.c1_) * (b.c0_ + b.c1_);
-  return {t0 - t1, mixed - t0 - t1};
+  // Lazy Karatsuba over i^2 = -1: 3 wide products, 2 REDCs (field/lazy.h).
+  return Fp2Wide::mul(a, b).redc();
 }
 
 Fp2 Fp2::square() const {
-  // (a+bi)^2 = (a+b)(a-b) + 2ab i
-  Fp sum = c0_ + c1_;
-  Fp diff = c0_ - c1_;
-  Fp cross = c0_ * c1_;
-  return {sum * diff, cross.dbl()};
+  // (a+bi)^2 = (a+b)(a-b) + 2ab i: 2 wide products, 2 REDCs.
+  return Fp2Wide::square(*this).redc();
 }
 
 Fp2 Fp2::inverse() const {
-  // (a+bi)^-1 = (a - bi) / (a^2 + b^2)
-  Fp norm = c0_.square() + c1_.square();
-  Fp d = norm.inverse();
+  // (a+bi)^-1 = (a - bi) / (a^2 + b^2); the norm accumulates both squares
+  // into one wide word (<= 2p^2) and reduces once.
+  FpWide norm = FpWide::product(c0_, c0_);
+  norm.add(FpWide::product(c1_, c1_));
+  Fp d = norm.redc().inverse();
   return {c0_ * d, (c1_ * d).neg()};
 }
 

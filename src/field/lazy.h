@@ -1,0 +1,152 @@
+// Lazy-reduction arithmetic for the BN254 base field and its quadratic
+// extension (Aranha et al., "Faster Explicit Formulas for Computing Pairings
+// over Ordinary Curves", EUROCRYPT 2011 — adapted to this tower).
+//
+// A Montgomery multiplication is a 256x256 -> 512 product followed by a REDC
+// that costs roughly half as much again. Since REDC is linear, a SUM of
+// products needs only one: the tower formulas here accumulate full-width
+// products in `FpWide` (a U512) and reduce once per output coefficient —
+// an Fp2 multiplication pays 2 REDCs instead of 3, an Fp6 multiplication 6
+// instead of 27 (see field/fp6.cpp).
+//
+// Bound discipline (everything in units of p^2, p = BN254 base prime):
+//   * p < 2^253.6, so p^2 < 2^507.2 and a U512 holds up to
+//     floor(2^512 / p^2) = 27 products without overflow.
+//   * `FpWide::product` of reduced operands is < p^2; `product_raw` of raw
+//     sums (each < 2p < 2^255) is < 4p^2.
+//   * Subtraction x - y is computed as x + (p^2 - ...) offsets: adding any
+//     multiple of p^2 (indeed of p) does not change redc(x) mod p, so
+//     `add_p_squared` before `sub` keeps the accumulator non-negative.
+//   * Every formula in fp2.cpp / fp6.cpp carries its worst-case bound as a
+//     comment; the largest used is 12 p^2 — well under the 27 p^2 ceiling.
+//   * Overflow would mean a carry out of the top limb; debug builds assert
+//     on it (Release defines NDEBUG, so the hot path pays nothing).
+//
+// Only instantiated for the BN254 base field: the bounds need the two spare
+// bits of a 254-bit prime in a 256-bit word, and nothing above P-256 or Fr
+// multiplies deeply enough to profit.
+#pragma once
+
+#include <cassert>
+
+#include "bigint/mont.h"
+#include "bigint/u512.h"
+#include "field/fields.h"
+
+namespace ibbe::field {
+
+/// Unreduced 512-bit accumulator over the BN254 base field: a sum of
+/// Montgomery-residue products (plus p^2 offsets), reduced on demand.
+class FpWide {
+ public:
+  FpWide() = default;
+
+  /// a * b for reduced residues: < p^2.
+  static FpWide product(const Fp& a, const Fp& b) {
+    FpWide out;
+    out.v_ = bigint::MontgomeryCtx::mul_wide(a.mont_repr(), b.mont_repr());
+    return out;
+  }
+
+  /// a * b for RAW 256-bit operands (unreduced limb sums < 2p each, as
+  /// produced by `raw_sum`): < 4p^2.
+  static FpWide product_raw(const bigint::U256& a, const bigint::U256& b) {
+    FpWide out;
+    out.v_ = bigint::MontgomeryCtx::mul_wide(a, b);
+    return out;
+  }
+
+  /// a + b over the integers (no modular reduction): < 2p < 2^256 for
+  /// reduced inputs, so the carry out is always zero.
+  static bigint::U256 raw_sum(const Fp& a, const Fp& b) {
+    bigint::U256 s;
+    [[maybe_unused]] std::uint64_t carry =
+        bigint::add_with_carry(a.mont_repr(), b.mont_repr(), s);
+    assert(carry == 0 && "FpWide::raw_sum: operands not reduced");
+    return s;
+  }
+
+  void add(const FpWide& o) {
+    [[maybe_unused]] std::uint64_t carry = bigint::u512_add(v_, o.v_);
+    assert(carry == 0 && "FpWide::add: accumulator bound exceeded");
+  }
+
+  /// this -= o; the caller must have ensured this >= o (usually via
+  /// `add_p_squared` first).
+  void sub(const FpWide& o) {
+    [[maybe_unused]] std::uint64_t borrow = bigint::u512_sub(v_, o.v_);
+    assert(borrow == 0 && "FpWide::sub: negative intermediate");
+  }
+
+  /// this += p^2 (invisible mod p; buys headroom for one `sub` of a plain
+  /// product).
+  void add_p_squared() {
+    [[maybe_unused]] std::uint64_t carry =
+        bigint::u512_add(v_, Fp::ctx().p_squared());
+    assert(carry == 0 && "FpWide::add_p_squared: accumulator bound exceeded");
+  }
+
+  void dbl() { add(*this); }
+
+  /// One Montgomery reduction: the canonical Fp with value this * R^-1.
+  [[nodiscard]] Fp redc() const {
+    return Fp::from_mont_unchecked(Fp::ctx().redc(v_));
+  }
+
+ private:
+  bigint::U512 v_{};
+};
+
+/// Unreduced Fp2 product accumulator (component-wise pair of FpWide).
+class Fp2Wide {
+ public:
+  Fp2Wide() = default;
+
+  /// Karatsuba product of reduced Fp2 elements, 3 wide multiplications and
+  /// ZERO reductions. Component bounds: c0 <= 2 p^2, c1 <= 4 p^2.
+  static Fp2Wide mul(const Fp2& a, const Fp2& b) {
+    FpWide t0 = FpWide::product(a.c0(), b.c0());
+    FpWide t1 = FpWide::product(a.c1(), b.c1());
+    // Raw (integer) operand sums keep mixed >= t0 + t1 over the integers,
+    // which is what lets both subtractions below run offset-free.
+    FpWide mixed = FpWide::product_raw(FpWide::raw_sum(a.c0(), a.c1()),
+                                       FpWide::raw_sum(b.c0(), b.c1()));
+    Fp2Wide r;
+    r.c0_ = t0;
+    r.c0_.add_p_squared();  // t0 + p^2 - t1 in [p^2 - p^2, 2p^2)
+    r.c0_.sub(t1);
+    r.c1_ = mixed;  // mixed - t0 - t1 = a0 b1 + a1 b0 in [0, 2p^2); raw
+    r.c1_.sub(t0);  // mixed itself is < 4p^2
+    r.c1_.sub(t1);
+    return r;
+  }
+
+  /// Squaring: 2 wide multiplications. Component bounds: c0 <= 2p^2,
+  /// c1 <= 2p^2.
+  static Fp2Wide square(const Fp2& a) {
+    Fp2Wide r;
+    // (a0 + a1)(a0 - a1) = a0^2 - a1^2 = Re(a^2): the difference is taken
+    // reduced mod p (congruence is all REDC needs), the sum raw (< 2p), so
+    // the product is < 2p^2 and non-negative by construction.
+    r.c0_ = FpWide::product_raw(FpWide::raw_sum(a.c0(), a.c1()),
+                                (a.c0() - a.c1()).mont_repr());
+    r.c1_ = FpWide::product(a.c0(), a.c1());
+    r.c1_.dbl();
+    return r;
+  }
+
+  /// Component-wise accumulate; bounds add.
+  void add(const Fp2Wide& o) {
+    c0_.add(o.c0_);
+    c1_.add(o.c1_);
+  }
+
+  /// Two reductions — one per coefficient, regardless of how many products
+  /// were accumulated.
+  [[nodiscard]] Fp2 redc() const { return {c0_.redc(), c1_.redc()}; }
+
+ private:
+  FpWide c0_, c1_;
+};
+
+}  // namespace ibbe::field

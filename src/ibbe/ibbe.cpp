@@ -95,11 +95,11 @@ namespace {
 /// Double-checked lazy init so concurrent first calls on a shared const
 /// PublicKey race benignly (one winner, losers adopt its table) instead of
 /// tearing a shared_ptr.
-const pairing::G2Prepared& prepare_cached(
-    std::shared_ptr<const pairing::G2Prepared>& slot, const G2& q) {
+const pairing::G2PreparedAffine& prepare_cached(
+    std::shared_ptr<const pairing::G2PreparedAffine>& slot, const G2& q) {
   auto cur = std::atomic_load_explicit(&slot, std::memory_order_acquire);
   if (!cur) {
-    auto fresh = std::make_shared<const pairing::G2Prepared>(q);
+    auto fresh = std::make_shared<const pairing::G2PreparedAffine>(q);
     if (!std::atomic_compare_exchange_strong(&slot, &cur, fresh)) {
       return *cur;  // another thread won; cur now holds its table
     }
@@ -110,11 +110,11 @@ const pairing::G2Prepared& prepare_cached(
 
 }  // namespace
 
-const pairing::G2Prepared& PublicKey::prepared_h() const {
+const pairing::G2PreparedAffine& PublicKey::prepared_h() const {
   return prepare_cached(prep_h_, h());
 }
 
-const pairing::G2Prepared& PublicKey::prepared_h_gamma() const {
+const pairing::G2PreparedAffine& PublicKey::prepared_h_gamma() const {
   return prepare_cached(prep_h_gamma_, h_powers.at(1));
 }
 
@@ -335,6 +335,52 @@ std::optional<Gt> decrypt(const PublicKey& pk, const UserSecretKey& usk,
   return combined.exp(plan->delta.inverse());
 }
 
+std::optional<PreparedPartition> PreparedPartition::prepare(
+    const PublicKey& pk, const UserSecretKey& usk,
+    std::span<const Identity> receivers) {
+  auto plan = plan_partition(pk, usk, receivers);
+  if (!plan) return std::nullopt;
+  PreparedPartition part;
+  part.delta_inv_ = plan->delta.inverse();
+  part.usk_value_ = usk.value;
+  part.h_pi_ = pairing::G2PreparedAffine(plan->h_pi);
+  return part;
+}
+
+Gt decrypt(const PreparedPartition& part, const BroadcastCiphertext& ct) {
+  // Only C2's line table is ciphertext-dependent; everything else comes from
+  // the cache. One mixed 2-pair multi-pairing, then the GT tail.
+  pairing::G2Prepared c2_prep(ct.c2);
+  std::array<pairing::PairingInput, 1> proj = {{{part.usk_value(), &c2_prep}}};
+  std::array<pairing::PairingInputAffine, 1> affine = {{{ct.c1, &part.h_pi()}}};
+  Gt combined = pairing::pairing_product_prepared(proj, affine);
+  return combined.exp(part.delta_inv());
+}
+
+std::vector<Gt> decrypt_batched(std::span<const PreparedPartitionRef> parts) {
+  std::vector<field::Fp12> millers;
+  millers.reserve(parts.size());
+  for (const auto& ref : parts) {
+    if (ref.part == nullptr || ref.ct == nullptr) {
+      throw std::invalid_argument("decrypt_batched: null PreparedPartitionRef");
+    }
+    pairing::G2Prepared c2_prep(ref.ct->c2);
+    std::array<pairing::PairingInput, 1> proj = {
+        {{ref.part->usk_value(), &c2_prep}}};
+    std::array<pairing::PairingInputAffine, 1> affine = {
+        {{ref.ct->c1, &ref.part->h_pi()}}};
+    millers.push_back(pairing::miller_loop_product_prepared(proj, affine));
+  }
+  auto exped = pairing::final_exponentiation_many(millers);
+  std::vector<Gt> out;
+  out.reserve(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    out.push_back(
+        Gt::from_fp12_unchecked(exped[i]).exp(parts[i].part->delta_inv()));
+  }
+  return out;
+}
+
 std::vector<std::optional<Gt>> decrypt_batched(
     const PublicKey& pk, const UserSecretKey& usk,
     std::span<const PartitionRef> parts) {
@@ -380,9 +426,9 @@ G2 compute_c3_public(const PublicKey& pk, std::span<const Identity> receivers) {
 bool verify_user_key(const PublicKey& pk, const UserSecretKey& usk) {
   if (pk.h_powers.size() < 2) return false;
   // e(usk, h^gamma) * e(usk^H(id), h) == v: moving H(id) to the (4x cheaper)
-  // G1 side leaves both G2 arguments fixed per PK, so the cached line tables
-  // and the shared-squaring multi-pairing do all the work.
-  std::array<pairing::PairingInput, 2> inputs = {{
+  // G1 side leaves both G2 arguments fixed per PK, so the cached normalized
+  // line tables and the shared-squaring multi-pairing do all the work.
+  std::array<pairing::PairingInputAffine, 2> inputs = {{
       {usk.value, &pk.prepared_h_gamma()},
       {usk.value.mul(hash_identity(usk.id)), &pk.prepared_h()},
   }};

@@ -58,13 +58,16 @@ struct PublicKey {
   /// size in IBBE-SGX, the group size in raw IBBE).
   [[nodiscard]] std::size_t max_receivers() const { return h_powers.size() - 1; }
 
-  /// Pairing precomputation (Miller-loop line tables) for h = h_powers[0]
-  /// and h^gamma = h_powers[1] — the two fixed G2 arguments every
-  /// verify_user_key pairing uses. Built lazily on first use (concurrent
-  /// first calls race benignly: one table wins) and cached for the lifetime
-  /// of this key — rebuild the key if h_powers change.
-  [[nodiscard]] const pairing::G2Prepared& prepared_h() const;
-  [[nodiscard]] const pairing::G2Prepared& prepared_h_gamma() const;
+  /// Pairing precomputation (normalized Miller-loop line tables) for
+  /// h = h_powers[0] and h^gamma = h_powers[1] — the two fixed G2 arguments
+  /// every verify_user_key pairing uses. Cached G2 arguments use the
+  /// batched-inversion affine form (pairing::G2PreparedAffine): one Fp2
+  /// inversion at build time buys cheaper line evaluations on every reuse.
+  /// Built lazily on first use (concurrent first calls race benignly: one
+  /// table wins) and cached for the lifetime of this key — rebuild the key
+  /// if h_powers change.
+  [[nodiscard]] const pairing::G2PreparedAffine& prepared_h() const;
+  [[nodiscard]] const pairing::G2PreparedAffine& prepared_h_gamma() const;
 
   /// Prepared multi-scalar-multiplication tables over the first `need`
   /// h_powers (grown to the full key once `need` passes half of it), for the
@@ -77,8 +80,8 @@ struct PublicKey {
   static PublicKey from_bytes(std::span<const std::uint8_t> data);
 
  private:
-  mutable std::shared_ptr<const pairing::G2Prepared> prep_h_;
-  mutable std::shared_ptr<const pairing::G2Prepared> prep_h_gamma_;
+  mutable std::shared_ptr<const pairing::G2PreparedAffine> prep_h_;
+  mutable std::shared_ptr<const pairing::G2PreparedAffine> prep_h_gamma_;
   mutable std::shared_ptr<const ec::G2PowersMsm> prep_msm_;
 };
 
@@ -170,11 +173,56 @@ std::optional<pairing::Gt> decrypt(const PublicKey& pk,
                                    std::span<const Identity> receivers,
                                    const BroadcastCiphertext& ct);
 
+/// Cached decrypt state for one (user, receiver set) pair — the partition
+/// key of IBBE-SGX. `decrypt` pays two G2Prepared constructions per call;
+/// for a client that decrypts the same partition repeatedly (every re-key,
+/// every message under a cached C3), everything that depends only on the
+/// receiver set can be computed ONCE:
+///   * the O(|S|^2) polynomial expansion and Delta (here: 1/Delta, inverted
+///     eagerly so the per-decrypt GT tail starts immediately),
+///   * h^{p_i(gamma)} assembled from the PK powers (one MSM), and
+///   * its Miller line table, in the batched-inversion affine form
+///     (pairing::G2PreparedAffine) since it will be replayed many times.
+/// Only the ciphertext-dependent C2 table remains per-decrypt. The cache is
+/// invalidated by membership changes (C3 changes), not by re-keying.
+class PreparedPartition {
+ public:
+  /// std::nullopt when usk.id is not in `receivers` or the set exceeds the
+  /// PK bound — exactly the cases where decrypt would return nullopt.
+  static std::optional<PreparedPartition> prepare(
+      const PublicKey& pk, const UserSecretKey& usk,
+      std::span<const Identity> receivers);
+
+  [[nodiscard]] const field::Fr& delta_inv() const { return delta_inv_; }
+  [[nodiscard]] const ec::G1& usk_value() const { return usk_value_; }
+  [[nodiscard]] const pairing::G2PreparedAffine& h_pi() const { return h_pi_; }
+
+ private:
+  PreparedPartition() = default;
+  field::Fr delta_inv_;
+  ec::G1 usk_value_;
+  pairing::G2PreparedAffine h_pi_;
+};
+
+/// Decrypt against a cached PreparedPartition: one projective G2Prepared
+/// (C2), a 2-pair mixed multi-pairing, and the GT tail. Equals what
+/// decrypt(pk, usk, receivers, ct) returns for the receiver set the
+/// partition was prepared from.
+pairing::Gt decrypt(const PreparedPartition& part,
+                    const BroadcastCiphertext& ct);
+
 /// One partition's decrypt inputs: the receiver set a ciphertext was
 /// produced for, plus the ciphertext. The spans/pointers must stay alive for
 /// the duration of the decrypt_batched call; nothing is copied.
 struct PartitionRef {
   std::span<const Identity> receivers;
+  const BroadcastCiphertext* ct = nullptr;
+};
+
+/// Batched-decrypt input over cached partition state (see PreparedPartition
+/// and decrypt_batched below). Pointers must outlive the call.
+struct PreparedPartitionRef {
+  const PreparedPartition* part = nullptr;
   const BroadcastCiphertext* ct = nullptr;
 };
 
@@ -195,6 +243,14 @@ struct PartitionRef {
 std::vector<std::optional<pairing::Gt>> decrypt_batched(
     const PublicKey& pk, const UserSecretKey& usk,
     std::span<const PartitionRef> parts);
+
+/// decrypt_batched over cached PreparedPartition state: same amortizations
+/// (one batched easy-part inversion across the final exponentiations), but
+/// the per-partition polynomial expansion, MSM, Delta inversion, and h^p_i
+/// line tables were all paid once at prepare() time. Throws
+/// std::invalid_argument on null pointers.
+std::vector<pairing::Gt> decrypt_batched(
+    std::span<const PreparedPartitionRef> parts);
 
 /// Rebuilds C3 = h^(prod (gamma+H(u))) from the public key alone (paper
 /// Formula 5 remark) — O(|S|^2). Used to validate cached C3 values in tests.

@@ -4,13 +4,16 @@
 
 #include "bigint/biguint.h"
 #include "bigint/mont.h"
+#include "bigint/mont_backend.h"
 #include "bigint/u256.h"
+#include "bigint/u512.h"
 
 namespace {
 
 using ibbe::bigint::BigUInt;
 using ibbe::bigint::MontgomeryCtx;
 using ibbe::bigint::U256;
+using ibbe::bigint::U512;
 
 // BN254 base-field and scalar-field moduli; used throughout as realistic test
 // primes.
@@ -278,6 +281,169 @@ TEST_P(MontgomeryTest, OneIsMultiplicativeIdentity) {
   U256 am = ctx.to_mont(a);
   EXPECT_EQ(ctx.mul(am, ctx.one()), am);
   EXPECT_EQ(ctx.from_mont(ctx.one()), U256::one());
+}
+
+BigUInt biguint_from_limbs8(const std::uint64_t* limbs) {
+  BigUInt out;
+  for (int j = 7; j >= 0; --j) out = (out << 64) + BigUInt(limbs[j]);
+  return out;
+}
+
+/// Worst-case operands for carry-chain bugs: near the modulus and with
+/// saturated limbs.
+std::vector<U256> adversarial_operands(const U256& n) {
+  U256 n_minus_1, n_minus_2;
+  ibbe::bigint::sub_with_borrow(n, U256::one(), n_minus_1);
+  ibbe::bigint::sub_with_borrow(n, U256::from_u64(2), n_minus_2);
+  std::vector<U256> out = {U256::zero(), U256::one(), n_minus_1, n_minus_2};
+  // High-limb saturation patterns, reduced into the field.
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    U256 v;
+    for (int i = 0; i < 4; ++i) {
+      v.limb[static_cast<std::size_t>(i)] =
+          (pattern >> (i % 2)) & 1 ? ~std::uint64_t{0} : ~std::uint64_t{0} << 32;
+    }
+    out.push_back(ibbe::bigint::mod(v, n));
+  }
+  return out;
+}
+
+TEST_P(MontgomeryTest, MulWorstCaseOperandsMatchOracle) {
+  MontgomeryCtx ctx(U256::from_hex(GetParam()));
+  BigUInt n = BigUInt::from_u256(ctx.modulus());
+  BigUInt r_inv = BigUInt::inv_mod((BigUInt(1) << 256) % n, n);
+  auto ops = adversarial_operands(ctx.modulus());
+  for (const U256& a : ops) {
+    for (const U256& b : ops) {
+      // Montgomery product of raw values: a*b*R^-1 mod n.
+      BigUInt expect =
+          (((BigUInt::from_u256(a) * BigUInt::from_u256(b)) % n) * r_inv) % n;
+      EXPECT_EQ(BigUInt::from_u256(ctx.mul(a, b)), expect);
+      BigUInt sq_expect =
+          (((BigUInt::from_u256(a) * BigUInt::from_u256(a)) % n) * r_inv) % n;
+      EXPECT_EQ(BigUInt::from_u256(ctx.sqr(a)), sq_expect);
+    }
+  }
+}
+
+TEST_P(MontgomeryTest, RedcMatchesOracleOnArbitrary512BitInput) {
+  // redc accepts ANY t < 2^512 (the lazy-reduction tower feeds it sums of
+  // products): check against the BigUInt oracle on random, saturated, and
+  // near-2^512 inputs.
+  MontgomeryCtx ctx(U256::from_hex(GetParam()));
+  BigUInt n = BigUInt::from_u256(ctx.modulus());
+  BigUInt r_inv = BigUInt::inv_mod((BigUInt(1) << 256) % n, n);
+  std::mt19937_64 rng(14);
+  for (int i = 0; i < 300; ++i) {
+    U512 t;
+    if (i == 0) {
+      for (auto& limb : t.limb) limb = ~std::uint64_t{0};  // 2^512 - 1
+    } else if (i == 1) {
+      t.limb = {0, 0, 0, 0, 0, 0, 0, ~std::uint64_t{0}};  // top-limb only
+    } else {
+      for (auto& limb : t.limb) limb = rng();
+    }
+    BigUInt expect = ((biguint_from_limbs8(t.limb.data()) % n) * r_inv) % n;
+    EXPECT_EQ(BigUInt::from_u256(ctx.redc(t)), expect);
+  }
+}
+
+TEST_P(MontgomeryTest, SplitMulWideRedcEqualsFusedMul) {
+  MontgomeryCtx ctx(U256::from_hex(GetParam()));
+  std::mt19937_64 rng(15);
+  for (int i = 0; i < 200; ++i) {
+    U256 a = ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+    U256 b = ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+    EXPECT_EQ(ctx.redc(MontgomeryCtx::mul_wide(a, b)), ctx.mul(a, b));
+  }
+}
+
+TEST_P(MontgomeryTest, AccumulatedCarryStress) {
+  // The lazy-reduction pattern: sum several wide products (plus n^2 offsets)
+  // and reduce once; must equal the sum of individually reduced products.
+  // The accumulation depth the 512-bit word supports is 2^(512 - 2*bits(n))
+  // — 16 for the 254-bit BN primes (the tower uses at most 12), 1 for the
+  // 256-bit P-256 moduli, which is exactly why the lazy layer is BN-only.
+  MontgomeryCtx ctx(U256::from_hex(GetParam()));
+  const unsigned spare = 512 - 2 * ctx.modulus().bit_length();
+  const int depth = spare >= 4 ? 12 : 1 << spare;
+  std::mt19937_64 rng(16);
+  U256 n_minus_1;
+  ibbe::bigint::sub_with_borrow(ctx.modulus(), U256::one(), n_minus_1);
+  for (int round = 0; round < 50; ++round) {
+    U512 acc;
+    U256 expect = U256::zero();
+    for (int k = 0; k < depth; ++k) {
+      U256 a = round == 0 ? n_minus_1
+                          : ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+      U256 b = round == 0 ? n_minus_1
+                          : ibbe::bigint::mod(random_u256(rng), ctx.modulus());
+      std::uint64_t carry =
+          ibbe::bigint::u512_add(acc, MontgomeryCtx::mul_wide(a, b));
+      ASSERT_EQ(carry, 0u);
+      expect = ctx.add(expect, ctx.mul(a, b));
+    }
+    EXPECT_EQ(ctx.redc(acc), expect);
+  }
+}
+
+TEST(MontgomeryBackend, DifferentialFuzzAccelVsPortable) {
+  // 10k random pairs through both backends, mul and sqr. On machines (or
+  // builds) without the MULX/ADX path this degenerates to portable-vs-
+  // portable and still checks the fused-vs-split agreement.
+  std::printf("backend under test: %s\n", ibbe::bigint::backend::name());
+  const U256 moduli[2] = {
+      U256::from_hex(bn_p_hex),
+      U256::from_hex(bn_r_hex),
+  };
+  std::mt19937_64 rng(17);
+  for (const U256& n : moduli) {
+    MontgomeryCtx ctx(n);
+    for (int i = 0; i < 5000; ++i) {
+      U256 a = ibbe::bigint::mod(random_u256(rng), n);
+      U256 b = ibbe::bigint::mod(random_u256(rng), n);
+      std::uint64_t fused[4], split_t[8], split[4];
+      ibbe::bigint::backend::mont_mul_portable(
+          fused, a.limb.data(), b.limb.data(), n.limb.data(),
+          [&] {  // recompute n0inv the same way the ctx does
+            std::uint64_t n0 = n.limb[0], x = n0;
+            for (int r = 0; r < 6; ++r) x *= 2 - n0 * x;
+            return ~x + 1;
+          }());
+      U256 fused_u{{fused[0], fused[1], fused[2], fused[3]}};
+      // ctx.mul/sqr dispatch to the accelerated path when available; both
+      // are compared against the PORTABLE fused CIOS (sqr via a genuinely
+      // independent portable run, not via ctx.mul which would be the same
+      // accelerated code path).
+      EXPECT_EQ(ctx.mul(a, b), fused_u) << "mul diverged at iter " << i;
+      std::uint64_t sq_fused[4];
+      ibbe::bigint::backend::mont_mul_portable(
+          sq_fused, a.limb.data(), a.limb.data(), n.limb.data(), [&] {
+            std::uint64_t n0 = n.limb[0], x = n0;
+            for (int r = 0; r < 6; ++r) x *= 2 - n0 * x;
+            return ~x + 1;
+          }());
+      EXPECT_EQ(ctx.sqr(a),
+                (U256{{sq_fused[0], sq_fused[1], sq_fused[2], sq_fused[3]}}))
+          << "sqr diverged at iter " << i;
+      // And the split pipeline must agree limb-for-limb with the portable
+      // wide multiply.
+      ibbe::bigint::backend::mul4_portable(split_t, a.limb.data(),
+                                           b.limb.data());
+      U512 wide = MontgomeryCtx::mul_wide(a, b);
+      for (int j = 0; j < 8; ++j) {
+        ASSERT_EQ(wide.limb[static_cast<std::size_t>(j)], split_t[j])
+            << "mul_wide diverged at iter " << i << " limb " << j;
+      }
+      ibbe::bigint::backend::redc_portable(split, split_t, n.limb.data(), [&] {
+        std::uint64_t n0 = n.limb[0], x = n0;
+        for (int r = 0; r < 6; ++r) x *= 2 - n0 * x;
+        return ~x + 1;
+      }());
+      EXPECT_EQ(ctx.redc(wide), (U256{{split[0], split[1], split[2], split[3]}}))
+          << "redc diverged at iter " << i;
+    }
+  }
 }
 
 TEST(Montgomery, RejectsEvenModulus) {

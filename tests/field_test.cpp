@@ -305,6 +305,119 @@ TEST(Fp12, SerializationRoundTrip) {
                ibbe::util::DeserializeError);
 }
 
+// ----------------------------------------- lazy-reduction cross-validation
+//
+// Fp2/Fp6 multiplication accumulates unreduced 512-bit products and reduces
+// once per coefficient (field/lazy.h). These tests pin the lazy formulas to
+// independent reference implementations built ONLY from reduced Fp
+// arithmetic, over both random and adversarial (near-p, saturated-limb)
+// operands — the inputs that maximize the wide accumulator.
+
+Fp2 ref_fp2_mul(const Fp2& a, const Fp2& b) {
+  // (a0 + a1 i)(b0 + b1 i) with i^2 = -1, schoolbook over reduced Fp ops.
+  return {a.c0() * b.c0() - a.c1() * b.c1(),
+          a.c0() * b.c1() + a.c1() * b.c0()};
+}
+
+Fp6 ref_fp6_mul(const Fp6& a, const Fp6& b) {
+  // Schoolbook with v^3 = xi folds, all products through ref_fp2_mul.
+  Fp2 c0 = ref_fp2_mul(a.c0(), b.c0()) +
+           (ref_fp2_mul(a.c1(), b.c2()) + ref_fp2_mul(a.c2(), b.c1()))
+               .mul_by_xi();
+  Fp2 c1 = ref_fp2_mul(a.c0(), b.c1()) + ref_fp2_mul(a.c1(), b.c0()) +
+           ref_fp2_mul(a.c2(), b.c2()).mul_by_xi();
+  Fp2 c2 = ref_fp2_mul(a.c0(), b.c2()) + ref_fp2_mul(a.c1(), b.c1()) +
+           ref_fp2_mul(a.c2(), b.c0());
+  return {c0, c1, c2};
+}
+
+/// Field elements that stress every carry/bound in the lazy path: 0, 1, p-1,
+/// p-2, and reduced saturated-limb patterns.
+std::vector<Fp> adversarial_fps() {
+  std::vector<Fp> out = {Fp::zero(), Fp::one(), Fp::zero() - Fp::one(),
+                         Fp::zero() - Fp::one() - Fp::one()};
+  U256 sat;
+  for (auto& limb : sat.limb) limb = ~std::uint64_t{0};
+  out.push_back(Fp::from_u256_reduce(sat));
+  sat.limb = {0, 0, 0, ~std::uint64_t{0}};
+  out.push_back(Fp::from_u256_reduce(sat));
+  return out;
+}
+
+TEST(FieldLazy, Fp2MulMatchesReferenceOnWorstCaseOperands) {
+  auto fps = adversarial_fps();
+  for (const Fp& w : fps) {
+    for (const Fp& x : fps) {
+      for (const Fp& y : fps) {
+        for (const Fp& z : fps) {
+          Fp2 a(w, x), b(y, z);
+          EXPECT_EQ(a * b, ref_fp2_mul(a, b));
+          EXPECT_EQ(a.square(), ref_fp2_mul(a, a));
+        }
+      }
+    }
+  }
+  for (int i = 0; i < 500; ++i) {
+    Fp2 a = random_fp2(), b = random_fp2();
+    EXPECT_EQ(a * b, ref_fp2_mul(a, b));
+    EXPECT_EQ(a.square(), ref_fp2_mul(a, a));
+  }
+}
+
+TEST(FieldLazy, Fp6MulMatchesReferenceOnWorstCaseOperands) {
+  // All-(p-1) components maximize every one of the 12 accumulated products
+  // per coefficient — the deepest lazy accumulation in the tower.
+  Fp pm1 = Fp::zero() - Fp::one();
+  Fp2 ext(pm1, pm1);
+  Fp6 worst(ext, ext, ext);
+  EXPECT_EQ(worst * worst, ref_fp6_mul(worst, worst));
+
+  auto fps = adversarial_fps();
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    Fp6 a(Fp2(fps[i], fps[(i + 1) % fps.size()]),
+          Fp2(fps[(i + 2) % fps.size()], fps[(i + 3) % fps.size()]),
+          Fp2(fps[(i + 4) % fps.size()], fps[(i + 5) % fps.size()]));
+    EXPECT_EQ(a * worst, ref_fp6_mul(a, worst));
+    EXPECT_EQ(worst * a, ref_fp6_mul(worst, a));
+  }
+  for (int i = 0; i < 200; ++i) {
+    Fp6 a = random_fp6(), b = random_fp6();
+    EXPECT_EQ(a * b, ref_fp6_mul(a, b));
+  }
+}
+
+TEST(FieldLazy, Fp6MulBy01MatchesDenseMul) {
+  Fp pm1 = Fp::zero() - Fp::one();
+  Fp2 ext(pm1, pm1);
+  for (int i = 0; i < 100; ++i) {
+    Fp6 a = i == 0 ? Fp6(ext, ext, ext) : random_fp6();
+    Fp2 b0 = i == 0 ? ext : random_fp2();
+    Fp2 b1 = i == 0 ? ext : random_fp2();
+    EXPECT_EQ(a.mul_by_01(b0, b1), a * Fp6(b0, b1, Fp2::zero()));
+  }
+}
+
+TEST(FieldLazy, Fp2InverseOnWorstCaseOperands) {
+  for (const Fp& x : adversarial_fps()) {
+    for (const Fp& y : adversarial_fps()) {
+      Fp2 a(x, y);
+      if (a.is_zero()) continue;
+      EXPECT_EQ(a * a.inverse(), Fp2::one());
+    }
+  }
+}
+
+TEST(Fp12, MulByLineAffineMatchesGenericMul) {
+  for (int i = 0; i < 10; ++i) {
+    Fp12 f = random_fp12();
+    Fp a = i == 0 ? Fp::zero() - Fp::one() : random_fp();
+    Fp2 b = random_fp2(), c = random_fp2();
+    Fp12 line(Fp6(Fp2(a, Fp::zero()), Fp2::zero(), Fp2::zero()),
+              Fp6(b, c, Fp2::zero()));
+    EXPECT_EQ(f.mul_by_line_affine(a, b, c), f * line);
+  }
+}
+
 TEST(TowerConsts, GammaPowersConsistent) {
   const auto& g = ibbe::field::TowerConsts::get().gamma;
   // g[k] = g1^(k+1); g1^6 = xi^(p-1).

@@ -338,4 +338,71 @@ TEST_F(IbbeFixture, BatchedDecryptSinglePartitionEqualsDecrypt) {
   EXPECT_EQ(*batched[0], *ibbe::core::decrypt(keys.pk, key, users, enc.ct));
 }
 
+// ------------------------------------------------- cached partition decrypt
+
+TEST_F(IbbeFixture, PreparedPartitionDecryptEqualsDecrypt) {
+  auto users = make_users(8);
+  auto key = usk(users[2]);
+  auto part = ibbe::core::PreparedPartition::prepare(keys.pk, key, users);
+  ASSERT_TRUE(part.has_value());
+
+  // The cache stays valid across re-keys (C3 unchanged) and fresh messages.
+  auto enc = ibbe::core::encrypt_with_msk(keys.msk, keys.pk, users, rng);
+  EXPECT_EQ(ibbe::core::decrypt(*part, enc.ct),
+            *ibbe::core::decrypt(keys.pk, key, users, enc.ct));
+  auto rekeyed = ibbe::core::rekey(keys.pk, enc.ct, rng);
+  EXPECT_EQ(ibbe::core::decrypt(*part, rekeyed.ct), rekeyed.bk);
+}
+
+TEST_F(IbbeFixture, PreparedPartitionRejectsNonMembersAndOversizedSets) {
+  auto users = make_users(4);
+  auto outsider = usk("outsider@example.com");
+  EXPECT_FALSE(
+      ibbe::core::PreparedPartition::prepare(keys.pk, outsider, users)
+          .has_value());
+  auto too_many = make_users(33);
+  auto key = usk(too_many[0]);
+  EXPECT_FALSE(
+      ibbe::core::PreparedPartition::prepare(keys.pk, key, too_many)
+          .has_value());
+}
+
+TEST_F(IbbeFixture, PreparedBatchedDecryptEqualsPerPartitionDecrypt) {
+  // One client in three partitions, all prepared once, batch-decrypted.
+  auto shared_user = make_users(1)[0];
+  auto key = usk(shared_user);
+  std::vector<std::vector<Identity>> sets;
+  std::vector<ibbe::core::EncryptResult> encs;
+  std::vector<ibbe::core::PreparedPartition> parts;
+  for (int p = 0; p < 3; ++p) {
+    auto set = make_users(5 + static_cast<std::size_t>(p),
+                          "p" + std::to_string(p) + "-user");
+    set[static_cast<std::size_t>(p)] = shared_user;
+    encs.push_back(ibbe::core::encrypt_with_msk(keys.msk, keys.pk, set, rng));
+    auto part = ibbe::core::PreparedPartition::prepare(keys.pk, key, set);
+    ASSERT_TRUE(part.has_value());
+    parts.push_back(std::move(*part));
+    sets.push_back(std::move(set));
+  }
+  std::vector<ibbe::core::PreparedPartitionRef> refs;
+  for (int p = 0; p < 3; ++p) {
+    refs.push_back({&parts[static_cast<std::size_t>(p)],
+                    &encs[static_cast<std::size_t>(p)].ct});
+  }
+  auto batched = ibbe::core::decrypt_batched(refs);
+  ASSERT_EQ(batched.size(), 3u);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(batched[static_cast<std::size_t>(p)],
+              encs[static_cast<std::size_t>(p)].bk);
+    EXPECT_EQ(batched[static_cast<std::size_t>(p)],
+              *ibbe::core::decrypt(keys.pk, key, sets[static_cast<std::size_t>(p)],
+                                   encs[static_cast<std::size_t>(p)].ct));
+  }
+}
+
+TEST(PreparedPartitionErrors, NullRefsRejected) {
+  std::vector<ibbe::core::PreparedPartitionRef> bad = {{nullptr, nullptr}};
+  EXPECT_THROW(ibbe::core::decrypt_batched(bad), std::invalid_argument);
+}
+
 }  // namespace
