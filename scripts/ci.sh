@@ -123,6 +123,14 @@ if [ -r /proc/cpuinfo ] && grep -qw adx /proc/cpuinfo; then
   cmake --build "$PORTABLE_DIR" -j"$JOBS"
   IBBE_FORCE_PORTABLE_MUL=1 ctest --test-dir "$PORTABLE_DIR" \
     --output-on-failure -j"$JOBS"
+  # The differential strategy-equivalence suite (every G2 scalar-mul
+  # strategy against the double-and-add oracle) must hold bit-for-bit under
+  # the portable backend too. It already ran inside the full ctest above;
+  # run it once more by name so a future filtered ctest invocation cannot
+  # silently drop it from the fallback tree.
+  echo "==> $PORTABLE_DIR/strategy_equivalence_test (portable backend)"
+  IBBE_FORCE_PORTABLE_MUL=1 "$PORTABLE_DIR/strategy_equivalence_test" \
+    --gtest_brief=1
 else
   echo "ci.sh: no ADX on this CPU; default build already covers the portable path"
 fi

@@ -196,13 +196,15 @@ struct GlvCtx {
 
 // ----------------------------------------------------------------- G2 GLS
 
+/// u = 4965661367192848881, the BN254 curve parameter.
+constexpr std::uint64_t kBnU = 0x44e992b44a6909f1ULL;
+
 struct GlsCtx {
   U256 mu;    // psi = [mu] on G2; mu = 6u^2 = p mod r, ~127 bits
   U256 recip; // floor(2^381 / mu) for the Barrett division below
 
   GlsCtx() {
-    // u = 4965661367192848881, the BN254 curve parameter.
-    const BigUInt u = BigUInt::from_u256(U256::from_u64(0x44e992b44a6909f1ULL));
+    const BigUInt u = BigUInt::from_u256(U256::from_u64(kBnU));
     const BigUInt mu_big = BigUInt(6) * u * u;
     mu = mu_big.to_u256();
     recip = ((BigUInt(1) << 381) / mu_big).to_u256();
@@ -241,6 +243,86 @@ struct GlsCtx {
 
   static const GlsCtx& get() {
     static const GlsCtx ctx;
+    return ctx;
+  }
+};
+
+// ----------------------------------------------------------- G2 4-dim GLS
+
+/// Everything the 4-dim split needs beyond bn_psi_lattice(): the
+/// psi-specific structural self-checks (the lattice constructor already
+/// verified all the pure-integer facts) and the joint 4-term ladder, as a
+/// member so the constructor can exercise it before the context is
+/// published.
+struct Gls4Ctx {
+  Gls4Ctx() {
+    const bigint::Lattice4& lat = bn_psi_lattice();
+    const G2 g = G2::generator();
+    // psi acts as [mu] with mu the lattice eigenvalue...
+    if (apply_psi(g) != g.scalar_mul(lat.lambda())) {
+      throw std::logic_error("gls4: psi does not act as the lattice eigenvalue");
+    }
+    // ...and satisfies the degree-4 minimal polynomial psi^4 - psi^2 + 1 = 0
+    // on the subgroup, which is what makes the 4 basis columns independent.
+    const G2 p2 = apply_psi(apply_psi(g));
+    const G2 p4 = apply_psi(apply_psi(p2));
+    if (p4 + g != p2) {
+      throw std::logic_error("gls4: psi^4 - psi^2 + 1 != 0 on G2");
+    }
+    // End-to-end: the 4-term ladder against the double-and-add oracle.
+    for (const U256& k :
+         {U256::one(), U256::from_u64(0xdeadbeefcafef00dULL),
+          bigint::mod(U256{{~0ull, ~0ull, ~0ull, ~0ull}}, Fr::modulus())}) {
+      if (mul(g, lat.decompose(k)) != g.scalar_mul(k)) {
+        throw std::logic_error("gls4: 4-dim multiplication self-check failed");
+      }
+    }
+  }
+
+  /// The joint width-4 wNAF ladder over {Q, psi(Q), psi^2(Q), psi^3(Q)}.
+  /// One batch normalization pays for mixed additions throughout; tables
+  /// 1..3 are coordinate-wise psi images of table 0 (no point additions).
+  [[nodiscard]] G2 mul(const G2& q, const bigint::Decomp4& d) const {
+    constexpr unsigned kWindow = 4;
+    std::array<std::vector<int>, 4> digits;
+    std::size_t len = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      digits[i] = wnaf_digits(d.k[i], kWindow);
+      len = std::max(len, digits[i].size());
+    }
+    if (len == 0) return G2::infinity();
+
+    std::vector<G2> jac;  // odd multiples 1, 3, 5, 7 of q
+    jac.reserve(4);
+    G2 m = q;
+    const G2 twice = q.dbl();
+    for (int i = 0; i < 4; ++i) {
+      jac.push_back(m);
+      m += twice;
+    }
+    std::array<std::array<AffinePt<Fp2>, 4>, 4> tbl;
+    auto base = G2::batch_to_affine(jac);
+    for (std::size_t i = 0; i < 4; ++i) tbl[0][i] = base[i];
+    for (std::size_t i = 1; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) tbl[i][j] = apply_psi(tbl[i - 1][j]);
+    }
+
+    G2 acc = G2::infinity();
+    for (std::size_t pos = len; pos-- > 0;) {
+      acc = acc.dbl();
+      for (std::size_t i = 0; i < 4; ++i) {
+        if (pos >= digits[i].size() || digits[i][pos] == 0) continue;
+        int v = digits[i][pos];
+        AffinePt<Fp2> e = tbl[i][static_cast<std::size_t>(v < 0 ? -v : v) / 2];
+        if ((v < 0) != d.neg[i]) e.y = e.y.neg();
+        acc = acc.add_mixed(e);
+      }
+    }
+    return acc;
+  }
+
+  static const Gls4Ctx& get() {
+    static const Gls4Ctx ctx;
     return ctx;
   }
 };
@@ -334,6 +416,36 @@ G2 g2_mul_endo(const G2& q, const U256& k) {
   if (kr.is_zero()) return G2::infinity();
   return dual_wnaf_mul(q, GlsCtx::get().decompose(kr),
                        [](const G2& p) { return apply_psi(p); });
+}
+
+const bigint::Lattice4& bn_psi_lattice() {
+  static const bigint::Lattice4 lat = [] {
+    const BigUInt u(kBnU);
+    const std::uint64_t U = kBnU;
+    // LLL-reduced basis of {(a0..a3) : sum a_i (6u^2)^i = 0 mod r}; every
+    // entry is pinned by the curve parameter, determinant -r.
+    const bigint::Lattice4::Basis basis = {{
+        {{{2 * U, false}, {U + 1, false}, {U, true}, {U, false}}},
+        {{{U, true}, {U, false}, {U, true}, {2 * U + 1, true}}},
+        {{{U + 1, false}, {U, false}, {U, false}, {2 * U, true}}},
+        {{{2 * U + 1, false}, {U, true}, {U + 1, true}, {U, true}}},
+    }};
+    return bigint::Lattice4(BigUInt::from_u256(Fr::modulus()),
+                            BigUInt(6) * u * u, basis, /*max_sub_bits=*/72);
+  }();
+  return lat;
+}
+
+bigint::Decomp4 decompose_gls4(const U256& k) {
+  Gls4Ctx::get();  // force the psi-action self-checks once
+  return bn_psi_lattice().decompose(reduce_mod_r(k));
+}
+
+G2 g2_mul_endo4(const G2& q, const U256& k) {
+  if (q.is_infinity()) return q;
+  U256 kr = reduce_mod_r(k);
+  if (kr.is_zero()) return G2::infinity();
+  return Gls4Ctx::get().mul(q, bn_psi_lattice().decompose(kr));
 }
 
 }  // namespace ibbe::ec

@@ -13,11 +13,22 @@
 // 6u^2 ~ sqrt(r), plain integer division k = k1*(6u^2) + k0 already yields
 // two half-length non-negative sub-scalars — no lattice needed.
 //
-// All constants (beta, lambda, the GLV lattice basis, 6u^2) are derived and
-// cross-checked at first use against scalar_mul, so a transcription error
-// turns into a startup exception instead of silent wrong results.
+// G2 (4-dim GLS): psi's eigenvalue mu = 6u^2 has the degree-4 minimal
+// polynomial X^4 - X^2 + 1 on the order-r subgroup (the cyclotomic quartic
+// that also governs the Gt Frobenius), so k splits further into FOUR ~65-bit
+// sub-scalars over {Q, psi(Q), psi^2(Q), psi^3(Q)} via Babai round-off
+// against an LLL-reduced u-linear lattice basis (bigint/lattice4.h — the
+// exact machinery, and in fact the exact lattice, of the Gt engine in
+// pairing/gt_exp.cpp). The joint 4-term wNAF ladder halves the shared
+// doubling count again, ~128 -> ~64.
+//
+// All constants (beta, lambda, the GLV lattice basis, 6u^2, the psi lattice)
+// are derived and cross-checked at first use against scalar_mul, so a
+// transcription error turns into a startup exception instead of silent
+// wrong results.
 #pragma once
 
+#include "bigint/lattice4.h"
 #include "bigint/u256.h"
 #include "ec/curves.h"
 
@@ -57,5 +68,24 @@ G1 g1_mul_endo(const G1& p, const bigint::U256& k);
 /// produced by this library; untrusted twist points outside the subgroup
 /// must use scalar_mul).
 G2 g2_mul_endo(const G2& q, const bigint::U256& k);
+
+// ------------------------------------------------------------- 4-dim GLS
+
+/// The shared psi/Frobenius lattice: LLL-reduced basis of
+/// {(a0..a3) : sum a_i (6u^2)^i = 0 mod r}, entries all +-u, +-(u+1), +-2u
+/// or +-(2u+1). psi on G2 and the p-power Frobenius on Gt share the
+/// eigenvalue 6u^2 = p mod r, so this single instance serves both engines
+/// (pairing/gt_exp.cpp borrows it). Sub-scalars are bounded by
+/// max_sub_bits() = 72 bits (construction-verified; mathematically ~65).
+const bigint::Lattice4& bn_psi_lattice();
+
+/// Four-dimensional GLS split of k (any U256; reduced mod r internally):
+/// k = sum_i (-1)^neg[i] k[i] mu^i (mod r) with k[i] < ~2^66.
+bigint::Decomp4 decompose_gls4(const bigint::U256& k);
+
+/// k*Q via the 4-dim psi decomposition: one joint width-4 wNAF ladder of
+/// ~64 shared doublings over batch-normalized affine tables for
+/// {Q, psi(Q), psi^2(Q), psi^3(Q)}. Same subgroup caveat as g2_mul_endo.
+G2 g2_mul_endo4(const G2& q, const bigint::U256& k);
 
 }  // namespace ibbe::ec

@@ -1,6 +1,8 @@
 #include "ec/msm.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "ec/glv.h"
 
@@ -48,8 +50,26 @@ G1 msm(std::span<const G1> bases, std::span<const Fr> scalars) {
 }
 
 G2 msm(std::span<const G2> bases, std::span<const Fr> scalars) {
-  return endo_msm(bases, scalars, decompose_gls,
-                  [](const G2& p) { return apply_psi(p); });
+  // 4-dim psi split: every (base, scalar) pair becomes up to four
+  // (psi^i(base), ~65-bit sub-scalar) pairs, so the generic engine's shared
+  // ladder (Straus) or window count (Pippenger) drops to a quarter.
+  const std::size_t n = std::min(bases.size(), scalars.size());
+  std::vector<G2> pts;
+  std::vector<U256> subs;
+  pts.reserve(4 * n);
+  subs.reserve(4 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scalars[i].is_zero() || bases[i].is_infinity()) continue;
+    bigint::Decomp4 d = decompose_gls4(scalars[i].to_u256());
+    G2 img = bases[i];
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (j > 0) img = apply_psi(img);
+      if (d.k[j].is_zero()) continue;
+      pts.push_back(d.neg[j] ? img.neg() : img);
+      subs.push_back(d.k[j]);
+    }
+  }
+  return msm_u256(std::span<const G2>(pts), std::span<const U256>(subs));
 }
 
 // ------------------------------------------------------------- G2PowersMsm
@@ -61,14 +81,17 @@ G2PowersMsm::G2PowersMsm(std::span<const G2> bases, unsigned window)
   for (const G2& base : bases) {
     msm_detail::append_odd_multiples(jac, base, per_);
   }
-  tbl_ = G2::batch_to_affine(jac);
-  tbl_psi_.reserve(tbl_.size());
-  for (const auto& e : tbl_) tbl_psi_.push_back(apply_psi(e));
+  tbl_[0] = G2::batch_to_affine(jac);
+  for (std::size_t i = 1; i < 4; ++i) {
+    tbl_[i].reserve(tbl_[0].size());
+    for (const auto& e : tbl_[i - 1]) tbl_[i].push_back(apply_psi(e));
+  }
 }
 
 G2 G2PowersMsm::msm(std::span<const Fr> coefs) const {
   struct Term {
     const AffinePt<Fp2>* row;
+    bool flip;  // sub-scalar sign, folded into the digit sign when applied
     std::vector<int> digits;
   };
   std::vector<Term> terms;
@@ -76,13 +99,10 @@ G2 G2PowersMsm::msm(std::span<const Fr> coefs) const {
   std::size_t maxlen = 0;
   for (std::size_t i = 0; i < m; ++i) {
     if (coefs[i].is_zero()) continue;
-    EndoDecomp d = decompose_gls(coefs[i].to_u256());
-    if (!d.k0.is_zero()) {
-      terms.push_back({&tbl_[i * per_], wnaf_digits(d.k0, w_)});
-      maxlen = std::max(maxlen, terms.back().digits.size());
-    }
-    if (!d.k1.is_zero()) {
-      terms.push_back({&tbl_psi_[i * per_], wnaf_digits(d.k1, w_)});
+    bigint::Decomp4 d = decompose_gls4(coefs[i].to_u256());
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (d.k[j].is_zero()) continue;
+      terms.push_back({&tbl_[j][i * per_], d.neg[j], wnaf_digits(d.k[j], w_)});
       maxlen = std::max(maxlen, terms.back().digits.size());
     }
   }
@@ -93,18 +113,72 @@ G2 G2PowersMsm::msm(std::span<const Fr> coefs) const {
       if (b >= t.digits.size() || t.digits[b] == 0) continue;
       int v = t.digits[b];
       AffinePt<Fp2> e = t.row[static_cast<std::size_t>(v > 0 ? v : -v) / 2];
-      if (v < 0) e.y = e.y.neg();
+      if ((v < 0) != t.flip) e.y = e.y.neg();
       acc = acc.add_mixed(e);
     }
   }
   return acc;
 }
 
+// ------------------------------------------------------------------ G2Comb4
+
+G2Comb4::G2Comb4(const G2& base, unsigned window)
+    : w_(window),
+      wins_((bn_psi_lattice().max_sub_bits() + window - 1) / window),
+      per_((std::size_t{1} << window) - 1) {
+  std::vector<G2> jac;
+  jac.reserve(std::size_t{wins_} * per_);
+  G2 shifted = base;  // 2^(w win) * base
+  for (unsigned win = 0; win < wins_; ++win) {
+    G2 m = shifted;
+    for (std::size_t d = 1; d <= per_; ++d) {
+      jac.push_back(m);
+      if (d < per_) m += shifted;
+    }
+    for (unsigned j = 0; j < w_; ++j) shifted = shifted.dbl();
+  }
+  auto flat = G2::batch_to_affine(jac);
+  const std::size_t stride = flat.size();
+  tbl_.resize(4 * stride);
+  std::copy(flat.begin(), flat.end(), tbl_.begin());
+  for (std::size_t i = 1; i < 4; ++i) {
+    for (std::size_t e = 0; e < stride; ++e) {
+      tbl_[i * stride + e] = apply_psi(tbl_[(i - 1) * stride + e]);
+    }
+  }
+}
+
+G2 G2Comb4::mul(const bigint::U256& k) const {
+  const bigint::Decomp4 d = decompose_gls4(k);
+  const std::size_t stride = std::size_t{wins_} * per_;
+  G2 acc = G2::infinity();
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (d.k[i].bit_length() > wins_ * w_) {
+      throw std::logic_error("g2comb4: sub-scalar exceeds the comb span");
+    }
+    for (unsigned win = 0; win < wins_; ++win) {
+      unsigned dig = window_value(d.k[i], win * w_, w_);
+      if (!dig) continue;
+      AffinePt<Fp2> e = tbl_[i * stride + win * per_ + dig - 1];
+      if (d.neg[i]) e.y = e.y.neg();
+      acc = acc.add_mixed(e);
+    }
+  }
+  return acc;
+}
+
+const G2Comb4& g2_generator_comb4() {
+  static const G2Comb4 comb(G2::generator());
+  return comb;
+}
+
 // ----------------------------------------------- JacobianPoint::mul routing
 //
 // Declared in curves.h so every call site sees them: generator
-// multiplications hit the fixed-base comb tables; arbitrary G1/G2 points go
-// through the GLV/GLS decomposition; arbitrary P-256 points use wNAF.
+// multiplications hit the fixed-base comb tables (the 4-dim psi-split one
+// for G2); arbitrary G1 points go through the 2-dim GLV decomposition,
+// arbitrary G2 points through the 4-dim GLS split; arbitrary P-256 points
+// use wNAF.
 
 template <>
 template <>
@@ -116,8 +190,8 @@ JacobianPoint<G1Params> JacobianPoint<G1Params>::mul(const field::Fr& k) const {
 template <>
 template <>
 JacobianPoint<G2Params> JacobianPoint<G2Params>::mul(const field::Fr& k) const {
-  if (*this == generator()) return generator_table<G2>().mul(k.to_u256());
-  return g2_mul_endo(*this, k.to_u256());
+  if (*this == generator()) return g2_generator_comb4().mul(k.to_u256());
+  return g2_mul_endo4(*this, k.to_u256());
 }
 
 template <>

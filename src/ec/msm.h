@@ -5,19 +5,24 @@
 //   msm_u256 / msm      — one-shot Σ k_i P_i. Straus interleaved wNAF with
 //                         batch-normalized odd-multiple tables for n <= 32,
 //                         Pippenger bucket aggregation above. The Fr
-//                         overloads first split every scalar with GLV (G1) /
-//                         GLS (G2), so the shared doubling ladder is half
-//                         length.
-//   FixedBaseTable      — single fixed base (the group generators): a full
-//                         windowed comb tbl[i][d] = d 2^(wi) B, so one
-//                         multiplication is ~64 mixed additions and zero
-//                         doublings.
+//                         overloads first split every scalar with GLV (G1,
+//                         2-dim) / GLS (G2, 4-dim psi split), so the shared
+//                         doubling ladder is half / quarter length.
+//   FixedBaseTable      — single fixed base: a full windowed comb
+//                         tbl[i][d] = d 2^(wi) B, so one multiplication is
+//                         ~64 mixed additions and zero doublings.
+//   G2Comb4             — the 4-dim variant for fixed G2 bases (the h
+//                         generator): the psi split shrinks the comb span to
+//                         72 bits, which affords a window twice as wide —
+//                         ~36 mixed additions per mul, for a ~10x larger
+//                         one-time table (~1.2 MB).
 //   G2PowersMsm         — many fixed G2 bases (the IBBE public key's
 //                         h^(gamma^i) powers): per-base affine odd-multiple
-//                         tables plus their psi-images, consumed by a
-//                         GLS-decomposed Straus loop.
+//                         tables plus their psi/psi^2/psi^3 images, consumed
+//                         by a 4-dim-GLS-decomposed Straus loop.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -149,9 +154,11 @@ Point msm_u256(std::span<const Point> bases,
   return msm_detail::pippenger(bases, scalars, n, max_bits);
 }
 
-/// Endomorphism-decomposed MSM: every scalar is split GLV (G1) / GLS (G2)
-/// into two half-length sub-scalars first, halving the shared doubling
-/// ladder. Defined in msm.cpp. G2 bases must lie in the order-r subgroup.
+/// Endomorphism-decomposed MSM: every scalar is split GLV (G1, two
+/// half-length sub-scalars) / 4-dim GLS (G2, four quarter-length
+/// sub-scalars) first, shrinking the shared doubling ladder accordingly
+/// (and, on the Pippenger path, the per-point window count). Defined in
+/// msm.cpp. G2 bases must lie in the order-r subgroup.
 G1 msm(std::span<const G1> bases, std::span<const field::Fr> scalars);
 G2 msm(std::span<const G2> bases, std::span<const field::Fr> scalars);
 
@@ -205,8 +212,10 @@ const FixedBaseTable<Point>& generator_table() {
 
 /// Prepared multi-base MSM over fixed G2 points in the order-r subgroup
 /// (the IBBE public key's h^(gamma^i) powers): per-base affine odd-multiple
-/// tables plus psi-images, consumed by a GLS-split Straus loop. Build cost
-/// ~9 G2 operations per base, one field inversion total.
+/// tables plus their psi/psi^2/psi^3 images, consumed by a 4-dim-GLS-split
+/// Straus loop whose shared ladder is ~64 doublings. Build cost ~9 G2
+/// operations per base (the psi tables are coordinate maps, not additions),
+/// one field inversion total.
 class G2PowersMsm {
  public:
   explicit G2PowersMsm(std::span<const G2> bases, unsigned window = 5);
@@ -221,8 +230,40 @@ class G2PowersMsm {
   unsigned w_;
   std::size_t per_;  // odd multiples per base = 2^(w-2)
   std::size_t n_;
-  std::vector<AffinePt<field::Fp2>> tbl_;      // n_ * per_
-  std::vector<AffinePt<field::Fp2>> tbl_psi_;  // psi image of tbl_
+  // tbl_[i] is the psi^i image of the base table; tbl_[i][b * per_ + m] =
+  // psi^i((2m + 1) bases[b]).
+  std::array<std::vector<AffinePt<field::Fp2>>, 4> tbl_;
 };
+
+/// Four-dimensional psi-split fixed-base comb for a G2 point in the order-r
+/// subgroup. FixedBaseTable must cover all 256 scalar bits; here the scalar
+/// is first decomposed into four sub-scalars of at most 72 bits
+/// (bn_psi_lattice().max_sub_bits()), so the comb spans 72 bits and can
+/// afford a window twice as wide: with the default w = 8, a multiplication
+/// is at most 4 * 9 = 36 mixed additions (vs ~64) and still zero
+/// doublings. The price is table size — 4 psi-tables x 9 windows x 255
+/// entries = 9180 affine points (~1.2 MB), ~10x the w = 4 FixedBaseTable,
+/// which is why this is reserved for long-lived bases like the generator.
+/// Tables for psi^1..3 are coordinate-mapped images of the base table, so
+/// build cost stays ~wins * 2^w additions plus one field inversion.
+class G2Comb4 {
+ public:
+  explicit G2Comb4(const G2& base, unsigned window = 8);
+
+  /// k * base; any U256 k (reduced mod r by the decomposition, which agrees
+  /// with plain scalar_mul because the subgroup has order r).
+  [[nodiscard]] G2 mul(const bigint::U256& k) const;
+
+ private:
+  unsigned w_;
+  unsigned wins_;    // ceil(max_sub_bits / w)
+  std::size_t per_;  // digits per window = 2^w - 1
+  // tbl_[(i * wins_ + win) * per_ + (d - 1)] = d * 2^(w win) * psi^i(base)
+  std::vector<AffinePt<field::Fp2>> tbl_;
+};
+
+/// Lazily-built 4-dim comb for the G2 generator h (thread-safe static); the
+/// G2 analogue of generator_table<G1>().
+const G2Comb4& g2_generator_comb4();
 
 }  // namespace ibbe::ec

@@ -5,7 +5,8 @@
 #include <vector>
 
 #include "bigint/biguint.h"
-#include "bigint/int512.h"
+#include "bigint/lattice4.h"
+#include "ec/glv.h"
 #include "ec/wnaf.h"
 #include "field/fields.h"
 #include "pairing/pairing.h"
@@ -13,8 +14,6 @@
 namespace ibbe::pairing {
 
 using bigint::BigUInt;
-using bigint::Limbs8;
-using bigint::S512;
 using bigint::U256;
 using field::Fp12;
 using field::Fp12Compressed;
@@ -25,14 +24,6 @@ namespace {
 /// The BN parameter u = 4965661367192848881 (63 bits, positive), the same
 /// constant the Miller loop and final exponentiation are built from.
 constexpr std::uint64_t kBnU = 0x44e992b44a6909f1ULL;
-
-// Init-time signed BigUInt arithmetic comes from the shared decomposition
-// toolkit (bigint/int512.h, also used by ec/glv.cpp).
-using bigint::SBig;
-using bigint::sbig_add;
-using bigint::sbig_mod;
-using bigint::sbig_mul;
-using bigint::sbig_sub;
 
 // -------------------------------------------------------- NAF of u (static)
 
@@ -115,97 +106,18 @@ struct UCtx {
 // ----------------------------------------------------- 4-dim Frobenius ctx
 
 struct Gt4Ctx {
+  // The lattice itself (basis, determinant, Babai reciprocals, and the
+  // integer recombination/shortness self-checks) is ec::bn_psi_lattice():
+  // psi on G2 and the p-power Frobenius here share the eigenvalue
+  // lambda = 6u^2 = p mod r, so both engines decompose against the SAME
+  // basis. This context only adds the Fp12-specific facts.
+  const bigint::Lattice4& lat;
   U256 lambda;  // p mod r = 6u^2
 
-  // LLL-reduced basis of {(a0..a3) : sum a_i lambda^i = 0 mod r}, rows b_j;
-  // every entry is +-u, +-(u+1), +-2u or +-(2u+1), so the whole basis is
-  // pinned by the curve parameter. Determinant is -r (index-r sublattice).
-  struct Entry {
-    std::uint64_t mag;
-    bool neg;
-  };
-  std::array<std::array<Entry, 4>, 4> basis;
-
-  // Babai round-off reciprocals: ghat[j] = round(2^256 |C_j0| / r) with
-  // C_j0 the (j,0) cofactor of the basis matrix. The Babai coefficient is
-  // c_j = k C_j0 / det with det = -r, so its sign is the NEGATED cofactor
-  // sign: c_j = sign_j * round(k * ghat[j] / 2^256), sign_j = -sign(C_j0).
-  // The 2^-256 Barrett slack is far below the half-integer rounding margin
-  // for k < 2^254.
-  std::array<U256, 4> ghat;
-  std::array<bool, 4> csign;
-
-  Gt4Ctx() {
-    const BigUInt n = BigUInt::from_u256(Fr::modulus());
+  Gt4Ctx() : lat(ec::bn_psi_lattice()), lambda(lat.lambda()) {
     const BigUInt u(kBnU);
-    lambda = (BigUInt(6) * u * u).to_u256();
-
-    const std::uint64_t U = kBnU;
-    basis = {{
-        {{{2 * U, false}, {U + 1, false}, {U, true}, {U, false}}},
-        {{{U, true}, {U, false}, {U, true}, {2 * U + 1, true}}},
-        {{{U + 1, false}, {U, false}, {U, false}, {2 * U, true}}},
-        {{{2 * U + 1, false}, {U, true}, {U + 1, true}, {U, true}}},
-    }};
-
-    // Every row must be a lattice vector: sum_i b_ji lambda^i = 0 (mod r).
-    const BigUInt lam = BigUInt::from_u256(lambda);
-    std::array<BigUInt, 4> lam_pow{BigUInt(1), lam, lam * lam % n,
-                                   lam * lam % n * lam % n};
-    for (const auto& row : basis) {
-      SBig acc;
-      for (int i = 0; i < 4; ++i) {
-        acc = sbig_add(acc, sbig_mul({BigUInt(row[i].mag), row[i].neg},
-                                     {lam_pow[static_cast<std::size_t>(i)],
-                                      false}));
-      }
-      if (!sbig_mod(acc, n).is_zero()) {
-        throw std::logic_error("gt_exp: basis row is not in the lattice");
-      }
-    }
-
-    // Cofactors C_j0 (for the first column) and the determinant, by direct
-    // 3x3 minor expansion over signed BigUInt.
-    auto minor3 = [&](int drop_row) {
-      std::array<std::array<SBig, 3>, 3> m;
-      int rr = 0;
-      for (int r_i = 0; r_i < 4; ++r_i) {
-        if (r_i == drop_row) continue;
-        for (int c_i = 1; c_i < 4; ++c_i) {
-          m[static_cast<std::size_t>(rr)][static_cast<std::size_t>(c_i - 1)] =
-              {BigUInt(basis[static_cast<std::size_t>(r_i)]
-                            [static_cast<std::size_t>(c_i)].mag),
-               basis[static_cast<std::size_t>(r_i)]
-                    [static_cast<std::size_t>(c_i)].neg};
-        }
-        ++rr;
-      }
-      SBig det = sbig_sub(sbig_mul(m[0][0], sbig_sub(sbig_mul(m[1][1], m[2][2]),
-                                                     sbig_mul(m[1][2], m[2][1]))),
-                          sbig_mul(m[0][1], sbig_sub(sbig_mul(m[1][0], m[2][2]),
-                                                     sbig_mul(m[1][2], m[2][0]))));
-      return sbig_add(det,
-                      sbig_mul(m[0][2], sbig_sub(sbig_mul(m[1][0], m[2][1]),
-                                                 sbig_mul(m[1][1], m[2][0]))));
-    };
-
-    SBig det;
-    for (int j = 0; j < 4; ++j) {
-      SBig cof = minor3(j);
-      if (j % 2 == 1) cof.neg = !cof.neg;  // (-1)^(j+0)
-      // ghat[j] = round(2^256 |C_j0| / r)
-      auto [quo, rem] = BigUInt::divmod(cof.v << 256, n);
-      if (rem + rem >= n) quo = quo + BigUInt(1);
-      ghat[static_cast<std::size_t>(j)] = quo.to_u256();
-      csign[static_cast<std::size_t>(j)] = !cof.neg;
-      // det = sum_j b_j0 C_j0
-      det = sbig_add(det, sbig_mul({BigUInt(basis[static_cast<std::size_t>(j)]
-                                                 [0].mag),
-                                    basis[static_cast<std::size_t>(j)][0].neg},
-                                   cof));
-    }
-    if (det.v != n) {
-      throw std::logic_error("gt_exp: basis determinant is not +-r");
+    if (BigUInt::from_u256(lambda) != BigUInt(6) * u * u) {
+      throw std::logic_error("gt_exp: lattice eigenvalue is not 6u^2");
     }
 
     // End-to-end self-checks on a genuine order-r element (one final
@@ -221,48 +133,14 @@ struct Gt4Ctx {
     for (const U256& k :
          {U256::one(), U256::from_u64(0xdeadbeefcafef00dULL),
           bigint::mod(U256{{~0ull, ~0ull, ~0ull, ~0ull}}, Fr::modulus())}) {
-      Gt4Decomp d = decompose(k);
-      SBig lhs;
-      for (int i = 0; i < 4; ++i) {
-        auto idx = static_cast<std::size_t>(i);
-        if (d.k[idx].bit_length() > 72) {
-          throw std::logic_error("gt_exp: decomposition is not short");
-        }
-        lhs = sbig_add(lhs, sbig_mul({BigUInt::from_u256(d.k[idx]), d.neg[idx]},
-                                     {lam_pow[idx], false}));
-      }
-      if (sbig_mod(lhs, n) != BigUInt::from_u256(k)) {
-        throw std::logic_error("gt_exp: decomposition self-check failed");
-      }
       if (pow(x, k) != x.pow_cyclotomic(k)) {
         throw std::logic_error("gt_exp: 4-dim exponentiation mismatch");
       }
     }
   }
 
-  /// Babai round-off: c_j from the precomputed reciprocals, then
-  /// eps_i = k delta_i0 - sum_j c_j b_ji over signed 512-bit limbs.
   [[nodiscard]] Gt4Decomp decompose(const U256& k) const {
-    std::array<U256, 4> c;
-    for (std::size_t j = 0; j < 4; ++j) {
-      c[j] = bigint::round_shift_512(bigint::mul_wide(k, ghat[j]), 256);
-    }
-    Gt4Decomp d;
-    for (std::size_t i = 0; i < 4; ++i) {
-      S512 eps = i == 0 ? bigint::s512_from_u256(k) : S512{};
-      for (std::size_t j = 0; j < 4; ++j) {
-        const Entry& b = basis[j][i];
-        S512 term{bigint::mul_wide(c[j], U256::from_u64(b.mag)),
-                  // sign of -c_j * b_ji with sign(c_j) = csign[j]
-                  !(csign[j] != b.neg)};
-        eps = bigint::signed_add(eps, term);
-      }
-      if (!bigint::s512_to_u256(eps, d.k[i])) {
-        throw std::logic_error("gt_exp: decomposition out of range");
-      }
-      d.neg[i] = eps.neg;
-    }
-    return d;
+    return lat.decompose(k);
   }
 
   /// The 4-way joint wNAF ladder; callable from the constructor self-check.

@@ -8,9 +8,10 @@
 //    subgroup as exponentiation by lambda = p mod r = 6u^2, and lambda
 //    satisfies the cyclotomic quartic lambda^4 - lambda^2 + 1 = 0 (mod r),
 //    so a 254-bit exponent splits into four ~65-bit sub-scalars over the
-//    bases {x, pi(x), pi^2(x), pi^3(x)} (Babai round-off against an
-//    LLL-reduced lattice basis whose entries are linear in u, with the same
-//    Barrett-style rounding machinery as ec/glv.*). One joint width-4 wNAF
+//    bases {x, pi(x), pi^2(x), pi^3(x)} (Babai round-off through
+//    bigint/lattice4.h against ec::bn_psi_lattice() — the exact lattice the
+//    4-dim G2 GLS split uses, since psi shares the eigenvalue). One joint
+//    width-4 wNAF
 //    ladder then costs ~66 cyclotomic squarings instead of ~254, with
 //    conjugation as the free inversion for negative digits.
 //
@@ -27,8 +28,7 @@
 // transcription error throws at startup instead of corrupting ciphertexts.
 #pragma once
 
-#include <array>
-
+#include "bigint/lattice4.h"
 #include "bigint/u256.h"
 #include "field/fp12.h"
 
@@ -48,11 +48,9 @@ field::Fp12 gt_pow_u(const field::Fp12& x);
 const bigint::U256& gt_lambda();
 
 /// Four-dimensional decomposition k = sum_i (-1)^neg[i] k[i] lambda^i
-/// (mod r) with k[i] < ~2^66. Exposed for tests; requires k < r.
-struct Gt4Decomp {
-  std::array<bigint::U256, 4> k;
-  std::array<bool, 4> neg;
-};
+/// (mod r) with k[i] < ~2^66, against the psi/Frobenius lattice shared with
+/// the G2 engine (ec::bn_psi_lattice). Exposed for tests; requires k < r.
+using Gt4Decomp = bigint::Decomp4;
 Gt4Decomp decompose_gt(const bigint::U256& k);
 
 }  // namespace ibbe::pairing

@@ -1,9 +1,8 @@
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "bigint/u256.h"
 #include "ec/curves.h"
+#include "test_util.h"
 
 namespace {
 
@@ -11,17 +10,8 @@ using ibbe::bigint::U256;
 using ibbe::ec::G1;
 using ibbe::ec::G2;
 using ibbe::ec::P256Point;
-
-std::mt19937_64& rng() {
-  static std::mt19937_64 gen(7);
-  return gen;
-}
-
-U256 random_u256() {
-  U256 v;
-  for (auto& limb : v.limb) limb = rng()();
-  return v;
-}
+using ibbe::testutil::random_u256;
+using ibbe::testutil::rng;
 
 template <typename Point>
 class CurveGroupTest : public ::testing::Test {};

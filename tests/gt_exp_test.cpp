@@ -3,7 +3,6 @@
 // round-trips it builds on.
 #include <gtest/gtest.h>
 
-#include <random>
 #include <vector>
 
 #include "bigint/biguint.h"
@@ -12,6 +11,7 @@
 #include "field/fp12.h"
 #include "pairing/gt_exp.h"
 #include "pairing/pairing.h"
+#include "test_util.h"
 
 namespace {
 
@@ -22,29 +22,9 @@ using ibbe::ec::G2;
 using ibbe::field::Fp12;
 using ibbe::field::Fp12Compressed;
 using ibbe::field::Fr;
-
-constexpr std::uint64_t kBnU = 0x44e992b44a6909f1ULL;
-
-std::mt19937_64& rng() {
-  static std::mt19937_64 gen(42);
-  return gen;
-}
-
-U256 random_u256() {
-  U256 v;
-  for (auto& limb : v.limb) limb = rng()();
-  return v;
-}
-
-/// A "random" order-r element: e(aG1, bG2) for random a, b.
-Fp12 random_gt() {
-  Fr a = Fr::from_u256_reduce(random_u256());
-  Fr b = Fr::from_u256_reduce(random_u256());
-  if (a.is_zero()) a = Fr::one();
-  if (b.is_zero()) b = Fr::one();
-  return ibbe::pairing::pairing(G1::generator().mul(a), G2::generator().mul(b))
-      .value();
-}
+using ibbe::testutil::kBnU;
+using ibbe::testutil::random_gt;
+using ibbe::testutil::random_u256;
 
 /// Oracle: plain square-and-multiply in the full field (no cyclotomic or
 /// order-r assumptions at all).

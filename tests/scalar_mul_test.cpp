@@ -2,7 +2,6 @@
 // engine, fixed-base tables, and the subproduct-tree polynomial expansion.
 #include <gtest/gtest.h>
 
-#include <random>
 #include <vector>
 
 #include "bigint/biguint.h"
@@ -12,6 +11,7 @@
 #include "ec/msm.h"
 #include "field/fields.h"
 #include "ibbe/poly.h"
+#include "test_util.h"
 
 namespace {
 
@@ -21,28 +21,9 @@ using ibbe::ec::G1;
 using ibbe::ec::G2;
 using ibbe::ec::P256Point;
 using ibbe::field::Fr;
-
-std::mt19937_64& rng() {
-  static std::mt19937_64 gen(42);
-  return gen;
-}
-
-U256 random_u256() {
-  U256 v;
-  for (auto& limb : v.limb) limb = rng()();
-  return v;
-}
-
-Fr random_fr() { return Fr::from_u256_reduce(random_u256()); }
-
-/// 0, 1, r-1, r, 2^256-1 — the satellite-mandated edge scalars.
-std::vector<U256> edge_scalars() {
-  U256 r = ibbe::ec::bn_group_order();
-  U256 r_minus_1;
-  ibbe::bigint::sub_with_borrow(r, U256::one(), r_minus_1);
-  return {U256::zero(), U256::one(), r_minus_1, r,
-          U256{{~0ull, ~0ull, ~0ull, ~0ull}}};
-}
+using ibbe::testutil::edge_scalars;
+using ibbe::testutil::random_fr;
+using ibbe::testutil::random_u256;
 
 /// (-1)^neg0 k0 + (-1)^neg1 k1 eig mod r, computed with BigUInt.
 BigUInt recombine(const ibbe::ec::EndoDecomp& d, const U256& eig) {
