@@ -1,0 +1,154 @@
+// Degraded-mode perf trajectory: what fault handling costs when it is idle,
+// what it costs when the cloud actually misbehaves, and how long crash
+// recovery takes at scale.
+//
+//   admin_op_fault0_us   — one membership mutation (remove+add pair averaged)
+//                          through a FaultInjectingStore with every rate at 0:
+//                          the injector + commit-protocol overhead on the
+//                          fault-free hot path;
+//   admin_op_fault1_us   — the same mutation at ~1% fault rates;
+//   admin_op_fault10_us  — at ~10% fault rates (retries, CAS re-syncs and
+//                          op-log merges dominate);
+//   recover_64p_us       — AdminApi::recover() of a committed 64-partition
+//                          group: full signed-metadata re-sync, counter
+//                          bump-past, orphan sweep.
+//
+// Retry backoff delays are zeroed throughout so the numbers measure protocol
+// work (re-fetches, re-pushes, signature verifies), not sleep time. All
+// schedules are seeded: the run is deterministic.
+//
+// Usage: bench_fault_suite [--json PATH] [--scale smoke|default|full]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cloud/fault.h"
+#include "common.h"
+#include "system/admin.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using ibbe::cloud::FaultPlan;
+using ibbe::system::AdminApi;
+using ibbe::system::AdminConfig;
+using ibbe::system::GroupId;
+
+std::vector<ibbe::core::Identity> make_users(std::size_t n) {
+  std::vector<ibbe::core::Identity> users;
+  for (std::size_t i = 0; i < n; ++i) users.push_back("u" + std::to_string(i));
+  return users;
+}
+
+/// Mean microseconds per membership mutation on a 24-member, |p|=4 group with
+/// all fault rates set around `rate`.
+double admin_op_us(double rate, int iters) {
+  ibbe::sgx::EnclavePlatform platform("bench-fault");
+  ibbe::enclave::IbbeEnclave enclave(platform, 4);
+  ibbe::cloud::CloudStore inner;
+  FaultPlan plan;
+  plan.seed = 4242;
+  plan.put_error_rate = rate;
+  plan.ambiguous_put_rate = rate / 2;
+  plan.spurious_cas_rate = rate / 2;
+  plan.get_error_rate = rate;
+  plan.stale_read_rate = rate / 2;
+  ibbe::cloud::FaultInjectingStore faulty(inner, plan);
+  ibbe::crypto::Drbg rng(7);
+  AdminConfig config;
+  config.partition_size = 4;
+  config.log_operations = true;
+  config.retry = ibbe::util::RetryPolicy{}.without_delays();
+  AdminApi admin(enclave, faulty, ibbe::pki::EcdsaKeyPair::generate(rng),
+                 config, /*seed=*/3);
+  const GroupId gid = "g";
+  admin.create_group(gid, make_users(24));
+
+  // Warm-up pair, then the timed churn loop: every iteration revokes and
+  // re-admits one member (gk rotation + partition re-key + extend).
+  admin.remove_user(gid, "u0");
+  admin.add_user(gid, "u0");
+  ibbe::util::Stopwatch sw;
+  for (int i = 0; i < iters; ++i) {
+    admin.remove_user(gid, "u0");
+    admin.add_user(gid, "u0");
+  }
+  return sw.micros() / (2.0 * iters);
+}
+
+/// Mean microseconds for a cold admin to recover a committed 128-member,
+/// |p|=2 group: 64 partition fetches + signature verifies, counter scan,
+/// orphan sweep.
+double recover_64p_us(int iters) {
+  ibbe::sgx::EnclavePlatform platform("bench-recover");
+  ibbe::enclave::IbbeEnclave enclave(platform, 2);
+  ibbe::cloud::CloudStore cloud;
+  ibbe::crypto::Drbg rng(9);
+  auto key = ibbe::pki::EcdsaKeyPair::generate(rng);
+  AdminConfig config;
+  config.partition_size = 2;
+  config.log_operations = true;
+  AdminApi builder(enclave, cloud, key, config, /*seed=*/11);
+  const GroupId gid = "g";
+  builder.create_group(gid, make_users(128));
+
+  double total = 0;
+  for (int i = 0; i < iters; ++i) {
+    AdminApi cold(enclave, cloud, key, config, /*seed=*/100 + i);
+    ibbe::util::Stopwatch sw;
+    volatile bool ok = cold.recover(gid);
+    total += sw.micros();
+    if (!ok) std::fprintf(stderr, "recover failed\n");
+  }
+  return total / iters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ibbe::bench::Scale scale = ibbe::bench::parse_scale(argc, argv);
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  const int iters = scale == ibbe::bench::Scale::smoke  ? 5
+                    : scale == ibbe::bench::Scale::full ? 100
+                                                        : 25;
+
+  struct Metric {
+    const char* name;
+    double us;
+  };
+  std::vector<Metric> metrics;
+  metrics.push_back({"admin_op_fault0_us", admin_op_us(0.0, iters)});
+  metrics.push_back({"admin_op_fault1_us", admin_op_us(0.01, iters)});
+  metrics.push_back({"admin_op_fault10_us", admin_op_us(0.10, iters)});
+  metrics.push_back({"recover_64p_us", recover_64p_us(iters)});
+
+  ibbe::bench::Table table("fault suite (" +
+                               std::string(ibbe::bench::scale_name(scale)) +
+                               ")",
+                           {"metric", "time_us"});
+  for (const auto& m : metrics) {
+    table.row({m.name, std::to_string(m.us)});
+  }
+  table.print();
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.2f%s\n", metrics[i].name, metrics[i].us,
+                   i + 1 < metrics.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

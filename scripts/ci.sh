@@ -84,6 +84,20 @@ echo "==> $BUILD_DIR/bench_scalar_suite"
 "$BUILD_DIR/bench_scalar_suite" --scale smoke --json "$BUILD_DIR/BENCH_scalar.json"
 cat "$BUILD_DIR/BENCH_scalar.json"
 
+# Degraded-mode trajectory: admin mutation cost at 0%/1%/10% cloud fault
+# rates plus 64-partition crash recovery, merged into the same JSON so one
+# file carries the whole perf surface.
+echo "==> $BUILD_DIR/bench_fault_suite"
+"$BUILD_DIR/bench_fault_suite" --scale smoke --json "$BUILD_DIR/BENCH_fault.json"
+python3 - "$BUILD_DIR/BENCH_scalar.json" "$BUILD_DIR/BENCH_fault.json" << 'PY'
+import json, sys
+merged = json.load(open(sys.argv[1]))
+merged.update(json.load(open(sys.argv[2])))
+with open(sys.argv[1], "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+PY
+
 # Diff against the committed baseline snapshot: prints per-metric ratios and
 # WARNS (never fails — container timings jitter) on >1.15x regressions.
 if [ -f BENCH_baseline.json ]; then
@@ -133,6 +147,39 @@ if [ -r /proc/cpuinfo ] && grep -qw adx /proc/cpuinfo; then
     --gtest_brief=1
 else
   echo "ci.sh: no ADX on this CPU; default build already covers the portable path"
+fi
+
+# Sanitizer stage: when the toolchain can link ASan+UBSan, build a third tree
+# with -DIBBE_SANITIZE=address,undefined and run the suites that exercise the
+# fault-injection / crash-recovery machinery (heap-heavy, exception-heavy)
+# under instrumentation. Probed rather than assumed: minimal containers often
+# ship a compiler without the sanitizer runtimes.
+san_probe="$(mktemp)"
+if echo 'int main() { return 0; }' \
+     | c++ -x c++ - -fsanitize=address,undefined -fno-omit-frame-pointer \
+           -o "$san_probe" 2> /dev/null; then
+  rm -f "$san_probe"
+  SAN_DIR="${BUILD_DIR}-asan"
+  if git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+    san_ignore=0
+    git check-ignore -q "$SAN_DIR/.ci-probe" 2> /dev/null || san_ignore=$?
+    if [ "$san_ignore" -eq 1 ]; then
+      echo "ci.sh: sanitizer build dir '$SAN_DIR' is not git-ignored" >&2
+      exit 1
+    fi
+  fi
+  echo "==> sanitizer build ($SAN_DIR, address+undefined)"
+  cmake -B "$SAN_DIR" -S . -DIBBE_SANITIZE=address,undefined
+  cmake --build "$SAN_DIR" -j"$JOBS" --target \
+    util_test cloud_test fault_injection_test system_test extensions_test
+  for suite in util_test cloud_test fault_injection_test system_test \
+               extensions_test; do
+    echo "==> $SAN_DIR/$suite (sanitized)"
+    "$SAN_DIR/$suite" --gtest_brief=1
+  done
+else
+  rm -f "$san_probe"
+  echo "ci.sh: toolchain lacks ASan/UBSan runtimes; skipping sanitizer stage"
 fi
 
 echo "ci.sh: all stages passed"

@@ -1,0 +1,220 @@
+#include "cloud/fault.h"
+
+#include "util/retry.h"
+
+namespace ibbe::cloud {
+
+FaultInjectingStore::FaultInjectingStore(CloudStore& inner, FaultPlan plan)
+    : inner_(inner), plan_(plan), rng_state_(plan.seed) {}
+
+bool FaultInjectingStore::roll_locked(double rate) const {
+  if (rate <= 0.0) return false;
+  double unit = static_cast<double>(util::splitmix64(rng_state_) >> 11) /
+                static_cast<double>(1ull << 53);  // [0, 1)
+  return unit < rate;
+}
+
+void FaultInjectingStore::fire_hook(const std::string& path) {
+  std::function<void(const std::string&)> hook;
+  {
+    std::lock_guard lock(mutex_);
+    if (!write_hook_ || hook_active_) return;
+    hook = write_hook_;
+    hook_active_ = true;
+  }
+  try {
+    hook(path);
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    hook_active_ = false;
+    throw;
+  }
+  std::lock_guard lock(mutex_);
+  hook_active_ = false;
+}
+
+void FaultInjectingStore::mutation_gate(const std::string& what) {
+  std::lock_guard lock(mutex_);
+  ++mutations_;
+  if (crash_at_ != 0 && mutations_ >= crash_at_) {
+    crash_at_ = 0;
+    ++fault_stats_.crashes;
+    throw CrashError("injected crash (armed) at " + what);
+  }
+  if (!enabled_) return;
+  if (roll_locked(plan_.crash_rate)) {
+    ++fault_stats_.crashes;
+    throw CrashError("injected crash at " + what);
+  }
+  if (roll_locked(plan_.put_error_rate)) {
+    ++fault_stats_.transient_errors;
+    throw TransientError("injected transient error at " + what);
+  }
+}
+
+void FaultInjectingStore::ambiguity_gate(const std::string& what) {
+  std::lock_guard lock(mutex_);
+  if (!enabled_) return;
+  if (roll_locked(plan_.ambiguous_put_rate)) {
+    ++fault_stats_.ambiguous_puts;
+    throw TransientError("injected ambiguous (applied) write at " + what);
+  }
+}
+
+void FaultInjectingStore::record_previous(const std::string& path) {
+  // Only needed when stale reads can be served at all.
+  if (plan_.stale_read_rate <= 0.0) return;
+  auto current = inner_.get_versioned(path);
+  if (!current) return;
+  std::lock_guard lock(mutex_);
+  previous_[path] = std::move(*current);
+}
+
+std::uint64_t FaultInjectingStore::put(const std::string& path,
+                                       util::Bytes value) {
+  fire_hook(path);
+  mutation_gate("put " + path);
+  record_previous(path);
+  auto version = inner_.put(path, std::move(value));
+  ambiguity_gate("put " + path);
+  return version;
+}
+
+std::optional<std::uint64_t> FaultInjectingStore::put_cas(
+    const std::string& path, util::Bytes value, std::uint64_t expected) {
+  fire_hook(path);
+  mutation_gate("put_cas " + path);
+  {
+    std::lock_guard lock(mutex_);
+    if (enabled_ && roll_locked(plan_.spurious_cas_rate)) {
+      ++fault_stats_.spurious_cas;
+      return std::nullopt;  // reported conflict, nothing applied
+    }
+  }
+  record_previous(path);
+  auto version = inner_.put_cas(path, std::move(value), expected);
+  if (version) ambiguity_gate("put_cas " + path);
+  return version;
+}
+
+std::optional<util::Bytes> FaultInjectingStore::get(
+    const std::string& path) const {
+  {
+    std::lock_guard lock(mutex_);
+    if (enabled_ && roll_locked(plan_.get_error_rate)) {
+      ++fault_stats_.transient_errors;
+      throw TransientError("injected transient error at get " + path);
+    }
+    if (enabled_ && roll_locked(plan_.stale_read_rate)) {
+      auto it = previous_.find(path);
+      if (it != previous_.end()) {
+        ++fault_stats_.stale_reads;
+        return it->second.value;
+      }
+    }
+  }
+  return inner_.get(path);
+}
+
+std::optional<CloudStore::Versioned> FaultInjectingStore::get_versioned(
+    const std::string& path) const {
+  {
+    std::lock_guard lock(mutex_);
+    if (enabled_ && roll_locked(plan_.get_error_rate)) {
+      ++fault_stats_.transient_errors;
+      throw TransientError("injected transient error at get " + path);
+    }
+    if (enabled_ && roll_locked(plan_.stale_read_rate)) {
+      auto it = previous_.find(path);
+      if (it != previous_.end()) {
+        ++fault_stats_.stale_reads;
+        return it->second;
+      }
+    }
+  }
+  return inner_.get_versioned(path);
+}
+
+std::uint64_t FaultInjectingStore::file_version(const std::string& path) const {
+  return inner_.file_version(path);
+}
+
+bool FaultInjectingStore::erase(const std::string& path) {
+  mutation_gate("erase " + path);
+  record_previous(path);
+  return inner_.erase(path);
+}
+
+std::vector<std::string> FaultInjectingStore::list(
+    const std::string& prefix) const {
+  {
+    std::lock_guard lock(mutex_);
+    if (enabled_ && roll_locked(plan_.get_error_rate)) {
+      ++fault_stats_.transient_errors;
+      throw TransientError("injected transient error at list " + prefix);
+    }
+  }
+  return inner_.list(prefix);
+}
+
+std::uint64_t FaultInjectingStore::dir_version(const std::string& dir) const {
+  return inner_.dir_version(dir);
+}
+
+std::optional<std::uint64_t> FaultInjectingStore::long_poll(
+    const std::string& dir, std::uint64_t since,
+    std::chrono::milliseconds timeout) const {
+  {
+    std::lock_guard lock(mutex_);
+    if (enabled_ && roll_locked(plan_.poll_timeout_rate)) {
+      ++fault_stats_.poll_timeouts;
+      return std::nullopt;  // spurious timeout; the next poll catches up
+    }
+  }
+  return inner_.long_poll(dir, since, timeout);
+}
+
+CloudStats FaultInjectingStore::stats() const {
+  auto s = inner_.stats();
+  std::lock_guard lock(mutex_);
+  s.faults_injected += fault_stats_.total();
+  s.crashes_injected += fault_stats_.crashes;
+  return s;
+}
+
+std::size_t FaultInjectingStore::stored_bytes() const {
+  return inner_.stored_bytes();
+}
+
+void FaultInjectingStore::arm_crash_after(std::uint64_t n) {
+  std::lock_guard lock(mutex_);
+  crash_at_ = mutations_ + n;
+}
+
+void FaultInjectingStore::disarm() {
+  std::lock_guard lock(mutex_);
+  crash_at_ = 0;
+}
+
+std::uint64_t FaultInjectingStore::mutation_ops() const {
+  std::lock_guard lock(mutex_);
+  return mutations_;
+}
+
+void FaultInjectingStore::set_faults_enabled(bool enabled) {
+  std::lock_guard lock(mutex_);
+  enabled_ = enabled;
+}
+
+FaultStats FaultInjectingStore::fault_stats() const {
+  std::lock_guard lock(mutex_);
+  return fault_stats_;
+}
+
+void FaultInjectingStore::set_write_hook(
+    std::function<void(const std::string&)> hook) {
+  std::lock_guard lock(mutex_);
+  write_hook_ = std::move(hook);
+}
+
+}  // namespace ibbe::cloud

@@ -1,0 +1,137 @@
+// Deterministic fault injection over a CloudStore (paper context: IBBE-SGX
+// is a *dependability* system — DSN — so the harness must be able to model a
+// flaky, adversarially-timed cloud, not just a healthy one).
+//
+// FaultInjectingStore decorates any CloudStore with the failure modes a real
+// Dropbox-style deployment exhibits:
+//
+//   * transient errors    — a round trip fails outright (TransientError);
+//   * ambiguous writes    — the write is APPLIED, then the response is lost
+//                           and the caller sees a TransientError (the classic
+//                           "did my PUT land?" ambiguity);
+//   * spurious CAS fails  — put_cas reports a version conflict without
+//                           applying (server-side retry artifacts);
+//   * stale reads         — a get is served from a lagging replica: the
+//                           previous value AND previous version of the path;
+//   * spurious poll wakes — long_poll times out although a change landed;
+//   * crash points        — the calling process dies (CrashError) right
+//                           before a mutation is applied, leaving every
+//                           earlier write of a multi-object mutation behind:
+//                           torn cloud state that recovery must repair.
+//
+// Every decision is drawn from a SplitMix64 stream seeded by FaultPlan::seed,
+// so a failing schedule replays bit-for-bit from its printed seed. Crash
+// points can additionally be armed one at a time (arm_crash_after) so tests
+// can enumerate every mutation inside an operation systematically.
+//
+// Thread-safe like the store it wraps; the injector keeps its own lock and
+// never holds it across inner-store calls.
+#pragma once
+
+#include <functional>
+
+#include "cloud/store.h"
+
+namespace ibbe::cloud {
+
+/// Per-operation fault probabilities (0 = never, 1 = always) plus the RNG
+/// seed that makes the schedule reproducible.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double put_error_rate = 0.0;      // put/put_cas/erase fails before applying
+  double ambiguous_put_rate = 0.0;  // put/put_cas applies, then "fails"
+  double spurious_cas_rate = 0.0;   // put_cas "conflicts" without applying
+  double get_error_rate = 0.0;      // get/get_versioned/list fails
+  double stale_read_rate = 0.0;     // get serves the previous value+version
+  double poll_timeout_rate = 0.0;   // long_poll returns nullopt immediately
+  double crash_rate = 0.0;          // CrashError before applying a mutation
+};
+
+struct FaultStats {
+  std::uint64_t transient_errors = 0;
+  std::uint64_t ambiguous_puts = 0;
+  std::uint64_t spurious_cas = 0;
+  std::uint64_t stale_reads = 0;
+  std::uint64_t poll_timeouts = 0;
+  std::uint64_t crashes = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return transient_errors + ambiguous_puts + spurious_cas + stale_reads +
+           poll_timeouts + crashes;
+  }
+};
+
+class FaultInjectingStore : public CloudStore {
+ public:
+  /// Decorates `inner` (not owned; must outlive this object).
+  FaultInjectingStore(CloudStore& inner, FaultPlan plan);
+
+  std::uint64_t put(const std::string& path, util::Bytes value) override;
+  [[nodiscard]] std::optional<std::uint64_t> put_cas(
+      const std::string& path, util::Bytes value,
+      std::uint64_t expected) override;
+  [[nodiscard]] std::optional<util::Bytes> get(
+      const std::string& path) const override;
+  [[nodiscard]] std::optional<Versioned> get_versioned(
+      const std::string& path) const override;
+  [[nodiscard]] std::uint64_t file_version(const std::string& path) const override;
+  bool erase(const std::string& path) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) const override;
+  [[nodiscard]] std::uint64_t dir_version(const std::string& dir) const override;
+  [[nodiscard]] std::optional<std::uint64_t> long_poll(
+      const std::string& dir, std::uint64_t since,
+      std::chrono::milliseconds timeout) const override;
+  /// Inner stats plus this injector's fault counters folded in.
+  [[nodiscard]] CloudStats stats() const override;
+  [[nodiscard]] std::size_t stored_bytes() const override;
+
+  // ---- crash-point enumeration ----
+  /// Arms a one-shot crash on the n-th mutation (put/put_cas/erase) counted
+  /// from now (n=1 crashes the very next one). The crash fires BEFORE that
+  /// mutation is applied, then disarms itself.
+  void arm_crash_after(std::uint64_t n);
+  /// Clears an armed crash point.
+  void disarm();
+  /// Mutations (put/put_cas/erase) that reached this store so far, including
+  /// ones that then faulted. The enumeration harness diffs this counter
+  /// around an operation to learn how many crash points it contains.
+  [[nodiscard]] std::uint64_t mutation_ops() const;
+
+  // ---- schedule control ----
+  /// Master switch for the *random* faults (armed crash points still fire).
+  /// Harnesses turn faults off for setup and verification phases.
+  void set_faults_enabled(bool enabled);
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] FaultStats fault_stats() const;
+
+  /// Test hook invoked with the path of every put/put_cas BEFORE any fault
+  /// decision or write. Runs without the injector's lock and is suppressed
+  /// re-entrantly, so the hook may itself drive this store — which is how
+  /// tests interleave a concurrent admin at an exact write boundary.
+  void set_write_hook(std::function<void(const std::string&)> hook);
+
+ private:
+  [[nodiscard]] bool roll_locked(double rate) const;
+  /// Counts the mutation and fires armed/random crashes and transient
+  /// errors; called before the inner write is attempted.
+  void mutation_gate(const std::string& what);
+  void ambiguity_gate(const std::string& what);
+  void fire_hook(const std::string& path);
+  /// Snapshots the current value so a later stale read can serve it.
+  void record_previous(const std::string& path);
+
+  CloudStore& inner_;
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  mutable std::uint64_t rng_state_;
+  mutable FaultStats fault_stats_;
+  bool enabled_ = true;
+  std::uint64_t mutations_ = 0;
+  std::uint64_t crash_at_ = 0;  // absolute mutation ordinal; 0 = disarmed
+  std::map<std::string, Versioned> previous_;  // last overwritten value
+  std::function<void(const std::string&)> write_hook_;
+  bool hook_active_ = false;
+};
+
+}  // namespace ibbe::cloud

@@ -21,12 +21,29 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "util/bytes.h"
 
 namespace ibbe::cloud {
+
+/// A cloud round trip failed but may succeed if retried (network blip, HTTP
+/// 5xx, throttling). Callers route these through util::RetryPolicy. NOTE: a
+/// failed *write* is ambiguous — the value may or may not have been applied
+/// before the error — so all writers must be idempotent or CAS-guarded.
+struct TransientError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Simulated process death: the admin (or client) terminates at this exact
+/// point, leaving whatever it had already written behind. NEVER retried in
+/// place — recovery happens in a fresh process via AdminApi::recover().
+/// Deliberately not a TransientError so retry loops cannot swallow it.
+struct CrashError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct LatencyModel {
   std::chrono::microseconds put{0};
@@ -45,54 +62,65 @@ struct CloudStats {
   std::uint64_t long_polls = 0;
   std::uint64_t bytes_uploaded = 0;
   std::uint64_t bytes_downloaded = 0;
+  // Fault-injection counters (zero on a plain store; a FaultInjectingStore
+  // folds its FaultStats in here so dashboards see one aggregate).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t crashes_injected = 0;
 };
 
+/// The method surface is virtual so decorators (fault.h's
+/// FaultInjectingStore) can wrap a store behind the same reference the
+/// system layer already takes; the cloud round trips these calls model dwarf
+/// the virtual-dispatch cost.
 class CloudStore {
  public:
   explicit CloudStore(LatencyModel latency = {});
+  virtual ~CloudStore() = default;
 
   /// Stores `value` at `path` ("a/b/c"); bumps every ancestor directory's
   /// version and wakes long-pollers. Returns the file's new version.
-  std::uint64_t put(const std::string& path, util::Bytes value);
+  virtual std::uint64_t put(const std::string& path, util::Bytes value);
 
   /// Compare-and-swap put: succeeds only if the file's current version is
   /// `expected` (0 = the file must not exist). Returns the new version, or
   /// std::nullopt on a version conflict. This is the optimistic-concurrency
   /// primitive the multi-administrator extension builds on.
-  [[nodiscard]] std::optional<std::uint64_t> put_cas(const std::string& path,
-                                                     util::Bytes value,
-                                                     std::uint64_t expected);
+  [[nodiscard]] virtual std::optional<std::uint64_t> put_cas(
+      const std::string& path, util::Bytes value, std::uint64_t expected);
 
-  [[nodiscard]] std::optional<util::Bytes> get(const std::string& path) const;
+  [[nodiscard]] virtual std::optional<util::Bytes> get(
+      const std::string& path) const;
 
   /// Value together with its version (for CAS round trips).
   struct Versioned {
     util::Bytes value;
     std::uint64_t version;
   };
-  [[nodiscard]] std::optional<Versioned> get_versioned(const std::string& path) const;
+  [[nodiscard]] virtual std::optional<Versioned> get_versioned(
+      const std::string& path) const;
 
   /// Current version of a file (0 if absent).
-  [[nodiscard]] std::uint64_t file_version(const std::string& path) const;
+  [[nodiscard]] virtual std::uint64_t file_version(const std::string& path) const;
 
   /// True if something was deleted. Also a directory change.
-  bool erase(const std::string& path);
+  virtual bool erase(const std::string& path);
 
   /// All paths with the given prefix, sorted.
-  [[nodiscard]] std::vector<std::string> list(const std::string& prefix) const;
+  [[nodiscard]] virtual std::vector<std::string> list(
+      const std::string& prefix) const;
 
   /// Current version of a directory (0 if never written).
-  [[nodiscard]] std::uint64_t dir_version(const std::string& dir) const;
+  [[nodiscard]] virtual std::uint64_t dir_version(const std::string& dir) const;
 
   /// Blocks until dir_version(dir) > since, returning the new version, or
   /// std::nullopt on timeout. This is the client's notification channel.
-  [[nodiscard]] std::optional<std::uint64_t> long_poll(
+  [[nodiscard]] virtual std::optional<std::uint64_t> long_poll(
       const std::string& dir, std::uint64_t since,
       std::chrono::milliseconds timeout) const;
 
-  [[nodiscard]] CloudStats stats() const;
+  [[nodiscard]] virtual CloudStats stats() const;
   /// Total bytes currently stored (the footprint benches read this).
-  [[nodiscard]] std::size_t stored_bytes() const;
+  [[nodiscard]] virtual std::size_t stored_bytes() const;
 
  private:
   void simulate(std::chrono::microseconds latency) const;

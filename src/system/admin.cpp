@@ -1,6 +1,7 @@
 #include "system/admin.h"
 
 #include <algorithm>
+#include <charconv>
 #include <stdexcept>
 
 namespace ibbe::system {
@@ -9,11 +10,26 @@ using core::Identity;
 
 namespace {
 
-std::string sealed_gk_path(const GroupId& gid) {
-  return group_dir(gid) + "/gk.sealed";
-}
-
 constexpr int max_cas_retries = 8;
+constexpr int max_log_publish_attempts = 64;
+
+/// Parses the decimal id out of a group-relative filename of the form
+/// "p<digits>" or "gk<digits>.sealed". nullopt for anything else.
+std::optional<std::uint64_t> parse_numbered(const std::string& name,
+                                            const std::string& prefix,
+                                            const std::string& suffix) {
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const char* first = name.data() + prefix.size();
+  const char* last = name.data() + name.size() - suffix.size();
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
 
 }  // namespace
 
@@ -53,12 +69,34 @@ PartitionId AdminApi::fresh_partition_id(GroupState& state) const {
          state.partition_counter++;
 }
 
-void AdminApi::push_partition(const GroupId& gid, const PartitionRecord& rec) {
-  auto env = SignedEnvelope::sign(signing_key_, rec.to_bytes());
-  cloud_.put(partition_path(gid, rec.id), env.to_bytes());
+std::uint64_t AdminApi::fresh_gk_epoch(GroupState& state) const {
+  // Allocated like partition ids: the epoch doubles as the sealed gk's cloud
+  // filename, so two admins rotating concurrently must never share one.
+  return (static_cast<std::uint64_t>(config_.admin_nonce) << 32) |
+         state.epoch_counter++;
 }
 
-bool AdminApi::push_index(const GroupId& gid, GroupState& state) {
+void AdminApi::push_partition(const GroupId& gid, const PartitionRecord& rec) {
+  auto env = SignedEnvelope::sign(signing_key_, rec.to_bytes());
+  auto bytes = env.to_bytes();
+  // Partition files are written once and never overwritten (copy-on-write
+  // ids), so a blind retry of an ambiguous put is idempotent.
+  with_retries([&] {
+    cloud_.put(partition_path(gid, rec.id), bytes);
+    return 0;
+  });
+}
+
+void AdminApi::push_sealed_gk(const GroupId& gid, const GroupState& state) {
+  auto bytes = state.sealed_gk.to_bytes();
+  with_retries([&] {
+    cloud_.put(sealed_gk_path(gid, state.gk_epoch), bytes);
+    return 0;
+  });
+}
+
+bool AdminApi::push_index(const GroupId& gid, GroupState& state,
+                          const LogHead& log_head) {
   GroupIndex idx;
   idx.partition_ids.reserve(state.partitions.size());
   idx.members.reserve(state.partitions.size());
@@ -66,42 +104,88 @@ bool AdminApi::push_index(const GroupId& gid, GroupState& state) {
     idx.partition_ids.push_back(rec.id);
     idx.members.push_back(rec.members);
   }
+  idx.gk_epoch = state.gk_epoch;
+  idx.log_head = log_head;
   auto env = SignedEnvelope::sign(signing_key_, idx.to_bytes());
-  if (!config_.multi_admin) {
-    state.index_version = cloud_.put(index_path(gid), env.to_bytes());
+  auto bytes = env.to_bytes();
+
+  // Always CAS-guarded, even with a single administrator: an ambiguous put
+  // retried blindly could otherwise clobber a concurrent (or our own
+  // half-applied) commit.
+  std::optional<std::uint64_t> version;
+  try {
+    version = with_retries(
+        [&] { return cloud_.put_cas(index_path(gid), bytes, state.index_version); });
+  } catch (const cloud::TransientError&) {
+    version = std::nullopt;  // exhausted retries: resolve by re-reading below
+  }
+  if (version) {
+    state.index_version = *version;
     return true;
   }
-  auto version =
-      cloud_.put_cas(index_path(gid), env.to_bytes(), state.index_version);
-  if (!version) {
-    ++stats_.cas_conflicts;
-    return false;
-  }
-  state.index_version = *version;
-  return true;
-}
-
-void AdminApi::push_sealed_gk(const GroupId& gid, const GroupState& state) {
-  if (!config_.multi_admin) return;  // single admin keeps it in its cache
-  cloud_.put(sealed_gk_path(gid), state.sealed_gk.to_bytes());
-}
-
-void AdminApi::reassign_if_multi(GroupState& state, PartitionRecord& rec) {
-  if (config_.multi_admin) rec.id = fresh_partition_id(state);
-}
-
-void AdminApi::gc_partitions(const GroupId& gid, const GroupState& state) {
-  if (!config_.multi_admin) return;
-  std::vector<std::string> live;
-  live.reserve(state.partitions.size());
-  for (const auto& rec : state.partitions) {
-    live.push_back(partition_path(gid, rec.id));
-  }
-  for (const auto& path : cloud_.list(group_dir(gid) + "/p")) {
-    if (std::find(live.begin(), live.end(), path) == live.end()) {
-      cloud_.erase(path);
+  // Version conflict — but an ambiguous put that DID apply makes our own
+  // commit look like somebody else's. Re-read and compare payloads.
+  try {
+    auto current =
+        with_retries([&] { return cloud_.get_versioned(index_path(gid)); });
+    if (current && current->value == bytes) {
+      state.index_version = current->version;
+      return true;
     }
+  } catch (const cloud::TransientError&) {
+    // Treat as a real conflict; the caller re-syncs and retries the op.
   }
+  ++stats_.cas_conflicts;
+  return false;
+}
+
+AdminApi::LogHead AdminApi::publish_log_entry(const GroupId& gid, LogOp op,
+                                              const std::string& subject) {
+  if (!config_.log_operations) return LogHead{};
+  // CAS-merge: rebase our entry onto whatever head the cloud holds, so
+  // concurrent administrators' entries are merged instead of overwritten
+  // (the seed's last-writer-wins put lost them).
+  std::optional<LogHead> attempted;
+  for (int i = 0; i < max_log_publish_attempts; ++i) {
+    std::optional<cloud::CloudStore::Versioned> raw;
+    try {
+      raw = with_retries([&] { return cloud_.get_versioned(oplog_path(gid)); });
+    } catch (const cloud::TransientError&) {
+      continue;
+    }
+    MembershipLog remote;
+    std::uint64_t version = 0;
+    if (raw) {
+      remote = MembershipLog::from_bytes(raw->value);
+      version = raw->version;
+    }
+    if (attempted) {
+      // An earlier put_cas erred ambiguously; if our entry is already on the
+      // cloud the write landed and we must not append it twice.
+      for (const auto& e : remote.entries()) {
+        if (e.hash == *attempted) {
+          logs_[gid] = std::move(remote);
+          return *attempted;
+        }
+      }
+    }
+    remote.append(op, subject, config_.admin_name, signing_key_);
+    attempted = remote.entries().back().hash;
+    auto bytes = remote.to_bytes();
+    std::optional<std::uint64_t> result;
+    try {
+      result = with_retries(
+          [&] { return cloud_.put_cas(oplog_path(gid), bytes, version); });
+    } catch (const cloud::TransientError&) {
+      continue;  // ambiguous: the next fetch resolves whether it applied
+    }
+    if (result) {
+      logs_[gid] = std::move(remote);
+      return *attempted;
+    }
+    ++stats_.cas_conflicts;
+  }
+  throw std::runtime_error("AdminApi: persistent op-log contention on " + gid);
 }
 
 bool AdminApi::verify_envelope(const SignedEnvelope& env) const {
@@ -116,10 +200,63 @@ bool AdminApi::verify_envelope(const SignedEnvelope& env) const {
   return false;
 }
 
+void AdminApi::gc_group(const GroupId& gid, const GroupState& state) {
+  std::vector<std::string> live;
+  live.reserve(state.partitions.size() + 1);
+  for (const auto& rec : state.partitions) {
+    live.push_back(partition_path(gid, rec.id));
+  }
+  live.push_back(sealed_gk_path(gid, state.gk_epoch));
+
+  std::vector<std::string> files;
+  try {
+    files = with_retries([&] { return cloud_.list(group_dir(gid) + "/"); });
+  } catch (const cloud::TransientError&) {
+    return;  // best-effort; the next sweep (or recover) picks the orphans up
+  }
+  const std::string p_prefix = group_dir(gid) + "/p";
+  const std::string gk_prefix = group_dir(gid) + "/gk";
+  for (const auto& path : files) {
+    bool sweepable = path.compare(0, p_prefix.size(), p_prefix) == 0 ||
+                     path.compare(0, gk_prefix.size(), gk_prefix) == 0;
+    if (!sweepable) continue;  // never the index or the op-log
+    if (std::find(live.begin(), live.end(), path) != live.end()) continue;
+    try {
+      with_retries([&] {
+        cloud_.erase(path);
+        return 0;
+      });
+    } catch (const cloud::TransientError&) {
+      // leave the orphan for the next sweep
+    }
+  }
+}
+
+void AdminApi::bump_counters_past(GroupState& state,
+                                  const GroupIndex& idx) const {
+  for (PartitionId pid : idx.partition_ids) {
+    if (static_cast<std::uint32_t>(pid >> 32) == config_.admin_nonce) {
+      auto low = static_cast<std::uint32_t>(pid);
+      if (low >= state.partition_counter) state.partition_counter = low + 1;
+    }
+  }
+  if (static_cast<std::uint32_t>(idx.gk_epoch >> 32) == config_.admin_nonce) {
+    auto low = static_cast<std::uint32_t>(idx.gk_epoch);
+    if (low >= state.epoch_counter) state.epoch_counter = low + 1;
+  }
+}
+
 void AdminApi::sync_from_cloud(const GroupId& gid) {
-  auto raw_index = cloud_.get_versioned(index_path(gid));
+  auto raw_index =
+      with_retries([&] { return cloud_.get_versioned(index_path(gid)); });
   if (!raw_index) {
     throw std::runtime_error("sync_from_cloud: no index for group " + gid);
+  }
+  auto old = cache_.find(gid);
+  if (old != cache_.end() && raw_index->version < old->second.index_version) {
+    // Versions only grow at the commit point; a smaller one is a stale
+    // replica read, not a rollback.
+    throw cloud::TransientError("sync_from_cloud: stale index read");
   }
   auto index_env = SignedEnvelope::from_bytes(raw_index->value);
   if (!verify_envelope(index_env)) {
@@ -129,10 +266,13 @@ void AdminApi::sync_from_cloud(const GroupId& gid) {
 
   GroupState state;
   state.index_version = raw_index->version;
+  state.gk_epoch = idx.gk_epoch;
   for (PartitionId pid : idx.partition_ids) {
-    auto raw = cloud_.get(partition_path(gid, pid));
+    auto raw = with_retries([&] { return cloud_.get(partition_path(gid, pid)); });
     if (!raw) {
-      throw std::runtime_error("sync_from_cloud: missing partition file");
+      // Committed indexes only reference partitions that were pushed before
+      // the commit, so absence means we read a torn/stale view.
+      throw cloud::TransientError("sync_from_cloud: partition not yet visible");
     }
     auto env = SignedEnvelope::from_bytes(*raw);
     if (!verify_envelope(env)) {
@@ -141,53 +281,129 @@ void AdminApi::sync_from_cloud(const GroupId& gid) {
     state.partitions.push_back(PartitionRecord::from_bytes(env.payload));
   }
 
-  auto sealed = cloud_.get(sealed_gk_path(gid));
-  auto old = cache_.find(gid);
+  auto sealed = with_retries(
+      [&] { return cloud_.get(sealed_gk_path(gid, idx.gk_epoch)); });
   if (sealed) {
     state.sealed_gk = sgx::SealedBlob::from_bytes(*sealed);
-  } else if (old != cache_.end()) {
-    state.sealed_gk = old->second.sealed_gk;
+  } else if (old != cache_.end() && old->second.gk_epoch == idx.gk_epoch) {
+    state.sealed_gk = old->second.sealed_gk;  // we sealed this epoch ourselves
   } else {
-    throw std::runtime_error("sync_from_cloud: no sealed group key available");
+    throw cloud::TransientError("sync_from_cloud: sealed gk not yet visible");
   }
+
   // Admin-local fields survive the re-sync.
   if (old != cache_.end()) {
     state.partition_counter = old->second.partition_counter;
+    state.epoch_counter = old->second.epoch_counter;
     state.target_partition_size = old->second.target_partition_size;
   } else {
     state.target_partition_size = config_.partition_size;
   }
+  bump_counters_past(state, idx);
   cache_[gid] = std::move(state);
 }
 
-template <typename Op>
-AdminApi::OpOutcome AdminApi::mutate_with_retry(const GroupId& gid, Op&& op) {
-  for (int attempt = 0;; ++attempt) {
-    GroupState& state = state_of(gid);
-    OpOutcome outcome = op(state);
-    if (outcome != OpOutcome::published) return outcome;
-    if (push_index(gid, state)) return outcome;
-    if (attempt >= max_cas_retries) {
-      throw std::runtime_error(
-          "AdminApi: persistent CAS conflicts on group " + gid);
+bool AdminApi::recover(const GroupId& gid) {
+  ++stats_.recoveries;
+  auto raw_index =
+      with_retries([&] { return cloud_.get_versioned(index_path(gid)); });
+  if (!raw_index) {
+    // No commit point ever landed: a creation died mid-flight. Roll it back
+    // by deleting every torn file under the group's directory.
+    std::vector<std::string> files;
+    try {
+      files = with_retries([&] { return cloud_.list(group_dir(gid) + "/"); });
+    } catch (const cloud::TransientError&) {
+      files.clear();
     }
-    sync_from_cloud(gid);
+    for (const auto& path : files) {
+      try {
+        with_retries([&] {
+          cloud_.erase(path);
+          return 0;
+        });
+      } catch (const cloud::TransientError&) {
+        // leave it; a later recover retries
+      }
+    }
+    cache_.erase(gid);
+    logs_.erase(gid);
+    return false;
   }
+
+  // The index committed: adopt that state (rolling an uncommitted mutation
+  // back), then finish the sweep a committed mutation may have left undone
+  // (roll-forward of its GC).
+  with_retries([&] {
+    sync_from_cloud(gid);
+    return 0;
+  });
+  GroupState& state = state_of(gid);
+
+  // Advance our id/epoch counters past every leftover on the cloud, not just
+  // what the index references: if the GC below fails half-way, a reused id
+  // could otherwise collide with a stale orphan file.
+  std::vector<std::string> files;
+  try {
+    files = with_retries([&] { return cloud_.list(group_dir(gid) + "/"); });
+  } catch (const cloud::TransientError&) {
+    files.clear();
+  }
+  const std::string dir = group_dir(gid) + "/";
+  for (const auto& path : files) {
+    const std::string name = path.substr(dir.size());
+    std::optional<std::uint64_t> id = parse_numbered(name, "p", "");
+    if (!id) id = parse_numbered(name, "gk", ".sealed");
+    if (!id) continue;
+    if (static_cast<std::uint32_t>(*id >> 32) != config_.admin_nonce) continue;
+    auto low = static_cast<std::uint32_t>(*id);
+    bool is_epoch = name.compare(0, 2, "gk") == 0;
+    auto& counter = is_epoch ? state.epoch_counter : state.partition_counter;
+    if (low >= counter) counter = low + 1;
+  }
+
+  gc_group(gid, state);
+
+  if (config_.log_operations) {
+    try {
+      auto raw = with_retries([&] { return cloud_.get(oplog_path(gid)); });
+      if (raw) logs_[gid] = MembershipLog::from_bytes(*raw);
+    } catch (const cloud::TransientError&) {
+      // cache refresh only; the next publish re-fetches anyway
+    }
+  }
+  return true;
 }
 
-void AdminApi::log_op(const GroupId& gid, LogOp op, const std::string& subject) {
-  if (!config_.log_operations) return;
-  MembershipLog& log = logs_[gid];
-  if (config_.multi_admin) {
-    // Pick up entries appended by peers (last-writer-wins on the blob; full
-    // multi-writer certification is the paper's blockchain future work).
-    if (auto raw = cloud_.get(oplog_path(gid))) {
-      auto remote = MembershipLog::from_bytes(*raw);
-      if (remote.size() > log.size()) log = std::move(remote);
+template <typename Op>
+AdminApi::OpOutcome AdminApi::mutate_with_retry(const GroupId& gid, LogOp logop,
+                                                const std::string& subject,
+                                                Op&& op) {
+  std::optional<LogHead> staged;
+  for (int attempt = 0;; ++attempt) {
+    GroupState& state = state_of(gid);
+    OpOutcome outcome = op(state, staged);
+    if (outcome == OpOutcome::rebuilt) return outcome;
+    if (outcome == OpOutcome::noop) {
+      // Nothing to publish, but an earlier conflicted attempt (or a crashed
+      // predecessor) may have left shadow files behind: sweep them.
+      gc_group(gid, state);
+      return outcome;
     }
+    if (!staged) staged = publish_log_entry(gid, logop, subject);
+    if (push_index(gid, state, *staged)) {
+      gc_group(gid, state);
+      return outcome;
+    }
+    if (attempt >= max_cas_retries) {
+      throw std::runtime_error("AdminApi: persistent CAS conflicts on group " +
+                               gid);
+    }
+    with_retries([&] {
+      sync_from_cloud(gid);
+      return 0;
+    });
   }
-  log.append(op, subject, config_.admin_name, signing_key_);
-  cloud_.put(oplog_path(gid), log.to_bytes());
 }
 
 const MembershipLog& AdminApi::log_of(const GroupId& gid) const {
@@ -196,16 +412,59 @@ const MembershipLog& AdminApi::log_of(const GroupId& gid) const {
   return it == logs_.end() ? empty : it->second;
 }
 
+MembershipLog::AuditResult AdminApi::audit_group_log(const GroupId& gid) const {
+  // stats_ is not updated here (const audit path): use the bare retry helper.
+  auto fetch = [&](const std::string& path) {
+    return util::retry_on<cloud::TransientError>(
+        config_.retry, [&] { return cloud_.get(path); });
+  };
+  auto raw = fetch(oplog_path(gid));
+  if (!raw) return {false, "no op-log stored for group", 0};
+  MembershipLog log;
+  try {
+    log = MembershipLog::from_bytes(*raw);
+  } catch (const util::DeserializeError&) {
+    return {false, "op-log blob corrupted", 0};
+  }
+
+  std::vector<ec::P256Point> keys;
+  keys.push_back(signing_key_.public_key());
+  for (const auto& key_bytes : config_.peer_verification_keys) {
+    try {
+      keys.push_back(ec::p256_from_bytes(key_bytes));
+    } catch (const util::DeserializeError&) {
+      // malformed configured key: skip
+    }
+  }
+
+  // Anchor on the committed index's log head so a rolled-back suffix — a
+  // perfectly valid shorter chain — is still caught.
+  LogHead anchor{};
+  const LogHead* anchor_ptr = nullptr;
+  if (auto raw_index = fetch(index_path(gid))) {
+    try {
+      auto env = SignedEnvelope::from_bytes(*raw_index);
+      if (verify_envelope(env)) {
+        anchor = GroupIndex::from_bytes(env.payload).log_head;
+        anchor_ptr = &anchor;
+      }
+    } catch (const util::DeserializeError&) {
+      // unanchored audit is still better than no audit
+    }
+  }
+  return log.audit(keys, anchor_ptr);
+}
+
 void AdminApi::create_group(const GroupId& gid,
                             std::span<const Identity> members) {
-  create_group_sized(gid, members, config_.partition_size);
-  log_op(gid, LogOp::create_group,
-         "members=" + std::to_string(members.size()));
+  create_group_sized(gid, members, config_.partition_size, LogOp::create_group,
+                     "members=" + std::to_string(members.size()));
 }
 
 void AdminApi::create_group_sized(const GroupId& gid,
                                   std::span<const Identity> members,
-                                  std::size_t partition_size) {
+                                  std::size_t partition_size, LogOp logop,
+                                  const std::string& subject) {
   if (members.empty()) {
     throw std::invalid_argument("create_group: need at least one member");
   }
@@ -214,6 +473,7 @@ void AdminApi::create_group_sized(const GroupId& gid,
   if (auto it = cache_.find(gid); it != cache_.end()) {
     // Recreation (e.g. re-partitioning) keeps counters and CAS lineage.
     state.partition_counter = it->second.partition_counter;
+    state.epoch_counter = it->second.epoch_counter;
     state.index_version = it->second.index_version;
   }
 
@@ -228,8 +488,10 @@ void AdminApi::create_group_sized(const GroupId& gid,
   // Lines 2-6 run inside the enclave.
   auto creation = enclave_.ecall_create_group(partitions);
 
-  // Line 7: persist ciphertexts, wrapped keys and the sealed gk.
+  // Line 7: persist ciphertexts, wrapped keys, the sealed gk and the log
+  // entry — all under fresh names, all BEFORE the index CAS commits them.
   state.sealed_gk = creation.sealed_gk;
+  state.gk_epoch = fresh_gk_epoch(state);
   for (std::size_t p = 0; p < partitions.size(); ++p) {
     PartitionRecord rec;
     rec.id = fresh_partition_id(state);
@@ -239,125 +501,136 @@ void AdminApi::create_group_sized(const GroupId& gid,
     state.partitions.push_back(std::move(rec));
   }
   push_sealed_gk(gid, state);
-  if (!push_index(gid, state)) {
+  LogHead head = publish_log_entry(gid, logop, subject);
+  if (!push_index(gid, state, head)) {
     throw std::runtime_error("create_group: concurrent modification of " + gid);
   }
 
   stats_.groups_created++;
   stats_.partitions_created += state.partitions.size();
-  cache_[gid] = std::move(state);
+  GroupState& committed = (cache_[gid] = std::move(state));
+  // Post-commit: sweep the previous generation's files (re-partitioning) and
+  // any shadow leftovers.
+  gc_group(gid, committed);
 }
 
 void AdminApi::add_user(const GroupId& gid, const Identity& id) {
   bool created_partition = false;
-  auto outcome = mutate_with_retry(gid, [&](GroupState& state) {
-    created_partition = false;
-    for (const auto& rec : state.partitions) {
-      if (std::find(rec.members.begin(), rec.members.end(), id) !=
-          rec.members.end()) {
-        return OpOutcome::noop;  // already a member
-      }
-    }
+  auto outcome = mutate_with_retry(
+      gid, LogOp::add_user, id,
+      [&](GroupState& state, std::optional<LogHead>&) {
+        created_partition = false;
+        for (const auto& rec : state.partitions) {
+          if (std::find(rec.members.begin(), rec.members.end(), id) !=
+              rec.members.end()) {
+            return OpOutcome::noop;  // already a member
+          }
+        }
 
-    // Algorithm 2, line 1: partitions with spare capacity.
-    std::vector<std::size_t> open;
-    for (std::size_t p = 0; p < state.partitions.size(); ++p) {
-      if (state.partitions[p].members.size() < state.target_partition_size) {
-        open.push_back(p);
-      }
-    }
+        // Algorithm 2, line 1: partitions with spare capacity.
+        std::vector<std::size_t> open;
+        for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+          if (state.partitions[p].members.size() < state.target_partition_size) {
+            open.push_back(p);
+          }
+        }
 
-    if (open.empty()) {
-      // Lines 3-7: new partition wrapping the existing gk.
-      PartitionRecord rec;
-      rec.id = fresh_partition_id(state);
-      rec.members = {id};
-      rec.cipher = enclave_.ecall_create_partition(rec.members, state.sealed_gk);
-      push_partition(gid, rec);
-      state.partitions.push_back(std::move(rec));
-      created_partition = true;
-    } else {
-      // Lines 9-12: random open partition; O(1) ciphertext extension; the
-      // wrapped key y_p is untouched.
-      auto& rec = state.partitions[open[rng_.uniform(open.size())]];
-      rec.cipher.ct = enclave_.ecall_add_user_to_partition(rec.cipher.ct, id);
-      rec.members.push_back(id);
-      reassign_if_multi(state, rec);
-      push_partition(gid, rec);
-    }
-    return OpOutcome::published;
-  });
+        if (open.empty()) {
+          // Lines 3-7: new partition wrapping the existing gk.
+          PartitionRecord rec;
+          rec.id = fresh_partition_id(state);
+          rec.members = {id};
+          rec.cipher =
+              enclave_.ecall_create_partition(rec.members, state.sealed_gk);
+          push_partition(gid, rec);
+          state.partitions.push_back(std::move(rec));
+          created_partition = true;
+        } else {
+          // Lines 9-12: random open partition; O(1) ciphertext extension; the
+          // wrapped key y_p is untouched. The record still moves to a fresh
+          // id: partition files are immutable, the old one dies in the GC.
+          auto& rec = state.partitions[open[rng_.uniform(open.size())]];
+          rec.cipher.ct = enclave_.ecall_add_user_to_partition(rec.cipher.ct, id);
+          rec.members.push_back(id);
+          rec.id = fresh_partition_id(state);
+          push_partition(gid, rec);
+        }
+        return OpOutcome::published;
+      });
 
   if (outcome == OpOutcome::noop) return;
-  if (outcome == OpOutcome::published) gc_partitions(gid, state_of(gid));
   stats_.users_added++;
   if (created_partition) stats_.partitions_created++;
   advisor_.record_add();
-  log_op(gid, LogOp::add_user, id);
 }
 
 void AdminApi::remove_user(const GroupId& gid, const Identity& id) {
-  auto outcome = mutate_with_retry(gid, [&](GroupState& state) {
-    // Locate the hosting partition (Algorithm 3, line 1).
-    std::size_t host = state.partitions.size();
-    for (std::size_t p = 0; p < state.partitions.size(); ++p) {
-      const auto& ms = state.partitions[p].members;
-      if (std::find(ms.begin(), ms.end(), id) != ms.end()) {
-        host = p;
-        break;
-      }
-    }
-    if (host == state.partitions.size()) return OpOutcome::noop;
+  auto outcome = mutate_with_retry(
+      gid, LogOp::remove_user, id,
+      [&](GroupState& state, std::optional<LogHead>& staged) {
+        // Locate the hosting partition (Algorithm 3, line 1).
+        std::size_t host = state.partitions.size();
+        for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+          const auto& ms = state.partitions[p].members;
+          if (std::find(ms.begin(), ms.end(), id) != ms.end()) {
+            host = p;
+            break;
+          }
+        }
+        if (host == state.partitions.size()) return OpOutcome::noop;
 
-    // Lines 3-9 run inside the enclave: O(1) removal on the host, constant
-    // time re-key everywhere else, fresh gk wrapped under every partition.
-    std::vector<core::BroadcastCiphertext> others;
-    others.reserve(state.partitions.size() - 1);
-    for (std::size_t p = 0; p < state.partitions.size(); ++p) {
-      if (p != host) others.push_back(state.partitions[p].cipher.ct);
-    }
-    auto result =
-        enclave_.ecall_remove_user(state.partitions[host].cipher.ct, others, id);
-    state.sealed_gk = result.sealed_gk;
+        // Lines 3-9 run inside the enclave: O(1) removal on the host,
+        // constant time re-key everywhere else, fresh gk wrapped under every
+        // partition.
+        std::vector<core::BroadcastCiphertext> others;
+        others.reserve(state.partitions.size() - 1);
+        for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+          if (p != host) others.push_back(state.partitions[p].cipher.ct);
+        }
+        auto result = enclave_.ecall_remove_user(state.partitions[host].cipher.ct,
+                                                 others, id);
+        state.sealed_gk = result.sealed_gk;
+        state.gk_epoch = fresh_gk_epoch(state);
 
-    // Apply results: index 0 is the host, the rest follow input order.
-    auto& host_rec = state.partitions[host];
-    host_rec.members.erase(
-        std::find(host_rec.members.begin(), host_rec.members.end(), id));
-    host_rec.cipher = std::move(result.partitions[0]);
-    std::size_t out = 1;
-    for (std::size_t p = 0; p < state.partitions.size(); ++p) {
-      if (p != host) {
-        state.partitions[p].cipher = std::move(result.partitions[out++]);
-      }
-    }
+        // Apply results: index 0 is the host, the rest follow input order.
+        auto& host_rec = state.partitions[host];
+        host_rec.members.erase(
+            std::find(host_rec.members.begin(), host_rec.members.end(), id));
+        host_rec.cipher = std::move(result.partitions[0]);
+        std::size_t out = 1;
+        for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+          if (p != host) {
+            state.partitions[p].cipher = std::move(result.partitions[out++]);
+          }
+        }
 
-    // Lines 10-11: push every partition (all wrapped keys changed).
-    if (host_rec.members.empty()) {
-      cloud_.erase(partition_path(gid, host_rec.id));
-      state.partitions.erase(state.partitions.begin() +
-                             static_cast<std::ptrdiff_t>(host));
-    }
+        // An emptied partition just leaves the index; its file is swept by
+        // the post-commit GC (erasing it here would tear the committed view).
+        if (host_rec.members.empty()) {
+          state.partitions.erase(state.partitions.begin() +
+                                 static_cast<std::ptrdiff_t>(host));
+        }
 
-    if (!state.partitions.empty() && config_.repartitioning &&
-        should_repartition(state)) {
-      rebuild_group(gid, state);
-      return OpOutcome::rebuilt;
-    }
-    // Every partition's ciphertext changed: copy-on-write republish.
-    for (auto& rec : state.partitions) {
-      reassign_if_multi(state, rec);
-      push_partition(gid, rec);
-    }
-    push_sealed_gk(gid, state);
-    return OpOutcome::published;
-  });
+        if (!state.partitions.empty() && config_.repartitioning &&
+            should_repartition(state)) {
+          // The rebuild commits on its own; our log entry must precede its
+          // repartition entry on the cloud.
+          if (!staged) staged = publish_log_entry(gid, LogOp::remove_user, id);
+          rebuild_group(gid, state);
+          return OpOutcome::rebuilt;
+        }
+        // Every partition's ciphertext changed: copy-on-write republish.
+        for (auto& rec : state.partitions) {
+          rec.id = fresh_partition_id(state);
+          push_partition(gid, rec);
+        }
+        push_sealed_gk(gid, state);
+        return OpOutcome::published;
+      });
 
   if (outcome == OpOutcome::noop) return;
-  if (outcome == OpOutcome::published) gc_partitions(gid, state_of(gid));
   stats_.users_removed++;
   advisor_.record_remove();
-  log_op(gid, LogOp::remove_user, id);
 }
 
 void AdminApi::add_users(const GroupId& gid, std::span<const Identity> ids) {
@@ -366,80 +639,88 @@ void AdminApi::add_users(const GroupId& gid, std::span<const Identity> ids) {
 
 void AdminApi::remove_users(const GroupId& gid, std::span<const Identity> ids) {
   std::size_t removed_count = 0;
-  auto outcome = mutate_with_retry(gid, [&](GroupState& state) {
-    removed_count = 0;
-    // Group the batch by hosting partition; silently skip non-members.
-    std::map<std::size_t, std::vector<Identity>> by_partition;
-    for (const auto& id : ids) {
-      for (std::size_t p = 0; p < state.partitions.size(); ++p) {
-        const auto& ms = state.partitions[p].members;
-        if (std::find(ms.begin(), ms.end(), id) != ms.end()) {
-          by_partition[p].push_back(id);
-          break;
+  // The lambda rewrites this before mutate_with_retry publishes the entry.
+  std::string subject = "batch=0";
+  auto outcome = mutate_with_retry(
+      gid, LogOp::remove_user, subject,
+      [&](GroupState& state, std::optional<LogHead>& staged) {
+        removed_count = 0;
+        // Group the batch by hosting partition; silently skip non-members.
+        std::map<std::size_t, std::vector<Identity>> by_partition;
+        for (const auto& id : ids) {
+          for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+            const auto& ms = state.partitions[p].members;
+            if (std::find(ms.begin(), ms.end(), id) != ms.end()) {
+              by_partition[p].push_back(id);
+              break;
+            }
+          }
         }
-      }
-    }
-    if (by_partition.empty()) return OpOutcome::noop;
+        if (by_partition.empty()) return OpOutcome::noop;
 
-    std::vector<enclave::IbbeEnclave::BatchRemovalSpec> hosts;
-    std::vector<std::size_t> host_indices;
-    std::vector<core::BroadcastCiphertext> others;
-    std::vector<std::size_t> other_indices;
-    for (std::size_t p = 0; p < state.partitions.size(); ++p) {
-      auto it = by_partition.find(p);
-      if (it != by_partition.end()) {
-        hosts.push_back({state.partitions[p].cipher.ct, it->second});
-        host_indices.push_back(p);
-      } else {
-        others.push_back(state.partitions[p].cipher.ct);
-        other_indices.push_back(p);
-      }
-    }
+        std::vector<enclave::IbbeEnclave::BatchRemovalSpec> hosts;
+        std::vector<std::size_t> host_indices;
+        std::vector<core::BroadcastCiphertext> others;
+        std::vector<std::size_t> other_indices;
+        for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+          auto it = by_partition.find(p);
+          if (it != by_partition.end()) {
+            hosts.push_back({state.partitions[p].cipher.ct, it->second});
+            host_indices.push_back(p);
+          } else {
+            others.push_back(state.partitions[p].cipher.ct);
+            other_indices.push_back(p);
+          }
+        }
 
-    auto result = enclave_.ecall_remove_users(hosts, others);
-    state.sealed_gk = result.sealed_gk;
+        auto result = enclave_.ecall_remove_users(hosts, others);
+        state.sealed_gk = result.sealed_gk;
+        state.gk_epoch = fresh_gk_epoch(state);
 
-    // Enclave output order: hosts first, then the others.
-    for (std::size_t h = 0; h < host_indices.size(); ++h) {
-      auto& rec = state.partitions[host_indices[h]];
-      rec.cipher = std::move(result.partitions[h]);
-      for (const auto& id : by_partition[host_indices[h]]) {
-        rec.members.erase(std::find(rec.members.begin(), rec.members.end(), id));
-      }
-      removed_count += by_partition[host_indices[h]].size();
-    }
-    for (std::size_t o = 0; o < other_indices.size(); ++o) {
-      state.partitions[other_indices[o]].cipher =
-          std::move(result.partitions[hosts.size() + o]);
-    }
+        // Enclave output order: hosts first, then the others.
+        for (std::size_t h = 0; h < host_indices.size(); ++h) {
+          auto& rec = state.partitions[host_indices[h]];
+          rec.cipher = std::move(result.partitions[h]);
+          for (const auto& id : by_partition[host_indices[h]]) {
+            rec.members.erase(
+                std::find(rec.members.begin(), rec.members.end(), id));
+          }
+          removed_count += by_partition[host_indices[h]].size();
+        }
+        for (std::size_t o = 0; o < other_indices.size(); ++o) {
+          state.partitions[other_indices[o]].cipher =
+              std::move(result.partitions[hosts.size() + o]);
+        }
 
-    // Drop emptied partitions, largest index first.
-    for (std::size_t p = state.partitions.size(); p-- > 0;) {
-      if (state.partitions[p].members.empty()) {
-        cloud_.erase(partition_path(gid, state.partitions[p].id));
-        state.partitions.erase(state.partitions.begin() +
-                               static_cast<std::ptrdiff_t>(p));
-      }
-    }
+        // Drop emptied partitions from the index, largest offset first; the
+        // files themselves are swept post-commit.
+        for (std::size_t p = state.partitions.size(); p-- > 0;) {
+          if (state.partitions[p].members.empty()) {
+            state.partitions.erase(state.partitions.begin() +
+                                   static_cast<std::ptrdiff_t>(p));
+          }
+        }
 
-    if (!state.partitions.empty() && config_.repartitioning &&
-        should_repartition(state)) {
-      rebuild_group(gid, state);
-      return OpOutcome::rebuilt;
-    }
-    for (auto& rec : state.partitions) {
-      reassign_if_multi(state, rec);
-      push_partition(gid, rec);
-    }
-    push_sealed_gk(gid, state);
-    return OpOutcome::published;
-  });
+        subject = "batch=" + std::to_string(removed_count);
+        if (!state.partitions.empty() && config_.repartitioning &&
+            should_repartition(state)) {
+          if (!staged) {
+            staged = publish_log_entry(gid, LogOp::remove_user, subject);
+          }
+          rebuild_group(gid, state);
+          return OpOutcome::rebuilt;
+        }
+        for (auto& rec : state.partitions) {
+          rec.id = fresh_partition_id(state);
+          push_partition(gid, rec);
+        }
+        push_sealed_gk(gid, state);
+        return OpOutcome::published;
+      });
 
   if (outcome == OpOutcome::noop) return;
-  if (outcome == OpOutcome::published) gc_partitions(gid, state_of(gid));
   stats_.users_removed += removed_count;
   for (std::size_t i = 0; i < removed_count; ++i) advisor_.record_remove();
-  log_op(gid, LogOp::remove_user, "batch=" + std::to_string(removed_count));
 }
 
 bool AdminApi::should_repartition(const GroupState& state) const {
@@ -459,10 +740,6 @@ void AdminApi::rebuild_group(const GroupId& gid, GroupState& state) {
   for (const auto& rec : state.partitions) {
     all.insert(all.end(), rec.members.begin(), rec.members.end());
   }
-  // Drop the old partition files, then re-run Algorithm 1.
-  for (const auto& rec : state.partitions) {
-    cloud_.erase(partition_path(gid, rec.id));
-  }
   stats_.repartitions++;
 
   std::size_t new_size = state.target_partition_size;
@@ -471,12 +748,13 @@ void AdminApi::rebuild_group(const GroupId& gid, GroupState& state) {
                                   enclave_.public_key().max_receivers());
     advisor_.reset_window();
   }
-  log_op(gid, LogOp::repartition, "partition_size=" + std::to_string(new_size));
 
-  // create_group_sized rewrites cache_[gid]; adjust counters to not
+  // create_group_sized rewrites cache_[gid] (committing via the index CAS
+  // and sweeping this generation's files afterwards); adjust counters to not
   // double-count the group itself.
   stats_.groups_created--;
-  create_group_sized(gid, all, new_size);
+  create_group_sized(gid, all, new_size, LogOp::repartition,
+                     "partition_size=" + std::to_string(new_size));
 }
 
 bool AdminApi::is_member(const GroupId& gid, const Identity& id) const {
@@ -514,6 +792,7 @@ std::size_t AdminApi::metadata_size(const GroupId& gid) const {
     idx.members.push_back(rec.members);
   }
   total += idx.to_bytes().size() + pki::EcdsaSignature::serialized_size;
+  total += state.sealed_gk.to_bytes().size();  // gk<epoch>.sealed
   return total;
 }
 

@@ -12,6 +12,17 @@
 //   * the re-partitioning heuristic: if more than half of the partitions are
 //     under two-thirds occupancy, rebuild the group via Algorithm 1.
 //
+// Crash consistency (docs/fault_model.md has the full protocol): every
+// mutation is shadow-paged. Changed partition records are written under
+// FRESH ids (copy-on-write — partition files are immutable once written), a
+// rotated group key is sealed under a FRESH epoch path, and the op-log entry
+// is CAS-merged in — all BEFORE the single commit point, the CAS that
+// replaces groups/<gid>/index. Nothing is erased before the commit;
+// unreferenced files are swept by a post-commit garbage collector, and
+// recover() rolls a torn mutation back (index CAS never landed) or forward
+// (it did; finish the GC) after a crash. Transient cloud errors are retried
+// under config.retry; a cloud::CrashError is never retried in place.
+//
 // Extensions beyond the paper's evaluation (its §VIII future work):
 //   * batch revocation: remove_users() rotates gk once per batch;
 //   * multi-administrator mode: CAS-protected index updates with cache
@@ -19,7 +30,8 @@
 //   * dynamic partition sizing: re-partitioning picks the size a cost model
 //     recommends for the observed workload (config.adaptive_partitioning);
 //   * a hash-chained signed membership log for auditing
-//     (config.log_operations, see oplog.h).
+//     (config.log_operations, see oplog.h), anchored against truncation by
+//     the committed index's log_head field.
 #pragma once
 
 #include <map>
@@ -30,6 +42,7 @@
 #include "system/advisor.h"
 #include "system/metadata.h"
 #include "system/oplog.h"
+#include "util/retry.h"
 
 namespace ibbe::system {
 
@@ -37,13 +50,17 @@ struct AdminConfig {
   std::size_t partition_size = 1000;  // the paper's |p|
   bool repartitioning = true;
 
+  /// Backoff discipline for transient cloud errors (every put/get/list this
+  /// class issues). cloud::CrashError is never retried.
+  util::RetryPolicy retry;
+
   // ---- multi-administrator extension ----
   /// Enables lock-free concurrent administration: index updates go through
   /// compare-and-swap, conflicts trigger a cache re-sync and retry, and the
   /// sealed group key is mirrored to the cloud so peers can pick it up.
   bool multi_admin = false;
-  /// Distinguishes this administrator's partition ids (high 32 bits) so
-  /// concurrent partition creations never collide.
+  /// Distinguishes this administrator's partition ids and gk epochs (high 32
+  /// bits) so concurrent creations never collide.
   std::uint32_t admin_nonce = 0;
   /// Verification keys (compressed P-256) of the other administrators whose
   /// signed metadata this admin accepts during re-sync.
@@ -68,7 +85,9 @@ struct AdminStats {
   std::uint64_t users_removed = 0;
   std::uint64_t partitions_created = 0;
   std::uint64_t repartitions = 0;
-  std::uint64_t cas_conflicts = 0;  // multi-admin: retries caused by peers
+  std::uint64_t cas_conflicts = 0;      // retries caused by peers (or faults)
+  std::uint64_t transient_retries = 0;  // cloud round trips retried
+  std::uint64_t recoveries = 0;         // recover() invocations
 };
 
 class AdminApi {
@@ -92,10 +111,26 @@ class AdminApi {
   void add_users(const GroupId& gid, std::span<const core::Identity> ids);
   void remove_users(const GroupId& gid, std::span<const core::Identity> ids);
 
-  /// Multi-admin: rebuilds the local cache for `gid` from signed cloud
-  /// metadata (index, partitions, mirrored sealed gk). Throws on missing or
-  /// unverifiable metadata.
+  /// Rebuilds the local cache for `gid` from signed cloud metadata (index,
+  /// partitions, the sealed gk of the committed epoch). Throws on missing or
+  /// unverifiable metadata; throws cloud::TransientError when the cloud
+  /// serves a torn or stale view (caller may retry).
   void sync_from_cloud(const GroupId& gid);
+
+  /// Startup crash recovery. Returns true if the group exists (its index
+  /// committed): the cache is rebuilt from the committed state, id/epoch
+  /// counters are advanced past every id seen on the cloud (so a restarted
+  /// admin can never collide with leftovers), and orphaned partition / gk
+  /// files are garbage-collected — rolling an interrupted mutation back, or
+  /// finishing the sweep of one that committed (roll-forward). Returns false
+  /// if no index exists: a creation died before its commit point; every
+  /// torn file under the group's directory is deleted.
+  bool recover(const GroupId& gid);
+
+  /// Fetches the group's op-log from the cloud and audits it against this
+  /// admin's + peers' keys, anchored on the committed index's log_head (so
+  /// whole-suffix truncation is caught, not just splices).
+  [[nodiscard]] MembershipLog::AuditResult audit_group_log(const GroupId& gid) const;
 
   [[nodiscard]] bool is_member(const GroupId& gid, const core::Identity& id) const;
   [[nodiscard]] std::size_t group_size(const GroupId& gid) const;
@@ -122,11 +157,15 @@ class AdminApi {
   }
 
  private:
+  using LogHead = std::array<std::uint8_t, 32>;
+
   struct GroupState {
     std::vector<PartitionRecord> partitions;
     sgx::SealedBlob sealed_gk;
+    std::uint64_t gk_epoch = 0;           // cloud path of the sealed gk
     std::size_t target_partition_size = 0;
     std::uint32_t partition_counter = 0;  // admin-local, see fresh_partition_id
+    std::uint32_t epoch_counter = 0;      // admin-local, see fresh_gk_epoch
     std::uint64_t index_version = 0;      // cloud version at last sync/push
   };
 
@@ -134,39 +173,62 @@ class AdminApi {
   enum class OpOutcome {
     noop,       // nothing changed, nothing to publish
     published,  // partitions pushed; index still needs publishing
-    rebuilt,    // rebuild_group ran and already published everything
+    rebuilt,    // rebuild_group ran and already committed everything
   };
 
   GroupState& state_of(const GroupId& gid);
   const GroupState& state_of(const GroupId& gid) const;
   PartitionId fresh_partition_id(GroupState& state) const;
+  std::uint64_t fresh_gk_epoch(GroupState& state) const;
 
   void create_group_sized(const GroupId& gid,
                           std::span<const core::Identity> members,
-                          std::size_t partition_size);
+                          std::size_t partition_size, LogOp logop,
+                          const std::string& subject);
   void push_partition(const GroupId& gid, const PartitionRecord& rec);
-  /// Single-admin: unconditional put (always true). Multi-admin: CAS against
-  /// the cached index version; false signals a concurrent peer update.
-  [[nodiscard]] bool push_index(const GroupId& gid, GroupState& state);
+  /// The commit point: CAS of the signed index against the cached version.
+  /// Detects this admin's own ambiguous commits (write applied, response
+  /// lost) by re-reading and comparing payloads; false means a real
+  /// concurrent update.
+  [[nodiscard]] bool push_index(const GroupId& gid, GroupState& state,
+                                const LogHead& log_head);
   void push_sealed_gk(const GroupId& gid, const GroupState& state);
+  /// CAS-merge publication of one op-log entry (pre-commit): fetch, rebase
+  /// our entry onto the remote head, put_cas; on conflict re-fetch and merge
+  /// so no concurrent admin's entries are lost. Returns the entry's hash —
+  /// the index's log_head anchor. All-zero when logging is off.
+  LogHead publish_log_entry(const GroupId& gid, LogOp op,
+                            const std::string& subject);
   [[nodiscard]] bool verify_envelope(const SignedEnvelope& env) const;
-  /// Multi-admin partition files are copy-on-write (every content change
-  /// writes under a fresh id) so a failed CAS attempt can never clobber a
-  /// peer's data; this sweeps files no longer referenced by the index.
-  void gc_partitions(const GroupId& gid, const GroupState& state);
-  /// In multi-admin mode, gives `rec` a fresh id before re-publishing
-  /// changed content (copy-on-write); no-op otherwise.
-  void reassign_if_multi(GroupState& state, PartitionRecord& rec);
+  /// Post-commit sweep: deletes partition and sealed-gk files that the
+  /// committed index no longer references. Best-effort — a failed sweep
+  /// leaves orphans for the next gc/recover, never an inconsistency.
+  void gc_group(const GroupId& gid, const GroupState& state);
+  /// Advances the local id/epoch counters past every id the committed index
+  /// carries for this admin's nonce.
+  void bump_counters_past(GroupState& state, const GroupIndex& idx) const;
   /// The heuristic from §V-A: more than half of the partitions below 2/3
   /// occupancy triggers a full rebuild.
   bool should_repartition(const GroupState& state) const;
   void rebuild_group(const GroupId& gid, GroupState& state);
-  void log_op(const GroupId& gid, LogOp op, const std::string& subject);
 
-  /// Multi-admin retry wrapper: runs `op` against the cached state and
-  /// publishes the index; on CAS conflict re-syncs and retries.
+  /// Retry wrapper for a whole mutation: runs `op` against the cached state,
+  /// publishes the staged op-log entry, then attempts the index CAS; on
+  /// conflict re-syncs and re-runs the (idempotent) op. `op` is called as
+  /// op(state, staged) — `staged` lets the re-partitioning path publish its
+  /// log entry before handing off to rebuild_group.
   template <typename Op>
-  OpOutcome mutate_with_retry(const GroupId& gid, Op&& op);
+  OpOutcome mutate_with_retry(const GroupId& gid, LogOp logop,
+                              const std::string& subject, Op&& op);
+
+  /// Retries `f` on cloud::TransientError per config_.retry (CrashError and
+  /// everything else propagate).
+  template <typename F>
+  auto with_retries(F&& f) {
+    return util::retry_on<cloud::TransientError>(config_.retry,
+                                                 std::forward<F>(f),
+                                                 &stats_.transient_retries);
+  }
 
   enclave::IbbeEnclave& enclave_;
   cloud::CloudStore& cloud_;

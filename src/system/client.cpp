@@ -1,5 +1,7 @@
 #include "system/client.h"
 
+#include <thread>
+
 #include "crypto/gcm.h"
 
 namespace ibbe::system {
@@ -22,21 +24,73 @@ bool ClientApi::verify_credentials() const {
   return core::verify_user_key(pk_, usk_);
 }
 
-std::optional<util::Bytes> ClientApi::fetch_verified(const std::string& path) {
-  auto raw = cloud_.get(path);
-  if (!raw) return std::nullopt;
-  SignedEnvelope env;
+bool ClientApi::verify_any(const SignedEnvelope& env) const {
+  for (const auto& key : admin_keys_) {
+    if (env.verify(key)) return true;
+  }
+  return false;
+}
+
+ClientApi::Fetch ClientApi::fetch_once(const GroupId& gid, util::Bytes& key) {
+  auto raw_index =
+      with_retries([&] { return cloud_.get_versioned(index_path(gid)); });
+  if (!raw_index) return Fetch::not_member;  // no such group (for us)
+  auto floor = index_floor_.find(gid);
+  if (floor != index_floor_.end() && raw_index->version < floor->second) {
+    ++stats_.stale_reads_rejected;
+    return Fetch::degraded;
+  }
+  GroupIndex idx;
   try {
-    env = SignedEnvelope::from_bytes(*raw);
+    auto env = SignedEnvelope::from_bytes(raw_index->value);
+    if (!verify_any(env)) {
+      ++stats_.signature_failures;
+      return Fetch::degraded;
+    }
+    idx = GroupIndex::from_bytes(env.payload);
   } catch (const util::DeserializeError&) {
     ++stats_.signature_failures;
-    return std::nullopt;
+    return Fetch::degraded;
   }
-  for (const auto& key : admin_keys_) {
-    if (env.verify(key)) return env.payload;
+  // Only an authenticated index raises the floor.
+  index_floor_[gid] = raw_index->version;
+
+  auto slot = idx.find_user(usk_.id);
+  if (!slot) return Fetch::not_member;  // not a member (possibly revoked)
+
+  auto raw_part = with_retries(
+      [&] { return cloud_.get(partition_path(gid, idx.partition_ids[*slot])); });
+  if (!raw_part) {
+    // The commit protocol pushes partitions before the index references
+    // them, so this is a torn view (stale replica, or a snapshot overlapping
+    // the garbage collector) — not proof of anything.
+    return Fetch::degraded;
   }
-  ++stats_.signature_failures;
-  return std::nullopt;
+  PartitionRecord rec;
+  try {
+    auto env = SignedEnvelope::from_bytes(*raw_part);
+    if (!verify_any(env)) {
+      ++stats_.signature_failures;
+      return Fetch::degraded;
+    }
+    rec = PartitionRecord::from_bytes(env.payload);
+  } catch (const util::DeserializeError&) {
+    ++stats_.signature_failures;
+    return Fetch::degraded;
+  }
+
+  ++stats_.decryptions;
+  auto bk = core::decrypt(pk_, usk_, rec.members, rec.cipher.ct);
+  if (!bk) {
+    // The index lists us but the ciphertext excludes us: a cross-file torn
+    // snapshot. A consistent one will tell us which side is true.
+    return Fetch::degraded;
+  }
+  crypto::Aes256Gcm gcm(bk->hash());
+  auto gk = gcm.open(rec.cipher.nonce, rec.cipher.wrapped_gk);
+  if (!gk) return Fetch::degraded;  // same torn-snapshot reasoning
+  key = std::move(*gk);
+  return Fetch::ok;
 }
 
 std::optional<util::Bytes> ClientApi::fetch_group_key(const GroupId& gid) {
@@ -45,40 +99,60 @@ std::optional<util::Bytes> ClientApi::fetch_group_key(const GroupId& gid) {
   // update triggers the next wait_for_update rather than being missed.
   seen_versions_[gid] = cloud_.dir_version(group_dir(gid));
 
-  auto index_payload = fetch_verified(index_path(gid));
-  if (!index_payload) return std::nullopt;
-  GroupIndex idx;
-  try {
-    idx = GroupIndex::from_bytes(*index_payload);
-  } catch (const util::DeserializeError&) {
-    return std::nullopt;
+  for (int attempt = 0;; ++attempt) {
+    util::Bytes key;
+    switch (fetch_once(gid, key)) {
+      case Fetch::ok:
+        return key;
+      case Fetch::not_member:
+        return std::nullopt;
+      case Fetch::degraded:
+        if (attempt + 1 >= retry_.max_attempts) return std::nullopt;
+        ++stats_.degraded_refetches;
+        std::this_thread::sleep_for(retry_.delay(attempt));
+        break;
+    }
   }
-
-  auto slot = idx.find_user(usk_.id);
-  if (!slot) return std::nullopt;  // not a member (possibly revoked)
-
-  auto part_payload = fetch_verified(partition_path(gid, idx.partition_ids[*slot]));
-  if (!part_payload) return std::nullopt;
-  PartitionRecord rec;
-  try {
-    rec = PartitionRecord::from_bytes(*part_payload);
-  } catch (const util::DeserializeError&) {
-    return std::nullopt;
-  }
-
-  ++stats_.decryptions;
-  auto bk = core::decrypt(pk_, usk_, rec.members, rec.cipher.ct);
-  if (!bk) return std::nullopt;
-  crypto::Aes256Gcm gcm(bk->hash());
-  return gcm.open(rec.cipher.nonce, rec.cipher.wrapped_gk);
 }
 
 std::optional<util::Bytes> ClientApi::wait_for_update(
     const GroupId& gid, std::chrono::milliseconds timeout) {
-  std::uint64_t since = seen_versions_[gid];
-  auto version = cloud_.long_poll(group_dir(gid), since, timeout);
-  if (!version) return std::nullopt;
-  return fetch_group_key(gid);
+  std::uint64_t cursor = seen_versions_[gid];
+  // The index version this client last authenticated. The commit protocol
+  // pushes shadow partitions / sealed gk / op-log entries BEFORE the index
+  // CAS, and every one of those bumps the directory version — so a directory
+  // wake alone does not mean the membership view changed yet. Only the
+  // committed index moving past what we last saw ends the wait.
+  auto floor = index_floor_.find(gid);
+  const std::uint64_t index_since =
+      floor == index_floor_.end() ? 0 : floor->second;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining <= std::chrono::milliseconds::zero()) return std::nullopt;
+    std::optional<std::uint64_t> version;
+    try {
+      version = cloud_.long_poll(group_dir(gid), cursor, remaining);
+    } catch (const cloud::TransientError&) {
+      ++stats_.transient_retries;
+      continue;  // re-arm with whatever budget is left
+    }
+    if (!version) {
+      // nullopt may be a spurious timeout: if the directory did move, the
+      // wake-up was dropped, not absent.
+      auto dir_now = cloud_.dir_version(group_dir(gid));
+      if (dir_now <= cursor) continue;  // genuine timeout; deadline loop exits
+      version = dir_now;
+    }
+    cursor = *version;  // don't re-wake on the writes we just observed
+    if (index_since == 0 ||
+        cloud_.file_version(index_path(gid)) != index_since) {
+      return fetch_group_key(gid);
+    }
+    // Pre-commit shadow traffic, or the GC tail of an update we already
+    // fetched: keep watching with the rest of the budget.
+  }
 }
 
 }  // namespace ibbe::system

@@ -9,6 +9,15 @@
 //
 // Change detection uses the store's long polling on the group directory,
 // mirroring the paper's Dropbox long-polling client.
+//
+// Degraded-mode behaviour (docs/fault_model.md): every cloud read retries
+// transient errors under the configured RetryPolicy, stale index reads are
+// rejected by version monotonicity (the commit point only ever raises the
+// index version), and a torn snapshot — an index referencing a partition the
+// replica does not serve yet, an unverifiable envelope, or a ciphertext that
+// fails to decrypt for a listed member — triggers a full snapshot re-fetch
+// rather than an error. Only a consistent, authenticated view ever produces
+// a key; only a consistent view proves non-membership.
 #pragma once
 
 #include <chrono>
@@ -16,6 +25,7 @@
 #include "cloud/store.h"
 #include "ibbe/ibbe.h"
 #include "system/metadata.h"
+#include "util/retry.h"
 
 namespace ibbe::system {
 
@@ -23,6 +33,9 @@ struct ClientStats {
   std::uint64_t fetches = 0;
   std::uint64_t decryptions = 0;
   std::uint64_t signature_failures = 0;
+  std::uint64_t transient_retries = 0;    // cloud round trips retried
+  std::uint64_t stale_reads_rejected = 0; // index versions below the floor
+  std::uint64_t degraded_refetches = 0;   // whole-snapshot re-fetches
 };
 
 class ClientApi {
@@ -34,6 +47,9 @@ class ClientApi {
   ClientApi(cloud::CloudStore& cloud, core::PublicKey pk,
             core::UserSecretKey usk, std::vector<ec::P256Point> admin_keys);
 
+  /// Backoff discipline for transient cloud errors and snapshot re-fetches.
+  void set_retry_policy(util::RetryPolicy policy) { retry_ = policy; }
+
   /// Validates the provisioned user key against the system public key
   /// (core::verify_user_key) — the paper's guard against a rogue issuer.
   /// Repeated calls reuse the PK's cached pairing precomputation.
@@ -43,9 +59,13 @@ class ClientApi {
   /// a member, or the metadata fails authentication.
   [[nodiscard]] std::optional<util::Bytes> fetch_group_key(const GroupId& gid);
 
-  /// Blocks on the group's directory version until it changes relative to
-  /// the last observation, then re-derives the key. std::nullopt on timeout
-  /// or revocation.
+  /// Blocks until the group's COMMITTED state changes relative to the last
+  /// observation, then re-derives the key. std::nullopt on timeout or
+  /// revocation. Directory wakes caused by an admin's pre-commit shadow
+  /// writes (fresh partitions, sealed gk, op-log — all pushed before the
+  /// index CAS) do not complete the wait: only the index version moving past
+  /// the one this client last authenticated does. Spurious long-poll
+  /// timeouts and transient poll errors re-arm with the remaining budget.
   [[nodiscard]] std::optional<util::Bytes> wait_for_update(
       const GroupId& gid, std::chrono::milliseconds timeout);
 
@@ -53,13 +73,31 @@ class ClientApi {
   [[nodiscard]] const core::Identity& identity() const { return usk_.id; }
 
  private:
-  [[nodiscard]] std::optional<util::Bytes> fetch_verified(const std::string& path);
+  /// One snapshot attempt's verdict.
+  enum class Fetch {
+    ok,          // `key` holds the group key
+    not_member,  // a consistent view proves we are not in the group
+    degraded,    // torn/stale/unauthenticated view: re-fetch the snapshot
+  };
+  Fetch fetch_once(const GroupId& gid, util::Bytes& key);
+  [[nodiscard]] bool verify_any(const SignedEnvelope& env) const;
+
+  /// Retries `f` on cloud::TransientError per retry_.
+  template <typename F>
+  auto with_retries(F&& f) {
+    return util::retry_on<cloud::TransientError>(retry_, std::forward<F>(f),
+                                                 &stats_.transient_retries);
+  }
 
   cloud::CloudStore& cloud_;
   core::PublicKey pk_;
   core::UserSecretKey usk_;
   std::vector<ec::P256Point> admin_keys_;
+  util::RetryPolicy retry_;
   std::map<GroupId, std::uint64_t> seen_versions_;
+  // Highest authenticated index version seen per group: the commit point
+  // only moves versions forward, so anything below is a stale replica read.
+  std::map<GroupId, std::uint64_t> index_floor_;
   ClientStats stats_;
 };
 

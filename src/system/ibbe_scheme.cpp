@@ -3,29 +3,103 @@
 namespace ibbe::system {
 
 namespace {
+
 const GroupId kGroup = "g";
+
+// A simulated process death mid-recovery (or a mutation that keeps crashing)
+// must terminate eventually; real schedules never get close to this.
+constexpr int max_restart_attempts = 1000;
+
+AdminConfig make_config(std::size_t partition_size, bool faulty) {
+  AdminConfig config;
+  config.partition_size = partition_size;
+  if (faulty) {
+    config.log_operations = true;  // recovery tests audit the log too
+    config.retry = config.retry.without_delays();
+  }
+  return config;
 }
+
+pki::EcdsaKeyPair make_admin_key(std::uint64_t seed) {
+  crypto::Drbg key_rng(seed + 1);
+  return pki::EcdsaKeyPair::generate(key_rng);
+}
+
+}  // namespace
 
 IbbeSgxScheme::IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed)
     : partition_size_(partition_size),
+      seed_(seed),
       platform_(std::make_unique<sgx::EnclavePlatform>("bench-platform")),
       enclave_(std::make_unique<enclave::IbbeEnclave>(*platform_, partition_size)),
-      cloud_(std::make_unique<cloud::CloudStore>()) {
-  crypto::Drbg key_rng(seed + 1);
-  AdminConfig config;
-  config.partition_size = partition_size;
-  admin_ = std::make_unique<AdminApi>(*enclave_, *cloud_,
-                                      pki::EcdsaKeyPair::generate(key_rng),
-                                      config, seed);
+      cloud_(std::make_unique<cloud::CloudStore>()),
+      admin_key_(make_admin_key(seed)),
+      admin_config_(make_config(partition_size, false)) {
+  admin_ = std::make_unique<AdminApi>(*enclave_, store(), admin_key_,
+                                      admin_config_, seed);
+}
+
+IbbeSgxScheme::IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed,
+                             const cloud::FaultPlan& plan)
+    : partition_size_(partition_size),
+      seed_(seed),
+      platform_(std::make_unique<sgx::EnclavePlatform>("bench-platform")),
+      enclave_(std::make_unique<enclave::IbbeEnclave>(*platform_, partition_size)),
+      cloud_(std::make_unique<cloud::CloudStore>()),
+      fault_store_(std::make_unique<cloud::FaultInjectingStore>(*cloud_, plan)),
+      admin_key_(make_admin_key(seed)),
+      admin_config_(make_config(partition_size, true)) {
+  admin_ = std::make_unique<AdminApi>(*enclave_, store(), admin_key_,
+                                      admin_config_, seed);
 }
 
 std::string IbbeSgxScheme::name() const {
-  return "IBBE-SGX(|p|=" + std::to_string(partition_size_) + ")";
+  std::string base = "IBBE-SGX(|p|=" + std::to_string(partition_size_) + ")";
+  return fault_store_ ? base + "+faults" : base;
+}
+
+void IbbeSgxScheme::restart_admin() {
+  for (int i = 0; i < max_restart_attempts; ++i) {
+    ++restarts_;
+    admin_ = std::make_unique<AdminApi>(*enclave_, store(), admin_key_,
+                                        admin_config_,
+                                        seed_ + 1000 + restarts_);
+    try {
+      group_exists_ = admin_->recover(kGroup);
+      return;
+    } catch (const cloud::CrashError&) {
+      // died during recovery as well: the next incarnation resumes
+    }
+  }
+  throw std::runtime_error("IbbeSgxScheme: admin cannot finish recovery");
+}
+
+void IbbeSgxScheme::with_crash_recovery(const std::function<void()>& op) {
+  for (int i = 0; i < max_restart_attempts; ++i) {
+    try {
+      op();
+      return;
+    } catch (const cloud::CrashError&) {
+      restart_admin();
+    }
+  }
+  throw std::runtime_error("IbbeSgxScheme: operation keeps crashing");
 }
 
 void IbbeSgxScheme::create_group(std::span<const core::Identity> members) {
-  admin_->create_group(kGroup, members);
-  group_exists_ = true;
+  with_crash_recovery([&] {
+    if (group_exists_ && admin_->group_size(kGroup) == members.size()) {
+      bool all_present = true;
+      for (const auto& m : members) {
+        all_present = all_present && admin_->is_member(kGroup, m);
+      }
+      // The creation committed before a crash; re-running Algorithm 1 would
+      // needlessly rotate gk (and break key-stability oracles).
+      if (all_present) return;
+    }
+    admin_->create_group(kGroup, members);
+    group_exists_ = true;
+  });
 }
 
 void IbbeSgxScheme::add_user(const core::Identity& id) {
@@ -34,11 +108,14 @@ void IbbeSgxScheme::add_user(const core::Identity& id) {
     create_group(single);
     return;
   }
-  admin_->add_user(kGroup, id);
+  // Idempotent across crash recovery: if the add committed before the crash,
+  // the re-issued call sees the user and no-ops.
+  with_crash_recovery([&] { admin_->add_user(kGroup, id); });
 }
 
 void IbbeSgxScheme::remove_user(const core::Identity& id) {
-  if (group_exists_) admin_->remove_user(kGroup, id);
+  if (!group_exists_) return;
+  with_crash_recovery([&] { admin_->remove_user(kGroup, id); });
 }
 
 ClientApi& IbbeSgxScheme::client_for(const core::Identity& id) {
@@ -47,11 +124,13 @@ ClientApi& IbbeSgxScheme::client_for(const core::Identity& id) {
     // Key provisioning is out-of-band setup work (Fig. 3); the replayer only
     // times the decrypt path.
     auto usk = enclave_->ecall_extract_user_key(id);
-    it = clients_
-             .emplace(id, std::make_unique<ClientApi>(
-                              *cloud_, enclave_->public_key(), std::move(usk),
-                              admin_->verification_point()))
-             .first;
+    auto client = std::make_unique<ClientApi>(store(), enclave_->public_key(),
+                                              std::move(usk),
+                                              admin_->verification_point());
+    if (fault_store_) {
+      client->set_retry_policy(util::RetryPolicy{}.without_delays());
+    }
+    it = clients_.emplace(id, std::move(client)).first;
   }
   return *it->second;
 }

@@ -1,11 +1,21 @@
 // GroupScheme adapter: the full IBBE-SGX stack (enclave + partitioning +
 // cloud metadata) behind the common interface used by the trace replayer and
 // the comparison benchmarks.
+//
+// The fault-plan constructor wraps the deployment's store in a
+// FaultInjectingStore and turns the adapter into a self-healing harness:
+// every membership mutation runs under with_crash_recovery(), which models a
+// process death (cloud::CrashError) by discarding the AdminApi, starting a
+// fresh one, running AdminApi::recover() and re-issuing the (idempotent)
+// operation. The model-based differential tests drive this against the same
+// oracle as the fault-free deployments.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 
+#include "cloud/fault.h"
 #include "cloud/store.h"
 #include "he/scheme.h"
 #include "system/admin.h"
@@ -19,6 +29,12 @@ class IbbeSgxScheme : public he::GroupScheme {
   /// `partition_size`, zero-latency cloud store, one administrator.
   explicit IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed = 0);
 
+  /// Same deployment, but all cloud traffic passes through a
+  /// FaultInjectingStore running `plan` (crashes included), the op-log is on,
+  /// and retry delays are zeroed so tests stay fast.
+  IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed,
+                const cloud::FaultPlan& plan);
+
   [[nodiscard]] std::string name() const override;
   void create_group(std::span<const core::Identity> members) override;
   void add_user(const core::Identity& id) override;
@@ -31,17 +47,37 @@ class IbbeSgxScheme : public he::GroupScheme {
   [[nodiscard]] AdminApi& admin() { return *admin_; }
   [[nodiscard]] enclave::IbbeEnclave& enclave() { return *enclave_; }
   [[nodiscard]] cloud::CloudStore& cloud() { return *cloud_; }
+  /// Present only for fault-plan deployments.
+  [[nodiscard]] cloud::FaultInjectingStore* fault_store() {
+    return fault_store_.get();
+  }
+  /// Simulated process deaths survived so far.
+  [[nodiscard]] std::uint64_t admin_restarts() const { return restarts_; }
 
  private:
+  /// The store the admin and the clients actually talk to.
+  [[nodiscard]] cloud::CloudStore& store() {
+    return fault_store_ ? static_cast<cloud::CloudStore&>(*fault_store_)
+                        : *cloud_;
+  }
+  /// Runs `op`, treating every CrashError as a process death: restart the
+  /// admin, recover, re-issue.
+  void with_crash_recovery(const std::function<void()>& op);
+  void restart_admin();
   ClientApi& client_for(const core::Identity& id);
 
   std::size_t partition_size_;
+  std::uint64_t seed_;
   std::unique_ptr<sgx::EnclavePlatform> platform_;
   std::unique_ptr<enclave::IbbeEnclave> enclave_;
   std::unique_ptr<cloud::CloudStore> cloud_;
+  std::unique_ptr<cloud::FaultInjectingStore> fault_store_;
+  pki::EcdsaKeyPair admin_key_;
+  AdminConfig admin_config_;
   std::unique_ptr<AdminApi> admin_;
   std::map<core::Identity, std::unique_ptr<ClientApi>> clients_;
   bool group_exists_ = false;
+  std::uint64_t restarts_ = 0;
 };
 
 }  // namespace ibbe::system

@@ -40,6 +40,8 @@ util::Bytes GroupIndex::to_bytes() const {
     w.u32(static_cast<std::uint32_t>(members[p].size()));
     for (const auto& m : members[p]) w.str(m);
   }
+  w.u64(gk_epoch);
+  w.raw(log_head);
   return w.take();
 }
 
@@ -57,6 +59,9 @@ GroupIndex GroupIndex::from_bytes(std::span<const std::uint8_t> data) {
     for (std::size_t i = 0; i < n; ++i) ms.push_back(r.str());
     idx.members.push_back(std::move(ms));
   }
+  idx.gk_epoch = r.u64();
+  auto head = r.raw(32);
+  std::copy(head.begin(), head.end(), idx.log_head.begin());
   r.expect_end();
   return idx;
 }
@@ -96,6 +101,10 @@ std::string index_path(const GroupId& gid) { return group_dir(gid) + "/index"; }
 
 std::string partition_path(const GroupId& gid, PartitionId pid) {
   return group_dir(gid) + "/p" + std::to_string(pid);
+}
+
+std::string sealed_gk_path(const GroupId& gid, std::uint64_t epoch) {
+  return group_dir(gid) + "/gk" + std::to_string(epoch) + ".sealed";
 }
 
 }  // namespace ibbe::system

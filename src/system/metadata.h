@@ -11,6 +11,7 @@
 // requirement; confidentiality of gk needs no signature — it is wrapped).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -34,9 +35,19 @@ struct PartitionRecord {
 
 /// User -> partition mapping, stored plainly (the model does not hide member
 /// identities; see paper §II).
+///
+/// The index is the COMMIT POINT of every group mutation: partition records,
+/// the sealed group key and the op-log entry all land on the cloud first,
+/// and only the CAS that publishes this record makes them reachable. It
+/// therefore also anchors the two pieces of state that need the CAS'd
+/// lineage for integrity: which sealed-gk epoch is current, and the hash of
+/// the op-log entry that committed this index (so a rolled-back log suffix
+/// is detectable — see MembershipLog::audit).
 struct GroupIndex {
   std::vector<PartitionId> partition_ids;
   std::vector<std::vector<core::Identity>> members;  // parallel to ids
+  std::uint64_t gk_epoch = 0;                // which gk<epoch>.sealed is live
+  std::array<std::uint8_t, 32> log_head{};   // committed op-log head (0 = no log)
 
   [[nodiscard]] std::optional<std::size_t> find_user(
       const core::Identity& id) const;
@@ -61,5 +72,9 @@ struct SignedEnvelope {
 std::string group_dir(const GroupId& gid);
 std::string index_path(const GroupId& gid);
 std::string partition_path(const GroupId& gid, PartitionId pid);
+/// The sealed group key is stored under an epoch-keyed name (fresh epoch per
+/// rotation, allocated like partition ids so concurrent admins never write
+/// the same path); the committed index says which epoch is live.
+std::string sealed_gk_path(const GroupId& gid, std::uint64_t epoch);
 
 }  // namespace ibbe::system

@@ -78,7 +78,8 @@ MembershipLog MembershipLog::from_bytes(std::span<const std::uint8_t> data) {
 }
 
 MembershipLog::AuditResult MembershipLog::audit(
-    std::span<const ec::P256Point> admin_keys) const {
+    std::span<const ec::P256Point> admin_keys,
+    const std::array<std::uint8_t, 32>* expected_head) const {
   std::array<std::uint8_t, 32> expected_prev{};
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const auto& e = entries_[i];
@@ -102,6 +103,20 @@ MembershipLog::AuditResult MembershipLog::audit(
       return {false, "signature by unknown or forged key", i};
     }
     expected_prev = e.hash;
+  }
+  if (expected_head != nullptr &&
+      *expected_head != std::array<std::uint8_t, 32>{}) {
+    bool anchored = false;
+    for (const auto& e : entries_) {
+      if (e.hash == *expected_head) {
+        anchored = true;
+        break;
+      }
+    }
+    if (!anchored) {
+      return {false, "committed head entry missing (log suffix truncated)",
+              entries_.size()};
+    }
   }
   return {true, "", 0};
 }

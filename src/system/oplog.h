@@ -63,8 +63,18 @@ class MembershipLog {
   };
   /// Verifies hashes, chaining, sequence numbers and signatures. Entries
   /// must be signed by one of `admin_keys`.
+  ///
+  /// Chain integrity alone cannot catch WHOLE-SUFFIX TRUNCATION: rolling the
+  /// log back to any earlier prefix yields another perfectly valid chain.
+  /// Passing `expected_head` — the committed head hash carried in the
+  /// CAS-protected group index (GroupIndex::log_head) — closes that hole:
+  /// the anchored entry must still be present in the log. Entries *after*
+  /// the anchor are tolerated; they are the uncommitted tail of an operation
+  /// whose index CAS has not landed (or did not survive a crash). A null /
+  /// all-zero anchor skips the check (no log committed yet).
   [[nodiscard]] AuditResult audit(
-      std::span<const ec::P256Point> admin_keys) const;
+      std::span<const ec::P256Point> admin_keys,
+      const std::array<std::uint8_t, 32>* expected_head = nullptr) const;
 
  private:
   std::vector<LogEntry> entries_;

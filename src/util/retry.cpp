@@ -1,0 +1,35 @@
+#include "util/retry.h"
+
+namespace ibbe::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::chrono::microseconds RetryPolicy::delay(int attempt) const {
+  if (base_delay.count() <= 0 || attempt <= 0) {
+    return std::chrono::microseconds{0};
+  }
+  double d = static_cast<double>(base_delay.count());
+  for (int i = 1; i < attempt; ++i) {
+    d *= multiplier;
+    if (d >= static_cast<double>(max_delay.count())) {
+      d = static_cast<double>(max_delay.count());
+      break;
+    }
+  }
+  if (jitter > 0.0) {
+    // Deterministic in (seed, attempt): the same failing run backs off the
+    // same way every replay.
+    std::uint64_t s = seed + static_cast<std::uint64_t>(attempt) * 0x2545f4914f6cdd1dull;
+    double unit = static_cast<double>(splitmix64(s) >> 11) /
+                  static_cast<double>(1ull << 53);  // [0, 1)
+    d *= 1.0 - jitter + 2.0 * jitter * unit;
+  }
+  return std::chrono::microseconds{static_cast<std::int64_t>(d)};
+}
+
+}  // namespace ibbe::util

@@ -1,0 +1,737 @@
+// Fault-injection and crash-consistency tests.
+//
+// Three layers:
+//   1. unit tests for util::RetryPolicy and cloud::FaultInjectingStore
+//      (deterministic schedules, armed crash points, stale reads, ...);
+//   2. systematic crash-point enumeration: for every mutation k inside every
+//      membership operation, crash the admin right before cloud write k,
+//      recover in a fresh admin, and assert the group is EXACTLY in the
+//      pre-state or the post-state — never in between — with the full
+//      invariant set (every member decrypts one key, outsiders fail, the
+//      anchored op-log audit passes, no orphaned cloud files);
+//   3. regressions for the multi-admin op-log lost-update and for
+//      whole-suffix truncation of the audit log.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cloud/fault.h"
+#include "cloud/store.h"
+#include "system/admin.h"
+#include "system/client.h"
+#include "system/oplog.h"
+#include "util/retry.h"
+
+namespace {
+
+using ibbe::cloud::CloudStore;
+using ibbe::cloud::CrashError;
+using ibbe::cloud::FaultInjectingStore;
+using ibbe::cloud::FaultPlan;
+using ibbe::cloud::TransientError;
+using ibbe::core::Identity;
+using ibbe::system::AdminApi;
+using ibbe::system::AdminConfig;
+using ibbe::system::ClientApi;
+using ibbe::system::GroupId;
+using ibbe::system::LogOp;
+using ibbe::system::MembershipLog;
+using ibbe::util::Bytes;
+using ibbe::util::RetryPolicy;
+
+std::vector<Identity> make_users(std::size_t n, std::size_t offset = 0) {
+  std::vector<Identity> users;
+  for (std::size_t i = 0; i < n; ++i) {
+    users.push_back("u" + std::to_string(offset + i));
+  }
+  return users;
+}
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ------------------------------------------------------------- RetryPolicy
+
+TEST(RetryPolicy, ExponentialGrowthWithCap) {
+  RetryPolicy p;
+  p.jitter = 0.0;
+  EXPECT_EQ(p.delay(1), std::chrono::microseconds(200));
+  EXPECT_EQ(p.delay(2), std::chrono::microseconds(400));
+  EXPECT_EQ(p.delay(3), std::chrono::microseconds(800));
+  EXPECT_EQ(p.delay(20), p.max_delay);  // capped
+}
+
+TEST(RetryPolicy, JitterIsDeterministicPerSeed) {
+  RetryPolicy a, b;
+  for (int k = 1; k <= 8; ++k) {
+    EXPECT_EQ(a.delay(k), b.delay(k)) << k;
+  }
+  RetryPolicy c;
+  c.seed = 12345;
+  bool any_different = false;
+  for (int k = 1; k <= 8; ++k) {
+    any_different = any_different || (a.delay(k) != c.delay(k));
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RetryPolicy, WithoutDelaysZeroesTheBackoff) {
+  auto p = RetryPolicy{}.without_delays();
+  for (int k = 1; k <= 8; ++k) {
+    EXPECT_EQ(p.delay(k), std::chrono::microseconds(0));
+  }
+}
+
+TEST(RetryOn, RetriesTransientsThenSucceeds) {
+  auto policy = RetryPolicy{}.without_delays();
+  int calls = 0;
+  std::uint64_t retries = 0;
+  int result = ibbe::util::retry_on<TransientError>(
+      policy,
+      [&] {
+        if (++calls < 3) throw TransientError("flaky");
+        return 7;
+      },
+      &retries);
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryOn, ExhaustsTheAttemptBudget) {
+  auto policy = RetryPolicy{}.without_delays();
+  int calls = 0;
+  EXPECT_THROW(ibbe::util::retry_on<TransientError>(policy,
+                                                    [&]() -> int {
+                                                      ++calls;
+                                                      throw TransientError("x");
+                                                    }),
+               TransientError);
+  EXPECT_EQ(calls, policy.max_attempts);
+}
+
+TEST(RetryOn, NeverSwallowsACrash) {
+  auto policy = RetryPolicy{}.without_delays();
+  int calls = 0;
+  // CrashError is deliberately not a TransientError: a simulated process
+  // death must reach the harness on the first throw.
+  EXPECT_THROW(ibbe::util::retry_on<TransientError>(policy,
+                                                    [&]() -> int {
+                                                      ++calls;
+                                                      throw CrashError("died");
+                                                    }),
+               CrashError);
+  EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------------- FaultInjectingStore
+
+TEST(FaultStore, ArmedCrashFiresBeforeTheExactMutation) {
+  CloudStore inner;
+  FaultInjectingStore faulty(inner, FaultPlan{});
+  faulty.put("a", bytes_of("1"));
+  faulty.arm_crash_after(2);
+  faulty.put("b", bytes_of("2"));  // mutation 1 of 2: applies
+  EXPECT_THROW(faulty.put("c", bytes_of("3")), CrashError);
+  EXPECT_TRUE(inner.get("b").has_value());
+  EXPECT_FALSE(inner.get("c").has_value());  // died BEFORE applying
+  // One-shot: the next mutation goes through.
+  faulty.put("c", bytes_of("3"));
+  EXPECT_TRUE(inner.get("c").has_value());
+  EXPECT_EQ(faulty.fault_stats().crashes, 1u);
+}
+
+TEST(FaultStore, ScheduleIsDeterministicPerSeed) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.put_error_rate = 0.5;
+  auto run = [&](FaultPlan p) {
+    CloudStore inner;
+    FaultInjectingStore faulty(inner, p);
+    std::string outcome;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        faulty.put("k" + std::to_string(i), bytes_of("v"));
+        outcome += '.';
+      } catch (const TransientError&) {
+        outcome += 'X';
+      }
+    }
+    return outcome;
+  };
+  auto first = run(plan);
+  EXPECT_EQ(first, run(plan));  // bit-for-bit replay from the seed
+  EXPECT_NE(first.find('X'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+  plan.seed = 100;
+  EXPECT_NE(first, run(plan));
+}
+
+TEST(FaultStore, AmbiguousPutAppliesThenFails) {
+  FaultPlan plan;
+  plan.ambiguous_put_rate = 1.0;
+  CloudStore inner;
+  FaultInjectingStore faulty(inner, plan);
+  EXPECT_THROW(faulty.put("x", bytes_of("v")), TransientError);
+  EXPECT_EQ(inner.get("x"), bytes_of("v"));  // ... but it landed
+}
+
+TEST(FaultStore, SpuriousCasConflictAppliesNothing) {
+  FaultPlan plan;
+  plan.spurious_cas_rate = 1.0;
+  CloudStore inner;
+  FaultInjectingStore faulty(inner, plan);
+  EXPECT_EQ(faulty.put_cas("x", bytes_of("v"), 0), std::nullopt);
+  EXPECT_FALSE(inner.get("x").has_value());
+  EXPECT_EQ(faulty.fault_stats().spurious_cas, 1u);
+}
+
+TEST(FaultStore, StaleReadServesThePreviousVersion) {
+  FaultPlan plan;
+  plan.stale_read_rate = 1.0;
+  CloudStore inner;
+  FaultInjectingStore faulty(inner, plan);
+  faulty.put("x", bytes_of("old"));
+  faulty.put("x", bytes_of("new"));
+  auto stale = faulty.get_versioned("x");
+  auto truth = inner.get_versioned("x");
+  ASSERT_TRUE(stale.has_value());
+  ASSERT_TRUE(truth.has_value());
+  EXPECT_EQ(stale->value, bytes_of("old"));
+  EXPECT_LT(stale->version, truth->version);
+  // A never-overwritten path has no lagging replica to serve.
+  faulty.put("fresh", bytes_of("only"));
+  EXPECT_EQ(faulty.get("fresh"), bytes_of("only"));
+}
+
+TEST(FaultStore, DisablingFaultsKeepsArmedCrashes) {
+  FaultPlan plan;
+  plan.put_error_rate = 1.0;
+  CloudStore inner;
+  FaultInjectingStore faulty(inner, plan);
+  faulty.set_faults_enabled(false);
+  faulty.put("x", bytes_of("v"));  // random fault suppressed
+  faulty.arm_crash_after(1);
+  EXPECT_THROW(faulty.put("y", bytes_of("v")), CrashError);  // armed one fires
+}
+
+TEST(FaultStore, StatsFoldFaultCountersIntoCloudStats) {
+  FaultPlan plan;
+  plan.ambiguous_put_rate = 1.0;
+  CloudStore inner;
+  FaultInjectingStore faulty(inner, plan);
+  EXPECT_THROW(faulty.put("x", bytes_of("v")), TransientError);
+  auto stats = faulty.stats();
+  EXPECT_EQ(stats.faults_injected, 1u);
+  EXPECT_EQ(stats.crashes_injected, 0u);
+  EXPECT_EQ(stats.puts, 1u);  // the inner put still counted
+}
+
+// ----------------------------------------------- degraded-mode client reads
+
+TEST(ClientDegradedMode, StaleIndexReadsAreRejectedByVersionFloor) {
+  ibbe::sgx::EnclavePlatform platform("stale-box");
+  ibbe::enclave::IbbeEnclave enclave(platform, 8);
+  CloudStore inner;
+  FaultPlan plan;
+  plan.stale_read_rate = 1.0;
+  FaultInjectingStore faulty(inner, plan);
+  ibbe::crypto::Drbg rng(21);
+  AdminConfig config;
+  config.partition_size = 3;
+  config.retry = RetryPolicy{}.without_delays();
+  AdminApi admin(enclave, faulty, ibbe::pki::EcdsaKeyPair::generate(rng),
+                 config, /*seed=*/4);
+  const GroupId gid = "g";
+  auto users = make_users(4);
+  admin.create_group(gid, users);
+  admin.remove_user(gid, "u3");  // overwrites the index: a replica can lag
+
+  ClientApi client(faulty, enclave.public_key(),
+                   enclave.ecall_extract_user_key("u0"),
+                   admin.verification_point());
+  client.set_retry_policy(RetryPolicy{}.without_delays());
+
+  // Observe the committed post-removal index once, faults off: this sets the
+  // client's version floor.
+  faulty.set_faults_enabled(false);
+  auto key = client.fetch_group_key(gid);
+  ASSERT_TRUE(key.has_value());
+
+  // Now every read is served by the lagging replica. The client must reject
+  // the old index rather than silently regress to the pre-removal view.
+  faulty.set_faults_enabled(true);
+  EXPECT_FALSE(client.fetch_group_key(gid).has_value());
+  EXPECT_GT(client.stats().stale_reads_rejected, 0u);
+
+  // Healthy replica again: same key as before.
+  faulty.set_faults_enabled(false);
+  EXPECT_EQ(client.fetch_group_key(gid), key);
+}
+
+// ------------------------------------------------ crash-point enumeration
+//
+// For every membership operation we count its cloud mutations M in a crash-
+// free dry run, then replay the whole deployment M times, crashing the admin
+// immediately before mutation k = 1..M. A fresh admin recovers and the world
+// must equal the pre-state or the post-state exactly; re-issuing the
+// operation must always land in the post-state.
+
+struct Scenario {
+  std::string label;
+  std::vector<Identity> initial;                    // create_group members
+  std::function<void(AdminApi&, const GroupId&)> prepare;  // optional extra
+  std::function<void(AdminApi&, const GroupId&)> op;       // mutation under test
+  std::set<Identity> pre;   // membership before op
+  std::set<Identity> post;  // membership after op
+};
+
+class CrashEnumeration : public ::testing::Test {
+ protected:
+  // One enclave for every deployment in the suite: mutation counts do not
+  // depend on enclave-internal randomness, and sharing it keeps the
+  // enumeration fast.
+  static void SetUpTestSuite() {
+    platform_ = new ibbe::sgx::EnclavePlatform("crash-box");
+    enclave_ = new ibbe::enclave::IbbeEnclave(*platform_, 8);
+    ibbe::crypto::Drbg rng(42);
+    admin_key_ = new ibbe::pki::EcdsaKeyPair(
+        ibbe::pki::EcdsaKeyPair::generate(rng));
+  }
+  static void TearDownTestSuite() {
+    delete admin_key_;
+    delete enclave_;
+    delete platform_;
+    admin_key_ = nullptr;
+    enclave_ = nullptr;
+    platform_ = nullptr;
+  }
+
+  static std::unique_ptr<AdminApi> make_admin(CloudStore& store,
+                                              std::uint64_t seed) {
+    AdminConfig config;
+    config.partition_size = 3;
+    config.repartitioning = true;
+    config.log_operations = true;
+    config.retry = RetryPolicy{}.without_delays();
+    return std::make_unique<AdminApi>(*enclave_, store, *admin_key_, config,
+                                      seed);
+  }
+
+  static std::set<Identity> membership(const AdminApi& admin, const GroupId& gid,
+                                       const std::vector<Identity>& universe) {
+    std::set<Identity> out;
+    for (const auto& id : universe) {
+      if (admin.is_member(gid, id)) out.insert(id);
+    }
+    return out;
+  }
+
+  /// Full invariant set against the REAL (inner) store through clean
+  /// clients: one shared key for every member, failure for everyone else,
+  /// anchored audit ok, and not a single unreferenced file on the cloud.
+  static void check_world(CloudStore& inner, const AdminApi& admin,
+                          const GroupId& gid, const std::set<Identity>& members,
+                          const std::vector<Identity>& universe) {
+    std::optional<Bytes> shared;
+    for (const auto& id : universe) {
+      ClientApi client(inner, enclave_->public_key(),
+                       enclave_->ecall_extract_user_key(id),
+                       admin.verification_point());
+      auto key = client.fetch_group_key(gid);
+      if (members.count(id)) {
+        ASSERT_TRUE(key.has_value()) << id << " cannot decrypt";
+        if (!shared) shared = *key;
+        EXPECT_EQ(*key, *shared) << id << " derived a different key";
+      } else {
+        EXPECT_FALSE(key.has_value()) << id << " can still decrypt";
+      }
+    }
+    auto audit = admin.audit_group_log(gid);
+    EXPECT_TRUE(audit.ok) << audit.failure;
+    // Exact cloud footprint: index + oplog + one file per partition + the
+    // one live sealed gk. Anything else is an orphan the GC missed.
+    EXPECT_EQ(inner.list("groups/" + gid + "/").size(),
+              admin.partition_count(gid) + 3u);
+  }
+
+  static void run(const Scenario& sc) {
+    const GroupId gid = "g";
+    auto universe = make_users(10);
+    universe.push_back("joiner");
+    const std::uint64_t seed = 1234;
+
+    // Dry run: count the operation's cloud mutations.
+    std::uint64_t mutations = 0;
+    {
+      CloudStore inner;
+      FaultInjectingStore faulty(inner, FaultPlan{});
+      auto admin = make_admin(faulty, seed);
+      admin->create_group(gid, sc.initial);
+      if (sc.prepare) sc.prepare(*admin, gid);
+      ASSERT_EQ(membership(*admin, gid, universe), sc.pre);
+      auto before = faulty.mutation_ops();
+      sc.op(*admin, gid);
+      mutations = faulty.mutation_ops() - before;
+      ASSERT_EQ(membership(*admin, gid, universe), sc.post);
+      check_world(inner, *admin, gid, sc.post, universe);
+    }
+    ASSERT_GT(mutations, 0u) << sc.label;
+    SCOPED_TRACE(sc.label + ": " + std::to_string(mutations) +
+                 " crash points");
+
+    for (std::uint64_t k = 1; k <= mutations; ++k) {
+      SCOPED_TRACE("crash before mutation " + std::to_string(k));
+      CloudStore inner;
+      FaultInjectingStore faulty(inner, FaultPlan{});
+      auto admin = make_admin(faulty, seed);
+      admin->create_group(gid, sc.initial);
+      if (sc.prepare) sc.prepare(*admin, gid);
+
+      faulty.arm_crash_after(k);
+      bool crashed = false;
+      try {
+        sc.op(*admin, gid);
+      } catch (const CrashError&) {
+        crashed = true;
+      }
+      ASSERT_TRUE(crashed);
+      admin.reset();  // the process is gone
+
+      // A fresh admin recovers from cloud state alone.
+      auto restarted = make_admin(faulty, seed + 999);
+      bool exists = restarted->recover(gid);
+      if (!exists) {
+        // Only a crashed CREATION may leave no group; recovery must have
+        // rolled every torn file back.
+        ASSERT_TRUE(sc.pre.empty());
+        EXPECT_TRUE(inner.list("groups/" + gid + "/").empty());
+      } else {
+        auto now = membership(*restarted, gid, universe);
+        bool at_pre = (now == sc.pre);
+        bool at_post = (now == sc.post);
+        ASSERT_TRUE(at_pre || at_post)
+            << "torn membership state after recovery";
+        EXPECT_EQ(restarted->group_size(gid), now.size());
+        check_world(inner, *restarted, gid, now, universe);
+      }
+
+      // Roll forward: re-issuing the operation must reach the post-state.
+      sc.op(*restarted, gid);
+      ASSERT_EQ(membership(*restarted, gid, universe), sc.post);
+      check_world(inner, *restarted, gid, sc.post, universe);
+    }
+  }
+
+  static ibbe::sgx::EnclavePlatform* platform_;
+  static ibbe::enclave::IbbeEnclave* enclave_;
+  static ibbe::pki::EcdsaKeyPair* admin_key_;
+};
+
+ibbe::sgx::EnclavePlatform* CrashEnumeration::platform_ = nullptr;
+ibbe::enclave::IbbeEnclave* CrashEnumeration::enclave_ = nullptr;
+ibbe::pki::EcdsaKeyPair* CrashEnumeration::admin_key_ = nullptr;
+
+std::set<Identity> to_set(const std::vector<Identity>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST_F(CrashEnumeration, CreateGroup) {
+  // The op itself is the creation: pre-state is "no group".
+  auto users = make_users(7);
+  Scenario sc;
+  sc.label = "create";
+  sc.initial = {"bootstrap"};  // placeholder; op recreates from scratch
+  sc.pre = {};
+  sc.post = to_set(users);
+  sc.op = [users](AdminApi& admin, const GroupId& gid) {
+    admin.create_group(gid, users);
+  };
+  // No create_group in the shared path: run a bespoke loop without the
+  // fixture's initial creation.
+  const GroupId gid = "g";
+  const auto universe = make_users(10);
+  std::uint64_t mutations = 0;
+  {
+    CloudStore inner;
+    FaultInjectingStore faulty(inner, FaultPlan{});
+    auto admin = make_admin(faulty, 1234);
+    sc.op(*admin, gid);
+    mutations = faulty.mutation_ops();
+    check_world(inner, *admin, gid, sc.post, universe);
+  }
+  ASSERT_GT(mutations, 0u);
+  SCOPED_TRACE("create: " + std::to_string(mutations) + " crash points");
+  for (std::uint64_t k = 1; k <= mutations; ++k) {
+    SCOPED_TRACE("crash before mutation " + std::to_string(k));
+    CloudStore inner;
+    FaultInjectingStore faulty(inner, FaultPlan{});
+    auto admin = make_admin(faulty, 1234);
+    faulty.arm_crash_after(k);
+    bool crashed = false;
+    try {
+      sc.op(*admin, gid);
+    } catch (const CrashError&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed);
+    admin.reset();
+
+    auto restarted = make_admin(faulty, 2233);
+    bool exists = restarted->recover(gid);
+    if (!exists) {
+      EXPECT_TRUE(inner.list("groups/" + gid + "/").empty());
+    } else {
+      ASSERT_EQ(membership(*restarted, gid, universe), sc.post);
+      check_world(inner, *restarted, gid, sc.post, universe);
+    }
+
+    if (!exists) {
+      sc.op(*restarted, gid);
+      ASSERT_EQ(membership(*restarted, gid, universe), sc.post);
+      check_world(inner, *restarted, gid, sc.post, universe);
+    }
+  }
+}
+
+TEST_F(CrashEnumeration, AddUserIntoOpenPartition) {
+  // 7 members split (3,3,1): only the last partition is open, so placement
+  // is deterministic regardless of the admin's RNG.
+  auto users = make_users(7);
+  Scenario sc;
+  sc.label = "add-extend";
+  sc.initial = users;
+  sc.pre = to_set(users);
+  sc.post = sc.pre;
+  sc.post.insert("joiner");
+  sc.op = [](AdminApi& admin, const GroupId& gid) {
+    admin.add_user(gid, "joiner");
+  };
+  run(sc);
+}
+
+TEST_F(CrashEnumeration, AddUserCreatesNewPartition) {
+  // 6 members split (3,3): both full, the joiner gets a new partition.
+  auto users = make_users(6);
+  Scenario sc;
+  sc.label = "add-new-partition";
+  sc.initial = users;
+  sc.pre = to_set(users);
+  sc.post = sc.pre;
+  sc.post.insert("joiner");
+  sc.op = [](AdminApi& admin, const GroupId& gid) {
+    admin.add_user(gid, "joiner");
+  };
+  run(sc);
+}
+
+TEST_F(CrashEnumeration, RemoveUserRotatesWithoutRebuild) {
+  // 7 members (3,3,1); removing u0 leaves (2,3,1) — 1 sparse partition out
+  // of 3, below the rebuild threshold.
+  auto users = make_users(7);
+  Scenario sc;
+  sc.label = "remove";
+  sc.initial = users;
+  sc.pre = to_set(users);
+  sc.post = sc.pre;
+  sc.post.erase("u0");
+  sc.op = [](AdminApi& admin, const GroupId& gid) {
+    admin.remove_user(gid, "u0");
+  };
+  run(sc);
+}
+
+TEST_F(CrashEnumeration, BatchRevocation) {
+  // 8 members (3,3,2); revoking u1 and u4 leaves (2,2,2) — no partition
+  // under the 2/3 threshold, no rebuild.
+  auto users = make_users(8);
+  Scenario sc;
+  sc.label = "batch-revoke";
+  sc.initial = users;
+  sc.pre = to_set(users);
+  sc.post = sc.pre;
+  sc.post.erase("u1");
+  sc.post.erase("u4");
+  sc.op = [](AdminApi& admin, const GroupId& gid) {
+    std::vector<Identity> leavers = {"u1", "u4"};
+    admin.remove_users(gid, leavers);
+  };
+  run(sc);
+}
+
+TEST_F(CrashEnumeration, RemoveTriggersRepartition) {
+  // 9 members (3,3,3). Preparation removes u0, u1, u3 → (1,2,3), still below
+  // the trigger. Removing u4 leaves (1,1,3): 2 of 3 partitions sparse →
+  // full rebuild through Algorithm 1, committed by the rebuild's index CAS.
+  auto users = make_users(9);
+  Scenario sc;
+  sc.label = "re-partition";
+  sc.initial = users;
+  sc.prepare = [](AdminApi& admin, const GroupId& gid) {
+    admin.remove_user(gid, "u0");
+    admin.remove_user(gid, "u1");
+    admin.remove_user(gid, "u3");
+  };
+  sc.pre = {"u2", "u4", "u5", "u6", "u7", "u8"};
+  sc.post = {"u2", "u5", "u6", "u7", "u8"};
+  sc.op = [](AdminApi& admin, const GroupId& gid) {
+    admin.remove_user(gid, "u4");
+  };
+  run(sc);
+}
+
+// --------------------------------------------- op-log lost-update regression
+
+TEST(OpLogConcurrency, InterleavedAdminsLoseNoEntries) {
+  // Admin B is paused at the exact moment it publishes its op-log entry;
+  // admin A commits a full add in that window. With the seed's last-writer-
+  // wins put, B's rewrite would erase A's entry; the CAS-merge publication
+  // must keep both.
+  ibbe::sgx::EnclavePlatform platform("interleave-box");
+  ibbe::enclave::IbbeEnclave enclave(platform, 8);
+  CloudStore inner;
+  FaultInjectingStore faulty(inner, FaultPlan{});
+  ibbe::crypto::Drbg rng(31);
+  auto key_a = ibbe::pki::EcdsaKeyPair::generate(rng);
+  auto key_b = ibbe::pki::EcdsaKeyPair::generate(rng);
+
+  auto config_for = [&](std::uint32_t nonce, const std::string& name,
+                        const ibbe::pki::EcdsaKeyPair& peer) {
+    AdminConfig config;
+    config.partition_size = 3;
+    config.multi_admin = true;
+    config.admin_nonce = nonce;
+    config.admin_name = name;
+    config.log_operations = true;
+    config.retry = RetryPolicy{}.without_delays();
+    config.peer_verification_keys = {ibbe::ec::p256_to_bytes(peer.public_key())};
+    return config;
+  };
+  AdminApi admin_a(enclave, faulty, key_a, config_for(1, "A", key_b), 8);
+  AdminApi admin_b(enclave, faulty, key_b, config_for(2, "B", key_a), 9);
+
+  const GroupId gid = "g";
+  admin_a.create_group(gid, make_users(4));
+  admin_b.sync_from_cloud(gid);
+
+  const std::string log_path = ibbe::system::oplog_path(gid);
+  bool fired = false;
+  faulty.set_write_hook([&](const std::string& path) {
+    if (fired || path != log_path) return;
+    fired = true;
+    admin_a.add_user(gid, "from-a");  // full commit inside B's window
+  });
+  admin_b.add_user(gid, "from-b");
+  ASSERT_TRUE(fired);
+
+  // Both entries survived the interleaving.
+  auto raw = inner.get(log_path);
+  ASSERT_TRUE(raw.has_value());
+  auto log = MembershipLog::from_bytes(*raw);
+  std::set<std::string> subjects;
+  for (const auto& e : log.entries()) subjects.insert(e.subject);
+  EXPECT_TRUE(subjects.count("from-a")) << "admin A's entry was lost";
+  EXPECT_TRUE(subjects.count("from-b")) << "admin B's entry was lost";
+  EXPECT_GE(admin_b.stats().cas_conflicts, 1u);
+
+  // And the merged log still audits cleanly from both sides.
+  EXPECT_TRUE(admin_a.audit_group_log(gid).ok);
+  EXPECT_TRUE(admin_b.audit_group_log(gid).ok);
+  EXPECT_TRUE(admin_b.is_member(gid, "from-a"));
+  EXPECT_TRUE(admin_b.is_member(gid, "from-b"));
+}
+
+// ------------------------------------------------- truncation detection
+
+struct TruncationFixture : ::testing::Test {
+  TruncationFixture()
+      : platform("truncate-box"),
+        enclave(platform, 8),
+        rng(17),
+        admin(enclave, cloud, ibbe::pki::EcdsaKeyPair::generate(rng),
+              AdminConfig{.partition_size = 3,
+                          .log_operations = true},
+              /*seed=*/6) {
+    admin.create_group(gid, make_users(4));
+    admin.add_user(gid, "late");
+    admin.remove_user(gid, "u1");
+  }
+
+  ibbe::sgx::EnclavePlatform platform;
+  ibbe::enclave::IbbeEnclave enclave;
+  CloudStore cloud;
+  ibbe::crypto::Drbg rng;
+  AdminApi admin;
+  const GroupId gid = "g";
+};
+
+TEST_F(TruncationFixture, SuffixTruncationIsInvisibleToChainButCaughtByAnchor) {
+  auto raw = cloud.get(ibbe::system::oplog_path(gid));
+  ASSERT_TRUE(raw.has_value());
+  auto log = MembershipLog::from_bytes(*raw);
+  ASSERT_EQ(log.size(), 3u);
+
+  // The cloud rolls the log back to its first two entries.
+  ibbe::util::ByteWriter w;
+  w.u32(2);
+  w.raw(log.entries()[0].to_bytes());
+  w.raw(log.entries()[1].to_bytes());
+  cloud.put(ibbe::system::oplog_path(gid), w.take());
+
+  // The shorter prefix is still a perfectly valid chain...
+  auto truncated = MembershipLog::from_bytes(*cloud.get(ibbe::system::oplog_path(gid)));
+  std::vector<ibbe::ec::P256Point> keys = {admin.verification_point()};
+  EXPECT_TRUE(truncated.audit(keys).ok);
+
+  // ...but the committed index anchors the removed head: the anchored audit
+  // must fail.
+  auto audit = admin.audit_group_log(gid);
+  EXPECT_FALSE(audit.ok);
+  EXPECT_NE(audit.failure.find("truncated"), std::string::npos);
+}
+
+TEST_F(TruncationFixture, SplicedEntryStillFailsTheChainAudit) {
+  auto raw = cloud.get(ibbe::system::oplog_path(gid));
+  ASSERT_TRUE(raw.has_value());
+  auto log = MembershipLog::from_bytes(*raw);
+
+  // The cloud rewrites one entry's subject in place.
+  ibbe::util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(log.size()));
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    auto entry = log.entries()[i];
+    if (i == 1) entry.subject = "mallory";
+    w.raw(entry.to_bytes());
+  }
+  cloud.put(ibbe::system::oplog_path(gid), w.take());
+
+  auto audit = admin.audit_group_log(gid);
+  EXPECT_FALSE(audit.ok);
+}
+
+TEST(OpLogAnchor, UncommittedTailAfterTheAnchorIsTolerated) {
+  ibbe::crypto::Drbg rng(77);
+  auto key = ibbe::pki::EcdsaKeyPair::generate(rng);
+  MembershipLog log;
+  log.append(LogOp::create_group, "members=2", "solo", key);
+  log.append(LogOp::add_user, "x", "solo", key);
+  log.append(LogOp::add_user, "y", "solo", key);  // index CAS never landed
+  std::vector<ibbe::ec::P256Point> keys = {key.public_key()};
+
+  auto anchor = log.entries()[1].hash;
+  EXPECT_TRUE(log.audit(keys, &anchor).ok);  // tail beyond the anchor is fine
+
+  // A log that lost the anchored entry itself is truncated.
+  ibbe::util::ByteWriter w;
+  w.u32(2);
+  w.raw(log.entries()[0].to_bytes());
+  w.raw(log.entries()[1].to_bytes());
+  auto rolled_back = MembershipLog::from_bytes(w.take());
+  auto missing = log.entries()[2].hash;
+  EXPECT_FALSE(rolled_back.audit(keys, &missing).ok);
+}
+
+}  // namespace

@@ -62,6 +62,27 @@ std::vector<SchemeFactory> factories() {
       {"he_ibe",
        [](std::uint64_t seed) { return std::make_unique<ibbe::he::HeIbeScheme>(seed); },
        30, 2},
+      // The full stack again, but every cloud round trip runs under a seeded
+      // random fault schedule — transient errors, ambiguous writes, spurious
+      // CAS conflicts, stale replica reads, and process crashes with recovery
+      // interleaved mid-sequence (IbbeSgxScheme restarts the admin and
+      // re-issues the op on every CrashError). The oracle is IDENTICAL to the
+      // fault-free deployments: faults may cost retries and restarts, never
+      // correctness.
+      {"ibbe_sgx_faulty",
+       [](std::uint64_t seed) {
+         ibbe::cloud::FaultPlan plan;
+         plan.seed = seed * 7919 + 13;  // schedule replays from the test seed
+         plan.put_error_rate = 0.03;
+         plan.ambiguous_put_rate = 0.02;
+         plan.spurious_cas_rate = 0.02;
+         plan.get_error_rate = 0.03;
+         plan.stale_read_rate = 0.02;
+         plan.poll_timeout_rate = 0.05;
+         plan.crash_rate = 0.02;
+         return std::make_unique<ibbe::system::IbbeSgxScheme>(5, seed, plan);
+       },
+       24, 2},
   };
 }
 
@@ -70,7 +91,7 @@ class ModelBasedTest
 
 INSTANTIATE_TEST_SUITE_P(
     SchemesAndSeeds, ModelBasedTest,
-    ::testing::Combine(::testing::Values(0, 1, 2),        // factory index
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),     // factory index
                        ::testing::Values(101u, 202u)),    // RNG seed
     [](const auto& info) {
       return std::string(factories()[static_cast<std::size_t>(
@@ -82,6 +103,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST_P(ModelBasedTest, SchemeAgreesWithReferenceModel) {
   auto factory = factories()[static_cast<std::size_t>(std::get<0>(GetParam()))];
   std::uint64_t seed = std::get<1>(GetParam());
+  // Everything — the operation sequence AND any fault schedule — derives
+  // from this one seed, so a failure replays bit-for-bit from the trace line.
+  SCOPED_TRACE(std::string(factory.name) + " seed=" + std::to_string(seed));
   std::mt19937_64 rng(seed);
 
   auto scheme = factory.make(seed);

@@ -51,8 +51,8 @@ TEST_F(SystemFixture, CreateGroupSplitsIntoFixedPartitions) {
   admin.create_group(gid, make_users(8));
   EXPECT_EQ(admin.group_size(gid), 8u);
   EXPECT_EQ(admin.partition_count(gid), 3u);  // 3+3+2 under |p|=3
-  // Cloud layout: index + one file per partition.
-  EXPECT_EQ(cloud.list("groups/" + gid + "/").size(), 4u);
+  // Cloud layout: index + one file per partition + the sealed group key.
+  EXPECT_EQ(cloud.list("groups/" + gid + "/").size(), 5u);
 }
 
 TEST_F(SystemFixture, EveryMemberDerivesTheSameKey) {
@@ -137,7 +137,8 @@ TEST_F(SystemFixture, EmptiedPartitionIsDropped) {
   ASSERT_EQ(admin.partition_count(gid), 2u);
   admin.remove_user(gid, "solo");
   EXPECT_EQ(admin.partition_count(gid), 1u);
-  EXPECT_EQ(cloud.list("groups/" + gid + "/").size(), 2u);  // index + p0
+  // index + the surviving partition + the rotated sealed gk.
+  EXPECT_EQ(cloud.list("groups/" + gid + "/").size(), 3u);
 }
 
 TEST_F(SystemFixture, RepartitioningMergesSparsePartitions) {
