@@ -171,15 +171,47 @@ if echo 'int main() { return 0; }' \
   echo "==> sanitizer build ($SAN_DIR, address+undefined)"
   cmake -B "$SAN_DIR" -S . -DIBBE_SANITIZE=address,undefined
   cmake --build "$SAN_DIR" -j"$JOBS" --target \
-    util_test cloud_test fault_injection_test system_test extensions_test
-  for suite in util_test cloud_test fault_injection_test system_test \
-               extensions_test; do
+    util_test cloud_test fault_injection_test byzantine_test system_test \
+    extensions_test
+  for suite in util_test cloud_test fault_injection_test byzantine_test \
+               system_test extensions_test; do
     echo "==> $SAN_DIR/$suite (sanitized)"
     "$SAN_DIR/$suite" --gtest_brief=1
   done
 else
   rm -f "$san_probe"
   echo "ci.sh: toolchain lacks ASan/UBSan runtimes; skipping sanitizer stage"
+fi
+
+# ThreadSanitizer stage: the Byzantine store wraps every fault decision in a
+# mutex and clients race long-polls, gossip publishes, and CAS retries
+# against it — exactly the shapes TSan exists to check. Probed the same way
+# as ASan: minimal toolchains often lack the tsan runtime.
+tsan_probe="$(mktemp)"
+if echo 'int main() { return 0; }' \
+     | c++ -x c++ - -fsanitize=thread -fno-omit-frame-pointer \
+           -o "$tsan_probe" 2> /dev/null; then
+  rm -f "$tsan_probe"
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  if git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+    tsan_ignore=0
+    git check-ignore -q "$TSAN_DIR/.ci-probe" 2> /dev/null || tsan_ignore=$?
+    if [ "$tsan_ignore" -eq 1 ]; then
+      echo "ci.sh: tsan build dir '$TSAN_DIR' is not git-ignored" >&2
+      exit 1
+    fi
+  fi
+  echo "==> tsan build ($TSAN_DIR, thread)"
+  cmake -B "$TSAN_DIR" -S . -DIBBE_SANITIZE=thread
+  cmake --build "$TSAN_DIR" -j"$JOBS" --target \
+    cloud_test fault_injection_test byzantine_test system_test
+  for suite in cloud_test fault_injection_test byzantine_test system_test; do
+    echo "==> $TSAN_DIR/$suite (tsan)"
+    "$TSAN_DIR/$suite" --gtest_brief=1
+  done
+else
+  rm -f "$tsan_probe"
+  echo "ci.sh: toolchain lacks the TSan runtime; skipping tsan stage"
 fi
 
 echo "ci.sh: all stages passed"

@@ -24,11 +24,19 @@
 // points can additionally be armed one at a time (arm_crash_after) so tests
 // can enumerate every mutation inside an operation systematically.
 //
-// Thread-safe like the store it wraps; the injector keeps its own lock and
-// never holds it across inner-store calls.
+// MaliciousStore (below) is the BYZANTINE tier on top of the same decorator
+// pattern: instead of failing round trips it answers them with stale truths —
+// whole old generations (rollback), different generations to different
+// clients (forking), an old op-log under a live index (tail withholding), or
+// a single stale file in an otherwise live view (equivocation). Stack it
+// under a FaultInjectingStore to compose both tiers.
+//
+// Thread-safe like the store it wraps; the injectors keep their own lock and
+// never hold it across inner-store calls.
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "cloud/store.h"
 
@@ -132,6 +140,182 @@ class FaultInjectingStore : public CloudStore {
   std::map<std::string, Versioned> previous_;  // last overwritten value
   std::function<void(const std::string&)> write_hook_;
   bool hook_active_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Byzantine tier
+// ---------------------------------------------------------------------------
+
+/// Seeded probabilities for the replayable attack schedule. Rates are per
+/// read of a path under `target_prefix`; an attack "window" serves a
+/// CONSISTENT old generation for a bounded run of reads, modelling a cloud
+/// that answers from a rolled-back replica for a while and then "heals".
+struct MaliciousPlan {
+  std::uint64_t seed = 1;
+  /// Enter a rollback window: every targeted read (index, op-log, partitions,
+  /// directory versions — a wholesale old index+log pair) is served from one
+  /// randomly chosen earlier committed generation for the window's length.
+  double rollback_rate = 0.0;
+  /// One-shot: an op-log read alone is served from an old generation while
+  /// the index stays live (tail withholding).
+  double withhold_rate = 0.0;
+  /// One-shot: THIS read alone is served from an old generation while
+  /// everything around it stays live (selective stale equivocation).
+  double equivocate_rate = 0.0;
+  /// Window length bounds, in targeted reads.
+  int min_window = 1;
+  int max_window = 8;
+  /// The namespace the adversary tampers with. The gossip channel
+  /// (gossip/...) deliberately stays outside it: it models the out-of-band
+  /// freshness channel of ROTE-style designs — an adversary controlling that
+  /// too can only cause denial of service (fork-consistency bound), which
+  /// the schedule keeps out so liveness oracles stay meaningful.
+  std::string target_prefix = "groups/";
+};
+
+struct MaliciousStats {
+  std::uint64_t generations = 0;        // committed snapshots captured
+  std::uint64_t rollback_windows = 0;   // windows entered by the schedule
+  std::uint64_t stale_serves = 0;       // reads answered from an old generation
+  std::uint64_t withheld_log_reads = 0; // one-shot old op-log serves
+  std::uint64_t equivocations = 0;      // one-shot old single-file serves
+  std::uint64_t rejected_writes = 0;    // losing CAS payloads captured
+
+  [[nodiscard]] std::uint64_t total_attacks() const {
+    return stale_serves + withheld_log_reads + equivocations;
+  }
+};
+
+/// A Byzantine CloudStore decorator. Every successful write to an index path
+/// under the target prefix snapshots the namespace ("committed generation");
+/// reads can then be answered from any earlier generation — wholesale
+/// (rollback), per client (forking via `view()`), for the op-log only
+/// (withholding), or for one path only (equivocation). Writes always pass
+/// through to the live inner store: the adversary can replay old truths, but
+/// it cannot forge signed metadata, and it keeps every losing CAS payload as
+/// equivocation material (`rejected_writes`).
+class MaliciousStore : public CloudStore {
+ public:
+  /// Decorates `inner` (not owned; must outlive this object).
+  explicit MaliciousStore(CloudStore& inner, MaliciousPlan plan = {});
+  ~MaliciousStore() override;  // out-of-line: View is incomplete here
+
+  // CloudStore surface — this object is the DEFAULT view.
+  std::uint64_t put(const std::string& path, util::Bytes value) override;
+  [[nodiscard]] std::optional<std::uint64_t> put_cas(
+      const std::string& path, util::Bytes value,
+      std::uint64_t expected) override;
+  [[nodiscard]] std::optional<util::Bytes> get(
+      const std::string& path) const override;
+  [[nodiscard]] std::optional<Versioned> get_versioned(
+      const std::string& path) const override;
+  [[nodiscard]] std::uint64_t file_version(const std::string& path) const override;
+  bool erase(const std::string& path) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) const override;
+  [[nodiscard]] std::uint64_t dir_version(const std::string& dir) const override;
+  [[nodiscard]] std::optional<std::uint64_t> long_poll(
+      const std::string& dir, std::uint64_t since,
+      std::chrono::milliseconds timeout) const override;
+  [[nodiscard]] CloudStats stats() const override;
+  [[nodiscard]] std::size_t stored_bytes() const override;
+
+  // ---- per-client forking ----
+  /// A named per-client facade: reads through it can be pinned to a
+  /// different generation than other clients see (a fork). The reference is
+  /// stable for the lifetime of this store. Writes pass through to the
+  /// shared live store.
+  [[nodiscard]] CloudStore& view(const std::string& name);
+
+  // ---- explicit attack control (deterministic tests) ----
+  /// Snapshots the current target namespace; returns the generation id.
+  /// (Every committed index write auto-captures, so tests rarely need this.)
+  std::size_t capture();
+  [[nodiscard]] std::size_t generation_count() const;
+  /// A file's value+version in a captured generation (nullopt if absent).
+  [[nodiscard]] std::optional<Versioned> snapshot_value(
+      std::size_t gen, const std::string& path) const;
+  /// Serve EVERY un-pinned view from generation `gen` (wholesale rollback).
+  void serve_generation(std::size_t gen);
+  /// Back to live serving (heal) for every un-pinned view.
+  void serve_live();
+  /// Pin one view to a generation (fork that client); unpin to heal it.
+  void pin_view(const std::string& name, std::size_t gen);
+  void unpin_view(const std::string& name);
+  /// Serve exactly `value` for `path` on the named view ("" = default view),
+  /// regardless of generations — e.g. a captured losing CAS payload.
+  void override_path(const std::string& name, const std::string& path,
+                     util::Bytes value);
+  void clear_overrides(const std::string& name);
+  /// Losing put_cas payloads recorded for `path` (oldest first).
+  [[nodiscard]] std::vector<util::Bytes> rejected_writes(
+      const std::string& path) const;
+
+  // ---- schedule control ----
+  /// Master switch for the *random* schedule (explicit pins/overrides and
+  /// auto-capture stay active).
+  void set_malice_enabled(bool enabled);
+  [[nodiscard]] const MaliciousPlan& plan() const { return plan_; }
+  [[nodiscard]] MaliciousStats malicious_stats() const;
+
+ private:
+  struct Snapshot {
+    std::map<std::string, Versioned> files;          // target-prefix paths
+    std::map<std::string, std::uint64_t> dir_versions;
+  };
+  struct ViewState {
+    std::optional<std::size_t> pin;    // explicit fork
+    std::optional<std::size_t> window_gen;
+    int window_left = 0;               // targeted reads left in the window
+    std::map<std::string, util::Bytes> overrides;
+  };
+  class View;
+
+  [[nodiscard]] bool targeted(const std::string& path) const;
+  [[nodiscard]] bool roll_locked(double rate) const;
+  Snapshot take_snapshot() const;  // call WITHOUT the lock held
+  void auto_capture(const std::string& path);
+  ViewState& view_state_locked(const std::string& name) const;
+  /// The generation to serve a targeted read from (nullopt = live). `fresh`
+  /// lets value reads start new windows / one-shots; version and directory
+  /// probes only honour already-active state.
+  std::optional<std::size_t> gen_for_read_locked(const std::string& view,
+                                                 const std::string& path,
+                                                 bool fresh) const;
+
+  // Reads/writes routed by every view, keyed by view name ("" = default).
+  std::uint64_t put_for(const std::string& view, const std::string& path,
+                        util::Bytes value);
+  std::optional<std::uint64_t> put_cas_for(const std::string& view,
+                                           const std::string& path,
+                                           util::Bytes value,
+                                           std::uint64_t expected);
+  std::optional<util::Bytes> get_for(const std::string& view,
+                                     const std::string& path) const;
+  std::optional<Versioned> get_versioned_for(const std::string& view,
+                                             const std::string& path) const;
+  std::uint64_t file_version_for(const std::string& view,
+                                 const std::string& path) const;
+  std::vector<std::string> list_for(const std::string& view,
+                                    const std::string& prefix) const;
+  std::uint64_t dir_version_for(const std::string& view,
+                                const std::string& dir) const;
+  std::optional<std::uint64_t> long_poll_for(const std::string& view,
+                                             const std::string& dir,
+                                             std::uint64_t since,
+                                             std::chrono::milliseconds timeout) const;
+
+  CloudStore& inner_;
+  MaliciousPlan plan_;
+  mutable std::mutex mutex_;
+  mutable std::uint64_t rng_state_;
+  mutable MaliciousStats stats_;
+  bool enabled_ = true;
+  std::vector<Snapshot> snapshots_;
+  std::optional<std::size_t> global_pin_;  // serve_generation()
+  mutable std::map<std::string, ViewState> views_;
+  std::map<std::string, std::vector<util::Bytes>> rejected_;
+  std::map<std::string, std::unique_ptr<View>> view_objects_;
 };
 
 }  // namespace ibbe::cloud

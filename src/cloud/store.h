@@ -26,24 +26,19 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/errors.h"
 
 namespace ibbe::cloud {
 
-/// A cloud round trip failed but may succeed if retried (network blip, HTTP
-/// 5xx, throttling). Callers route these through util::RetryPolicy. NOTE: a
-/// failed *write* is ambiguous — the value may or may not have been applied
-/// before the error — so all writers must be idempotent or CAS-guarded.
-struct TransientError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
-/// Simulated process death: the admin (or client) terminates at this exact
-/// point, leaving whatever it had already written behind. NEVER retried in
-/// place — recovery happens in a fresh process via AdminApi::recover().
-/// Deliberately not a TransientError so retry loops cannot swallow it.
-struct CrashError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
+/// The storage layer's failure types are the shared util/errors.h taxonomy
+/// under their historical cloud:: names. A TransientError round trip may be
+/// retried (util::RetryPolicy); a CrashError is simulated process death,
+/// never retried in place — recovery happens in a fresh process via
+/// AdminApi::recover(); an IntegrityError is evidence of a Byzantine store
+/// and always propagates.
+using TransientError = util::TransientError;
+using CrashError = util::CrashError;
+using IntegrityError = util::IntegrityError;
 
 struct LatencyModel {
   std::chrono::microseconds put{0};

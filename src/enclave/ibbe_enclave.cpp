@@ -1,10 +1,12 @@
 #include "enclave/ibbe_enclave.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/gcm.h"
 #include "crypto/sha256.h"
 #include "pki/ecies.h"
+#include "util/hex.h"
 
 namespace ibbe::enclave {
 
@@ -30,6 +32,44 @@ PartitionCiphertext PartitionCiphertext::from_bytes(
   out.nonce = r.blob();
   r.expect_end();
   return out;
+}
+
+util::Bytes FreshnessToken::signed_payload(const std::string& group) const {
+  util::ByteWriter w;
+  w.str("ibbe-sgx:freshness:v1");
+  w.str(group);
+  w.u64(counter);
+  w.u64(gk_epoch);
+  w.raw(log_head);
+  return w.take();
+}
+
+bool FreshnessToken::verify(const ec::P256Point& enclave_identity,
+                            const std::string& group) const {
+  if (counter == 0) return false;  // 0 is the "no attestation" sentinel
+  return pki::ecdsa_verify(enclave_identity, signed_payload(group), signature);
+}
+
+util::Bytes FreshnessToken::to_bytes() const {
+  util::ByteWriter w;
+  w.u64(counter);
+  w.u64(gk_epoch);
+  w.raw(log_head);
+  w.raw(signature.to_bytes());
+  return w.take();
+}
+
+FreshnessToken FreshnessToken::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  FreshnessToken token;
+  token.counter = r.u64();
+  token.gk_epoch = r.u64();
+  auto head = r.raw(32);
+  std::copy(head.begin(), head.end(), token.log_head.begin());
+  token.signature =
+      pki::EcdsaSignature::from_bytes(r.raw(pki::EcdsaSignature::serialized_size));
+  r.expect_end();
+  return token;
 }
 
 sgx::EnclaveImage IbbeEnclave::image() {
@@ -198,6 +238,39 @@ PartitionCiphertext IbbeEnclave::ecall_rekey_partition(
   pc.ct = re.ct;
   pc.wrapped_gk = wrap_gk(re.bk, *gk, pc.nonce);
   return pc;
+}
+
+std::string IbbeEnclave::freshness_counter_name(const std::string& group) const {
+  // Scoped by measurement so another enclave build on the same platform has
+  // an independent counter space (like PSE counters owned per enclave).
+  return "fresh:" + util::to_hex(measurement()) + ":" + group;
+}
+
+FreshnessToken IbbeEnclave::ecall_attest_freshness(
+    const std::string& group, std::uint64_t floor, std::uint64_t gk_epoch,
+    const std::array<std::uint8_t, 32>& log_head) {
+  EcallScope scope(*this);
+  FreshnessToken token;
+  auto confirmed = platform().counter_read(freshness_counter_name(group));
+  // One above everything committed that we know of: the platform's confirmed
+  // counter AND the caller's floor (the counter of the view it last synced —
+  // covers a peer admin's commits confirmed on another platform).
+  token.counter = std::max(confirmed, floor) + 1;
+  token.gk_epoch = gk_epoch;
+  token.log_head = log_head;
+  token.signature = identity_key_.sign(token.signed_payload(group));
+  return token;
+}
+
+void IbbeEnclave::ecall_confirm_freshness(const std::string& group,
+                                          std::uint64_t counter) {
+  EcallScope scope(*this);
+  platform().counter_advance(freshness_counter_name(group), counter);
+}
+
+std::uint64_t IbbeEnclave::ecall_freshness_floor(const std::string& group) const {
+  EcallScope scope(*this);
+  return platform().counter_read(freshness_counter_name(group));
 }
 
 }  // namespace ibbe::enclave

@@ -28,6 +28,32 @@ struct PartitionCiphertext {
   static PartitionCiphertext from_bytes(std::span<const std::uint8_t> data);
 };
 
+/// Enclave-signed freshness attestation (ROTE-style rollback defense). The
+/// enclave binds a group's commit to a platform monotonic counter: the token
+/// vouches "counter C was attested for group g together with gk epoch E and
+/// op-log head H". It is stored INSIDE the committed index (same signature,
+/// same CAS), so a Byzantine cloud cannot tear the token from the state it
+/// vouches for; it can only replay a whole old (index, token) pair — which
+/// any verifier with a higher-water mark, a fresher peer observation, or the
+/// attesting platform itself then detects as a rollback.
+struct FreshnessToken {
+  std::uint64_t counter = 0;  // 0 = no attestation (pre-freshness metadata)
+  std::uint64_t gk_epoch = 0;
+  std::array<std::uint8_t, 32> log_head{};
+  pki::EcdsaSignature signature;  // by the enclave identity key
+
+  /// Fixed wire size: counter + gk_epoch + log_head + signature.
+  static constexpr std::size_t serialized_size =
+      8 + 8 + 32 + pki::EcdsaSignature::serialized_size;
+
+  [[nodiscard]] util::Bytes signed_payload(const std::string& group) const;
+  [[nodiscard]] bool verify(const ec::P256Point& enclave_identity,
+                            const std::string& group) const;
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static FreshnessToken from_bytes(std::span<const std::uint8_t> data);
+};
+
 class IbbeEnclave : public sgx::EnclaveBase {
  public:
   /// Loads the enclave and runs IBBE System Setup inside it, sized for
@@ -114,10 +140,45 @@ class IbbeEnclave : public sgx::EnclaveBase {
   [[nodiscard]] PartitionCiphertext ecall_rekey_partition(
       const core::BroadcastCiphertext& ct, const sgx::SealedBlob& sealed_gk);
 
+  // ---- freshness anchoring (rollback defense, docs/fault_model.md) -------
+  //
+  // Two-phase protocol around the admin's index CAS:
+  //   1. ecall_attest_freshness signs a TENTATIVE counter — one above the
+  //      highest of the platform counter and the caller's floor — without
+  //      persisting it. A CAS that then loses the race simply abandons the
+  //      token; the platform counter is untouched, so no gap opens between
+  //      "highest committed" and "highest confirmed".
+  //   2. ecall_confirm_freshness persists the counter (raise-to semantics)
+  //      only after the CAS landed. From then on any index carrying a lower
+  //      counter is, to this platform, proof of rollback.
+  // ecall_freshness_floor exposes the confirmed value so the untrusted admin
+  // can check a freshly synced view against it after a restart.
+
+  /// Signs a tentative freshness token for `group` binding (counter,
+  /// gk_epoch, log_head). Does NOT advance the platform counter.
+  [[nodiscard]] FreshnessToken ecall_attest_freshness(
+      const std::string& group, std::uint64_t floor, std::uint64_t gk_epoch,
+      const std::array<std::uint8_t, 32>& log_head);
+
+  /// Persists `counter` for `group` after its index CAS committed (raises
+  /// the platform counter; never lowers it).
+  void ecall_confirm_freshness(const std::string& group, std::uint64_t counter);
+
+  /// Highest counter this platform has confirmed for `group` (0 = none).
+  [[nodiscard]] std::uint64_t ecall_freshness_floor(const std::string& group) const;
+
+  /// Verification key for freshness tokens: the enclave identity key, whose
+  /// genuineness clients establish once via attestation_quote().
+  [[nodiscard]] const ec::P256Point& freshness_verification_key() const {
+    return identity_key_.public_key();
+  }
+
  private:
   [[nodiscard]] util::Bytes wrap_gk(const pairing::Gt& bk,
                                     std::span<const std::uint8_t> gk,
                                     util::Bytes& nonce_out);
+  /// Platform counter name for a group, scoped by this build's measurement.
+  [[nodiscard]] std::string freshness_counter_name(const std::string& group) const;
 
   // ---- enclave-private state (never crosses the boundary) ----
   core::SystemKeys keys_;

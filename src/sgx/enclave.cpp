@@ -91,6 +91,20 @@ util::Bytes EnclavePlatform::sealing_key(const Measurement& measurement) const {
   return crypto::hkdf(measurement, fuse_key_, "sgx-sim:sealing:mrenclave", 32);
 }
 
+std::uint64_t EnclavePlatform::counter_read(const std::string& name) const {
+  std::lock_guard lock(counter_mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t EnclavePlatform::counter_advance(const std::string& name,
+                                               std::uint64_t at_least) {
+  std::lock_guard lock(counter_mutex_);
+  auto& value = counters_[name];
+  if (at_least > value) value = at_least;
+  return value;
+}
+
 // ------------------------------------------------------------ EnclaveImage
 
 Measurement EnclaveImage::measure() const {

@@ -18,6 +18,12 @@
 //   * EPC pressure   — an allocation meter with the 128 MB EPC limit of the
 //                      paper's SGX v1 hardware; benches report peak usage
 //                      (the simulator does not fake paging slowdowns).
+//   * Monotonic ctrs — a per-platform replay-protected counter service (the
+//                      paper's hardware exposes SGX PSE counters; ROTE-style
+//                      designs distribute them). Counters only ever move
+//                      forward and survive enclave restarts on the same
+//                      platform — the anchor the freshness defense
+//                      (docs/fault_model.md) builds on.
 //
 // The deliberate difference: there is no hardware trust root — this is a
 // functional model for running and measuring the scheme, not a secure
@@ -26,6 +32,8 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 
 #include "crypto/drbg.h"
@@ -77,10 +85,21 @@ class EnclavePlatform {
   /// Derives the sealing key for a measurement (fuse key never leaves).
   [[nodiscard]] util::Bytes sealing_key(const Measurement& measurement) const;
 
+  // ---- replay-protected monotonic counters (models SGX PSE / ROTE) ----
+  /// Current value of the named counter (0 if never advanced). Counters
+  /// survive enclave restarts: they belong to the platform, not the enclave
+  /// instance, exactly like the hardware's NVRAM-backed counters.
+  [[nodiscard]] std::uint64_t counter_read(const std::string& name) const;
+  /// Raises the named counter to `at_least` if it is below it (counters can
+  /// only move forward) and returns the resulting value.
+  std::uint64_t counter_advance(const std::string& name, std::uint64_t at_least);
+
  private:
   std::string platform_id_;
   util::Bytes fuse_key_;  // 32 bytes, unique per machine
   pki::EcdsaKeyPair qe_key_;
+  mutable std::mutex counter_mutex_;
+  std::map<std::string, std::uint64_t> counters_;
 };
 
 /// Descriptor hashed into the measurement.
@@ -131,6 +150,11 @@ class EnclaveBase {
 
   /// In-enclave randomness (models RDRAND inside the enclave).
   [[nodiscard]] crypto::Drbg& enclave_rng() { return rng_; }
+
+  /// The hosting platform's services beyond sealing/quoting (derived
+  /// enclaves reach the monotonic-counter service through this).
+  [[nodiscard]] EnclavePlatform& platform() { return platform_; }
+  [[nodiscard]] const EnclavePlatform& platform() const { return platform_; }
 
   /// EPC accounting hooks for derived enclaves' long-lived state.
   void epc_alloc(std::size_t bytes);

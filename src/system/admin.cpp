@@ -106,8 +106,24 @@ bool AdminApi::push_index(const GroupId& gid, GroupState& state,
   }
   idx.gk_epoch = state.gk_epoch;
   idx.log_head = log_head;
+  // Tentative freshness attestation: the enclave signs one counter above
+  // everything it (or this admin's last sync) knows committed, but persists
+  // nothing yet — an abandoned CAS attempt must not open a gap between the
+  // platform counter and the highest committed token.
+  idx.freshness = enclave_.ecall_attest_freshness(
+      gid, state.freshness.counter, state.gk_epoch, log_head);
   auto env = SignedEnvelope::sign(signing_key_, idx.to_bytes());
   auto bytes = env.to_bytes();
+
+  auto committed = [&](std::uint64_t version) {
+    state.index_version = version;
+    state.freshness = idx.freshness;
+    // Only now does the counter become the platform's confirmed floor; any
+    // index attested below it is henceforth provably rolled back.
+    enclave_.ecall_confirm_freshness(gid, idx.freshness.counter);
+    publish_freshness_gossip(gid, idx.freshness);
+    return true;
+  };
 
   // Always CAS-guarded, even with a single administrator: an ambiguous put
   // retried blindly could otherwise clobber a concurrent (or our own
@@ -119,24 +135,61 @@ bool AdminApi::push_index(const GroupId& gid, GroupState& state,
   } catch (const cloud::TransientError&) {
     version = std::nullopt;  // exhausted retries: resolve by re-reading below
   }
-  if (version) {
-    state.index_version = *version;
-    return true;
-  }
+  if (version) return committed(*version);
   // Version conflict — but an ambiguous put that DID apply makes our own
   // commit look like somebody else's. Re-read and compare payloads.
   try {
     auto current =
         with_retries([&] { return cloud_.get_versioned(index_path(gid)); });
-    if (current && current->value == bytes) {
-      state.index_version = current->version;
-      return true;
-    }
+    if (current && current->value == bytes) return committed(current->version);
   } catch (const cloud::TransientError&) {
     // Treat as a real conflict; the caller re-syncs and retries the op.
   }
   ++stats_.cas_conflicts;
   return false;
+}
+
+void AdminApi::check_index_freshness(const GroupId& gid, const GroupIndex& idx) {
+  if (idx.freshness.counter == 0) {
+    throw util::IntegrityError(
+        "sync_from_cloud: index lacks a freshness attestation");
+  }
+  if (!idx.freshness.verify(enclave_.freshness_verification_key(), gid)) {
+    throw util::IntegrityError(
+        "sync_from_cloud: index freshness token signature invalid");
+  }
+  if (idx.freshness.gk_epoch != idx.gk_epoch ||
+      idx.freshness.log_head != idx.log_head) {
+    throw util::IntegrityError(
+        "sync_from_cloud: freshness token does not bind this index");
+  }
+  // A counter BELOW the platform's confirmed floor is a rollback (or a
+  // badly lagging replica — indistinguishable, and both heal by re-reading).
+  // A counter ABOVE it is legitimate: a peer admin committed, or our own
+  // process died between the CAS and the confirmation; syncing it below
+  // raises the floor to match.
+  if (idx.freshness.counter < enclave_.ecall_freshness_floor(gid)) {
+    ++stats_.rollback_rejections;
+    throw cloud::TransientError(
+        "sync_from_cloud: rolled-back index (freshness below enclave floor)");
+  }
+}
+
+void AdminApi::publish_freshness_gossip(const GroupId& gid,
+                                        const enclave::FreshnessToken& token) {
+  FreshnessObservation obs;
+  obs.counter = token.counter;
+  obs.log_head = token.log_head;
+  auto bytes = obs.to_bytes();
+  try {
+    with_retries([&] {
+      cloud_.put(gossip_path(gid, "admin-" + config_.admin_name), bytes);
+      return 0;
+    });
+  } catch (const cloud::TransientError&) {
+    // Best-effort: the hint channel converges through the clients' own
+    // observations; a missed announcement costs detection latency only.
+  }
 }
 
 AdminApi::LogHead AdminApi::publish_log_entry(const GroupId& gid, LogOp op,
@@ -252,21 +305,22 @@ void AdminApi::sync_from_cloud(const GroupId& gid) {
   if (!raw_index) {
     throw std::runtime_error("sync_from_cloud: no index for group " + gid);
   }
-  auto old = cache_.find(gid);
-  if (old != cache_.end() && raw_index->version < old->second.index_version) {
-    // Versions only grow at the commit point; a smaller one is a stale
-    // replica read, not a rollback.
-    throw cloud::TransientError("sync_from_cloud: stale index read");
-  }
   auto index_env = SignedEnvelope::from_bytes(raw_index->value);
   if (!verify_envelope(index_env)) {
     throw std::runtime_error("sync_from_cloud: index signature not trusted");
   }
   GroupIndex idx = GroupIndex::from_bytes(index_env.payload);
+  // The enclave-anchored freshness token subsumes the old version-
+  // monotonicity heuristic: unlike the cloud-assigned version it is SIGNED,
+  // survives an admin restart, and tells a Byzantine rollback apart from
+  // benign replica lag (both heal by re-reading; only one is counted).
+  check_index_freshness(gid, idx);
+  auto old = cache_.find(gid);
 
   GroupState state;
   state.index_version = raw_index->version;
   state.gk_epoch = idx.gk_epoch;
+  state.freshness = idx.freshness;
   for (PartitionId pid : idx.partition_ids) {
     auto raw = with_retries([&] { return cloud_.get(partition_path(gid, pid)); });
     if (!raw) {
@@ -300,6 +354,10 @@ void AdminApi::sync_from_cloud(const GroupId& gid) {
     state.target_partition_size = config_.partition_size;
   }
   bump_counters_past(state, idx);
+  // Late confirmation: if our previous incarnation died between the index
+  // CAS and its confirmation (or a peer committed on another platform), the
+  // platform floor now catches up with the committed counter.
+  enclave_.ecall_confirm_freshness(gid, idx.freshness.counter);
   cache_[gid] = std::move(state);
 }
 
@@ -364,6 +422,10 @@ bool AdminApi::recover(const GroupId& gid) {
 
   gc_group(gid, state);
 
+  // Re-announce the committed freshness: a crash between the CAS and the
+  // gossip put would otherwise leave the hint channel a commit behind.
+  publish_freshness_gossip(gid, state.freshness);
+
   if (config_.log_operations) {
     try {
       auto raw = with_retries([&] { return cloud_.get(oplog_path(gid)); });
@@ -415,8 +477,7 @@ const MembershipLog& AdminApi::log_of(const GroupId& gid) const {
 MembershipLog::AuditResult AdminApi::audit_group_log(const GroupId& gid) const {
   // stats_ is not updated here (const audit path): use the bare retry helper.
   auto fetch = [&](const std::string& path) {
-    return util::retry_on<cloud::TransientError>(
-        config_.retry, [&] { return cloud_.get(path); });
+    return util::retry_faults(config_.retry, [&] { return cloud_.get(path); });
   };
   auto raw = fetch(oplog_path(gid));
   if (!raw) return {false, "no op-log stored for group", 0};
@@ -438,14 +499,28 @@ MembershipLog::AuditResult AdminApi::audit_group_log(const GroupId& gid) const {
   }
 
   // Anchor on the committed index's log head so a rolled-back suffix — a
-  // perfectly valid shorter chain — is still caught.
+  // perfectly valid shorter chain — is still caught; check the index's
+  // freshness token against the enclave floor so a WHOLESALE rollback of a
+  // consistent old index+log pair (which the anchor alone cannot see) is
+  // caught too.
   LogHead anchor{};
   const LogHead* anchor_ptr = nullptr;
   if (auto raw_index = fetch(index_path(gid))) {
     try {
       auto env = SignedEnvelope::from_bytes(*raw_index);
       if (verify_envelope(env)) {
-        anchor = GroupIndex::from_bytes(env.payload).log_head;
+        GroupIndex idx = GroupIndex::from_bytes(env.payload);
+        if (!idx.freshness.verify(enclave_.freshness_verification_key(), gid) ||
+            idx.freshness.gk_epoch != idx.gk_epoch ||
+            idx.freshness.log_head != idx.log_head) {
+          return {false, "index freshness attestation invalid", 0};
+        }
+        if (idx.freshness.counter < enclave_.ecall_freshness_floor(gid)) {
+          return {false,
+                  "rolled-back index+log pair (freshness below enclave floor)",
+                  0};
+        }
+        anchor = idx.log_head;
         anchor_ptr = &anchor;
       }
     } catch (const util::DeserializeError&) {
@@ -475,6 +550,7 @@ void AdminApi::create_group_sized(const GroupId& gid,
     state.partition_counter = it->second.partition_counter;
     state.epoch_counter = it->second.epoch_counter;
     state.index_version = it->second.index_version;
+    state.freshness = it->second.freshness;  // floor for the next attestation
   }
 
   // Algorithm 1, line 1: fixed-size partitions.

@@ -88,6 +88,7 @@ struct AdminStats {
   std::uint64_t cas_conflicts = 0;      // retries caused by peers (or faults)
   std::uint64_t transient_retries = 0;  // cloud round trips retried
   std::uint64_t recoveries = 0;         // recover() invocations
+  std::uint64_t rollback_rejections = 0;  // synced views below the enclave floor
 };
 
 class AdminApi {
@@ -167,6 +168,9 @@ class AdminApi {
     std::uint32_t partition_counter = 0;  // admin-local, see fresh_partition_id
     std::uint32_t epoch_counter = 0;      // admin-local, see fresh_gk_epoch
     std::uint64_t index_version = 0;      // cloud version at last sync/push
+    // The committed index's freshness token (counter doubles as the floor
+    // handed to the next attestation).
+    enclave::FreshnessToken freshness;
   };
 
   /// What a mutation attempt did with the cached state.
@@ -187,11 +191,23 @@ class AdminApi {
                           const std::string& subject);
   void push_partition(const GroupId& gid, const PartitionRecord& rec);
   /// The commit point: CAS of the signed index against the cached version.
-  /// Detects this admin's own ambiguous commits (write applied, response
-  /// lost) by re-reading and comparing payloads; false means a real
-  /// concurrent update.
+  /// The index carries an enclave-signed freshness token (tentative counter);
+  /// the counter is confirmed to the platform only after the CAS lands, and
+  /// the commit is announced on the gossip channel. Detects this admin's own
+  /// ambiguous commits (write applied, response lost) by re-reading and
+  /// comparing payloads; false means a real concurrent update.
   [[nodiscard]] bool push_index(const GroupId& gid, GroupState& state,
                                 const LogHead& log_head);
+  /// Verifies a synced index's freshness token: enclave signature, binding
+  /// to (gk_epoch, log_head), and counter not below the platform's confirmed
+  /// floor. Throws util::IntegrityError on forgery/mis-binding and
+  /// cloud::TransientError on a rolled-back (or lagging) view.
+  void check_index_freshness(const GroupId& gid, const GroupIndex& idx);
+  /// Best-effort publication of the committed (counter, log_head) to the
+  /// gossip channel, so clients can spot rollbacks served to them even
+  /// before any peer client has seen the new commit.
+  void publish_freshness_gossip(const GroupId& gid,
+                                const enclave::FreshnessToken& token);
   void push_sealed_gk(const GroupId& gid, const GroupState& state);
   /// CAS-merge publication of one op-log entry (pre-commit): fetch, rebase
   /// our entry onto the remote head, put_cas; on conflict re-fetch and merge
@@ -221,13 +237,12 @@ class AdminApi {
   OpOutcome mutate_with_retry(const GroupId& gid, LogOp logop,
                               const std::string& subject, Op&& op);
 
-  /// Retries `f` on cloud::TransientError per config_.retry (CrashError and
-  /// everything else propagate).
+  /// Retries `f` on retryable faults (transient) per config_.retry;
+  /// CrashError, IntegrityError and everything else propagate.
   template <typename F>
   auto with_retries(F&& f) {
-    return util::retry_on<cloud::TransientError>(config_.retry,
-                                                 std::forward<F>(f),
-                                                 &stats_.transient_retries);
+    return util::retry_faults(config_.retry, std::forward<F>(f),
+                              &stats_.transient_retries);
   }
 
   enclave::IbbeEnclave& enclave_;

@@ -31,12 +31,114 @@ bool ClientApi::verify_any(const SignedEnvelope& env) const {
   return false;
 }
 
-ClientApi::Fetch ClientApi::fetch_once(const GroupId& gid, util::Bytes& key) {
+std::optional<util::Bytes> ClientApi::last_key(const GroupId& gid) const {
+  auto it = last_verified_key_.find(gid);
+  if (it == last_verified_key_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<FreshnessObservation> ClientApi::read_gossip(
+    const GroupId& gid) const {
+  std::vector<FreshnessObservation> out;
+  try {
+    for (const auto& path : cloud_.list(gossip_dir(gid))) {
+      auto raw = cloud_.get(path);
+      if (!raw) continue;
+      try {
+        out.push_back(FreshnessObservation::from_bytes(*raw));
+      } catch (const util::DeserializeError&) {
+        // A malformed hint carries no information either way; ignore it.
+      }
+    }
+  } catch (const cloud::TransientError&) {
+    // Gossip is best-effort: an unreachable channel just means no hints.
+  }
+  return out;
+}
+
+void ClientApi::publish_gossip(const GroupId& gid,
+                               const enclave::FreshnessToken& tok) {
+  if (gossip_id_.empty()) return;
+  FreshnessObservation obs;
+  obs.counter = tok.counter;
+  obs.log_head = tok.log_head;
+  try {
+    (void)cloud_.put(gossip_path(gid, "client-" + gossip_id_), obs.to_bytes());
+  } catch (const util::FaultError&) {
+    // Best-effort: a dropped observation only delays detection. Any injected
+    // fault kind on this hint write is survivable — the client keeps its own
+    // high-water mark regardless.
+  }
+}
+
+void ClientApi::note_fresh_view(const GroupId& gid,
+                                const enclave::FreshnessToken& tok) {
+  if (!freshness_key_ || tok.counter == 0) return;
+  auto& hwm = freshness_hwm_[gid];
+  if (tok.counter > hwm.counter) {
+    hwm.counter = tok.counter;
+    hwm.log_head = tok.log_head;
+    publish_gossip(gid, tok);
+  }
+}
+
+ClientApi::Fetch ClientApi::check_freshness(const GroupId& gid,
+                                            const GroupIndex& idx,
+                                            bool& fresh_rejected) {
+  const auto& tok = idx.freshness;
+  if (tok.counter == 0 || !tok.verify(*freshness_key_, gid) ||
+      tok.gk_epoch != idx.gk_epoch || tok.log_head != idx.log_head) {
+    // Unattested, forged, or mis-bound token: indistinguishable from any
+    // other unauthenticated metadata.
+    ++stats_.signature_failures;
+    return Fetch::degraded;
+  }
+  auto hwm = freshness_hwm_.find(gid);
+  if (hwm != freshness_hwm_.end() && tok.counter < hwm->second.counter) {
+    // We have already verified a newer commit: this view is rolled back.
+    ++stats_.freshness_rejections;
+    fresh_rejected = true;
+    return Fetch::degraded;
+  }
+  if (hwm != freshness_hwm_.end() && tok.counter == hwm->second.counter &&
+      tok.log_head != hwm->second.log_head) {
+    // Same counter, different history: divergence. The refused token is
+    // enclave-signed, so it is publishable PROOF — announce it so the
+    // clients on the fork's other side detect within their next round.
+    publish_gossip(gid, tok);
+    return Fetch::forked;
+  }
+  if (!gossip_id_.empty()) {
+    ++stats_.gossip_rounds;
+    for (const auto& obs : read_gossip(gid)) {
+      if (obs.counter > tok.counter) {
+        // Someone verified a commit the cloud is hiding from us.
+        ++stats_.freshness_rejections;
+        fresh_rejected = true;
+        return Fetch::degraded;
+      }
+      if (obs.counter == tok.counter && obs.log_head != tok.log_head) {
+        publish_gossip(gid, tok);  // same proof-of-divergence announcement
+        return Fetch::forked;
+      }
+    }
+  }
+  return Fetch::ok;
+}
+
+ClientApi::Fetch ClientApi::fetch_once(const GroupId& gid, util::Bytes& key,
+                                       bool& fresh_rejected) {
   auto raw_index =
       with_retries([&] { return cloud_.get_versioned(index_path(gid)); });
   if (!raw_index) return Fetch::not_member;  // no such group (for us)
+  // Version monotonicity rejects benign replica lag. With freshness enabled
+  // the ENCLAVE-SIGNED counter subsumes it (cloud-assigned versions are
+  // unauthenticated — a Byzantine store forges them freely), so the token
+  // check below decides instead and the verdict says *rollback*, not just
+  // *degraded*.
   auto floor = index_floor_.find(gid);
-  if (floor != index_floor_.end() && raw_index->version < floor->second) {
+  if (!freshness_key_ && floor != index_floor_.end() &&
+      raw_index->version < floor->second) {
     ++stats_.stale_reads_rejected;
     return Fetch::degraded;
   }
@@ -52,11 +154,20 @@ ClientApi::Fetch ClientApi::fetch_once(const GroupId& gid, util::Bytes& key) {
     ++stats_.signature_failures;
     return Fetch::degraded;
   }
-  // Only an authenticated index raises the floor.
+  if (freshness_key_) {
+    auto verdict = check_freshness(gid, idx, fresh_rejected);
+    if (verdict != Fetch::ok) return verdict;
+  }
+  // Only an authenticated (and fresh, when enabled) index raises the floor.
   index_floor_[gid] = raw_index->version;
 
   auto slot = idx.find_user(usk_.id);
-  if (!slot) return Fetch::not_member;  // not a member (possibly revoked)
+  if (!slot) {
+    // A fresh consistent view proves non-membership — still worth anchoring
+    // and announcing before reporting it.
+    note_fresh_view(gid, idx.freshness);
+    return Fetch::not_member;  // not a member (possibly revoked)
+  }
 
   auto raw_part = with_retries(
       [&] { return cloud_.get(partition_path(gid, idx.partition_ids[*slot])); });
@@ -89,30 +200,53 @@ ClientApi::Fetch ClientApi::fetch_once(const GroupId& gid, util::Bytes& key) {
   crypto::Aes256Gcm gcm(bk->hash());
   auto gk = gcm.open(rec.cipher.nonce, rec.cipher.wrapped_gk);
   if (!gk) return Fetch::degraded;  // same torn-snapshot reasoning
+  note_fresh_view(gid, idx.freshness);
   key = std::move(*gk);
   return Fetch::ok;
 }
 
-std::optional<util::Bytes> ClientApi::fetch_group_key(const GroupId& gid) {
+ClientApi::FetchResult ClientApi::fetch(const GroupId& gid) {
   ++stats_.fetches;
+  if (forked_.count(gid) != 0) {
+    // Divergence was proven earlier; the server's history cannot un-fork.
+    return {FetchStatus::forked, last_key(gid)};
+  }
   // Record the directory version *before* reading so that a concurrent
   // update triggers the next wait_for_update rather than being missed.
   seen_versions_[gid] = cloud_.dir_version(group_dir(gid));
 
+  bool fresh_rejected = false;
   for (int attempt = 0;; ++attempt) {
     util::Bytes key;
-    switch (fetch_once(gid, key)) {
+    switch (fetch_once(gid, key, fresh_rejected)) {
       case Fetch::ok:
-        return key;
+        last_verified_key_[gid] = key;
+        return {FetchStatus::ok, std::move(key)};
       case Fetch::not_member:
-        return std::nullopt;
+        return {FetchStatus::not_member, std::nullopt};
+      case Fetch::forked:
+        ++stats_.forks_detected;
+        forked_.insert(gid);
+        return {FetchStatus::forked, last_key(gid)};
       case Fetch::degraded:
-        if (attempt + 1 >= retry_.max_attempts) return std::nullopt;
+        if (attempt + 1 >= retry_.max_attempts) {
+          // Freshness rejections mean every view offered was OLD — that is a
+          // rollback verdict, not mere unavailability, and the last verified
+          // key stays usable read-only.
+          if (fresh_rejected) return {FetchStatus::stale, last_key(gid)};
+          return {FetchStatus::unavailable, std::nullopt};
+        }
         ++stats_.degraded_refetches;
         std::this_thread::sleep_for(retry_.delay(attempt));
         break;
     }
   }
+}
+
+std::optional<util::Bytes> ClientApi::fetch_group_key(const GroupId& gid) {
+  auto result = fetch(gid);
+  if (result.status == FetchStatus::ok) return std::move(result.key);
+  return std::nullopt;
 }
 
 std::optional<util::Bytes> ClientApi::wait_for_update(
@@ -126,11 +260,33 @@ std::optional<util::Bytes> ClientApi::wait_for_update(
   auto floor = index_floor_.find(gid);
   const std::uint64_t index_since =
       floor == index_floor_.end() ? 0 : floor->second;
+  const bool gossiping = freshness_key_.has_value() && !gossip_id_.empty();
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
     auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - std::chrono::steady_clock::now());
     if (remaining <= std::chrono::milliseconds::zero()) return std::nullopt;
+    if (gossiping) {
+      // A rolled-back replica sits silent forever — its directory version
+      // never moves — so the poll alone cannot end the wait. Peers' gossip
+      // can: an observation past (or diverging from) our high-water mark
+      // means committed state we are not being shown. Re-fetch; the
+      // freshness checks turn it into ok / stale / forked.
+      auto hwm = freshness_hwm_.find(gid);
+      const std::uint64_t have_counter =
+          hwm == freshness_hwm_.end() ? 0 : hwm->second.counter;
+      ++stats_.gossip_rounds;
+      for (const auto& obs : read_gossip(gid)) {
+        if (obs.counter > have_counter ||
+            (hwm != freshness_hwm_.end() && obs.counter == have_counter &&
+             obs.log_head != hwm->second.log_head)) {
+          return fetch_group_key(gid);
+        }
+      }
+      // Bound the poll so gossip is re-checked even if the (possibly lying)
+      // store never wakes us.
+      remaining = std::min(remaining, std::chrono::milliseconds(25));
+    }
     std::optional<std::uint64_t> version;
     try {
       version = cloud_.long_poll(group_dir(gid), cursor, remaining);

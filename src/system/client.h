@@ -18,9 +18,25 @@
 // fails to decrypt for a listed member — triggers a full snapshot re-fetch
 // rather than an error. Only a consistent, authenticated view ever produces
 // a key; only a consistent view proves non-membership.
+//
+// Byzantine-cloud defence (opt-in, docs/fault_model.md "Malicious tier"):
+// enable_freshness() makes the client verify the enclave-signed freshness
+// token every committed index carries — signature, binding to
+// (gk_epoch, log_head), and monotonicity against a per-group high-water mark
+// — so a rolled-back index+log pair (internally consistent, correctly
+// signed, merely OLD) is rejected, not just a spliced one. enable_gossip()
+// adds fork detection: clients piggyback their observed (counter, log_head)
+// on an out-of-band channel and cross-check it before accepting a view, so
+// two clients served divergent equal-counter views detect the fork within
+// one poll round. Gossip is an unsigned HINT — it can only make this client
+// refuse a view (denial of service, already in the cloud's power), never
+// accept a stale one. On detection the client degrades gracefully: fetch()
+// reports `stale` or `forked` and returns the last VERIFIED key read-only;
+// it never silently serves unverified state.
 #pragma once
 
 #include <chrono>
+#include <set>
 
 #include "cloud/store.h"
 #include "ibbe/ibbe.h"
@@ -36,6 +52,9 @@ struct ClientStats {
   std::uint64_t transient_retries = 0;    // cloud round trips retried
   std::uint64_t stale_reads_rejected = 0; // index versions below the floor
   std::uint64_t degraded_refetches = 0;   // whole-snapshot re-fetches
+  std::uint64_t freshness_rejections = 0; // views below the freshness HWM
+  std::uint64_t forks_detected = 0;       // equal-counter divergent views
+  std::uint64_t gossip_rounds = 0;        // observation scans performed
 };
 
 class ClientApi {
@@ -50,14 +69,53 @@ class ClientApi {
   /// Backoff discipline for transient cloud errors and snapshot re-fetches.
   void set_retry_policy(util::RetryPolicy policy) { retry_ = policy; }
 
+  /// Opts in to enclave-anchored rollback protection: every index must carry
+  /// a freshness token verifiable under the enclave identity key, bound to
+  /// the index's (gk_epoch, log_head), with a counter that never moves
+  /// backwards per group. Without this call behaviour is unchanged.
+  void enable_freshness(ec::P256Point enclave_identity_key) {
+    freshness_key_ = enclave_identity_key;
+  }
+  /// Opts in to fork detection: publish this client's observed
+  /// (counter, log_head) under gossip/<gid>/client-<id> and cross-check
+  /// peers' observations before accepting any view. Requires
+  /// enable_freshness to have any effect.
+  void enable_gossip(std::string client_id) { gossip_id_ = std::move(client_id); }
+
   /// Validates the provisioned user key against the system public key
   /// (core::verify_user_key) — the paper's guard against a rogue issuer.
   /// Repeated calls reuse the PK's cached pairing precomputation.
   [[nodiscard]] bool verify_credentials() const;
 
+  /// What a full fetch concluded about the group, beyond key-or-no-key.
+  enum class FetchStatus {
+    ok,           // fresh verified view; `key` holds the group key
+    not_member,   // a fresh consistent view proves we are not in the group
+    stale,        // every view offered was below the freshness high-water
+                  // mark (rollback); `key` is the last VERIFIED key, if any
+    forked,       // divergent equal-counter views proven (sticky per group);
+                  // `key` is the last VERIFIED key, if any
+    unavailable,  // retries exhausted without a consistent view
+  };
+  struct FetchResult {
+    FetchStatus status = FetchStatus::unavailable;
+    /// The group key on `ok`; on `stale`/`forked`, the last key this client
+    /// VERIFIED — safe for reading existing data, never for new writes.
+    std::optional<util::Bytes> key;
+  };
+
+  /// Full fetch-and-decrypt with the Byzantine verdict surfaced.
+  [[nodiscard]] FetchResult fetch(const GroupId& gid);
+
   /// Full fetch-and-decrypt; std::nullopt if this user is not (or no longer)
-  /// a member, or the metadata fails authentication.
+  /// a member, or the metadata fails authentication (fetch().key iff ok).
   [[nodiscard]] std::optional<util::Bytes> fetch_group_key(const GroupId& gid);
+
+  /// True once divergent views have been proven for the group. Sticky: a
+  /// fork is an existential property of the server, not a transient fault.
+  [[nodiscard]] bool is_forked(const GroupId& gid) const {
+    return forked_.count(gid) != 0;
+  }
 
   /// Blocks until the group's COMMITTED state changes relative to the last
   /// observation, then re-derives the key. std::nullopt on timeout or
@@ -78,15 +136,30 @@ class ClientApi {
     ok,          // `key` holds the group key
     not_member,  // a consistent view proves we are not in the group
     degraded,    // torn/stale/unauthenticated view: re-fetch the snapshot
+    forked,      // divergent equal-counter views proven — terminal
   };
-  Fetch fetch_once(const GroupId& gid, util::Bytes& key);
+  /// `fresh_rejected` is set (never cleared) when a degraded verdict was a
+  /// FRESHNESS rejection, so retry exhaustion reports `stale`, not
+  /// `unavailable`.
+  Fetch fetch_once(const GroupId& gid, util::Bytes& key, bool& fresh_rejected);
   [[nodiscard]] bool verify_any(const SignedEnvelope& env) const;
 
-  /// Retries `f` on cloud::TransientError per retry_.
+  /// Freshness-token checks + gossip cross-check for an authenticated index.
+  Fetch check_freshness(const GroupId& gid, const GroupIndex& idx,
+                        bool& fresh_rejected);
+  /// Raises the per-group high-water mark and gossips the advance.
+  void note_fresh_view(const GroupId& gid, const enclave::FreshnessToken& tok);
+  void publish_gossip(const GroupId& gid, const enclave::FreshnessToken& tok);
+  [[nodiscard]] std::vector<FreshnessObservation> read_gossip(
+      const GroupId& gid) const;
+  [[nodiscard]] std::optional<util::Bytes> last_key(const GroupId& gid) const;
+
+  /// Retries `f` on retryable faults (transient) per retry_; crash and
+  /// integrity faults propagate.
   template <typename F>
   auto with_retries(F&& f) {
-    return util::retry_on<cloud::TransientError>(retry_, std::forward<F>(f),
-                                                 &stats_.transient_retries);
+    return util::retry_faults(retry_, std::forward<F>(f),
+                              &stats_.transient_retries);
   }
 
   cloud::CloudStore& cloud_;
@@ -98,6 +171,18 @@ class ClientApi {
   // Highest authenticated index version seen per group: the commit point
   // only moves versions forward, so anything below is a stale replica read.
   std::map<GroupId, std::uint64_t> index_floor_;
+
+  // ---- Byzantine defence state (inert until enable_freshness) ----
+  struct FreshnessHwm {
+    std::uint64_t counter = 0;
+    std::array<std::uint8_t, 32> log_head{};
+  };
+  std::optional<ec::P256Point> freshness_key_;  // enclave identity key
+  std::string gossip_id_;                       // empty = gossip off
+  std::map<GroupId, FreshnessHwm> freshness_hwm_;
+  std::set<GroupId> forked_;                    // proven-divergent groups
+  std::map<GroupId, util::Bytes> last_verified_key_;  // degraded read-only
+
   ClientStats stats_;
 };
 

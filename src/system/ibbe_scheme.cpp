@@ -53,8 +53,26 @@ IbbeSgxScheme::IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed,
                                       admin_config_, seed);
 }
 
+IbbeSgxScheme::IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed,
+                             const cloud::FaultPlan& plan,
+                             const cloud::MaliciousPlan& malice)
+    : partition_size_(partition_size),
+      seed_(seed),
+      platform_(std::make_unique<sgx::EnclavePlatform>("bench-platform")),
+      enclave_(std::make_unique<enclave::IbbeEnclave>(*platform_, partition_size)),
+      cloud_(std::make_unique<cloud::CloudStore>()),
+      malicious_store_(std::make_unique<cloud::MaliciousStore>(*cloud_, malice)),
+      fault_store_(
+          std::make_unique<cloud::FaultInjectingStore>(*malicious_store_, plan)),
+      admin_key_(make_admin_key(seed)),
+      admin_config_(make_config(partition_size, true)) {
+  admin_ = std::make_unique<AdminApi>(*enclave_, store(), admin_key_,
+                                      admin_config_, seed);
+}
+
 std::string IbbeSgxScheme::name() const {
   std::string base = "IBBE-SGX(|p|=" + std::to_string(partition_size_) + ")";
+  if (malicious_store_) return base + "+byzantine";
   return fault_store_ ? base + "+faults" : base;
 }
 
@@ -129,6 +147,12 @@ ClientApi& IbbeSgxScheme::client_for(const core::Identity& id) {
                                               admin_->verification_point());
     if (fault_store_) {
       client->set_retry_policy(util::RetryPolicy{}.without_delays());
+    }
+    if (malicious_store_) {
+      // Byzantine deployments get the full defence: enclave-anchored
+      // freshness plus fork-detection gossip keyed by the client identity.
+      client->enable_freshness(enclave_->freshness_verification_key());
+      client->enable_gossip(id);
     }
     it = clients_.emplace(id, std::move(client)).first;
   }

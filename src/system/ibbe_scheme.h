@@ -35,6 +35,16 @@ class IbbeSgxScheme : public he::GroupScheme {
   IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed,
                 const cloud::FaultPlan& plan);
 
+  /// The Byzantine deployment: the store is a MaliciousStore running
+  /// `malice` (rollback / withhold / equivocation schedules) with a
+  /// FaultInjectingStore on top for the fail-stop tier, clients verify
+  /// enclave-anchored freshness and gossip their observations, and every
+  /// mutation still runs under crash recovery. Differential tests hold this
+  /// stack to the fault-free oracle.
+  IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed,
+                const cloud::FaultPlan& plan,
+                const cloud::MaliciousPlan& malice);
+
   [[nodiscard]] std::string name() const override;
   void create_group(std::span<const core::Identity> members) override;
   void add_user(const core::Identity& id) override;
@@ -50,6 +60,10 @@ class IbbeSgxScheme : public he::GroupScheme {
   /// Present only for fault-plan deployments.
   [[nodiscard]] cloud::FaultInjectingStore* fault_store() {
     return fault_store_.get();
+  }
+  /// Present only for Byzantine deployments.
+  [[nodiscard]] cloud::MaliciousStore* malicious_store() {
+    return malicious_store_.get();
   }
   /// Simulated process deaths survived so far.
   [[nodiscard]] std::uint64_t admin_restarts() const { return restarts_; }
@@ -71,7 +85,8 @@ class IbbeSgxScheme : public he::GroupScheme {
   std::unique_ptr<sgx::EnclavePlatform> platform_;
   std::unique_ptr<enclave::IbbeEnclave> enclave_;
   std::unique_ptr<cloud::CloudStore> cloud_;
-  std::unique_ptr<cloud::FaultInjectingStore> fault_store_;
+  std::unique_ptr<cloud::MaliciousStore> malicious_store_;  // wraps cloud_
+  std::unique_ptr<cloud::FaultInjectingStore> fault_store_;  // wraps the above
   pki::EcdsaKeyPair admin_key_;
   AdminConfig admin_config_;
   std::unique_ptr<AdminApi> admin_;

@@ -42,6 +42,7 @@ util::Bytes GroupIndex::to_bytes() const {
   }
   w.u64(gk_epoch);
   w.raw(log_head);
+  w.raw(freshness.to_bytes());
   return w.take();
 }
 
@@ -62,6 +63,8 @@ GroupIndex GroupIndex::from_bytes(std::span<const std::uint8_t> data) {
   idx.gk_epoch = r.u64();
   auto head = r.raw(32);
   std::copy(head.begin(), head.end(), idx.log_head.begin());
+  idx.freshness = enclave::FreshnessToken::from_bytes(
+      r.raw(enclave::FreshnessToken::serialized_size));
   r.expect_end();
   return idx;
 }
@@ -95,6 +98,24 @@ bool SignedEnvelope::verify(const ec::P256Point& admin_pub) const {
   return pki::ecdsa_verify(admin_pub, payload, signature);
 }
 
+util::Bytes FreshnessObservation::to_bytes() const {
+  util::ByteWriter w;
+  w.u64(counter);
+  w.raw(log_head);
+  return w.take();
+}
+
+FreshnessObservation FreshnessObservation::from_bytes(
+    std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  FreshnessObservation obs;
+  obs.counter = r.u64();
+  auto head = r.raw(32);
+  std::copy(head.begin(), head.end(), obs.log_head.begin());
+  r.expect_end();
+  return obs;
+}
+
 std::string group_dir(const GroupId& gid) { return "groups/" + gid; }
 
 std::string index_path(const GroupId& gid) { return group_dir(gid) + "/index"; }
@@ -105,6 +126,12 @@ std::string partition_path(const GroupId& gid, PartitionId pid) {
 
 std::string sealed_gk_path(const GroupId& gid, std::uint64_t epoch) {
   return group_dir(gid) + "/gk" + std::to_string(epoch) + ".sealed";
+}
+
+std::string gossip_dir(const GroupId& gid) { return "gossip/" + gid; }
+
+std::string gossip_path(const GroupId& gid, const std::string& observer) {
+  return gossip_dir(gid) + "/" + observer;
 }
 
 }  // namespace ibbe::system

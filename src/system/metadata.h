@@ -39,15 +39,19 @@ struct PartitionRecord {
 /// The index is the COMMIT POINT of every group mutation: partition records,
 /// the sealed group key and the op-log entry all land on the cloud first,
 /// and only the CAS that publishes this record makes them reachable. It
-/// therefore also anchors the two pieces of state that need the CAS'd
-/// lineage for integrity: which sealed-gk epoch is current, and the hash of
-/// the op-log entry that committed this index (so a rolled-back log suffix
-/// is detectable — see MembershipLog::audit).
+/// therefore also anchors the pieces of state that need the CAS'd lineage
+/// for integrity: which sealed-gk epoch is current, the hash of the op-log
+/// entry that committed this index (so a rolled-back log suffix is
+/// detectable — see MembershipLog::audit), and the enclave-signed freshness
+/// token that binds this commit to a platform monotonic counter (so a
+/// wholesale rollback of the index+log pair is detectable too — see
+/// docs/fault_model.md).
 struct GroupIndex {
   std::vector<PartitionId> partition_ids;
   std::vector<std::vector<core::Identity>> members;  // parallel to ids
   std::uint64_t gk_epoch = 0;                // which gk<epoch>.sealed is live
   std::array<std::uint8_t, 32> log_head{};   // committed op-log head (0 = no log)
+  enclave::FreshnessToken freshness;         // counter == 0 ⇒ not attested
 
   [[nodiscard]] std::optional<std::size_t> find_user(
       const core::Identity& id) const;
@@ -68,6 +72,18 @@ struct SignedEnvelope {
   [[nodiscard]] bool verify(const ec::P256Point& admin_pub) const;
 };
 
+/// One observer's view of a group's freshness, published to the gossip
+/// channel (unsigned — the channel is a HINT: a forged observation can make
+/// verifiers refuse service, never accept stale state). Two observations
+/// with the same counter but different log heads are proof of a fork.
+struct FreshnessObservation {
+  std::uint64_t counter = 0;
+  std::array<std::uint8_t, 32> log_head{};
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static FreshnessObservation from_bytes(std::span<const std::uint8_t> data);
+};
+
 /// Cloud paths.
 std::string group_dir(const GroupId& gid);
 std::string index_path(const GroupId& gid);
@@ -76,5 +92,10 @@ std::string partition_path(const GroupId& gid, PartitionId pid);
 /// rotation, allocated like partition ids so concurrent admins never write
 /// the same path); the committed index says which epoch is live.
 std::string sealed_gk_path(const GroupId& gid, std::uint64_t epoch);
+/// Freshness-gossip channel. Deliberately OUTSIDE groups/<gid>/: gossip
+/// writes must not wake group-directory long-pollers, and the channel models
+/// the out-of-band client-to-client path of ROTE-style fork detection.
+std::string gossip_dir(const GroupId& gid);
+std::string gossip_path(const GroupId& gid, const std::string& observer);
 
 }  // namespace ibbe::system

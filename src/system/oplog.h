@@ -7,9 +7,11 @@
 // each entry is ECDSA-signed by the administrator that performed it. Anyone
 // holding the admin verification keys can audit that (a) the log is intact
 // (no reordering, insertion or deletion) and (b) every operation was
-// performed by an authorized administrator. The cloud can withhold the log's
-// tail (fork/freshness attacks need external anchoring — out of scope, as in
-// the paper), but it cannot rewrite history.
+// performed by an authorized administrator. The cloud cannot rewrite
+// history; withholding the tail is caught by the committed index's log_head
+// anchor, and serving a stale index+log pair wholesale is caught by the
+// enclave-anchored freshness counter the index carries (see
+// docs/fault_model.md).
 #pragma once
 
 #include <optional>

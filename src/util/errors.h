@@ -1,0 +1,92 @@
+// Shared fault taxonomy for the unreliable-cloud layers.
+//
+// Every failure the storage stack can surface falls into one of three kinds,
+// and the kind — not the call site — decides whether a retry loop may absorb
+// it:
+//
+//   * transient — a round trip failed but may succeed if repeated (network
+//                 blip, HTTP 5xx, throttling, a lagging replica). The ONLY
+//                 retryable kind.
+//   * crash     — the calling process dies at this exact point. Never retried
+//                 in place: recovery happens in a fresh process
+//                 (AdminApi::recover).
+//   * integrity — cryptographic evidence of tampering: a forged signature, a
+//                 freshness attestation whose binding does not match the data
+//                 it vouches for. Retrying cannot help and silently absorbing
+//                 it would defeat the Byzantine defenses, so retry loops must
+//                 always propagate it.
+//
+// cloud/store.h aliases its historical TransientError/CrashError names to
+// these types, so `catch (const cloud::TransientError&)` and
+// `util::retry_faults` (retry.h) agree on one classification. fault.h's
+// injectors (FaultInjectingStore, MaliciousStore) throw them directly.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ibbe::util {
+
+enum class FaultKind : std::uint8_t {
+  transient,  // failed round trip; retry may succeed
+  crash,      // simulated process death; never retried in place
+  integrity,  // evidence of tampering; must propagate
+};
+
+[[nodiscard]] constexpr const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::transient: return "transient";
+    case FaultKind::crash: return "crash";
+    case FaultKind::integrity: return "integrity";
+  }
+  return "unknown";
+}
+
+/// The retryability trait: one place decides which kinds a backoff loop may
+/// absorb (util::retry_faults consults this, as may any hand-rolled loop).
+[[nodiscard]] constexpr bool fault_retryable(FaultKind kind) {
+  return kind == FaultKind::transient;
+}
+
+/// Common base so generic code can classify a caught fault without an
+/// exception-type ladder.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(FaultKind kind, const std::string& what)
+      : std::runtime_error(std::string(fault_kind_name(kind)) + " fault: " +
+                           what),
+        kind_(kind) {}
+
+  [[nodiscard]] FaultKind kind() const { return kind_; }
+  [[nodiscard]] bool retryable() const { return fault_retryable(kind_); }
+
+ private:
+  FaultKind kind_;
+};
+
+/// A cloud round trip failed but may succeed if retried. NOTE: a failed
+/// *write* is ambiguous — the value may or may not have been applied before
+/// the error — so all writers must be idempotent or CAS-guarded.
+struct TransientError : FaultError {
+  explicit TransientError(const std::string& what)
+      : FaultError(FaultKind::transient, what) {}
+};
+
+/// Simulated process death at this exact point; whatever was already written
+/// stays behind. Deliberately not a TransientError so no retry loop can
+/// swallow it.
+struct CrashError : FaultError {
+  explicit CrashError(const std::string& what)
+      : FaultError(FaultKind::crash, what) {}
+};
+
+/// Cryptographic evidence of a Byzantine store: forged metadata, or a
+/// freshness attestation that does not bind the state it is stored with.
+/// Never retryable — callers surface it.
+struct IntegrityError : FaultError {
+  explicit IntegrityError(const std::string& what)
+      : FaultError(FaultKind::integrity, what) {}
+};
+
+}  // namespace ibbe::util

@@ -8,16 +8,19 @@
 // attempt count and an optional wall-clock deadline.
 //
 // The policy is pure data plus a pure delay() function; retry_on<E>() is the
-// loop. Callers pick which exception type counts as "transient" — the cloud
-// layer throws cloud::TransientError for retryable faults and
-// cloud::CrashError for simulated process death, and only the former may
-// ever be retried.
+// generic loop, and retry_faults() is the loop specialised to the
+// util/errors.h taxonomy: it retries exactly the FaultErrors whose kind is
+// retryable (transient), while crash and integrity faults always propagate —
+// so no retry loop anywhere can swallow a simulated process death or
+// evidence of a Byzantine store.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <thread>
 #include <utility>
+
+#include "util/errors.h"
 
 namespace ibbe::util {
 
@@ -63,6 +66,30 @@ auto retry_on(const RetryPolicy& policy, F&& f, std::uint64_t* retries = nullptr
     try {
       return f();
     } catch (const Exc&) {
+      if (attempt >= policy.max_attempts) throw;
+      if (policy.deadline.count() > 0 &&
+          std::chrono::steady_clock::now() - start >= policy.deadline) {
+        throw;
+      }
+      if (retries != nullptr) ++*retries;
+      auto pause = policy.delay(attempt);
+      if (pause.count() > 0) std::this_thread::sleep_for(pause);
+    }
+  }
+}
+
+/// Runs `f`, retrying per `policy` exactly the FaultErrors whose kind()
+/// reports retryable() (i.e. transient faults). Crash and integrity faults —
+/// and any non-FaultError exception — propagate immediately, budget or not.
+template <typename F>
+auto retry_faults(const RetryPolicy& policy, F&& f,
+                  std::uint64_t* retries = nullptr) -> decltype(f()) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return f();
+    } catch (const FaultError& e) {
+      if (!e.retryable()) throw;
       if (attempt >= policy.max_attempts) throw;
       if (policy.deadline.count() > 0 &&
           std::chrono::steady_clock::now() - start >= policy.deadline) {

@@ -83,6 +83,30 @@ std::vector<SchemeFactory> factories() {
          return std::make_unique<ibbe::system::IbbeSgxScheme>(5, seed, plan);
        },
        24, 2},
+      // The BYZANTINE stack: a MaliciousStore replays whole rolled-back
+      // generations, withholds op-log tails and equivocates on single files,
+      // with the fail-stop tier layered on top. Freshness-verifying,
+      // gossiping clients and the enclave-anchored admin are STILL held to
+      // the identical fault-free oracle: a bounded-window attack may cost
+      // retries, never a wrong or stale key. (Window max 4 keeps attacks
+      // inside the clients' retry budget, as docs/fault_model.md derives.)
+      {"ibbe_sgx_byzantine",
+       [](std::uint64_t seed) {
+         ibbe::cloud::FaultPlan plan;
+         plan.seed = seed * 7919 + 13;
+         plan.put_error_rate = 0.02;
+         plan.get_error_rate = 0.02;
+         plan.crash_rate = 0.01;
+         ibbe::cloud::MaliciousPlan malice;
+         malice.seed = seed * 6151 + 29;
+         malice.rollback_rate = 0.02;
+         malice.withhold_rate = 0.02;
+         malice.equivocate_rate = 0.02;
+         malice.max_window = 4;
+         return std::make_unique<ibbe::system::IbbeSgxScheme>(5, seed, plan,
+                                                              malice);
+       },
+       20, 2},
   };
 }
 
@@ -91,7 +115,7 @@ class ModelBasedTest
 
 INSTANTIATE_TEST_SUITE_P(
     SchemesAndSeeds, ModelBasedTest,
-    ::testing::Combine(::testing::Values(0, 1, 2, 3),     // factory index
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),  // factory index
                        ::testing::Values(101u, 202u)),    // RNG seed
     [](const auto& info) {
       return std::string(factories()[static_cast<std::size_t>(
