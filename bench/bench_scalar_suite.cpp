@@ -6,6 +6,11 @@
 // and optionally writes them as JSON so CI can diff a BENCH_scalar.json
 // between revisions. The schema is documented in docs/benchmarks.md.
 //
+// The `_t{N}` metrics re-run a parallelized operation with the global thread
+// pool at N total threads — the scaling curve for the work-stealing pool.
+// On a single-core host the curve is flat (or slightly worse at higher N,
+// pure scheduling overhead); see docs/benchmarks.md for interpretation.
+//
 // Usage: bench_scalar_suite [--json PATH] [--scale smoke|default|full]
 #include <cstdio>
 #include <cstring>
@@ -22,7 +27,9 @@
 #include "ibbe/ibbe.h"
 #include "pairing/gt_exp.h"
 #include "pairing/pairing.h"
+#include "system/admin.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -112,6 +119,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("montgomery backend: %s\n", ibbe::bigint::backend::name());
+  // Baseline metrics are serial regardless of the host's core count; the
+  // `_t{N}` sweeps below widen the pool explicitly.
+  ibbe::util::ThreadPool::set_global_threads(1);
 
   // Base-field / tower operands for the ns-scale metrics.
   using ibbe::field::Fp;
@@ -173,6 +183,60 @@ int main(int argc, char** argv) {
   metrics.push_back({"decrypt_batched_4x16_us", time_us(
       [&] { (void)ibbe::core::decrypt_batched(keys.pk, usk, parts); },
       iters)});
+
+  // ---- thread-pool scaling sweeps ----------------------------------------
+  // Same operations, global pool widened to N threads. Results stay bitwise
+  // identical at every N (tests/parallel_equivalence_test.cpp); only the
+  // wall time may move.
+  static const char* kBatchedNames[] = {
+      "decrypt_batched_4x16_t1_us", "decrypt_batched_4x16_t2_us",
+      "decrypt_batched_4x16_t4_us", "decrypt_batched_4x16_t8_us"};
+  const std::size_t batched_threads[] = {1, 2, 4, 8};
+  for (std::size_t s = 0; s < 4; ++s) {
+    ibbe::util::ThreadPool::set_global_threads(batched_threads[s]);
+    metrics.push_back({kBatchedNames[s], time_us(
+        [&] { (void)ibbe::core::decrypt_batched(keys.pk, usk, parts); },
+        iters)});
+  }
+  static const char* kMsmNames[] = {"msm_g2_64_t1_us", "msm_g2_64_t4_us"};
+  const std::size_t msm_threads[] = {1, 4};
+  for (std::size_t s = 0; s < 2; ++s) {
+    ibbe::util::ThreadPool::set_global_threads(msm_threads[s]);
+    metrics.push_back({kMsmNames[s], time_us(
+        [&] {
+          (void)ibbe::ec::msm(std::span<const G2>(msm_bases),
+                              std::span<const Fr>(msm_scalars));
+        },
+        iters)});
+  }
+  // End-to-end admin group creation: 256 members in |p|=16 partitions, so
+  // the enclave's per-partition encrypt fan-out carries 16-way work. The
+  // CloudStore writes and the commit protocol stay on the calling thread.
+  static const char* kAdminNames[] = {"admin_create_256_t1_us",
+                                      "admin_create_256_t4_us"};
+  const std::size_t admin_threads[] = {1, 4};
+  const int admin_iters = iters >= 10 ? iters / 10 : 1;
+  for (std::size_t s = 0; s < 2; ++s) {
+    ibbe::util::ThreadPool::set_global_threads(admin_threads[s]);
+    ibbe::sgx::EnclavePlatform platform("bench-scalar");
+    ibbe::enclave::IbbeEnclave enclave(platform, 16);
+    ibbe::cloud::CloudStore cloud;
+    ibbe::crypto::Drbg admin_rng(31 + s);
+    ibbe::system::AdminConfig config;
+    config.partition_size = 16;
+    ibbe::system::AdminApi admin(enclave, cloud,
+                                 ibbe::pki::EcdsaKeyPair::generate(admin_rng),
+                                 config, /*seed=*/17);
+    std::vector<ibbe::core::Identity> group;
+    for (int i = 0; i < 256; ++i) group.push_back("m" + std::to_string(i));
+    int next_gid = 0;
+    ibbe::util::Stopwatch sw;
+    for (int i = 0; i < admin_iters; ++i) {
+      admin.create_group("g" + std::to_string(next_gid++), group);
+    }
+    metrics.push_back({kAdminNames[s], sw.micros() / admin_iters});
+  }
+  ibbe::util::ThreadPool::set_global_threads(1);
 
   ibbe::bench::Table table("scalar suite (" +
                                std::string(ibbe::bench::scale_name(scale)) +

@@ -69,6 +69,13 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
+# Forced single-thread pass: IBBE_THREADS=1 makes every parallel_for inline
+# on the calling thread (the pool spawns no workers). The whole suite must
+# stay green with the pool compiled in but idle — serial recoverability is
+# a hard requirement, same contract as the forced-portable stage below.
+echo "==> ctest (IBBE_THREADS=1, pool inline)"
+IBBE_THREADS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
 # Figure/table reproduction benches, smoke scale (seconds each).
 for bench in "$BUILD_DIR"/bench_fig* "$BUILD_DIR"/bench_table* \
              "$BUILD_DIR"/bench_ablation*; do
@@ -172,9 +179,10 @@ if echo 'int main() { return 0; }' \
   cmake -B "$SAN_DIR" -S . -DIBBE_SANITIZE=address,undefined
   cmake --build "$SAN_DIR" -j"$JOBS" --target \
     util_test cloud_test fault_injection_test byzantine_test system_test \
-    extensions_test
+    extensions_test thread_pool_test parallel_equivalence_test
   for suite in util_test cloud_test fault_injection_test byzantine_test \
-               system_test extensions_test; do
+               system_test extensions_test thread_pool_test \
+               parallel_equivalence_test; do
     echo "==> $SAN_DIR/$suite (sanitized)"
     "$SAN_DIR/$suite" --gtest_brief=1
   done
@@ -185,8 +193,11 @@ fi
 
 # ThreadSanitizer stage: the Byzantine store wraps every fault decision in a
 # mutex and clients race long-polls, gossip publishes, and CAS retries
-# against it — exactly the shapes TSan exists to check. Probed the same way
-# as ASan: minimal toolchains often lack the tsan runtime.
+# against it — exactly the shapes TSan exists to check. The thread-pool
+# suites ride along: they hammer the work-stealing scheduler and the lazy
+# first-use of the shared crypto singletons (GLV/GLS lattices, comb tables,
+# the Montgomery-backend dispatch) from many workers at once. Probed the
+# same way as ASan: minimal toolchains often lack the tsan runtime.
 tsan_probe="$(mktemp)"
 if echo 'int main() { return 0; }' \
      | c++ -x c++ - -fsanitize=thread -fno-omit-frame-pointer \
@@ -204,8 +215,10 @@ if echo 'int main() { return 0; }' \
   echo "==> tsan build ($TSAN_DIR, thread)"
   cmake -B "$TSAN_DIR" -S . -DIBBE_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j"$JOBS" --target \
-    cloud_test fault_injection_test byzantine_test system_test
-  for suite in cloud_test fault_injection_test byzantine_test system_test; do
+    cloud_test fault_injection_test byzantine_test system_test \
+    thread_pool_test parallel_equivalence_test
+  for suite in cloud_test fault_injection_test byzantine_test system_test \
+               thread_pool_test parallel_equivalence_test; do
     echo "==> $TSAN_DIR/$suite (tsan)"
     "$TSAN_DIR/$suite" --gtest_brief=1
   done

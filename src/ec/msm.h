@@ -31,6 +31,7 @@
 #include "ec/curves.h"
 #include "ec/wnaf.h"
 #include "field/fields.h"
+#include "util/thread_pool.h"
 
 namespace ibbe::ec {
 
@@ -107,6 +108,13 @@ Point straus(std::span<const Point> bases,
 
 /// Pippenger: per-window buckets with a running-sum sweep. Window width
 /// grows with n, so the per-point cost approaches one addition per window.
+///
+/// The per-window bucket accumulations are independent of the doubling
+/// ladder, so they fan out to the thread pool (one slot per window, each
+/// task owning a private bucket array); the c-doubling fold that combines
+/// the window sums stays serial and performs exactly the additions the
+/// serial interleaved loop would, in its order — the result is
+/// bitwise-identical at any thread count.
 template <typename Point>
 Point pippenger(std::span<const Point> bases,
                 std::span<const bigint::U256> scalars, std::size_t n,
@@ -116,15 +124,11 @@ Point pippenger(std::span<const Point> bases,
   const unsigned c = std::min(12u, std::max(4u, nbits - 2));
   const unsigned wins = (max_bits + c - 1) / c;
 
-  std::vector<Point> buckets((std::size_t{1} << c) - 1);
-  Point acc = Point::infinity();
-  for (unsigned win = wins; win-- > 0;) {
-    if (win + 1 != wins) {
-      for (unsigned j = 0; j < c; ++j) acc = acc.dbl();
-    }
-    for (auto& b : buckets) b = Point::infinity();
+  std::vector<Point> window_sums(wins);
+  util::ThreadPool::global().parallel_for(0, wins, 1, [&](std::size_t win) {
+    std::vector<Point> buckets((std::size_t{1} << c) - 1, Point::infinity());
     for (std::size_t i = 0; i < n; ++i) {
-      unsigned d = window_value(scalars[i], win * c, c);
+      unsigned d = window_value(scalars[i], static_cast<unsigned>(win) * c, c);
       if (d) buckets[d - 1] += bases[i];
     }
     // Σ d * bucket[d] via the running-sum identity.
@@ -134,7 +138,15 @@ Point pippenger(std::span<const Point> bases,
       run += buckets[j];
       sum += run;
     }
-    acc += sum;
+    window_sums[win] = sum;
+  });
+
+  Point acc = Point::infinity();
+  for (unsigned win = wins; win-- > 0;) {
+    if (win + 1 != wins) {
+      for (unsigned j = 0; j < c; ++j) acc = acc.dbl();
+    }
+    acc += window_sums[win];
   }
   return acc;
 }

@@ -7,6 +7,7 @@
 #include "crypto/sha256.h"
 #include "pki/ecies.h"
 #include "util/hex.h"
+#include "util/thread_pool.h"
 
 namespace ibbe::enclave {
 
@@ -92,6 +93,14 @@ IbbeEnclave::IbbeEnclave(sgx::EnclavePlatform& platform,
   epc_alloc(keys_.pk.h_powers.size() * ec::g2_serialized_size + 4096);
 }
 
+IbbeEnclave::IbbeEnclave(sgx::EnclavePlatform& platform,
+                         std::size_t max_partition_size, std::uint64_t rng_seed)
+    : sgx::EnclaveBase(platform, image(), rng_seed),
+      keys_(core::setup(max_partition_size, enclave_rng())),
+      identity_key_(pki::EcdsaKeyPair::generate(enclave_rng())) {
+  epc_alloc(keys_.pk.h_powers.size() * ec::g2_serialized_size + 4096);
+}
+
 util::Bytes IbbeEnclave::identity_public_key() const {
   return identity_key_.public_key_bytes();
 }
@@ -102,15 +111,33 @@ sgx::Quote IbbeEnclave::attestation_quote() const {
 }
 
 util::Bytes IbbeEnclave::wrap_gk(const Gt& bk, std::span<const std::uint8_t> gk,
-                                 util::Bytes& nonce_out) {
+                                 const util::Bytes& nonce) const {
   // y_p = AES-256-GCM(key = SHA-256(bk), gk) — the paper's
   // sgx_aes(sgx_sha(b_p), gk), upgraded from raw AES to an AEAD so clients
   // can detect wrong/corrupted partition keys.
   auto key = bk.hash();
   crypto::Aes256Gcm gcm(key);
-  nonce_out = enclave_rng().bytes(crypto::Aes256Gcm::nonce_size);
-  return gcm.seal(nonce_out, gk);
+  return gcm.seal(nonce, gk);
 }
+
+namespace {
+
+/// The randomness one partition's worth of enclaved work consumes: the IBBE
+/// randomizer k and the y_p GCM nonce. Drawn on the ecall thread, in
+/// partition order, BEFORE the deterministic math fans out to the pool.
+struct PartitionDraw {
+  field::Fr k;
+  util::Bytes nonce;
+};
+
+PartitionDraw draw_partition_randomness(crypto::Drbg& rng) {
+  PartitionDraw d;
+  d.k = core::random_nonzero_fr(rng);
+  d.nonce = rng.bytes(crypto::Aes256Gcm::nonce_size);
+  return d;
+}
+
+}  // namespace
 
 IbbeEnclave::GroupCreation IbbeEnclave::ecall_create_group(
     std::span<const std::vector<Identity>> partitions) {
@@ -119,16 +146,20 @@ IbbeEnclave::GroupCreation IbbeEnclave::ecall_create_group(
     throw std::invalid_argument("ecall_create_group: no partitions");
   }
   util::Bytes gk = enclave_rng().bytes(group_key_size);
+  std::vector<PartitionDraw> draws(partitions.size());
+  for (auto& d : draws) d = draw_partition_randomness(enclave_rng());
 
   GroupCreation out;
-  out.partitions.reserve(partitions.size());
-  for (const auto& members : partitions) {
-    auto enc = core::encrypt_with_msk(keys_.msk, keys_.pk, members, enclave_rng());
-    PartitionCiphertext pc;
-    pc.ct = enc.ct;
-    pc.wrapped_gk = wrap_gk(enc.bk, gk, pc.nonce);
-    out.partitions.push_back(std::move(pc));
-  }
+  out.partitions.resize(partitions.size());
+  util::ThreadPool::global().parallel_for(
+      0, partitions.size(), 1, [&](std::size_t i) {
+        auto enc = core::encrypt_with_msk(keys_.msk, keys_.pk, partitions[i],
+                                          draws[i].k);
+        PartitionCiphertext& pc = out.partitions[i];
+        pc.ct = enc.ct;
+        pc.nonce = std::move(draws[i].nonce);
+        pc.wrapped_gk = wrap_gk(enc.bk, gk, pc.nonce);
+      });
   out.sealed_gk = seal(gk);
   return out;
 }
@@ -146,9 +177,11 @@ PartitionCiphertext IbbeEnclave::ecall_create_partition(
   EcallScope scope(*this);
   auto gk = unseal(sealed_gk);
   if (!gk) throw std::invalid_argument("ecall_create_partition: bad sealed gk");
-  auto enc = core::encrypt_with_msk(keys_.msk, keys_.pk, members, enclave_rng());
+  auto draw = draw_partition_randomness(enclave_rng());
+  auto enc = core::encrypt_with_msk(keys_.msk, keys_.pk, members, draw.k);
   PartitionCiphertext pc;
   pc.ct = enc.ct;
+  pc.nonce = std::move(draw.nonce);
   pc.wrapped_gk = wrap_gk(enc.bk, *gk, pc.nonce);
   return pc;
 }
@@ -160,27 +193,27 @@ IbbeEnclave::RemovalResult IbbeEnclave::ecall_remove_user(
   EcallScope scope(*this);
   // Algorithm 3, line 3: fresh group key (revocation re-keys everything).
   util::Bytes gk = enclave_rng().bytes(group_key_size);
+  std::vector<PartitionDraw> draws(other_partitions.size() + 1);
+  for (auto& d : draws) d = draw_partition_randomness(enclave_rng());
 
   RemovalResult out;
-  out.partitions.reserve(other_partitions.size() + 1);
-
-  // Line 4-5: O(1) removal on the hosting partition.
-  auto rem =
-      core::remove_user_with_msk(keys_.msk, keys_.pk, hosting_ct, removed,
-                                 enclave_rng());
-  PartitionCiphertext host;
-  host.ct = rem.ct;
-  host.wrapped_gk = wrap_gk(rem.bk, gk, host.nonce);
-  out.partitions.push_back(std::move(host));
-
-  // Lines 6-8: constant-time re-key of every other partition.
-  for (const auto& ct : other_partitions) {
-    auto re = core::rekey(keys_.pk, ct, enclave_rng());
-    PartitionCiphertext pc;
-    pc.ct = re.ct;
-    pc.wrapped_gk = wrap_gk(re.bk, gk, pc.nonce);
-    out.partitions.push_back(std::move(pc));
-  }
+  out.partitions.resize(other_partitions.size() + 1);
+  // Slot 0: line 4-5, the O(1) removal on the hosting partition; slots 1..n:
+  // lines 6-8, the constant-time re-key of every other partition. Randomness
+  // was drawn above; the fan-out is pure arithmetic into pre-sized slots.
+  util::ThreadPool::global().parallel_for(
+      0, out.partitions.size(), 1, [&](std::size_t i) {
+        auto enc = (i == 0)
+                       ? core::remove_user_with_msk(keys_.msk, keys_.pk,
+                                                    hosting_ct, removed,
+                                                    draws[0].k)
+                       : core::rekey(keys_.pk, other_partitions[i - 1],
+                                     draws[i].k);
+        PartitionCiphertext& pc = out.partitions[i];
+        pc.ct = enc.ct;
+        pc.nonce = std::move(draws[i].nonce);
+        pc.wrapped_gk = wrap_gk(enc.bk, gk, pc.nonce);
+      });
 
   // Line 9: seal the new group key.
   out.sealed_gk = seal(gk);
@@ -192,25 +225,27 @@ IbbeEnclave::RemovalResult IbbeEnclave::ecall_remove_users(
     std::span<const BroadcastCiphertext> other_partitions) {
   EcallScope scope(*this);
   util::Bytes gk = enclave_rng().bytes(group_key_size);
+  const std::size_t total = hosts.size() + other_partitions.size();
+  std::vector<PartitionDraw> draws(total);
+  for (auto& d : draws) d = draw_partition_randomness(enclave_rng());
 
   RemovalResult out;
-  out.partitions.reserve(hosts.size() + other_partitions.size());
-
-  for (const auto& spec : hosts) {
-    auto rem = core::remove_users_with_msk(keys_.msk, keys_.pk, spec.ct,
-                                           spec.removed, enclave_rng());
-    PartitionCiphertext pc;
-    pc.ct = rem.ct;
-    pc.wrapped_gk = wrap_gk(rem.bk, gk, pc.nonce);
-    out.partitions.push_back(std::move(pc));
-  }
-  for (const auto& ct : other_partitions) {
-    auto re = core::rekey(keys_.pk, ct, enclave_rng());
-    PartitionCiphertext pc;
-    pc.ct = re.ct;
-    pc.wrapped_gk = wrap_gk(re.bk, gk, pc.nonce);
-    out.partitions.push_back(std::move(pc));
-  }
+  out.partitions.resize(total);
+  // Slots [0, hosts.size()): batch removal per hosting partition; the rest:
+  // constant-time re-keys, in the input order.
+  util::ThreadPool::global().parallel_for(0, total, 1, [&](std::size_t i) {
+    auto enc = (i < hosts.size())
+                   ? core::remove_users_with_msk(keys_.msk, keys_.pk,
+                                                 hosts[i].ct, hosts[i].removed,
+                                                 draws[i].k)
+                   : core::rekey(keys_.pk,
+                                 other_partitions[i - hosts.size()],
+                                 draws[i].k);
+    PartitionCiphertext& pc = out.partitions[i];
+    pc.ct = enc.ct;
+    pc.nonce = std::move(draws[i].nonce);
+    pc.wrapped_gk = wrap_gk(enc.bk, gk, pc.nonce);
+  });
   out.sealed_gk = seal(gk);
   return out;
 }
@@ -233,9 +268,11 @@ PartitionCiphertext IbbeEnclave::ecall_rekey_partition(
   EcallScope scope(*this);
   auto gk = unseal(sealed_gk);
   if (!gk) throw std::invalid_argument("ecall_rekey_partition: bad sealed gk");
-  auto re = core::rekey(keys_.pk, ct, enclave_rng());
+  auto draw = draw_partition_randomness(enclave_rng());
+  auto re = core::rekey(keys_.pk, ct, draw.k);
   PartitionCiphertext pc;
   pc.ct = re.ct;
+  pc.nonce = std::move(draw.nonce);
   pc.wrapped_gk = wrap_gk(re.bk, *gk, pc.nonce);
   return pc;
 }

@@ -60,6 +60,14 @@ class IbbeEnclave : public sgx::EnclaveBase {
   /// partitions of at most `max_partition_size` users. O(m).
   IbbeEnclave(sgx::EnclavePlatform& platform, std::size_t max_partition_size);
 
+  /// Deterministic-DRBG variant (see the seeded EnclaveBase constructor):
+  /// two same-seed enclaves on one platform produce bitwise-identical
+  /// partition ciphertexts, which the parallel-equivalence tests rely on.
+  /// Sealed blobs still differ per call (seal nonces come from platform
+  /// entropy, not the enclave DRBG).
+  IbbeEnclave(sgx::EnclavePlatform& platform, std::size_t max_partition_size,
+              std::uint64_t rng_seed);
+
   /// Build descriptor used for the expected-measurement check by auditors.
   static sgx::EnclaveImage image();
 
@@ -174,9 +182,15 @@ class IbbeEnclave : public sgx::EnclaveBase {
   }
 
  private:
+  /// y_p = AES-256-GCM(SHA-256(bk), gk) under a caller-supplied nonce. The
+  /// nonce is PRE-DRAWN from the enclave DRBG on the ecall thread (together
+  /// with every IBBE randomizer, in partition order) before the
+  /// per-partition work fans out to the thread pool — the DRBG stays
+  /// single-threaded and the draw sequence is identical at every thread
+  /// count, so outputs are bitwise-reproducible for a seeded enclave.
   [[nodiscard]] util::Bytes wrap_gk(const pairing::Gt& bk,
                                     std::span<const std::uint8_t> gk,
-                                    util::Bytes& nonce_out);
+                                    const util::Bytes& nonce) const;
   /// Platform counter name for a group, scoped by this build's measurement.
   [[nodiscard]] std::string freshness_counter_name(const std::string& group) const;
 

@@ -2,6 +2,7 @@
 
 #include "crypto/gcm.h"
 #include "crypto/sha256.h"
+#include "util/thread_pool.h"
 
 namespace ibbe::he {
 
@@ -57,25 +58,36 @@ void HeIbeScheme::grant_many(std::span<const core::Identity> ids) {
   // One grant per member, but with the per-member final exponentiations
   // batched (pairing::final_exponentiation_many shares the easy part's field
   // inversion) and the per-member key derivation routed through the GT
-  // exponentiation engine via Gt::exp.
-  std::vector<Fr> rs;
-  std::vector<field::Fp12> millers;
-  rs.reserve(ids.size());
-  millers.reserve(ids.size());
-  for (const auto& id : ids) {
-    Fr r = random_nonzero_fr(rng_);
-    G2 u = G2::generator().mul(r);
-    Entry entry;
-    entry.u_bytes = ec::g2_to_bytes(u);
-    entries_[id] = std::move(entry);
-    rs.push_back(r);
-    millers.push_back(pairing::miller_loop(ec::hash_to_g1(id), p_pub_prepared_));
-  }
+  // exponentiation engine via Gt::exp. The per-member math fans out to the
+  // thread pool: the r_i are pre-drawn serially in member order, each task
+  // writes only its own slots, and the entries_ map is mutated exclusively
+  // on the calling thread — the outputs are bitwise-identical to the serial
+  // loop at any thread count.
+  const std::size_t n = ids.size();
+  std::vector<Fr> rs(n);
+  for (auto& r : rs) r = random_nonzero_fr(rng_);
+
+  std::vector<util::Bytes> u_bytes(n);
+  std::vector<field::Fp12> millers(n);
+  auto& pool = util::ThreadPool::global();
+  pool.parallel_for(0, n, 1, [&](std::size_t i) {
+    u_bytes[i] = ec::g2_to_bytes(G2::generator().mul(rs[i]));
+    millers[i] = pairing::miller_loop(ec::hash_to_g1(ids[i]), p_pub_prepared_);
+  });
   auto exps = pairing::final_exponentiation_many(millers);
-  for (std::size_t i = 0; i < ids.size(); ++i) {
+
+  std::vector<util::Bytes> bodies(n);
+  pool.parallel_for(0, n, 1, [&](std::size_t i) {
     auto shared = pairing::Gt::from_fp12_unchecked(exps[i]).exp(rs[i]);
     crypto::Aes256Gcm gcm(shared.hash());
-    entries_[ids[i]].body = gcm.seal(zero_nonce(), gk_);
+    bodies[i] = gcm.seal(zero_nonce(), gk_);
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Entry entry;
+    entry.u_bytes = std::move(u_bytes[i]);
+    entry.body = std::move(bodies[i]);
+    entries_[ids[i]] = std::move(entry);
   }
 }
 
@@ -119,6 +131,18 @@ std::size_t HeIbeScheme::metadata_size() const {
     total += id.size() + entry.u_bytes.size() + entry.body.size() + 8;
   }
   return total;
+}
+
+std::array<std::uint8_t, 32> HeIbeScheme::entries_digest() const {
+  crypto::Sha256 h;
+  for (const auto& [id, entry] : entries_) {
+    util::ByteWriter w;
+    w.str(id);
+    w.blob(entry.u_bytes);
+    w.blob(entry.body);
+    h.update(w.take());
+  }
+  return h.finish();
 }
 
 }  // namespace ibbe::he

@@ -12,6 +12,7 @@
 // HE-PKI that Fig. 2 of the paper shows.
 #pragma once
 
+#include <array>
 #include <map>
 
 #include "crypto/drbg.h"
@@ -32,6 +33,11 @@ class HeIbeScheme : public GroupScheme {
       const core::Identity& id) override;
   [[nodiscard]] std::size_t metadata_size() const override;
   [[nodiscard]] std::size_t group_size() const override { return entries_.size(); }
+
+  /// SHA-256 over the whole entry table (id, U, body) in map order — a
+  /// compact fingerprint of every granted credential, compared bitwise by
+  /// the parallel-equivalence tests across thread counts.
+  [[nodiscard]] std::array<std::uint8_t, 32> entries_digest() const;
 
  private:
   struct Entry {

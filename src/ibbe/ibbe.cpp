@@ -1,10 +1,12 @@
 #include "ibbe/ibbe.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/sha256.h"
 #include "ec/msm.h"
 #include "ibbe/poly.h"
+#include "util/thread_pool.h"
 
 namespace ibbe::core {
 
@@ -25,8 +27,6 @@ field::Fr hash_identity(const Identity& id) {
   }
 }
 
-namespace {
-
 Fr random_nonzero_fr(crypto::Drbg& rng) {
   while (true) {
     auto raw = rng.bytes(32);
@@ -34,6 +34,8 @@ Fr random_nonzero_fr(crypto::Drbg& rng) {
     if (!k.is_zero()) return k;
   }
 }
+
+namespace {
 
 void check_receivers(const PublicKey& pk, std::span<const Identity> receivers) {
   if (receivers.empty()) {
@@ -74,16 +76,20 @@ G2 evaluate_in_exponent(const PublicKey& pk, std::span<const Fr> coef) {
   return pk.powers_msm(coef.size())->msm(coef);
 }
 
-/// Completes (bk, C1, C2) for a fresh randomizer k over an existing C3.
+/// Completes (bk, C1, C2) for the randomizer k over an existing C3.
 EncryptResult assemble_from_c3(const PublicKey& pk, const G2& c3,
-                               crypto::Drbg& rng) {
-  Fr k = random_nonzero_fr(rng);
+                               const Fr& k) {
   EncryptResult out;
   out.bk = pk.v.exp(k);
   out.ct.c1 = pk.w.mul(k.neg());
   out.ct.c2 = c3.mul(k);
   out.ct.c3 = c3;
   return out;
+}
+
+EncryptResult assemble_from_c3(const PublicKey& pk, const G2& c3,
+                               crypto::Drbg& rng) {
+  return assemble_from_c3(pk, c3, random_nonzero_fr(rng));
 }
 
 }  // namespace
@@ -229,7 +235,7 @@ UserSecretKey extract_user_key(const MasterSecretKey& msk, const Identity& id) {
 
 EncryptResult encrypt_with_msk(const MasterSecretKey& msk, const PublicKey& pk,
                                std::span<const Identity> receivers,
-                               crypto::Drbg& rng) {
+                               const Fr& k) {
   check_receivers(pk, receivers);
   // O(|S|): the product lives in Zr thanks to gamma.
   Fr prod = Fr::one();
@@ -237,7 +243,14 @@ EncryptResult encrypt_with_msk(const MasterSecretKey& msk, const PublicKey& pk,
     prod *= msk.gamma + hash_identity(id);
   }
   G2 c3 = pk.h().mul(prod);
-  return assemble_from_c3(pk, c3, rng);
+  return assemble_from_c3(pk, c3, k);
+}
+
+EncryptResult encrypt_with_msk(const MasterSecretKey& msk, const PublicKey& pk,
+                               std::span<const Identity> receivers,
+                               crypto::Drbg& rng) {
+  check_receivers(pk, receivers);  // validate before consuming the DRBG
+  return encrypt_with_msk(msk, pk, receivers, random_nonzero_fr(rng));
 }
 
 EncryptResult encrypt_public(const PublicKey& pk,
@@ -260,10 +273,30 @@ void add_user_with_msk(const MasterSecretKey& msk, BroadcastCiphertext& ct,
 EncryptResult remove_user_with_msk(const MasterSecretKey& msk,
                                    const PublicKey& pk,
                                    const BroadcastCiphertext& ct,
-                                   const Identity& removed, crypto::Drbg& rng) {
+                                   const Identity& removed, const Fr& k) {
   Fr factor = msk.gamma + hash_identity(removed);
   G2 c3 = ct.c3.mul(factor.inverse());
-  return assemble_from_c3(pk, c3, rng);
+  return assemble_from_c3(pk, c3, k);
+}
+
+EncryptResult remove_user_with_msk(const MasterSecretKey& msk,
+                                   const PublicKey& pk,
+                                   const BroadcastCiphertext& ct,
+                                   const Identity& removed, crypto::Drbg& rng) {
+  return remove_user_with_msk(msk, pk, ct, removed, random_nonzero_fr(rng));
+}
+
+EncryptResult remove_users_with_msk(const MasterSecretKey& msk,
+                                    const PublicKey& pk,
+                                    const BroadcastCiphertext& ct,
+                                    std::span<const Identity> removed,
+                                    const Fr& k) {
+  Fr product = Fr::one();
+  for (const Identity& id : removed) {
+    product *= msk.gamma + hash_identity(id);
+  }
+  G2 c3 = ct.c3.mul(product.inverse());
+  return assemble_from_c3(pk, c3, k);
 }
 
 EncryptResult remove_users_with_msk(const MasterSecretKey& msk,
@@ -271,12 +304,12 @@ EncryptResult remove_users_with_msk(const MasterSecretKey& msk,
                                     const BroadcastCiphertext& ct,
                                     std::span<const Identity> removed,
                                     crypto::Drbg& rng) {
-  Fr product = Fr::one();
-  for (const Identity& id : removed) {
-    product *= msk.gamma + hash_identity(id);
-  }
-  G2 c3 = ct.c3.mul(product.inverse());
-  return assemble_from_c3(pk, c3, rng);
+  return remove_users_with_msk(msk, pk, ct, removed, random_nonzero_fr(rng));
+}
+
+EncryptResult rekey(const PublicKey& pk, const BroadcastCiphertext& ct,
+                    const Fr& k) {
+  return assemble_from_c3(pk, ct.c3, k);
 }
 
 EncryptResult rekey(const PublicKey& pk, const BroadcastCiphertext& ct,
@@ -358,62 +391,98 @@ Gt decrypt(const PreparedPartition& part, const BroadcastCiphertext& ct) {
 }
 
 std::vector<Gt> decrypt_batched(std::span<const PreparedPartitionRef> parts) {
-  std::vector<field::Fp12> millers;
-  millers.reserve(parts.size());
+  // Validate every ref up front so the fan-out below is pure math.
   for (const auto& ref : parts) {
     if (ref.part == nullptr || ref.ct == nullptr) {
       throw std::invalid_argument("decrypt_batched: null PreparedPartitionRef");
     }
-    pairing::G2Prepared c2_prep(ref.ct->c2);
+  }
+  // Per-partition Miller loops are independent — one slot per partition, one
+  // task per partition (each builds its own C2 line table locally), so the
+  // results are the values the serial loop would produce, in its order.
+  auto& pool = util::ThreadPool::global();
+  std::vector<field::Fp12> millers(parts.size());
+  pool.parallel_for(0, parts.size(), 1, [&](std::size_t i) {
+    pairing::G2Prepared c2_prep(parts[i].ct->c2);
     std::array<pairing::PairingInput, 1> proj = {
-        {{ref.part->usk_value(), &c2_prep}}};
+        {{parts[i].part->usk_value(), &c2_prep}}};
     std::array<pairing::PairingInputAffine, 1> affine = {
-        {{ref.ct->c1, &ref.part->h_pi()}}};
-    millers.push_back(pairing::miller_loop_product_prepared(proj, affine));
-  }
+        {{parts[i].ct->c1, &parts[i].part->h_pi()}}};
+    millers[i] = pairing::miller_loop_product_prepared(proj, affine);
+  });
+  // The batched easy-part inversion is a cross-partition reduction: serial.
   auto exped = pairing::final_exponentiation_many(millers);
-  std::vector<Gt> out;
-  out.reserve(parts.size());
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    out.push_back(
-        Gt::from_fp12_unchecked(exped[i]).exp(parts[i].part->delta_inv()));
-  }
+  // Per-partition GT tails: independent again.
+  std::vector<Gt> out(parts.size());
+  pool.parallel_for(0, parts.size(), 1, [&](std::size_t i) {
+    out[i] = Gt::from_fp12_unchecked(exped[i]).exp(parts[i].part->delta_inv());
+  });
   return out;
 }
 
 std::vector<std::optional<Gt>> decrypt_batched(
     const PublicKey& pk, const UserSecretKey& usk,
     std::span<const PartitionRef> parts) {
-  std::vector<std::optional<Gt>> out(parts.size());
-  std::vector<std::size_t> live;       // indices with a successful plan
-  std::vector<Fr> deltas;              // their Deltas (batch-inverted below)
-  std::vector<field::Fp12> millers;    // their 2-pair Miller products
-  live.reserve(parts.size());
-  deltas.reserve(parts.size());
-  millers.reserve(parts.size());
-
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    if (parts[i].ct == nullptr) {
+  std::size_t max_set = 0;
+  for (const auto& p : parts) {
+    if (p.ct == nullptr) {
       throw std::invalid_argument("decrypt_batched: null ciphertext");
     }
+    max_set = std::max(max_set, p.receivers.size());
+  }
+  // Warm the PK's MSM table once on the calling thread: concurrent first
+  // calls would each build their own candidate table (the CAS race is benign
+  // but the duplicate builds are not free). Table size never affects MSM
+  // results, so this is output-invisible.
+  if (max_set > 0) {
+    (void)pk.powers_msm(std::min(max_set, pk.max_receivers()));
+  }
+
+  // Per-partition planning (polynomial expansion + MSM) and Miller loops are
+  // independent: one slot per partition.
+  struct Planned {
+    bool live = false;
+    Fr delta;
+    field::Fp12 miller;
+  };
+  auto& pool = util::ThreadPool::global();
+  std::vector<Planned> slots(parts.size());
+  pool.parallel_for(0, parts.size(), 1, [&](std::size_t i) {
     auto plan = plan_partition(pk, usk, parts[i].receivers);
-    if (!plan) continue;  // out[i] stays nullopt, exactly as decrypt would
+    if (!plan) return;  // out[i] stays nullopt, exactly as decrypt would
     std::array<std::pair<G1, G2>, 2> pairs = {
         std::make_pair(parts[i].ct->c1, plan->h_pi),
         std::make_pair(usk.value, parts[i].ct->c2),
     };
+    slots[i].live = true;
+    slots[i].delta = plan->delta;
+    slots[i].miller = pairing::miller_loop_product(pairs);
+  });
+
+  // Compact the live partitions in index order — the exact vectors the
+  // serial loop would have built.
+  std::vector<std::size_t> live;
+  std::vector<Fr> deltas;
+  std::vector<field::Fp12> millers;
+  live.reserve(parts.size());
+  deltas.reserve(parts.size());
+  millers.reserve(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (!slots[i].live) continue;
     live.push_back(i);
-    deltas.push_back(plan->delta);
-    millers.push_back(pairing::miller_loop_product(pairs));
+    deltas.push_back(slots[i].delta);
+    millers.push_back(slots[i].miller);
   }
 
   // One batched easy-part inversion for all final exponentiations, one
-  // batched Fr inversion for all Deltas, then the per-partition GT tails.
+  // batched Fr inversion for all Deltas (both cross-partition reductions:
+  // serial), then the independent per-partition GT tails.
   auto exped = pairing::final_exponentiation_many(millers);
   field::batch_inverse(std::span<Fr>(deltas));
-  for (std::size_t j = 0; j < live.size(); ++j) {
+  std::vector<std::optional<Gt>> out(parts.size());
+  pool.parallel_for(0, live.size(), 1, [&](std::size_t j) {
     out[live[j]] = Gt::from_fp12_unchecked(exped[j]).exp(deltas[j]);
-  }
+  });
   return out;
 }
 

@@ -43,6 +43,14 @@ using Identity = std::string;
 /// H: identity -> Zr*. SHA-256 with rejection of zero.
 field::Fr hash_identity(const Identity& id);
 
+/// The canonical randomizer draw: 32 DRBG bytes reduced into Zr, redrawn on
+/// zero. Every k this module consumes comes through here, so a caller that
+/// needs to PRE-DRAW randomizers (e.g. to fan per-partition work out to a
+/// thread pool while keeping the DRBG serial) can pull them in the exact
+/// order the serial code would and pass them to the explicit-k overloads
+/// below — the outputs stay bitwise-identical.
+field::Fr random_nonzero_fr(crypto::Drbg& rng);
+
 struct MasterSecretKey {
   ec::G1 g;
   field::Fr gamma;
@@ -127,6 +135,14 @@ EncryptResult encrypt_with_msk(const MasterSecretKey& msk, const PublicKey& pk,
                                std::span<const Identity> receivers,
                                crypto::Drbg& rng);
 
+/// Deterministic variant taking the randomizer explicitly (k must be a
+/// random_nonzero_fr draw). Lets a parallel caller pre-draw every k on its
+/// own thread and fan the O(|S|) arithmetic out; identical output to the
+/// rng overload given the same k.
+EncryptResult encrypt_with_msk(const MasterSecretKey& msk, const PublicKey& pk,
+                               std::span<const Identity> receivers,
+                               const field::Fr& k);
+
 /// Traditional IBBE encrypt: PK only, O(|S|^2) (quadratic polynomial
 /// expansion, Formula 4 of the paper). Same output distribution as
 /// encrypt_with_msk.
@@ -147,6 +163,13 @@ EncryptResult remove_user_with_msk(const MasterSecretKey& msk,
                                    const BroadcastCiphertext& ct,
                                    const Identity& removed, crypto::Drbg& rng);
 
+/// Explicit-randomizer variant of remove_user_with_msk (see the explicit-k
+/// encrypt_with_msk overload for the pre-draw contract).
+EncryptResult remove_user_with_msk(const MasterSecretKey& msk,
+                                   const PublicKey& pk,
+                                   const BroadcastCiphertext& ct,
+                                   const Identity& removed, const field::Fr& k);
+
 /// Batch removal (extension; paper future-work direction): divides the whole
 /// product prod(gamma + H(id)) out of C3 in one shot — O(k) Zr work and a
 /// single G2 exponentiation for k simultaneous revocations, instead of k
@@ -157,9 +180,20 @@ EncryptResult remove_users_with_msk(const MasterSecretKey& msk,
                                     std::span<const Identity> removed,
                                     crypto::Drbg& rng);
 
+/// Explicit-randomizer variant of remove_users_with_msk.
+EncryptResult remove_users_with_msk(const MasterSecretKey& msk,
+                                    const PublicKey& pk,
+                                    const BroadcastCiphertext& ct,
+                                    std::span<const Identity> removed,
+                                    const field::Fr& k);
+
 /// O(1) re-key (PK only, Appendix A-G): fresh k over the cached C3.
 EncryptResult rekey(const PublicKey& pk, const BroadcastCiphertext& ct,
                     crypto::Drbg& rng);
+
+/// Explicit-randomizer variant of rekey.
+EncryptResult rekey(const PublicKey& pk, const BroadcastCiphertext& ct,
+                    const field::Fr& k);
 
 /// User-side decrypt: O(|S|^2) + a 2-pair multi-pairing (shared Miller-loop
 /// squarings and a single final exponentiation), then one GT exponentiation

@@ -123,6 +123,12 @@ Measurement EnclaveImage::measure() const {
 EnclaveBase::EnclaveBase(EnclavePlatform& platform, const EnclaveImage& image)
     : platform_(platform), measurement_(image.measure()) {}
 
+EnclaveBase::EnclaveBase(EnclavePlatform& platform, const EnclaveImage& image,
+                         std::uint64_t rng_seed)
+    : platform_(platform),
+      measurement_(image.measure()),
+      rng_(rng_seed) {}
+
 Quote EnclaveBase::generate_quote(util::Bytes report_data) const {
   return platform_.quote(measurement_, std::move(report_data));
 }

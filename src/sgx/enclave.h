@@ -117,6 +117,12 @@ struct EnclaveImage {
 class EnclaveBase {
  public:
   EnclaveBase(EnclavePlatform& platform, const EnclaveImage& image);
+  /// Test/bench constructor with a deterministic in-enclave DRBG: two
+  /// same-seed enclaves of the same image produce identical randomized
+  /// outputs (up to platform entropy, e.g. seal nonces), which is what the
+  /// parallel-equivalence suite compares bitwise.
+  EnclaveBase(EnclavePlatform& platform, const EnclaveImage& image,
+              std::uint64_t rng_seed);
   virtual ~EnclaveBase() = default;
 
   EnclaveBase(const EnclaveBase&) = delete;

@@ -1,0 +1,264 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+namespace ibbe::util {
+
+namespace {
+
+/// Depth of pool-task nesting on this thread: a parallel_for issued from
+/// inside a task executes inline (the outer fan-out owns the parallelism and
+/// a blocking wait from a worker could deadlock the pool against itself).
+thread_local int tls_task_depth = 0;
+
+struct DepthGuard {
+  DepthGuard() { ++tls_task_depth; }
+  ~DepthGuard() { --tls_task_depth; }
+};
+
+}  // namespace
+
+struct ThreadPool::Worker {
+  std::mutex mutex;
+  std::deque<Chunk> deque;
+};
+
+/// Completion state of one parallel_for call, on the caller's stack. Chunks
+/// hold a pointer to it only while remaining > 0; the caller cannot return
+/// (and so the Batch cannot die) before remaining reaches 0.
+struct ThreadPool::Batch {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = 0;
+  std::exception_ptr error;  // first task exception, rethrown by the caller
+};
+
+std::size_t ThreadPool::configured_threads() {
+#ifdef IBBE_SINGLE_THREAD
+  return 1;
+#else
+  if (const char* env = std::getenv("IBBE_THREADS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+#endif
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = configured_threads();
+#ifdef IBBE_SINGLE_THREAD
+  threads = 1;  // compile-time serial mode: never spawn workers
+#endif
+  const std::size_t workers = threads - 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // The lock orders the flag flip against a worker's "queues empty, go to
+    // sleep" check — without it a worker could re-check pending_, miss the
+    // flag, and sleep through the final notify.
+    std::lock_guard lock(wake_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Workers drain their deques before exiting (stop only breaks the loop
+  // when no task is claimable), so queued submit() work has completed here.
+}
+
+void ThreadPool::push_chunks(std::vector<Chunk> chunks) {
+  const std::size_t w = workers_.size();
+  const std::size_t start =
+      next_victim_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    Worker& victim = *workers_[(start + c) % w];
+    std::lock_guard lock(victim.mutex);
+    victim.deque.push_back(std::move(chunks[c]));
+  }
+  {
+    // Publishing pending_ under the wake mutex orders it against a worker's
+    // predicate check, so the notify below cannot slip into the window
+    // between that check and the worker's sleep (lost wakeup).
+    std::lock_guard lock(wake_mutex_);
+    pending_.fetch_add(chunks.size(), std::memory_order_release);
+  }
+  if (chunks.size() == 1) {
+    wake_cv_.notify_one();
+  } else {
+    wake_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::try_pop(std::size_t self, Chunk& out) {
+  const std::size_t w = workers_.size();
+  // Own deque first, newest chunk (LIFO keeps a worker on the range it was
+  // handed); victims oldest-first (FIFO steals the chunk its owner would
+  // reach last, minimizing contention).
+  if (self < w) {
+    Worker& own = *workers_[self];
+    std::lock_guard lock(own.mutex);
+    if (!own.deque.empty()) {
+      out = std::move(own.deque.back());
+      own.deque.pop_back();
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  for (std::size_t k = 0; k < w; ++k) {
+    const std::size_t v = (self < w ? self + 1 + k : k) % w;
+    if (v == self) continue;
+    Worker& victim = *workers_[v];
+    std::lock_guard lock(victim.mutex);
+    if (!victim.deque.empty()) {
+      out = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  Chunk chunk;
+  while (true) {
+    if (try_pop(self, chunk)) {
+      DepthGuard depth;
+      chunk();       // exceptions are captured inside the chunk wrapper
+      chunk = {};    // release captured state promptly
+      continue;
+    }
+    std::unique_lock lock(wake_mutex_);
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+void ThreadPool::run_chunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  // Inline when serial mode, nested inside a pool task, or the range fits a
+  // single grain — the serial path, bit-for-bit.
+  if (workers_.empty() || tls_task_depth > 0 || n <= g) {
+    body(begin, end);
+    return;
+  }
+
+  // ~4 chunks per thread gives the stealing room to rebalance skewed task
+  // costs without shrinking chunks below the grain.
+  const std::size_t max_chunks =
+      std::min((n + g - 1) / g, 4 * (workers_.size() + 1));
+  const std::size_t chunk_size = (n + max_chunks - 1) / max_chunks;
+  const std::size_t n_chunks = (n + chunk_size - 1) / chunk_size;
+
+  Batch batch;
+  batch.remaining = n_chunks;
+  std::vector<Chunk> chunks;
+  chunks.reserve(n_chunks);
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    chunks.push_back([&batch, &body, lo, hi] {
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard lock(batch.mutex);
+        if (!batch.error) batch.error = std::current_exception();
+      }
+      std::lock_guard lock(batch.mutex);
+      if (--batch.remaining == 0) batch.done_cv.notify_all();
+    });
+  }
+  push_chunks(std::move(chunks));
+
+  // Participate: the caller drains chunks (its own batch's, or a concurrent
+  // caller's — work conservation either way) until the queues are empty,
+  // then sleeps until the last in-flight chunk of THIS batch completes.
+  Chunk chunk;
+  while (true) {
+    {
+      std::lock_guard lock(batch.mutex);
+      if (batch.remaining == 0) break;
+    }
+    if (try_pop(workers_.size(), chunk)) {
+      DepthGuard depth;
+      chunk();
+      chunk = {};
+      continue;
+    }
+    std::unique_lock lock(batch.mutex);
+    batch.done_cv.wait(lock, [&batch] { return batch.remaining == 0; });
+    break;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  if (workers_.empty()) {
+    (*task)();  // inline mode: run on the caller, exceptions go to the future
+    return fut;
+  }
+  std::vector<Chunk> one;
+  one.push_back([task] { (*task)(); });
+  push_chunks(std::move(one));
+  return fut;
+}
+
+namespace {
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard lock(global_mutex());
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  std::lock_guard lock(global_mutex());
+  auto& slot = global_slot();
+  slot.reset();  // join the old pool first: at most one global pool alive
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace ibbe::util

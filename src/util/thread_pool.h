@@ -1,0 +1,140 @@
+// Work-stealing thread pool for the partition-parallel hot paths.
+//
+// Design constraints, in order:
+//
+//   1. **Determinism.** Every parallel site in this repo writes results into
+//      pre-sized output slots — task i owns slot i and nothing else — and all
+//      randomness is drawn on the calling thread BEFORE the fan-out, in the
+//      exact order the serial code would draw it. Under that contract the
+//      pool only changes WHEN work happens, never WHAT is computed, so
+//      parallel outputs are bitwise-identical to the serial path at every
+//      thread count (pinned by tests/parallel_equivalence_test.cpp).
+//   2. **Serial recoverability.** `IBBE_THREADS=1` (or a pool built with
+//      `threads <= 1`, or the `-DIBBE_SINGLE_THREAD=ON` compile mode) spawns
+//      no workers at all: `parallel_for` degenerates to an inline loop on the
+//      calling thread. CI runs the whole suite this way on every commit.
+//   3. **Simplicity over peak scheduler throughput.** Tasks here are
+//      microseconds-to-milliseconds of pairing/EC arithmetic, so a simple
+//      lock-based stealing queue (per-worker deque + mutex; LIFO pop of own
+//      work, FIFO steal from victims) is indistinguishable from a Chase-Lev
+//      deque at our grain sizes and is trivially ThreadSanitizer-clean.
+//
+// Scheduling: `parallel_for` splits the index range into chunks (at least
+// `grain` indexes each, at most ~4 chunks per thread so skewed task costs
+// can rebalance by stealing), round-robins them over the worker deques, and
+// then the CALLING thread participates — it drains queued chunks alongside
+// the workers and only sleeps when every chunk is claimed. A pool with W
+// workers therefore gives W+1-way parallelism; `ThreadPool(t)` sizes itself
+// as t total threads including the caller.
+//
+// Exceptions thrown by tasks are captured (first one wins), the other
+// chunks of that batch still execute (slots stay independently valid; the
+// throwing chunk abandons its remaining indexes, as a serial loop would),
+// and the exception is rethrown on the calling thread once the batch
+// completes. The pool survives and is reusable afterwards.
+//
+// Nesting: a `parallel_for` issued from inside a pool task executes inline
+// on that worker (no deadlock, no oversubscription); the outer fan-out
+// already owns the parallelism.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ibbe::util {
+
+class ThreadPool {
+ public:
+  /// A pool whose total parallelism (workers + participating caller) is
+  /// `threads`; `threads <= 1` spawns no workers and executes everything
+  /// inline. `threads == 0` resolves the automatic count (the IBBE_THREADS
+  /// environment variable if set, else std::thread::hardware_concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Completes all queued `submit` work, then joins the workers. A
+  /// `parallel_for` must not be in flight on another thread.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism: worker threads + the participating caller. 1 means
+  /// fully inline.
+  [[nodiscard]] std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Invokes fn(i) for every i in [begin, end), at least `grain` consecutive
+  /// indexes per task. fn must confine its writes to per-index state (slot i
+  /// for index i); under that contract results are identical to the serial
+  /// loop. Blocks until every index ran; rethrows the first task exception.
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    Fn&& fn) {
+    run_chunks(begin, end, grain, [&fn](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+
+  /// parallel_for returning a vector: out[i] = fn(i). T must be default-
+  /// constructible (slots are pre-sized before the fan-out).
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> parallel_map(std::size_t n, std::size_t grain,
+                                            Fn&& fn) {
+    std::vector<T> out(n);
+    parallel_for(0, n, grain, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Fire-and-track single task (used by the shutdown tests and available
+  /// for background work); runs inline when the pool has no workers. The
+  /// destructor completes all submitted tasks before joining.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// The process-wide pool the library's parallel sites use. Built on first
+  /// use with the automatic thread count (IBBE_THREADS env, else
+  /// hardware_concurrency).
+  static ThreadPool& global();
+
+  /// Rebuilds the global pool with `threads` total threads (0 = automatic).
+  /// For tests and benches sweeping thread counts: callers must be quiescent
+  /// (no parallel work in flight) across this call.
+  static void set_global_threads(std::size_t threads);
+
+  /// The automatic thread count `ThreadPool(0)` resolves to.
+  [[nodiscard]] static std::size_t configured_threads();
+
+ private:
+  struct Worker;
+  struct Batch;
+  using Chunk = std::function<void()>;
+
+  void run_chunks(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+  void worker_loop(std::size_t self);
+  /// Pops a chunk: worker `self` prefers the back of its own deque (LIFO),
+  /// then steals from the front of the others (FIFO); external threads
+  /// (self == npos) scan fronts only. Returns false when every deque is
+  /// empty at scan time.
+  bool try_pop(std::size_t self, Chunk& out);
+  void push_chunks(std::vector<Chunk> chunks);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Guards sleep/wake of idle workers; pending_ counts queued (not yet
+  // claimed) chunks so workers can check for work without taking every
+  // deque mutex.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> next_victim_{0};  // round-robin push cursor
+};
+
+}  // namespace ibbe::util

@@ -23,6 +23,7 @@
 #include "he/he_ibe.h"
 #include "he/he_pki.h"
 #include "system/ibbe_scheme.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -47,6 +48,41 @@ struct SchemeFactory {
   std::function<std::unique_ptr<GroupScheme>(std::uint64_t seed)> make;
   std::size_t ops;      // sequence length (IBBE decrypts are pricier)
   std::size_t checks;   // membership samples verified per step
+};
+
+// Runs an inner scheme with the global thread pool widened for its lifetime
+// and restores single-threaded mode on destruction. The model makes no
+// allowance for the pool: the parallelized enclave/decrypt paths must behave
+// exactly like the serial ones, proving the system layer (including the
+// fault-injection and Byzantine stacks) is oblivious to worker threads.
+class PooledScheme : public GroupScheme {
+ public:
+  PooledScheme(std::unique_ptr<GroupScheme> inner, std::size_t threads)
+      : inner_(std::move(inner)) {
+    ibbe::util::ThreadPool::set_global_threads(threads);
+  }
+  ~PooledScheme() override { ibbe::util::ThreadPool::set_global_threads(1); }
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+pool";
+  }
+  void create_group(std::span<const Identity> members) override {
+    inner_->create_group(members);
+  }
+  void add_user(const Identity& id) override { inner_->add_user(id); }
+  void remove_user(const Identity& id) override { inner_->remove_user(id); }
+  [[nodiscard]] std::optional<Bytes> user_decrypt(const Identity& id) override {
+    return inner_->user_decrypt(id);
+  }
+  [[nodiscard]] std::size_t metadata_size() const override {
+    return inner_->metadata_size();
+  }
+  [[nodiscard]] std::size_t group_size() const override {
+    return inner_->group_size();
+  }
+
+ private:
+  std::unique_ptr<GroupScheme> inner_;
 };
 
 std::vector<SchemeFactory> factories() {
@@ -107,6 +143,15 @@ std::vector<SchemeFactory> factories() {
                                                               malice);
        },
        20, 2},
+      // The full stack again, but with the global thread pool at t=4 so the
+      // enclave's partition fan-out, decrypt batching and MSM all run on
+      // worker threads — held to the SAME oracle as the serial run.
+      {"ibbe_sgx_pool4",
+       [](std::uint64_t seed) {
+         return std::make_unique<PooledScheme>(
+             std::make_unique<ibbe::system::IbbeSgxScheme>(5, seed), 4);
+       },
+       24, 2},
   };
 }
 
@@ -115,7 +160,7 @@ class ModelBasedTest
 
 INSTANTIATE_TEST_SUITE_P(
     SchemesAndSeeds, ModelBasedTest,
-    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),  // factory index
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),  // factory index
                        ::testing::Values(101u, 202u)),    // RNG seed
     [](const auto& info) {
       return std::string(factories()[static_cast<std::size_t>(
