@@ -76,6 +76,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 echo "==> ctest (IBBE_THREADS=1, pool inline)"
 IBBE_THREADS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
+# The networked front-end by name under the inline pool: the NetServer's
+# session threads and the long-poll wake path must not depend on worker
+# threads existing. Already inside the ctest pass above; pinned here so a
+# future filtered ctest invocation cannot silently drop it.
+echo "==> $BUILD_DIR/net_test (IBBE_THREADS=1)"
+IBBE_THREADS=1 "$BUILD_DIR/net_test" --gtest_brief=1
+
 # Figure/table reproduction benches, smoke scale (seconds each).
 for bench in "$BUILD_DIR"/bench_fig* "$BUILD_DIR"/bench_table* \
              "$BUILD_DIR"/bench_ablation*; do
@@ -96,10 +103,18 @@ cat "$BUILD_DIR/BENCH_scalar.json"
 # file carries the whole perf surface.
 echo "==> $BUILD_DIR/bench_fault_suite"
 "$BUILD_DIR/bench_fault_suite" --scale smoke --json "$BUILD_DIR/BENCH_fault.json"
-python3 - "$BUILD_DIR/BENCH_scalar.json" "$BUILD_DIR/BENCH_fault.json" << 'PY'
+
+# Networked front-end trajectory: RPC round-trip cost, grant/revoke
+# throughput over the wire, and long-poll fan-out wake-up latency against a
+# live loopback NetServer, merged into the same JSON.
+echo "==> $BUILD_DIR/bench_net_suite"
+"$BUILD_DIR/bench_net_suite" --scale smoke --json "$BUILD_DIR/BENCH_net.json"
+python3 - "$BUILD_DIR/BENCH_scalar.json" "$BUILD_DIR/BENCH_fault.json" \
+  "$BUILD_DIR/BENCH_net.json" << 'PY'
 import json, sys
 merged = json.load(open(sys.argv[1]))
-merged.update(json.load(open(sys.argv[2])))
+for extra in sys.argv[2:]:
+    merged.update(json.load(open(extra)))
 with open(sys.argv[1], "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
@@ -179,10 +194,10 @@ if echo 'int main() { return 0; }' \
   cmake -B "$SAN_DIR" -S . -DIBBE_SANITIZE=address,undefined
   cmake --build "$SAN_DIR" -j"$JOBS" --target \
     util_test cloud_test fault_injection_test byzantine_test system_test \
-    extensions_test thread_pool_test parallel_equivalence_test
+    extensions_test thread_pool_test parallel_equivalence_test net_test
   for suite in util_test cloud_test fault_injection_test byzantine_test \
                system_test extensions_test thread_pool_test \
-               parallel_equivalence_test; do
+               parallel_equivalence_test net_test; do
     echo "==> $SAN_DIR/$suite (sanitized)"
     "$SAN_DIR/$suite" --gtest_brief=1
   done
@@ -216,9 +231,9 @@ if echo 'int main() { return 0; }' \
   cmake -B "$TSAN_DIR" -S . -DIBBE_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j"$JOBS" --target \
     cloud_test fault_injection_test byzantine_test system_test \
-    thread_pool_test parallel_equivalence_test
+    thread_pool_test parallel_equivalence_test net_test
   for suite in cloud_test fault_injection_test byzantine_test system_test \
-               thread_pool_test parallel_equivalence_test; do
+               thread_pool_test parallel_equivalence_test net_test; do
     echo "==> $TSAN_DIR/$suite (tsan)"
     "$TSAN_DIR/$suite" --gtest_brief=1
   done

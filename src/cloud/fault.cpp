@@ -28,22 +28,23 @@ bool FaultInjectingStore::roll_locked(double rate) const {
 }
 
 void FaultInjectingStore::fire_hook(const std::string& path) {
+  const auto me = std::this_thread::get_id();
   std::function<void(const std::string&)> hook;
   {
     std::lock_guard lock(mutex_);
-    if (!write_hook_ || hook_active_) return;
+    if (!write_hook_ || hook_active_threads_.count(me) != 0) return;
     hook = write_hook_;
-    hook_active_ = true;
+    hook_active_threads_.insert(me);
   }
   try {
     hook(path);
   } catch (...) {
     std::lock_guard lock(mutex_);
-    hook_active_ = false;
+    hook_active_threads_.erase(me);
     throw;
   }
   std::lock_guard lock(mutex_);
-  hook_active_ = false;
+  hook_active_threads_.erase(me);
 }
 
 void FaultInjectingStore::mutation_gate(const std::string& what) {
@@ -321,7 +322,11 @@ void MaliciousStore::auto_capture(const std::string& path) {
 }
 
 std::size_t MaliciousStore::capture() {
-  auto snap = take_snapshot();  // inner-store reads, outside the lock
+  // Serialized: concurrent committers must append generations in the order
+  // their snapshots were taken, or a rollback could "roll back" to a
+  // generation that never existed as a consistent point in time.
+  std::lock_guard capture_lock(capture_mutex_);
+  auto snap = take_snapshot();  // inner-store reads, outside the state lock
   std::lock_guard lock(mutex_);
   snapshots_.push_back(std::move(snap));
   ++stats_.generations;

@@ -37,6 +37,8 @@
 
 #include <functional>
 #include <memory>
+#include <set>
+#include <thread>
 
 #include "cloud/store.h"
 
@@ -139,7 +141,10 @@ class FaultInjectingStore : public CloudStore {
   std::uint64_t crash_at_ = 0;  // absolute mutation ordinal; 0 = disarmed
   std::map<std::string, Versioned> previous_;  // last overwritten value
   std::function<void(const std::string&)> write_hook_;
-  bool hook_active_ = false;
+  // Re-entrancy suppression is PER THREAD: a hook driving this store from
+  // its own thread is suppressed, but server session threads hitting the
+  // store concurrently must not suppress each other's hooks.
+  std::set<std::thread::id> hook_active_threads_;
 };
 
 // ---------------------------------------------------------------------------
@@ -307,6 +312,9 @@ class MaliciousStore : public CloudStore {
 
   CloudStore& inner_;
   MaliciousPlan plan_;
+  /// Orders concurrent capture() calls so the generation log is a true
+  /// history (held across the snapshot reads; never nests inside mutex_).
+  mutable std::mutex capture_mutex_;
   mutable std::mutex mutex_;
   mutable std::uint64_t rng_state_;
   mutable MaliciousStats stats_;

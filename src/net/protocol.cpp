@@ -1,0 +1,222 @@
+#include "net/protocol.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+#include "util/errors.h"
+
+namespace ibbe::net {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+
+// ---------------------------------------------------------------------------
+// Handshake records
+// ---------------------------------------------------------------------------
+
+Bytes ClientHello::to_bytes() const {
+  ByteWriter w;
+  w.u32(version);
+  w.blob(eph_pub);
+  w.u64(session_id);
+  w.blob(resume_proof);
+  return w.take();
+}
+
+ClientHello ClientHello::from_bytes(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  ClientHello h;
+  h.version = r.u32();
+  h.eph_pub = r.blob();
+  h.session_id = r.u64();
+  h.resume_proof = r.blob();
+  r.expect_end();
+  return h;
+}
+
+Bytes ServerHello::to_bytes() const {
+  ByteWriter w;
+  w.u8(outcome);
+  w.blob(eph_pub);
+  w.u64(session_id);
+  w.blob(signature);
+  return w.take();
+}
+
+ServerHello ServerHello::from_bytes(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  ServerHello h;
+  h.outcome = r.u8();
+  h.eph_pub = r.blob();
+  h.session_id = r.u64();
+  h.signature = r.blob();
+  r.expect_end();
+  return h;
+}
+
+Bytes handshake_transcript(std::span<const std::uint8_t> client_eph,
+                           std::span<const std::uint8_t> server_eph,
+                           std::uint64_t session_id, std::uint8_t outcome) {
+  ByteWriter w;
+  w.str("ibbe-sgx:net:transcript:v1");
+  w.blob(client_eph);
+  w.blob(server_eph);
+  w.u64(session_id);
+  w.u8(outcome);
+  return w.take();
+}
+
+SessionKeys derive_session_keys(const ec::P256Point& shared,
+                                std::span<const std::uint8_t> client_eph,
+                                std::span<const std::uint8_t> server_eph) {
+  auto affine = shared.to_affine();
+  if (!affine) {
+    throw util::IntegrityError("net handshake: degenerate ECDH share");
+  }
+  auto x = affine->first.to_be_bytes();
+  Bytes ikm(x.begin(), x.end());
+  ikm.insert(ikm.end(), client_eph.begin(), client_eph.end());
+  ikm.insert(ikm.end(), server_eph.begin(), server_eph.end());
+  SessionKeys keys;
+  keys.client_to_server = crypto::hkdf({}, ikm, "ibbe-sgx:net:c2s:v1", 32);
+  keys.server_to_client = crypto::hkdf({}, ikm, "ibbe-sgx:net:s2c:v1", 32);
+  keys.resume_secret = crypto::hkdf({}, ikm, "ibbe-sgx:net:resume:v1", 32);
+  return keys;
+}
+
+Bytes make_resume_proof(std::span<const std::uint8_t> resume_secret,
+                        std::span<const std::uint8_t> eph_pub) {
+  auto mac = crypto::hmac_sha256(resume_secret, eph_pub);
+  return Bytes(mac.begin(), mac.end());
+}
+
+// ---------------------------------------------------------------------------
+// SessionCipher
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// 12-byte nonce: 4 direction-tag bytes || 8-byte big-endian sequence. The
+/// same bytes double as AAD so the counter is authenticated, not just used.
+std::array<std::uint8_t, 12> frame_nonce(char direction, std::uint64_t seq) {
+  std::array<std::uint8_t, 12> n{};
+  n[0] = 'f';
+  n[1] = 'r';
+  n[2] = 'm';
+  n[3] = static_cast<std::uint8_t>(direction);
+  for (int i = 0; i < 8; ++i) {
+    n[4 + i] = static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  }
+  return n;
+}
+
+}  // namespace
+
+SessionCipher::SessionCipher(std::span<const std::uint8_t> key32,
+                             char direction)
+    : gcm_(key32), direction_(direction) {}
+
+Bytes SessionCipher::seal(std::uint64_t seq,
+                          std::span<const std::uint8_t> payload) const {
+  auto nonce = frame_nonce(direction_, seq);
+  return gcm_.seal(nonce, payload, nonce);
+}
+
+std::optional<Bytes> SessionCipher::open(
+    std::uint64_t seq, std::span<const std::uint8_t> sealed) const {
+  auto nonce = frame_nonce(direction_, seq);
+  return gcm_.open(nonce, sealed, nonce);
+}
+
+// ---------------------------------------------------------------------------
+// Request / Response
+// ---------------------------------------------------------------------------
+
+Bytes Request::to_bytes() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u64(id);
+  w.str(path);
+  w.blob(value);
+  w.u64(expected);
+  w.u64(since);
+  w.u64(timeout_ms);
+  return w.take();
+}
+
+Request Request::from_bytes(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  Request q;
+  q.op = static_cast<Op>(r.u8());
+  q.id = r.u64();
+  q.path = r.str();
+  q.value = r.blob();
+  q.expected = r.u64();
+  q.since = r.u64();
+  q.timeout_ms = r.u64();
+  r.expect_end();
+  return q;
+}
+
+Bytes Response::to_bytes() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u64(id);
+  w.blob(value);
+  w.u64(version);
+  w.u8(flag ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(names.size()));
+  for (const auto& n : names) w.str(n);
+  w.u64(stats.puts);
+  w.u64(stats.gets);
+  w.u64(stats.erases);
+  w.u64(stats.long_polls);
+  w.u64(stats.bytes_uploaded);
+  w.u64(stats.bytes_downloaded);
+  w.u64(stats.faults_injected);
+  w.u64(stats.crashes_injected);
+  w.u64(bytes);
+  w.str(error);
+  return w.take();
+}
+
+Response Response::from_bytes(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  Response p;
+  p.status = static_cast<Status>(r.u8());
+  p.id = r.u64();
+  p.value = r.blob();
+  p.version = r.u64();
+  p.flag = r.u8() != 0;
+  std::size_t n = r.count(/*min_element_bytes=*/4);
+  p.names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) p.names.push_back(r.str());
+  p.stats.puts = r.u64();
+  p.stats.gets = r.u64();
+  p.stats.erases = r.u64();
+  p.stats.long_polls = r.u64();
+  p.stats.bytes_uploaded = r.u64();
+  p.stats.bytes_downloaded = r.u64();
+  p.stats.faults_injected = r.u64();
+  p.stats.crashes_injected = r.u64();
+  p.bytes = r.u64();
+  p.error = r.str();
+  r.expect_end();
+  return p;
+}
+
+void throw_if_store_fault(const Response& r) {
+  switch (r.status) {
+    case Status::error_transient:
+      throw util::TransientError("remote store: " + r.error);
+    case Status::error_crash:
+      throw util::CrashError("remote store: " + r.error);
+    case Status::error_integrity:
+      throw util::IntegrityError("remote store: " + r.error);
+    default:
+      return;
+  }
+}
+
+}  // namespace ibbe::net

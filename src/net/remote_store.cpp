@@ -1,0 +1,351 @@
+#include "net/remote_store.h"
+
+#include <thread>
+
+#include "crypto/drbg.h"
+#include "field/fields.h"
+#include "pki/ecdsa.h"
+#include "util/errors.h"
+
+namespace ibbe::net {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+using util::IntegrityError;
+using util::TransientError;
+
+namespace {
+
+Bytes frame_body(std::uint64_t seq, std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.u64(seq);
+  w.raw(payload);
+  return w.take();
+}
+
+struct ParsedFrame {
+  std::uint64_t seq;
+  Bytes payload;
+};
+
+ParsedFrame parse_frame(const Bytes& body) {
+  ByteReader r(body);
+  ParsedFrame f;
+  f.seq = r.u64();
+  f.payload = r.raw(r.remaining());
+  return f;
+}
+
+}  // namespace
+
+RemoteStore::RemoteStore(RemoteStoreConfig cfg) : cfg_(std::move(cfg)) {
+  server_key_ = ec::p256_from_bytes(cfg_.server_identity);
+  if (server_key_.is_infinity() || !server_key_.on_curve()) {
+    throw std::invalid_argument("RemoteStore: invalid pinned server identity");
+  }
+}
+
+RemoteStore::~RemoteStore() {
+  std::lock_guard lock(mutex_);
+  drop_locked();
+}
+
+void RemoteStore::disconnect() {
+  std::lock_guard lock(mutex_);
+  drop_locked();
+}
+
+std::uint64_t RemoteStore::resumes() const {
+  std::lock_guard lock(mutex_);
+  return resumes_;
+}
+
+std::uint64_t RemoteStore::wire_retries() const {
+  std::lock_guard lock(mutex_);
+  return wire_retries_;
+}
+
+void RemoteStore::drop_locked() const {
+  if (transport_) transport_->close();
+  transport_.reset();
+  tx_.reset();
+  rx_.reset();
+  send_seq_ = 0;
+  last_recv_seq_ = 0;
+}
+
+void RemoteStore::connect_locked() const {
+  if (transport_ && transport_->is_open() && tx_) return;
+  drop_locked();
+
+  std::unique_ptr<Transport> t =
+      SocketTransport::connect_loopback(cfg_.port, cfg_.connect_timeout);
+  if (cfg_.faults) {
+    t = std::make_unique<FaultInjectingTransport>(std::move(t), cfg_.faults);
+  }
+
+  // Fresh ephemeral every handshake; the resume proof binds the OLD resume
+  // secret to the NEW ephemeral, so a replayed ClientHello proves nothing.
+  crypto::Drbg rng;
+  field::P256Fr eph_secret;
+  do {
+    eph_secret = field::P256Fr::from_be_bytes_reduce(rng.bytes(32));
+  } while (eph_secret.is_zero());
+  ClientHello hello;
+  hello.eph_pub = ec::p256_to_bytes(ec::P256Point::generator().mul(eph_secret));
+  if (session_id_ != 0 && !resume_secret_.empty()) {
+    hello.session_id = session_id_;
+    hello.resume_proof = make_resume_proof(resume_secret_, hello.eph_pub);
+  }
+  t->send_frame(frame_body(0, hello.to_bytes()));
+
+  auto frame = t->recv_frame(cfg_.connect_timeout);
+  if (!frame) {
+    t->close();
+    throw TransientError("net handshake: no ServerHello before deadline");
+  }
+  auto parsed = parse_frame(*frame);
+  ServerHello reply;
+  try {
+    if (parsed.seq != 0) throw util::DeserializeError("non-handshake frame");
+    reply = ServerHello::from_bytes(parsed.payload);
+  } catch (const util::DeserializeError& e) {
+    t->close();
+    throw TransientError(std::string("net handshake: ") + e.what());
+  }
+
+  auto transcript = handshake_transcript(hello.eph_pub, reply.eph_pub,
+                                         reply.session_id, reply.outcome);
+  pki::EcdsaSignature sig;
+  try {
+    sig = pki::EcdsaSignature::from_bytes(reply.signature);
+  } catch (const util::DeserializeError&) {
+    t->close();
+    throw IntegrityError("net handshake: malformed server signature");
+  }
+  if (!pki::ecdsa_verify(server_key_, transcript, sig)) {
+    t->close();
+    throw IntegrityError(
+        "net handshake: server signature does not verify against the pinned "
+        "identity key");
+  }
+
+  if (reply.outcome == ServerHello::busy) {
+    t->close();
+    throw TransientError("net handshake: server busy (overload shed)");
+  }
+
+  ec::P256Point server_eph;
+  try {
+    server_eph = ec::p256_from_bytes(reply.eph_pub);
+  } catch (const util::DeserializeError&) {
+    t->close();
+    throw IntegrityError("net handshake: malformed server ephemeral");
+  }
+  if (server_eph.is_infinity() || !server_eph.on_curve()) {
+    t->close();
+    throw IntegrityError("net handshake: invalid server ephemeral");
+  }
+
+  SessionKeys keys = derive_session_keys(server_eph.mul(eph_secret),
+                                         hello.eph_pub, reply.eph_pub);
+  if (reply.outcome == ServerHello::resumed) ++resumes_;
+  session_id_ = reply.session_id;
+  resume_secret_ = keys.resume_secret;
+  tx_.emplace(keys.client_to_server, 'c');
+  rx_.emplace(keys.server_to_client, 's');
+  send_seq_ = 0;
+  last_recv_seq_ = 0;
+  transport_ = std::move(t);
+}
+
+Response RemoteStore::attempt_locked(const Request& req) const {
+  connect_locked();
+  auto sealed = tx_->seal(++send_seq_, req.to_bytes());
+  transport_->send_frame(frame_body(send_seq_, sealed));
+
+  auto deadline = std::chrono::steady_clock::now() + cfg_.request_deadline;
+  if (req.op == Op::long_poll) {
+    // The server legitimately holds the response for up to the poll window.
+    deadline += std::chrono::milliseconds(req.timeout_ms);
+  }
+  while (true) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      throw TransientError("net rpc: response deadline exceeded");
+    }
+    auto frame = transport_->recv_frame(remaining);
+    if (!frame) {
+      throw TransientError("net rpc: response deadline exceeded");
+    }
+    auto parsed = parse_frame(*frame);
+    if (parsed.seq <= last_recv_seq_) continue;  // duplicate delivery
+    auto payload = rx_->open(parsed.seq, parsed.payload);
+    if (!payload) {
+      transport_->close();
+      throw IntegrityError(
+          "net rpc: frame failed AEAD authentication (tampering or "
+          "corruption on the wire)");
+    }
+    last_recv_seq_ = parsed.seq;
+    Response resp;
+    try {
+      resp = Response::from_bytes(*payload);
+    } catch (const util::DeserializeError& e) {
+      transport_->close();
+      throw IntegrityError(std::string("net rpc: authenticated frame failed "
+                                       "to parse: ") +
+                           e.what());
+    }
+    if (resp.id != req.id) continue;  // answer to an abandoned attempt
+    return resp;
+  }
+}
+
+Response RemoteStore::rpc(Request req) const {
+  std::lock_guard lock(mutex_);
+  // One id per LOGICAL call, stable across every retry below: the server's
+  // dedup key for mutations whose first response was lost.
+  req.id = next_request_id_++;
+  const auto start = std::chrono::steady_clock::now();
+  const auto& policy = cfg_.retry;
+  for (int attempt = 1;; ++attempt) {
+    bool busy = false;
+    std::optional<Response> got;
+    try {
+      Response resp = attempt_locked(req);
+      if (resp.status == Status::busy) {
+        busy = true;  // explicit shed: retry with backoff below
+      } else {
+        got = std::move(resp);
+      }
+    } catch (const TransientError&) {
+      drop_locked();
+      if (attempt >= policy.max_attempts) throw;
+      if (policy.deadline.count() > 0 &&
+          std::chrono::steady_clock::now() - start >= policy.deadline) {
+        throw;
+      }
+    }
+    if (got) {
+      // Typed store-side faults re-throw here — outside the wire-retry
+      // catch — so they never consume wire attempts; the layers above own
+      // that policy, same as in-process.
+      throw_if_store_fault(*got);
+      return std::move(*got);
+    }
+    if (busy) {
+      if (attempt >= policy.max_attempts) {
+        throw TransientError("net rpc: server busy and retry budget exhausted");
+      }
+      if (policy.deadline.count() > 0 &&
+          std::chrono::steady_clock::now() - start >= policy.deadline) {
+        throw TransientError("net rpc: server busy and retry deadline passed");
+      }
+    }
+    ++wire_retries_;
+    auto pause = policy.delay(attempt);
+    if (pause.count() > 0) std::this_thread::sleep_for(pause);
+  }
+}
+
+std::uint64_t RemoteStore::put(const std::string& path, util::Bytes value) {
+  Request q;
+  q.op = Op::put;
+  q.path = path;
+  q.value = std::move(value);
+  return rpc(std::move(q)).version;
+}
+
+std::optional<std::uint64_t> RemoteStore::put_cas(const std::string& path,
+                                                  util::Bytes value,
+                                                  std::uint64_t expected) {
+  Request q;
+  q.op = Op::put_cas;
+  q.path = path;
+  q.value = std::move(value);
+  q.expected = expected;
+  Response r = rpc(std::move(q));
+  if (r.status == Status::conflict) return std::nullopt;
+  return r.version;
+}
+
+std::optional<util::Bytes> RemoteStore::get(const std::string& path) const {
+  Request q;
+  q.op = Op::get;
+  q.path = path;
+  Response r = rpc(std::move(q));
+  if (r.status == Status::not_found) return std::nullopt;
+  return std::move(r.value);
+}
+
+std::optional<cloud::CloudStore::Versioned> RemoteStore::get_versioned(
+    const std::string& path) const {
+  Request q;
+  q.op = Op::get_versioned;
+  q.path = path;
+  Response r = rpc(std::move(q));
+  if (r.status == Status::not_found) return std::nullopt;
+  return Versioned{std::move(r.value), r.version};
+}
+
+std::uint64_t RemoteStore::file_version(const std::string& path) const {
+  Request q;
+  q.op = Op::file_version;
+  q.path = path;
+  return rpc(std::move(q)).version;
+}
+
+bool RemoteStore::erase(const std::string& path) {
+  Request q;
+  q.op = Op::erase;
+  q.path = path;
+  return rpc(std::move(q)).flag;
+}
+
+std::vector<std::string> RemoteStore::list(const std::string& prefix) const {
+  Request q;
+  q.op = Op::list;
+  q.path = prefix;
+  return rpc(std::move(q)).names;
+}
+
+std::uint64_t RemoteStore::dir_version(const std::string& dir) const {
+  Request q;
+  q.op = Op::dir_version;
+  q.path = dir;
+  return rpc(std::move(q)).version;
+}
+
+std::optional<std::uint64_t> RemoteStore::long_poll(
+    const std::string& dir, std::uint64_t since,
+    std::chrono::milliseconds timeout) const {
+  Request q;
+  q.op = Op::long_poll;
+  q.path = dir;
+  q.since = since;
+  q.timeout_ms = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, timeout.count()));
+  Response r = rpc(std::move(q));
+  // flag == false is the server-side poll timeout: a successful round trip
+  // that consumed no retry attempts, reported exactly like the in-process
+  // store reports it.
+  if (!r.flag) return std::nullopt;
+  return r.version;
+}
+
+cloud::CloudStats RemoteStore::stats() const {
+  Request q;
+  q.op = Op::stats;
+  return rpc(std::move(q)).stats;
+}
+
+std::size_t RemoteStore::stored_bytes() const {
+  Request q;
+  q.op = Op::stored_bytes;
+  return rpc(std::move(q)).bytes;
+}
+
+}  // namespace ibbe::net

@@ -1,0 +1,119 @@
+// Client side of the networked front-end: a CloudStore whose every call is
+// an RPC to a NetServer, so AdminApi/ClientApi run unmodified over the wire.
+//
+// Failure discipline (the contract the model-based `ibbe_sgx_remote`
+// deployment is held to):
+//
+//   * every attempt has a deadline — a request whose response evaporates
+//     (dropped frame, dead peer) times out, the connection is dropped, and
+//     the SAME request id is retried over a resumed session, where the
+//     server's dedup cache turns an ambiguous mutation into a replayed
+//     definitive answer. Wire faults and Status::busy sheds consume retry
+//     attempts under the RetryPolicy's backoff; exhausting the budget throws
+//     util::TransientError — typed, retryable, never a hang;
+//   * a server-side long-poll timeout (Response.flag == false) is a SUCCESS
+//     — it consumes no retry attempts and long_poll() simply returns
+//     std::nullopt, exactly like the in-process store;
+//   * store-side faults forwarded in error statuses re-throw as their typed
+//     util/errors.h exceptions WITHOUT consuming wire retry attempts: the
+//     retry policy for store faults belongs to the layers above (AdminApi /
+//     ClientApi), and they keep exactly the policy they have in-process;
+//   * an AEAD failure on a received frame, or a server identity signature
+//     that does not verify against the pinned key, is util::IntegrityError —
+//     never retried, always propagated.
+//
+// RPCs are serialized on one connection (the upper layers' stores are
+// already shared-by-reference and internally locked; benches wanting
+// concurrency open one RemoteStore per simulated client, as real clients
+// would). The fault schedule hooks in *under* the session cipher via
+// FaultInjectingTransport, so injected corruption exercises the real AEAD
+// rejection path and injected disconnects exercise the real resume path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "cloud/store.h"
+#include "ec/curves.h"
+#include "net/protocol.h"
+#include "net/transport.h"
+#include "util/retry.h"
+
+namespace ibbe::net {
+
+struct RemoteStoreConfig {
+  std::uint16_t port = 0;
+  /// Pinned server identity (NetServer::identity_key()). Handshakes signed
+  /// by any other key fail with util::IntegrityError.
+  util::Bytes server_identity;
+  /// Wire-fault budget: attempts/backoff for transient transport failures
+  /// and busy sheds. Store-side faults do not draw from this.
+  util::RetryPolicy retry{};
+  /// Per-attempt response deadline (long_poll adds its own poll timeout).
+  std::chrono::milliseconds request_deadline{2'000};
+  std::chrono::milliseconds connect_timeout{1'000};
+  /// Optional wire-fault schedule; shared across reconnects so one seed
+  /// replays one fault history. nullptr = clean wire.
+  std::shared_ptr<NetFaultSchedule> faults;
+};
+
+class RemoteStore : public cloud::CloudStore {
+ public:
+  explicit RemoteStore(RemoteStoreConfig cfg);
+  ~RemoteStore() override;
+
+  std::uint64_t put(const std::string& path, util::Bytes value) override;
+  [[nodiscard]] std::optional<std::uint64_t> put_cas(
+      const std::string& path, util::Bytes value,
+      std::uint64_t expected) override;
+  [[nodiscard]] std::optional<util::Bytes> get(
+      const std::string& path) const override;
+  [[nodiscard]] std::optional<Versioned> get_versioned(
+      const std::string& path) const override;
+  [[nodiscard]] std::uint64_t file_version(
+      const std::string& path) const override;
+  bool erase(const std::string& path) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) const override;
+  [[nodiscard]] std::uint64_t dir_version(const std::string& dir) const override;
+  [[nodiscard]] std::optional<std::uint64_t> long_poll(
+      const std::string& dir, std::uint64_t since,
+      std::chrono::milliseconds timeout) const override;
+  [[nodiscard]] cloud::CloudStats stats() const override;
+  [[nodiscard]] std::size_t stored_bytes() const override;
+
+  /// Sessions resumed by this client (ambiguous-retry reconnects).
+  [[nodiscard]] std::uint64_t resumes() const;
+  /// Wire retry attempts actually taken (transient faults + busy sheds).
+  [[nodiscard]] std::uint64_t wire_retries() const;
+
+  /// Drops the connection (next RPC reconnects and resumes). Test hook for
+  /// exercising resume without a fault schedule.
+  void disconnect();
+
+ private:
+  Response rpc(Request req) const;
+  Response attempt_locked(const Request& req) const;
+  void connect_locked() const;
+  void drop_locked() const;
+
+  RemoteStoreConfig cfg_;
+  ec::P256Point server_key_;
+
+  mutable std::mutex mutex_;
+  mutable std::unique_ptr<Transport> transport_;
+  mutable std::optional<SessionCipher> tx_;  // client->server
+  mutable std::optional<SessionCipher> rx_;  // server->client
+  mutable std::uint64_t send_seq_ = 0;
+  mutable std::uint64_t last_recv_seq_ = 0;
+  mutable std::uint64_t session_id_ = 0;  // 0 = never connected
+  mutable util::Bytes resume_secret_;
+  mutable std::uint64_t next_request_id_ = 1;
+  mutable std::uint64_t resumes_ = 0;
+  mutable std::uint64_t wire_retries_ = 0;
+};
+
+}  // namespace ibbe::net

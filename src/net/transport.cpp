@@ -1,0 +1,416 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "net/protocol.h"
+#include "util/retry.h"
+
+namespace ibbe::net {
+
+using util::Bytes;
+using util::TransientError;
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+// ---------------------------------------------------------------------------
+
+void Transport::send_torn_frame(const util::Bytes& /*body*/,
+                                std::size_t /*wire_bytes*/) {
+  close();
+}
+
+SocketTransport::SocketTransport(int fd) : fd_(fd) {
+  int one = 1;
+  // Frames are small request/response units; never batch them.
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+SocketTransport::~SocketTransport() { close(); }
+
+std::unique_ptr<SocketTransport> SocketTransport::connect_loopback(
+    std::uint16_t port, std::chrono::milliseconds timeout) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransientError("socket(): " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  // Loopback connects complete (or refuse) immediately in practice; a plain
+  // blocking connect with the default kernel timeout is far longer than any
+  // caller deadline, so poll-based non-blocking connect keeps `timeout` real.
+  struct timeval tv{};
+  tv.tv_sec = static_cast<long>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<long>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw TransientError("connect(127.0.0.1:" + std::to_string(port) +
+                         "): " + std::string(strerror(err)));
+  }
+  return std::make_unique<SocketTransport>(fd);
+}
+
+void SocketTransport::send_raw(const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      close();
+      throw TransientError("send(): " + std::string(strerror(err)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void SocketTransport::send_frame(const Bytes& body) {
+  if (fd_ < 0) throw TransientError("send on closed transport");
+  if (body.size() > max_frame_bytes) {
+    throw std::length_error("net frame exceeds max_frame_bytes");
+  }
+  Bytes wire(4 + body.size());
+  auto len = static_cast<std::uint32_t>(body.size());
+  wire[0] = static_cast<std::uint8_t>(len >> 24);
+  wire[1] = static_cast<std::uint8_t>(len >> 16);
+  wire[2] = static_cast<std::uint8_t>(len >> 8);
+  wire[3] = static_cast<std::uint8_t>(len);
+  std::memcpy(wire.data() + 4, body.data(), body.size());
+  send_raw(wire.data(), wire.size());
+}
+
+void SocketTransport::send_torn_frame(const Bytes& body,
+                                      std::size_t wire_bytes) {
+  if (fd_ < 0) return;
+  Bytes wire(4 + body.size());
+  auto len = static_cast<std::uint32_t>(body.size());
+  wire[0] = static_cast<std::uint8_t>(len >> 24);
+  wire[1] = static_cast<std::uint8_t>(len >> 16);
+  wire[2] = static_cast<std::uint8_t>(len >> 8);
+  wire[3] = static_cast<std::uint8_t>(len);
+  std::memcpy(wire.data() + 4, body.data(), body.size());
+  try {
+    send_raw(wire.data(), std::min(wire_bytes, wire.size()));
+  } catch (const TransientError&) {
+    // Already dead — a torn frame on a dying connection is still torn.
+  }
+  close();
+}
+
+std::optional<Bytes> SocketTransport::recv_frame(
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    // A whole frame already assembled?
+    if (rx_.size() >= 4) {
+      std::size_t len = (std::size_t{rx_[0]} << 24) | (std::size_t{rx_[1]} << 16) |
+                        (std::size_t{rx_[2]} << 8) | std::size_t{rx_[3]};
+      if (len > max_frame_bytes) {
+        close();
+        throw TransientError("oversized frame length (torn or corrupt stream)");
+      }
+      if (rx_.size() >= 4 + len) {
+        Bytes body(rx_.begin() + 4, rx_.begin() + 4 + static_cast<long>(len));
+        rx_.erase(rx_.begin(), rx_.begin() + 4 + static_cast<long>(len));
+        return body;
+      }
+    }
+    if (fd_ < 0) throw TransientError("recv on closed transport");
+
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return std::nullopt;
+
+    pollfd p{fd_, POLLIN, 0};
+    int rc = ::poll(&p, 1, static_cast<int>(remaining.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      close();
+      throw TransientError("poll(): " + std::string(strerror(err)));
+    }
+    if (rc == 0) return std::nullopt;  // timeout
+
+    std::uint8_t buf[16384];
+    ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      close();
+      throw TransientError("recv(): " + std::string(strerror(err)));
+    }
+    if (n == 0) {
+      close();
+      if (!rx_.empty()) {
+        throw TransientError("connection closed mid-frame (torn frame)");
+      }
+      throw TransientError("connection closed by peer");
+    }
+    rx_.insert(rx_.end(), buf, buf + n);
+  }
+}
+
+void SocketTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketTransport::is_open() const { return fd_ >= 0; }
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+TcpListener::TcpListener() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("listener socket(): " + std::string(strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd_, 128) != 0) {
+    int err = errno;
+    ::close(fd_);
+    throw std::runtime_error("listener bind/listen: " +
+                             std::string(strerror(err)));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::optional<int> TcpListener::accept(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return std::nullopt;
+  pollfd p{fd_, POLLIN, 0};
+  int rc = ::poll(&p, 1, static_cast<int>(timeout.count()));
+  if (rc <= 0) return std::nullopt;
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return std::nullopt;
+  return client;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NetFaultSchedule / FaultInjectingTransport
+// ---------------------------------------------------------------------------
+
+NetFaultSchedule::NetFaultSchedule(NetFaultPlan plan)
+    : plan_(plan), rng_state_(plan.seed) {}
+
+bool NetFaultSchedule::roll_locked(double rate) {
+  if (rate <= 0.0) return false;
+  double unit = static_cast<double>(util::splitmix64(rng_state_) >> 11) /
+                static_cast<double>(1ull << 53);  // [0, 1)
+  return unit < rate;
+}
+
+NetFaultStats NetFaultSchedule::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void NetFaultSchedule::set_enabled(bool enabled) {
+  std::lock_guard lock(mutex_);
+  enabled_ = enabled;
+}
+
+void NetFaultSchedule::arm_disconnect_after_send(std::uint64_t n) {
+  std::lock_guard lock(mutex_);
+  disconnect_after_send_at_ = sends_seen_ + n;
+}
+
+void NetFaultSchedule::arm_drop_next_recv() {
+  std::lock_guard lock(mutex_);
+  drop_next_recv_ = true;
+}
+
+void NetFaultSchedule::arm_corrupt_next_recv() {
+  std::lock_guard lock(mutex_);
+  corrupt_next_recv_ = true;
+}
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> inner,
+    std::shared_ptr<NetFaultSchedule> schedule)
+    : inner_(std::move(inner)), schedule_(std::move(schedule)) {}
+
+void FaultInjectingTransport::send_frame(const Bytes& body) {
+  enum class Verdict {
+    deliver,
+    drop,
+    dup,
+    torn,
+    disconnect_before,
+    disconnect_after
+  };
+  Verdict v = Verdict::deliver;
+  std::chrono::microseconds spike{0};
+  {
+    auto& s = *schedule_;
+    std::lock_guard lock(s.mutex_);
+    ++s.sends_seen_;
+    if (s.disconnect_after_send_at_ != 0 &&
+        s.sends_seen_ >= s.disconnect_after_send_at_) {
+      s.disconnect_after_send_at_ = 0;
+      ++s.stats_.disconnects;
+      v = Verdict::disconnect_after;
+    } else if (s.enabled_) {
+      if (s.roll_locked(s.plan_.latency_spike_rate)) {
+        ++s.stats_.latency_spikes;
+        spike = s.plan_.latency_spike;
+      }
+      if (s.roll_locked(s.plan_.disconnect_send_rate)) {
+        ++s.stats_.disconnects;
+        v = Verdict::disconnect_before;
+      } else if (s.roll_locked(s.plan_.torn_frame_rate)) {
+        ++s.stats_.torn_frames;
+        v = Verdict::torn;
+      } else if (s.roll_locked(s.plan_.send_drop_rate)) {
+        ++s.stats_.send_drops;
+        v = Verdict::drop;
+      } else if (s.roll_locked(s.plan_.disconnect_after_send_rate)) {
+        ++s.stats_.disconnects;
+        v = Verdict::disconnect_after;
+      } else if (s.roll_locked(s.plan_.send_dup_rate)) {
+        ++s.stats_.send_dups;
+        v = Verdict::dup;
+      }
+    }
+    if (v == Verdict::deliver || v == Verdict::dup ||
+        v == Verdict::disconnect_after) {
+      ++s.stats_.frames_sent;
+    }
+  }
+  if (spike.count() > 0) std::this_thread::sleep_for(spike);
+
+  switch (v) {
+    case Verdict::drop:
+      return;  // silently evaporates; the caller's deadline must catch it
+    case Verdict::disconnect_before:
+      inner_->close();
+      throw TransientError("injected disconnect before send");
+    case Verdict::torn:
+      // Half the wire image (at least the length prefix plus one body byte,
+      // so the peer is guaranteed a short read, not a clean boundary).
+      inner_->send_torn_frame(body, 4 + std::max<std::size_t>(1, body.size() / 2));
+      throw TransientError("injected torn frame");
+    case Verdict::disconnect_after:
+      // The frame is DELIVERED, then the connection dies: the peer acts on
+      // it but the sender can never hear back — exact mid-mutation shape.
+      inner_->send_frame(body);
+      inner_->close();
+      return;
+    case Verdict::dup:
+      inner_->send_frame(body);
+      inner_->send_frame(body);
+      return;
+    case Verdict::deliver:
+      inner_->send_frame(body);
+      return;
+  }
+}
+
+std::optional<Bytes> FaultInjectingTransport::recv_frame(
+    std::chrono::milliseconds timeout) {
+  if (!pending_dups_.empty()) {
+    Bytes body = std::move(pending_dups_.front());
+    pending_dups_.pop_front();
+    return body;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() < 0) remaining = std::chrono::milliseconds{0};
+    auto body = inner_->recv_frame(remaining);
+    if (!body) return std::nullopt;  // genuine timeout
+
+    enum class Verdict { deliver, drop, dup, corrupt, disconnect };
+    Verdict v = Verdict::deliver;
+    std::chrono::microseconds spike{0};
+    {
+      auto& s = *schedule_;
+      std::lock_guard lock(s.mutex_);
+      if (s.drop_next_recv_) {
+        s.drop_next_recv_ = false;
+        ++s.stats_.recv_drops;
+        v = Verdict::drop;
+      } else if (s.corrupt_next_recv_) {
+        s.corrupt_next_recv_ = false;
+        ++s.stats_.corruptions;
+        v = Verdict::corrupt;
+      } else if (s.enabled_) {
+        if (s.roll_locked(s.plan_.latency_spike_rate)) {
+          ++s.stats_.latency_spikes;
+          spike = s.plan_.latency_spike;
+        }
+        if (s.roll_locked(s.plan_.disconnect_recv_rate)) {
+          ++s.stats_.disconnects;
+          v = Verdict::disconnect;
+        } else if (s.roll_locked(s.plan_.recv_drop_rate)) {
+          ++s.stats_.recv_drops;
+          v = Verdict::drop;
+        } else if (s.roll_locked(s.plan_.corrupt_recv_rate)) {
+          ++s.stats_.corruptions;
+          v = Verdict::corrupt;
+        } else if (s.roll_locked(s.plan_.recv_dup_rate)) {
+          ++s.stats_.recv_dups;
+          v = Verdict::dup;
+        }
+      }
+      if (v != Verdict::drop && v != Verdict::disconnect) {
+        ++s.stats_.frames_received;
+      }
+    }
+    if (spike.count() > 0) std::this_thread::sleep_for(spike);
+
+    switch (v) {
+      case Verdict::drop:
+        continue;  // as if the network ate it; keep waiting out the deadline
+      case Verdict::disconnect:
+        inner_->close();
+        throw TransientError("injected disconnect during receive");
+      case Verdict::corrupt: {
+        Bytes corrupted = std::move(*body);
+        if (!corrupted.empty()) corrupted[corrupted.size() / 2] ^= 0x20;
+        return corrupted;
+      }
+      case Verdict::dup:
+        pending_dups_.push_back(*body);
+        return body;
+      case Verdict::deliver:
+        return body;
+    }
+  }
+}
+
+void FaultInjectingTransport::close() { inner_->close(); }
+
+bool FaultInjectingTransport::is_open() const { return inner_->is_open(); }
+
+}  // namespace ibbe::net

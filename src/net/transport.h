@@ -1,0 +1,216 @@
+// Byte-stream transports for the framed protocol, plus the wire-level fault
+// injector that mirrors cloud/fault.h one layer down.
+//
+// A Transport moves whole frames (`u32 length || body`) over a reliable byte
+// stream; SocketTransport implements it over a connected socket (TCP
+// loopback in the tests and benches, but any stream fd works — socketpair
+// included). Failure mapping is the util/errors.h taxonomy: EOF, torn
+// frames, I/O errors and oversized length prefixes are all TRANSIENT — the
+// connection is dropped and the caller reconnects; nothing at this layer is
+// integrity, because only the AEAD tag above can distinguish corruption from
+// truncation with authority.
+//
+// FaultInjectingTransport decorates any Transport with a seeded SplitMix64
+// schedule of the failure modes a real WAN exhibits between a client and the
+// service front-end:
+//
+//   * latency spikes     — a delivery stalls for a configured spike;
+//   * dropped frames     — a send is silently discarded, or a received frame
+//                          is discarded before delivery (the peer answered;
+//                          the answer evaporated — client deadlines must
+//                          catch this);
+//   * duplicated frames  — a frame is delivered twice (the session layer's
+//                          sequence check must discard the copy);
+//   * torn frames        — only a prefix of the wire bytes is written, then
+//                          the connection dies: the peer sees a truncated
+//                          stream (transient), never a valid frame;
+//   * disconnects        — the connection dies before a send (the request
+//                          never existed) or right after one (the request
+//                          was DELIVERED and the response will be lost: the
+//                          mid-mutation ambiguity that reconnect-with-resume
+//                          and server-side dedup must resolve);
+//   * corrupted frames   — a received body has a bit flipped: the AEAD tag
+//                          fails and the session layer must surface an
+//                          INTEGRITY fault, never retry it.
+//
+// The schedule object is shared across reconnects (a NetFaultSchedule
+// outlives individual Transport instances), so one seeded plan produces one
+// reproducible fault history per client no matter how many times the client
+// reconnects. Armed one-shot faults (arm_*) give tests exact placement,
+// like FaultInjectingStore::arm_crash_after.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/errors.h"
+
+namespace ibbe::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one frame body (the u32 length prefix is added on the wire).
+  /// Throws util::TransientError if the connection is closed or errors.
+  virtual void send_frame(const util::Bytes& body) = 0;
+
+  /// Receives the next frame body. std::nullopt on timeout (the connection
+  /// stays usable); throws util::TransientError on EOF, a torn frame, an
+  /// oversized length prefix, or any I/O error (the connection is dead).
+  virtual std::optional<util::Bytes> recv_frame(
+      std::chrono::milliseconds timeout) = 0;
+
+  /// Test/fault hook: writes only the first `wire_bytes` of the frame's wire
+  /// image, then closes — a torn frame. Default: just closes (pure drop).
+  virtual void send_torn_frame(const util::Bytes& body, std::size_t wire_bytes);
+
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool is_open() const = 0;
+};
+
+/// Frame transport over a connected stream socket; owns the fd.
+class SocketTransport : public Transport {
+ public:
+  explicit SocketTransport(int fd);
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Blocking TCP connect to 127.0.0.1:`port`; throws util::TransientError
+  /// on refusal/timeout (the server may just not be up *yet*).
+  static std::unique_ptr<SocketTransport> connect_loopback(
+      std::uint16_t port, std::chrono::milliseconds timeout);
+
+  void send_frame(const util::Bytes& body) override;
+  std::optional<util::Bytes> recv_frame(
+      std::chrono::milliseconds timeout) override;
+  void send_torn_frame(const util::Bytes& body, std::size_t wire_bytes) override;
+  void close() override;
+  [[nodiscard]] bool is_open() const override;
+
+ private:
+  void send_raw(const std::uint8_t* data, std::size_t len);
+
+  int fd_;
+  util::Bytes rx_;  // partial-frame assembly buffer
+};
+
+/// Listening TCP socket on 127.0.0.1 with an ephemeral port.
+class TcpListener {
+ public:
+  TcpListener();
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Accepted fd, or std::nullopt on timeout / after close().
+  [[nodiscard]] std::optional<int> accept(std::chrono::milliseconds timeout);
+  void close();
+
+ private:
+  int fd_;
+  std::uint16_t port_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Wire-level fault injection
+// ---------------------------------------------------------------------------
+
+/// Per-frame fault probabilities plus the seed that replays the schedule.
+struct NetFaultPlan {
+  std::uint64_t seed = 1;
+  double send_drop_rate = 0.0;        // frame never reaches the wire
+  double send_dup_rate = 0.0;         // frame written twice
+  double recv_drop_rate = 0.0;        // received frame discarded
+  double recv_dup_rate = 0.0;         // received frame delivered twice
+  double torn_frame_rate = 0.0;       // partial write, then disconnect
+  double disconnect_send_rate = 0.0;  // dies BEFORE the frame is written
+  double disconnect_after_send_rate = 0.0;  // dies AFTER (mid-mutation)
+  double disconnect_recv_rate = 0.0;  // dies while waiting for a frame
+  double corrupt_recv_rate = 0.0;     // bit flip in a received body
+  double latency_spike_rate = 0.0;    // delivery stalls
+  std::chrono::microseconds latency_spike{2000};
+};
+
+struct NetFaultStats {
+  std::uint64_t frames_sent = 0;      // frames that reached the wire
+  std::uint64_t frames_received = 0;  // frames delivered to the caller
+  std::uint64_t send_drops = 0;
+  std::uint64_t send_dups = 0;
+  std::uint64_t recv_drops = 0;
+  std::uint64_t recv_dups = 0;
+  std::uint64_t torn_frames = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t latency_spikes = 0;
+
+  [[nodiscard]] std::uint64_t total_faults() const {
+    return send_drops + send_dups + recv_drops + recv_dups + torn_frames +
+           disconnects + corruptions + latency_spikes;
+  }
+};
+
+/// The seeded schedule state, shared by every FaultInjectingTransport a
+/// client creates across reconnects. Thread-safe.
+class NetFaultSchedule {
+ public:
+  explicit NetFaultSchedule(NetFaultPlan plan);
+
+  [[nodiscard]] const NetFaultPlan& plan() const { return plan_; }
+  [[nodiscard]] NetFaultStats stats() const;
+
+  /// Master switch for the random schedule (armed one-shots still fire).
+  void set_enabled(bool enabled);
+
+  // One-shot armed faults for deterministic tests. Counted in sends (or
+  // receives) from now across ALL transports sharing this schedule; n = 1
+  // targets the very next frame.
+  void arm_disconnect_after_send(std::uint64_t n);
+  void arm_drop_next_recv();
+  void arm_corrupt_next_recv();
+
+ private:
+  friend class FaultInjectingTransport;
+
+  [[nodiscard]] bool roll_locked(double rate);
+
+  NetFaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::uint64_t rng_state_;
+  NetFaultStats stats_;
+  bool enabled_ = true;
+  std::uint64_t sends_seen_ = 0;
+  std::uint64_t disconnect_after_send_at_ = 0;  // absolute ordinal; 0 = off
+  bool drop_next_recv_ = false;
+  bool corrupt_next_recv_ = false;
+};
+
+/// Decorates a Transport with the shared schedule. Close-only faults leave
+/// the inner transport closed; the next operation then throws transient and
+/// the owner reconnects through its factory.
+class FaultInjectingTransport : public Transport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<Transport> inner,
+                          std::shared_ptr<NetFaultSchedule> schedule);
+
+  void send_frame(const util::Bytes& body) override;
+  std::optional<util::Bytes> recv_frame(
+      std::chrono::milliseconds timeout) override;
+  void close() override;
+  [[nodiscard]] bool is_open() const override;
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  std::shared_ptr<NetFaultSchedule> schedule_;
+  std::deque<util::Bytes> pending_dups_;  // duplicated deliveries
+};
+
+}  // namespace ibbe::net

@@ -70,9 +70,40 @@ IbbeSgxScheme::IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed,
                                       admin_config_, seed);
 }
 
+IbbeSgxScheme::IbbeSgxScheme(std::size_t partition_size, std::uint64_t seed,
+                             const RemotePlan& plan)
+    : partition_size_(partition_size),
+      seed_(seed),
+      platform_(std::make_unique<sgx::EnclavePlatform>("bench-platform")),
+      enclave_(std::make_unique<enclave::IbbeEnclave>(*platform_, partition_size)),
+      cloud_(std::make_unique<cloud::CloudStore>()),
+      remote_plan_(plan),
+      admin_key_(make_admin_key(seed)),
+      admin_config_(make_config(partition_size, true)) {
+  net::NetServerConfig server_cfg;
+  server_cfg.identity_seed = seed + 77;  // deterministic identity per seed
+  server_ = std::make_unique<net::NetServer>(*cloud_, server_cfg);
+  net_schedule_ = std::make_shared<net::NetFaultSchedule>(plan.faults);
+  remote_admin_ = make_remote_store();
+  admin_ = std::make_unique<AdminApi>(*enclave_, store(), admin_key_,
+                                      admin_config_, seed);
+}
+
+std::unique_ptr<net::RemoteStore> IbbeSgxScheme::make_remote_store() {
+  net::RemoteStoreConfig cfg;
+  cfg.port = server_->port();
+  cfg.server_identity = server_->identity_key();
+  cfg.retry.max_attempts = remote_plan_->max_attempts;
+  cfg.retry = cfg.retry.without_delays();
+  cfg.request_deadline = remote_plan_->request_deadline;
+  cfg.faults = net_schedule_;
+  return std::make_unique<net::RemoteStore>(std::move(cfg));
+}
+
 std::string IbbeSgxScheme::name() const {
   std::string base = "IBBE-SGX(|p|=" + std::to_string(partition_size_) + ")";
   if (malicious_store_) return base + "+byzantine";
+  if (remote_plan_) return base + "+remote";
   return fault_store_ ? base + "+faults" : base;
 }
 
@@ -142,10 +173,19 @@ ClientApi& IbbeSgxScheme::client_for(const core::Identity& id) {
     // Key provisioning is out-of-band setup work (Fig. 3); the replayer only
     // times the decrypt path.
     auto usk = enclave_->ecall_extract_user_key(id);
-    auto client = std::make_unique<ClientApi>(store(), enclave_->public_key(),
+    cloud::CloudStore* client_store = &store();
+    if (remote_plan_) {
+      // Each client gets its own wire connection (with its own session and
+      // resume state), as real networked clients would.
+      auto wire = make_remote_store();
+      client_store = wire.get();
+      client_wires_.emplace(id, std::move(wire));
+    }
+    auto client = std::make_unique<ClientApi>(*client_store,
+                                              enclave_->public_key(),
                                               std::move(usk),
                                               admin_->verification_point());
-    if (fault_store_) {
+    if (fault_store_ || remote_plan_) {
       client->set_retry_policy(util::RetryPolicy{}.without_delays());
     }
     if (malicious_store_) {

@@ -20,6 +20,13 @@
 // these types, so `catch (const cloud::TransientError&)` and
 // `util::retry_faults` (retry.h) agree on one classification. fault.h's
 // injectors (FaultInjectingStore, MaliciousStore) throw them directly.
+//
+// The network transport (src/net) uses the SAME taxonomy rather than its own
+// exception family: a disconnect, timeout, torn frame or overload shed is
+// transient (drop the connection, reconnect, retry); a frame that fails AEAD
+// authentication or a server identity signature that does not verify is
+// integrity (tampering on the wire — never retried); and store-side faults
+// forwarded across the wire re-throw as their original kinds.
 #pragma once
 
 #include <cstdint>

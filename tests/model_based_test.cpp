@@ -152,6 +152,33 @@ std::vector<SchemeFactory> factories() {
              std::make_unique<ibbe::system::IbbeSgxScheme>(5, seed), 4);
        },
        24, 2},
+      // The NETWORKED stack: the same deployment behind a real loopback
+      // NetServer, the admin and every client on their own AES-GCM session
+      // over a seeded FaultInjectingTransport — latency spikes, dropped and
+      // duplicated frames, torn frames, and disconnects both before and
+      // right AFTER a delivered request (the mid-mutation ambiguity that
+      // reconnect-with-resume + server-side dedup must resolve). Corruption
+      // is deliberately NOT in this schedule: a flipped bit is an integrity
+      // fault and MUST fail the run — that path has its own directed tests.
+      // The oracle is identical to the in-process deployments: wire faults
+      // may cost retries and resumed sessions, never correctness.
+      {"ibbe_sgx_remote",
+       [](std::uint64_t seed) {
+         ibbe::system::RemotePlan plan;
+         plan.faults.seed = seed * 9241 + 17;
+         plan.faults.send_drop_rate = 0.01;
+         plan.faults.send_dup_rate = 0.02;
+         plan.faults.recv_drop_rate = 0.01;
+         plan.faults.recv_dup_rate = 0.02;
+         plan.faults.torn_frame_rate = 0.01;
+         plan.faults.disconnect_send_rate = 0.01;
+         plan.faults.disconnect_after_send_rate = 0.01;
+         plan.faults.disconnect_recv_rate = 0.01;
+         plan.faults.latency_spike_rate = 0.02;
+         plan.faults.latency_spike = std::chrono::microseconds{1000};
+         return std::make_unique<ibbe::system::IbbeSgxScheme>(5, seed, plan);
+       },
+       20, 2},
   };
 }
 
@@ -160,7 +187,7 @@ class ModelBasedTest
 
 INSTANTIATE_TEST_SUITE_P(
     SchemesAndSeeds, ModelBasedTest,
-    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),  // factory index
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6),  // factory index
                        ::testing::Values(101u, 202u)),    // RNG seed
     [](const auto& info) {
       return std::string(factories()[static_cast<std::size_t>(
