@@ -57,6 +57,15 @@ constexpr std::uint32_t protocol_version = 1;
 /// integrity boundary).
 constexpr std::size_t max_frame_bytes = 1u << 24;
 
+/// Bytes the session layer wraps around a serialized record: the 8-byte
+/// sequence number in the frame body plus the 16-byte AES-GCM tag appended
+/// by seal(). A record larger than max_frame_bytes minus this can never
+/// travel; RemoteStore rejects it up front as std::invalid_argument (a
+/// caller contract violation, deliberately OUTSIDE the FaultKind taxonomy:
+/// it is not retryable and not evidence of any fault).
+constexpr std::size_t sealed_frame_overhead = 8 + 16;
+constexpr std::size_t max_record_bytes = max_frame_bytes - sealed_frame_overhead;
+
 // ---------------------------------------------------------------------------
 // Handshake records (travel in plaintext seq-0 frames; they contain only
 // public keys, ids and MACs).

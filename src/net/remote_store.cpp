@@ -209,6 +209,15 @@ Response RemoteStore::rpc(Request req) const {
   // One id per LOGICAL call, stable across every retry below: the server's
   // dedup key for mutations whose first response was lost.
   req.id = next_request_id_++;
+  // Reject an unsendable request before any wire traffic: retrying the same
+  // oversized value can never succeed, so it must not surface as a transient
+  // (or worse, escape as std::length_error from deep inside send_frame and
+  // bypass the retry/deadline discipline entirely).
+  if (req.to_bytes().size() > max_record_bytes) {
+    throw std::invalid_argument(
+        "net rpc: serialized request exceeds max_frame_bytes (" +
+        std::to_string(max_frame_bytes) + ") and can never be sent");
+  }
   const auto start = std::chrono::steady_clock::now();
   const auto& policy = cfg_.retry;
   for (int attempt = 1;; ++attempt) {

@@ -38,6 +38,14 @@ ParsedFrame parse_frame(const Bytes& body) {
 /// The poll/recv slice: sessions observe stop_ at least this often.
 constexpr std::chrono::milliseconds k_slice{100};
 
+/// Uncommitted resume secrets kept per session. Each slot can be consumed by
+/// one replayed ClientHello; the real client's secret survives as long as
+/// fewer than this many handshakes happen between its commits.
+constexpr std::size_t k_max_pending_resume = 4;
+
+/// HMAC-SHA256 output size: the only well-formed resume proof length.
+constexpr std::size_t k_resume_proof_size = 32;
+
 }  // namespace
 
 NetServer::NetServer(cloud::CloudStore& store, NetServerConfig cfg)
@@ -59,7 +67,15 @@ NetServer::~NetServer() { stop(); }
 
 NetServerStats NetServer::stats() const {
   std::lock_guard lock(mutex_);
-  return stats_;
+  NetServerStats s = stats_;
+  s.live_sessions = live_count_;
+  s.live_connections = connection_count_;
+  return s;
+}
+
+std::size_t NetServer::max_connections_locked() const {
+  return cfg_.max_connections != 0 ? cfg_.max_connections
+                                   : cfg_.max_sessions * 2 + 16;
 }
 
 void NetServer::stop() {
@@ -107,11 +123,23 @@ void NetServer::accept_loop() {
     auto session = std::make_unique<LiveSession>();
     session->transport = std::make_unique<SocketTransport>(*fd);
     LiveSession* raw = session.get();
+    bool shed = false;
     {
       std::lock_guard lock(mutex_);
       reap_finished_locked();
-      sessions_.push_back(std::move(session));
+      if (connection_count_ >= max_connections_locked()) {
+        // Pre-admission cap: max_sessions bounds only ADMITTED sessions, so
+        // a flood of connections that never (or slowly) speak would
+        // otherwise pin one thread each for up to handshake_timeout. Shed
+        // by closing outright — no thread, no handshake wait.
+        ++stats_.shed_connections;
+        shed = true;
+      } else {
+        ++connection_count_;
+        sessions_.push_back(std::move(session));
+      }
     }
+    if (shed) continue;  // `session` dies here and its fd closes with it
     raw->thread = std::thread([this, raw] { session_loop(raw); });
   }
 }
@@ -127,7 +155,15 @@ std::optional<NetServer::SessionCrypto> NetServer::handshake(
   ec::P256Point client_eph = ec::p256_from_bytes(hello.eph_pub);
   if (client_eph.is_infinity() || !client_eph.on_curve()) return std::nullopt;
 
-  if (hello.session_id != 0) {
+  bool plausible_resume = false;
+  if (hello.session_id != 0 &&
+      hello.resume_proof.size() == k_resume_proof_size) {
+    std::lock_guard lock(mutex_);
+    // Only an id this server could have issued earns the parked-wait below;
+    // an unauthenticated garbage hello must not buy a 200ms thread hold.
+    plausible_resume = hello.session_id < next_session_id_;
+  }
+  if (plausible_resume) {
     // A reconnect can race the dying session's cleanup: the client observes
     // the wire fault and redials before the old session thread has parked
     // its state, and a premature miss would re-execute the very mutation the
@@ -157,12 +193,27 @@ std::optional<NetServer::SessionCrypto> NetServer::handshake(
       ++stats_.busy_handshakes;
       shed = true;
     } else {
-      if (hello.session_id != 0) {
+      if (plausible_resume) {
         auto it = parked_.find(hello.session_id);
-        if (it != parked_.end() &&
-            util::ct_equal(make_resume_proof(it->second->resume_secret,
-                                             hello.eph_pub),
-                           hello.resume_proof)) {
+        // The committed secret and every uncommitted pending one are
+        // acceptable: the client's current secret is pending until its
+        // first authenticated frame lands, and may stay pending across a
+        // connection that died before carrying one.
+        auto proof_ok = [&](const SessionState& st) {
+          if (util::ct_equal(make_resume_proof(st.resume_secret,
+                                               hello.eph_pub),
+                             hello.resume_proof)) {
+            return true;
+          }
+          for (const auto& pending : st.pending_resume_secrets) {
+            if (util::ct_equal(make_resume_proof(pending, hello.eph_pub),
+                               hello.resume_proof)) {
+              return true;
+            }
+          }
+          return false;
+        };
+        if (it != parked_.end() && proof_ok(*it->second)) {
           state = it->second;
           parked_.erase(it);
           std::erase(parked_order_, hello.session_id);
@@ -172,6 +223,8 @@ std::optional<NetServer::SessionCrypto> NetServer::handshake(
         } else {
           ++stats_.resume_misses;
         }
+      } else if (hello.session_id != 0) {
+        ++stats_.resume_misses;
       }
       if (!state) {
         state = std::make_shared<SessionState>();
@@ -179,6 +232,10 @@ std::optional<NetServer::SessionCrypto> NetServer::handshake(
         ++stats_.sessions_accepted;
       }
       ++live_count_;
+      // Inside the critical section, not after handshake() returns: every
+      // cleanup path must release the slot even if the ServerHello send
+      // below throws (the client may already have hung up).
+      session.admitted = true;
       do {
         eph_secret =
             field::P256Fr::from_be_bytes_reduce(drbg_.bytes(32));
@@ -210,7 +267,21 @@ std::optional<NetServer::SessionCrypto> NetServer::handshake(
 
   SessionKeys keys = derive_session_keys(client_eph.mul(eph_secret),
                                          hello.eph_pub, reply.eph_pub);
-  state->resume_secret = keys.resume_secret;
+  if (resumed) {
+    // Do NOT rotate the committed secret yet: a replayed ClientHello gets
+    // this far too. The rotation commits on the first frame sealed under
+    // the new session keys, which only the genuine dialer can produce.
+    session.pending_resume_secret = keys.resume_secret;
+    state->pending_resume_secrets.push_back(keys.resume_secret);
+    while (state->pending_resume_secrets.size() > k_max_pending_resume) {
+      state->pending_resume_secrets.pop_front();
+    }
+  } else {
+    state->resume_secret = keys.resume_secret;
+  }
+  // Hand the state to the session BEFORE the send: if the client hung up
+  // and send_frame throws, cleanup still parks the (possibly resumed)
+  // state instead of dropping its dedup cache on the floor.
   session.state = std::move(state);
   session.transport->send_frame(frame_body(0, reply.to_bytes()));
   return SessionCrypto{SessionCipher(keys.client_to_server, 'c'),
@@ -218,11 +289,9 @@ std::optional<NetServer::SessionCrypto> NetServer::handshake(
 }
 
 void NetServer::session_loop(LiveSession* session) {
-  bool admitted = false;
   try {
     auto crypto = handshake(*session);
     if (crypto) {
-      admitted = true;
       std::uint64_t last_recv_seq = 0;
       std::uint64_t send_seq = 0;
       while (!stop_.load()) {
@@ -257,6 +326,16 @@ void NetServer::session_loop(LiveSession* session) {
           break;
         }
         last_recv_seq = parsed.seq;
+        if (!session->pending_resume_secret.empty()) {
+          // First authenticated frame on a resumed connection: the peer
+          // proved it holds the session keys, so it is the genuine dialer.
+          // Commit the rotation and retire every other outstanding secret
+          // — a replayed hello's proof is worthless from here on.
+          session->state->resume_secret =
+              std::move(session->pending_resume_secret);
+          session->state->pending_resume_secrets.clear();
+          session->pending_resume_secret.clear();
+        }
         Request req;
         try {
           req = Request::from_bytes(*payload);
@@ -277,12 +356,13 @@ void NetServer::session_loop(LiveSession* session) {
   session->transport->close();
   {
     std::lock_guard lock(mutex_);
-    if (admitted) {
+    if (session->admitted) {
       --live_count_;
       if (!stop_.load() && session->state) {
         park_locked(session->state);
       }
     }
+    --connection_count_;
     session->finished = true;
   }
 }

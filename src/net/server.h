@@ -56,6 +56,12 @@ namespace ibbe::net {
 struct NetServerConfig {
   /// Live connections beyond this are shed with a signed busy ServerHello.
   std::size_t max_sessions = 512;
+  /// Hard cap on connection THREADS (admitted sessions plus connections
+  /// still in handshake): beyond it, an accepted fd is closed immediately
+  /// and no thread is spawned, so a pre-handshake connection flood cannot
+  /// create unbounded threads each parked for handshake_timeout.
+  /// 0 = derive as max_sessions * 2 + 16.
+  std::size_t max_connections = 0;
   /// Disconnected-but-resumable sessions kept parked (FIFO eviction).
   std::size_t max_parked_sessions = 128;
   /// Concurrent requests actually executing against the store; a session
@@ -77,13 +83,17 @@ struct NetServerStats {
   std::uint64_t sessions_accepted = 0;
   std::uint64_t sessions_resumed = 0;
   std::uint64_t resume_misses = 0;    // proof invalid or state evicted
-  std::uint64_t busy_handshakes = 0;  // connections shed at accept
+  std::uint64_t busy_handshakes = 0;  // shed with a signed busy ServerHello
+  std::uint64_t shed_connections = 0;  // closed at accept: connection cap
   std::uint64_t busy_requests = 0;    // Status::busy for a request slot
   std::uint64_t busy_polls = 0;       // Status::busy for a poll slot
   std::uint64_t requests_served = 0;
   std::uint64_t dedup_hits = 0;       // mutations answered from cache
   std::uint64_t bad_frames = 0;       // AEAD failures / malformed frames
   std::uint64_t dropped_dup_frames = 0;  // stale sequence numbers discarded
+  // Point-in-time gauges (snapshotted by stats()), not counters.
+  std::uint64_t live_sessions = 0;     // admitted sessions holding a slot
+  std::uint64_t live_connections = 0;  // connection threads incl. handshakes
 };
 
 class NetServer {
@@ -107,7 +117,18 @@ class NetServer {
   /// The resumable part of a session: survives the connection.
   struct SessionState {
     std::uint64_t id = 0;
+    /// The COMMITTED resume secret. On a resumed connection it rotates to
+    /// the fresh handshake's secret only once the peer authenticates its
+    /// first sealed frame (which requires the ephemeral ECDH key only the
+    /// genuine dialer holds), so a replayed ClientHello — whose proof an
+    /// on-path attacker can copy but whose session keys it cannot derive —
+    /// can never rotate the secret away from the real client.
     util::Bytes resume_secret;
+    /// Secrets from handshakes whose peer has not yet authenticated a
+    /// frame; accepted for resume alongside the committed one (so a client
+    /// whose connection died before its first request can still come back)
+    /// and retired wholesale at the next commit. Bounded FIFO.
+    std::deque<util::Bytes> pending_resume_secrets;
     // Mutation dedup: request id -> serialized Response (definitive
     // outcomes only). Bounded FIFO via dedup_order.
     std::map<std::uint64_t, util::Bytes> dedup;
@@ -119,6 +140,16 @@ class NetServer {
     std::shared_ptr<SessionState> state;
     std::thread thread;
     bool finished = false;  // guarded by NetServer::mutex_
+    /// Holds a live_count_ slot. Set inside the admission critical section
+    /// (NOT after the handshake returns) so the slot is released on EVERY
+    /// exit path — including a ServerHello send that throws because the
+    /// client already hung up. Only the owning thread reads it afterwards.
+    bool admitted = false;
+    /// This connection's freshly derived resume secret, committed into the
+    /// session state on the first authenticated frame; empty for fresh
+    /// sessions (their secret commits immediately — there is no prior
+    /// client to protect from a replayed hello).
+    util::Bytes pending_resume_secret;
   };
 
   void accept_loop();
@@ -135,6 +166,7 @@ class NetServer {
   Response execute_long_poll(const Request& req);
   void park_locked(std::shared_ptr<SessionState> state);
   void reap_finished_locked();
+  [[nodiscard]] std::size_t max_connections_locked() const;
 
   cloud::CloudStore& store_;
   NetServerConfig cfg_;
@@ -146,6 +178,7 @@ class NetServer {
   NetServerStats stats_;                   // guarded by mutex_
   std::uint64_t next_session_id_ = 1;      // guarded by mutex_
   std::size_t live_count_ = 0;             // guarded by mutex_
+  std::size_t connection_count_ = 0;       // guarded by mutex_
   std::size_t requests_in_flight_ = 0;     // guarded by mutex_
   std::size_t polls_in_flight_ = 0;        // guarded by mutex_
   std::list<std::unique_ptr<LiveSession>> sessions_;  // guarded by mutex_

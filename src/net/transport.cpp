@@ -1,6 +1,7 @@
 #include "net/transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -44,19 +45,41 @@ std::unique_ptr<SocketTransport> SocketTransport::connect_loopback(
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  // Loopback connects complete (or refuse) immediately in practice; a plain
-  // blocking connect with the default kernel timeout is far longer than any
-  // caller deadline, so poll-based non-blocking connect keeps `timeout` real.
-  struct timeval tv{};
-  tv.tv_sec = static_cast<long>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<long>((timeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    int err = errno;
+  // A plain blocking connect is bounded only by the kernel's own timeout,
+  // far longer than any caller deadline (and SO_SNDTIMEO's effect on
+  // connect() is Linux-specific). Non-blocking connect + poll enforces
+  // `timeout` portably; the socket is restored to blocking afterwards.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const auto fail = [&](const std::string& what) -> std::unique_ptr<SocketTransport> {
     ::close(fd);
     throw TransientError("connect(127.0.0.1:" + std::to_string(port) +
-                         "): " + std::string(strerror(err)));
+                         "): " + what);
+  };
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) return fail(strerror(errno));
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) return fail("timed out");
+      pollfd p{fd, POLLOUT, 0};
+      int rc = ::poll(&p, 1, static_cast<int>(remaining.count()));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return fail(std::string("poll(): ") + strerror(errno));
+      }
+      if (rc == 0) return fail("timed out");
+      break;
+    }
+    int soerr = 0;
+    socklen_t slen = sizeof soerr;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) != 0) {
+      return fail(std::string("getsockopt(SO_ERROR): ") + strerror(errno));
+    }
+    if (soerr != 0) return fail(strerror(soerr));
   }
+  ::fcntl(fd, F_SETFL, flags);
   return std::make_unique<SocketTransport>(fd);
 }
 

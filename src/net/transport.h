@@ -83,8 +83,10 @@ class SocketTransport : public Transport {
   SocketTransport(const SocketTransport&) = delete;
   SocketTransport& operator=(const SocketTransport&) = delete;
 
-  /// Blocking TCP connect to 127.0.0.1:`port`; throws util::TransientError
-  /// on refusal/timeout (the server may just not be up *yet*).
+  /// TCP connect to 127.0.0.1:`port`, with `timeout` enforced via a
+  /// non-blocking connect + poll (the fd is blocking again on return);
+  /// throws util::TransientError on refusal/timeout (the server may just
+  /// not be up *yet*).
   static std::unique_ptr<SocketTransport> connect_loopback(
       std::uint16_t port, std::chrono::milliseconds timeout);
 

@@ -18,17 +18,27 @@
 // FaultKind" — never a hang.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "cloud/fault.h"
 #include "cloud/store.h"
+#include "ec/curves.h"
+#include "field/fields.h"
 #include "net/protocol.h"
 #include "net/remote_store.h"
 #include "net/server.h"
 #include "net/transport.h"
+#include "util/bytes.h"
 #include "util/errors.h"
 #include "util/retry.h"
 
@@ -52,6 +62,116 @@ using ibbe::util::RetryPolicy;
 using ibbe::util::TransientError;
 
 Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ------------------------------------------------- hand-rolled wire client
+//
+// A minimal protocol client built from the public primitives, for tests
+// that need byte-level control the RemoteStore deliberately hides: replaying
+// a captured ClientHello, aborting a connection mid-handshake with an RST,
+// flooding the accept loop with mute connections.
+
+ibbe::field::P256Fr scalar_from(std::uint64_t seed) {
+  Bytes be(32, 0);
+  for (int i = 0; i < 8; ++i) {
+    be[31 - i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+  return ibbe::field::P256Fr::from_be_bytes_reduce(be);
+}
+
+Bytes seq_frame(std::uint64_t seq, const Bytes& payload) {
+  ibbe::util::ByteWriter w;
+  w.u64(seq);
+  w.raw(payload);
+  return w.take();
+}
+
+struct ManualSession {
+  std::unique_ptr<ibbe::net::SocketTransport> transport;
+  ibbe::net::ServerHello reply;
+  ibbe::net::SessionKeys keys;
+  Bytes hello_frame;  // the seq-0 frame body as sent — replayable verbatim
+};
+
+/// Connects and handshakes by hand. session_id == 0 = fresh session; else a
+/// resume attempt proving ownership of `resume_secret`.
+ManualSession manual_handshake(std::uint16_t port, std::uint64_t eph_seed,
+                               std::uint64_t session_id = 0,
+                               const Bytes& resume_secret = {}) {
+  auto eph = scalar_from(eph_seed);
+  ibbe::net::ClientHello hello;
+  hello.eph_pub =
+      ibbe::ec::p256_to_bytes(ibbe::ec::P256Point::generator().mul(eph));
+  if (session_id != 0) {
+    hello.session_id = session_id;
+    hello.resume_proof =
+        ibbe::net::make_resume_proof(resume_secret, hello.eph_pub);
+  }
+  ManualSession s;
+  s.transport = ibbe::net::SocketTransport::connect_loopback(
+      port, std::chrono::milliseconds(1000));
+  s.hello_frame = seq_frame(0, hello.to_bytes());
+  s.transport->send_frame(s.hello_frame);
+  auto frame = s.transport->recv_frame(std::chrono::milliseconds(1000));
+  if (!frame) throw std::runtime_error("manual handshake: no ServerHello");
+  ibbe::util::ByteReader r(*frame);
+  if (r.u64() != 0) throw std::runtime_error("manual handshake: bad seq");
+  s.reply = ibbe::net::ServerHello::from_bytes(r.raw(r.remaining()));
+  if (s.reply.outcome != ibbe::net::ServerHello::busy) {
+    auto server_eph = ibbe::ec::p256_from_bytes(s.reply.eph_pub);
+    s.keys = ibbe::net::derive_session_keys(server_eph.mul(eph),
+                                            hello.eph_pub, s.reply.eph_pub);
+  }
+  return s;
+}
+
+/// One sealed request/response round trip on a manual session.
+Response manual_request(ManualSession& s, std::uint64_t seq,
+                        const Request& req) {
+  SessionCipher tx(s.keys.client_to_server, 'c');
+  SessionCipher rx(s.keys.server_to_client, 's');
+  s.transport->send_frame(seq_frame(seq, tx.seal(seq, req.to_bytes())));
+  auto frame = s.transport->recv_frame(std::chrono::milliseconds(1000));
+  if (!frame) throw std::runtime_error("manual request: no response");
+  ibbe::util::ByteReader r(*frame);
+  auto rseq = r.u64();
+  auto opened = rx.open(rseq, r.raw(r.remaining()));
+  if (!opened) throw std::runtime_error("manual request: AEAD failure");
+  return Response::from_bytes(*opened);
+}
+
+/// Plain connected TCP socket (no protocol traffic), -1 on failure.
+int raw_connect(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void raw_send(int fd, const Bytes& body) {
+  Bytes wire(4 + body.size());
+  auto len = static_cast<std::uint32_t>(body.size());
+  wire[0] = static_cast<std::uint8_t>(len >> 24);
+  wire[1] = static_cast<std::uint8_t>(len >> 16);
+  wire[2] = static_cast<std::uint8_t>(len >> 8);
+  wire[3] = static_cast<std::uint8_t>(len);
+  std::memcpy(wire.data() + 4, body.data(), body.size());
+  (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+}
+
+/// Closes with SO_LINGER{1,0}: an RST, not an orderly FIN — the server's
+/// next send or recv on this connection fails immediately.
+void rst_close(int fd) {
+  linger lg{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  ::close(fd);
+}
 
 RemoteStoreConfig client_config(const NetServer& server) {
   RemoteStoreConfig cfg;
@@ -402,6 +522,149 @@ TEST(NetRobustness, DuplicatedDeliveryIsDiscardedBySequenceCheck) {
   EXPECT_EQ(remote.get("d/x"), bytes_of("two"));
   // The duplicated CAS frame did NOT execute twice (it would conflict).
   EXPECT_GT(server.stats().dropped_dup_frames, 0u);
+}
+
+TEST(NetRobustness, HandshakeFailureAfterAdmissionReleasesTheSlot) {
+  CloudStore backing;
+  NetServerConfig scfg;
+  scfg.max_sessions = 1;  // a single leaked admission slot = permanent busy
+  NetServer server(backing, scfg);
+
+  // Valid hello, then an immediate RST: whenever the RST beats the server's
+  // ServerHello send, the handshake throws AFTER the admission slot was
+  // taken — the exact leak path. Every iteration must release its slot no
+  // matter where on that path the connection died.
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    ibbe::net::ClientHello hello;
+    hello.eph_pub = ibbe::ec::p256_to_bytes(
+        ibbe::ec::P256Point::generator().mul(scalar_from(i + 2)));
+    int fd = raw_connect(server.port());
+    ASSERT_GE(fd, 0);
+    raw_send(fd, seq_frame(0, hello.to_bytes()));
+    rst_close(fd);
+  }
+
+  // The server must drain back to fully idle within a bounded time...
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().live_sessions != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(server.stats().live_sessions, 0u);
+  // ...and with max_sessions == 1, a real client only gets in if every one
+  // of the aborted handshakes gave its slot back.
+  RemoteStore remote(client_config(server));
+  remote.put("leak/x", bytes_of("v"));
+  EXPECT_EQ(remote.get("leak/x"), bytes_of("v"));
+}
+
+TEST(NetRobustness, ReplayedResumeHelloCannotLockOutTheRealClient) {
+  CloudStore backing;
+  NetServer server(backing);
+
+  // A fresh session with one authenticated request (this also proves the
+  // hand-rolled handshake agrees with the server's key schedule).
+  auto s1 = manual_handshake(server.port(), 101);
+  ASSERT_EQ(s1.reply.outcome, ibbe::net::ServerHello::accepted);
+  Request put;
+  put.op = ibbe::net::Op::put;
+  put.id = 1;
+  put.path = "rp/x";
+  put.value = bytes_of("v");
+  ASSERT_EQ(manual_request(s1, 1, put).status, Status::ok);
+  const auto sid = s1.reply.session_id;
+  const Bytes secret1 = s1.keys.resume_secret;
+  s1.transport->close();
+
+  // Resume, but die before sending any authenticated frame — so the new
+  // resume secret stays UNCOMMITTED server-side. The hello is exactly what
+  // an on-path attacker could have captured.
+  auto s2 = manual_handshake(server.port(), 202, sid, secret1);
+  ASSERT_EQ(s2.reply.outcome, ibbe::net::ServerHello::resumed);
+  const Bytes secret2 = s2.keys.resume_secret;  // the real client's secret
+  const Bytes captured = s2.hello_frame;
+  s2.transport->close();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));  // re-park
+
+  // The attacker replays the captured hello verbatim. The server cannot
+  // tell it apart and answers it as a resume — but since the attacker can
+  // never authenticate a frame (it lacks the ECDH key), the committed
+  // secret must NOT rotate away from the real client.
+  {
+    auto t = ibbe::net::SocketTransport::connect_loopback(
+        server.port(), std::chrono::milliseconds(1000));
+    t->send_frame(captured);
+    auto got = t->recv_frame(std::chrono::milliseconds(1000));
+    ASSERT_TRUE(got.has_value());
+    t->close();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));  // re-park
+
+  // The real client resumes with ITS secret: the replay cost it nothing —
+  // same session, dedup state intact, not a degraded fresh session.
+  auto s3 = manual_handshake(server.port(), 303, sid, secret2);
+  EXPECT_EQ(s3.reply.outcome, ibbe::net::ServerHello::resumed);
+  Request get;
+  get.op = ibbe::net::Op::get;
+  get.id = 2;
+  get.path = "rp/x";
+  auto resp = manual_request(s3, 1, get);
+  EXPECT_EQ(resp.status, Status::ok);
+  EXPECT_EQ(resp.value, bytes_of("v"));
+  EXPECT_EQ(server.stats().resume_misses, 0u);
+  s3.transport->close();
+}
+
+TEST(NetRobustness, ConnectionFloodIsShedBeforeSpawningThreads) {
+  CloudStore backing;
+  NetServerConfig scfg;
+  scfg.max_connections = 4;
+  scfg.handshake_timeout = std::chrono::milliseconds(200);
+  NetServer server(backing, scfg);
+
+  // A flood of mute connections: max_sessions never bounds these (nothing
+  // is admitted), so without the pre-admission cap each would pin a thread
+  // for the full handshake timeout.
+  std::vector<int> fds;
+  for (int i = 0; i < 12; ++i) {
+    int fd = raw_connect(server.port());
+    ASSERT_GE(fd, 0);
+    fds.push_back(fd);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (server.stats().shed_connections < 8 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  auto st = server.stats();
+  EXPECT_GE(st.shed_connections, 8u);  // everything beyond the cap: no thread
+  EXPECT_LE(st.live_connections, 4u);
+  for (int fd : fds) ::close(fd);
+
+  // The held slots free as the closed connections are noticed; a real
+  // client then gets in and completes normally.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  RemoteStore remote(client_config(server));
+  const auto version = remote.put("f/x", bytes_of("v"));
+  EXPECT_EQ(version, backing.file_version("f/x"));
+}
+
+TEST(NetEndToEnd, OversizedRequestFailsTypedWithoutTouchingTheWire) {
+  CloudStore backing;
+  NetServer server(backing);
+  RemoteStore remote(client_config(server));
+  // Serialized, sealed and framed, this can never fit max_frame_bytes: it
+  // must fail up front as a contract violation — NOT leak a bare
+  // std::length_error from inside the transport, and NOT burn transient
+  // retries on an error no retry can fix.
+  Bytes huge(ibbe::net::max_frame_bytes, 0x5a);
+  EXPECT_THROW(remote.put("big/x", std::move(huge)), std::invalid_argument);
+  EXPECT_EQ(remote.wire_retries(), 0u);
+  // The store (and the connection) remain fully usable afterwards.
+  remote.put("big/ok", bytes_of("v"));
+  EXPECT_EQ(remote.get("big/ok"), bytes_of("v"));
 }
 
 TEST(NetRobustness, DrainOnShutdownNeverHangs) {
