@@ -7,6 +7,14 @@
 // synthesized trace with the same shape at ~1/14th the size, with the
 // partition-size grid scaled to the peak in the same proportions as the
 // paper's {250..2803-ish} sweep.
+// --contributors-x N scales BOTH the operation count and the peak
+// contributor population by N (default 1, the paper's shape): the
+// million-user metadata work is validated end-to-end by replaying the same
+// trace with 100x the contributors (pair it with --scale smoke to keep the
+// partition-size grid small; the group-state layer is what the multiplier
+// stresses).
+#include <cstring>
+
 #include "common.h"
 #include "he/he_pki.h"
 #include "system/ibbe_scheme.h"
@@ -16,8 +24,16 @@ using namespace ibbe;
 
 int main(int argc, char** argv) {
   auto scale = bench::parse_scale(argc, argv);
-  std::printf("# Figure 9: Linux-kernel ACL trace replay [scale=%s]\n",
-              bench::scale_name(scale));
+  std::size_t contributors_x = 1;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--contributors-x") == 0) {
+      long v = std::atol(argv[i + 1]);
+      if (v > 0) contributors_x = static_cast<std::size_t>(v);
+    }
+  }
+  std::printf(
+      "# Figure 9: Linux-kernel ACL trace replay [scale=%s, contributors-x=%zu]\n",
+      bench::scale_name(scale), contributors_x);
 
   std::size_t ops, peak, decrypt_every;
   std::vector<std::size_t> partition_sizes;
@@ -41,7 +57,8 @@ int main(int argc, char** argv) {
       decrypt_every = 100;
   }
 
-  auto trace = trace::linux_kernel_trace(ops, peak, /*seed=*/2018);
+  auto trace = trace::linux_kernel_trace(ops * contributors_x,
+                                         peak * contributors_x, /*seed=*/2018);
   std::printf("trace: %zu ops (%zu adds, %zu removes), peak group %zu\n",
               trace.ops.size(), trace.add_count(), trace.remove_count(),
               trace.peak_size());

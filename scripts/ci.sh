@@ -109,8 +109,17 @@ echo "==> $BUILD_DIR/bench_fault_suite"
 # live loopback NetServer, merged into the same JSON.
 echo "==> $BUILD_DIR/bench_net_suite"
 "$BUILD_DIR/bench_net_suite" --scale smoke --json "$BUILD_DIR/BENCH_net.json"
+
+# Million-member group-state trajectory: mutation throughput, index bytes per
+# membership op under the sharded layout vs the monolithic matrix (the bench
+# itself fails below the 100x acceptance ratio), client delta-fold cost, and
+# the Linux-trace metadata replay. The RSS ceiling is always on: the
+# million-member scenario must never regress into matrix-sized allocations.
+echo "==> $BUILD_DIR/bench_group_suite"
+"$BUILD_DIR/bench_group_suite" --scale smoke --rss-ceiling-mb 1536 \
+  --json "$BUILD_DIR/BENCH_group.json"
 python3 - "$BUILD_DIR/BENCH_scalar.json" "$BUILD_DIR/BENCH_fault.json" \
-  "$BUILD_DIR/BENCH_net.json" << 'PY'
+  "$BUILD_DIR/BENCH_net.json" "$BUILD_DIR/BENCH_group.json" << 'PY'
 import json, sys
 merged = json.load(open(sys.argv[1]))
 for extra in sys.argv[2:]:
@@ -194,9 +203,10 @@ if echo 'int main() { return 0; }' \
   cmake -B "$SAN_DIR" -S . -DIBBE_SANITIZE=address,undefined
   cmake --build "$SAN_DIR" -j"$JOBS" --target \
     util_test cloud_test fault_injection_test byzantine_test system_test \
-    extensions_test thread_pool_test parallel_equivalence_test net_test
+    extensions_test shard_delta_test thread_pool_test \
+    parallel_equivalence_test net_test
   for suite in util_test cloud_test fault_injection_test byzantine_test \
-               system_test extensions_test thread_pool_test \
+               system_test extensions_test shard_delta_test thread_pool_test \
                parallel_equivalence_test net_test; do
     echo "==> $SAN_DIR/$suite (sanitized)"
     "$SAN_DIR/$suite" --gtest_brief=1

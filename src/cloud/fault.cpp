@@ -119,6 +119,10 @@ std::optional<util::Bytes> FaultInjectingStore::get(
       ++fault_stats_.transient_errors;
       throw TransientError("injected transient error at get " + path);
     }
+    if (withheld_.count(path) != 0) {
+      ++fault_stats_.stale_reads;
+      return std::nullopt;  // lagging replica: committed but not served yet
+    }
     if (enabled_ && roll_locked(plan_.stale_read_rate)) {
       auto it = previous_.find(path);
       if (it != previous_.end()) {
@@ -137,6 +141,10 @@ std::optional<CloudStore::Versioned> FaultInjectingStore::get_versioned(
     if (enabled_ && roll_locked(plan_.get_error_rate)) {
       ++fault_stats_.transient_errors;
       throw TransientError("injected transient error at get " + path);
+    }
+    if (withheld_.count(path) != 0) {
+      ++fault_stats_.stale_reads;
+      return std::nullopt;  // lagging replica: committed but not served yet
     }
     if (enabled_ && roll_locked(plan_.stale_read_rate)) {
       auto it = previous_.find(path);
@@ -223,6 +231,16 @@ void FaultInjectingStore::set_faults_enabled(bool enabled) {
 FaultStats FaultInjectingStore::fault_stats() const {
   std::lock_guard lock(mutex_);
   return fault_stats_;
+}
+
+void FaultInjectingStore::withhold_path(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  withheld_.insert(path);
+}
+
+void FaultInjectingStore::clear_withheld() {
+  std::lock_guard lock(mutex_);
+  withheld_.clear();
 }
 
 void FaultInjectingStore::set_write_hook(

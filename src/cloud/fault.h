@@ -121,6 +121,16 @@ class FaultInjectingStore : public CloudStore {
   /// tests interleave a concurrent admin at an exact write boundary.
   void set_write_hook(std::function<void(const std::string&)> hook);
 
+  // ---- replica-lag modelling ----
+  /// From now on, get/get_versioned of exactly `path` answer "absent"
+  /// (nullopt) even though the object is committed in the inner store —
+  /// a lagging replica that has seen the new manifest but not yet the shard
+  /// or delta object it references. Reads of withheld paths count as stale
+  /// reads in fault_stats(). Idempotent; writes still pass through.
+  void withhold_path(const std::string& path);
+  /// Serves every withheld path live again (the replica caught up).
+  void clear_withheld();
+
  private:
   [[nodiscard]] bool roll_locked(double rate) const;
   /// Counts the mutation and fires armed/random crashes and transient
@@ -140,6 +150,7 @@ class FaultInjectingStore : public CloudStore {
   std::uint64_t mutations_ = 0;
   std::uint64_t crash_at_ = 0;  // absolute mutation ordinal; 0 = disarmed
   std::map<std::string, Versioned> previous_;  // last overwritten value
+  std::set<std::string> withheld_;             // replica-lag "absent" paths
   std::function<void(const std::string&)> write_hook_;
   // Re-entrancy suppression is PER THREAD: a hook driving this store from
   // its own thread is suppressed, but server session threads hitting the

@@ -14,7 +14,10 @@ constexpr int max_cas_retries = 8;
 constexpr int max_log_publish_attempts = 64;
 
 /// Parses the decimal id out of a group-relative filename of the form
-/// "p<digits>" or "gk<digits>.sealed". nullopt for anything else.
+/// "s<digits>" / "c<digits>" / "o<digits>" / "d<digits>" or
+/// "gk<digits>.sealed". nullopt for anything else — note that "oplog" and
+/// "index" fail the digit parse, which is why every sweep below matches
+/// files through this helper and never by raw prefix.
 std::optional<std::uint64_t> parse_numbered(const std::string& name,
                                             const std::string& prefix,
                                             const std::string& suffix) {
@@ -76,15 +79,94 @@ std::uint64_t AdminApi::fresh_gk_epoch(GroupState& state) const {
          state.epoch_counter++;
 }
 
-void AdminApi::push_partition(const GroupId& gid, const PartitionRecord& rec) {
+std::uint64_t AdminApi::fresh_object_id(GroupState& state) const {
+  // One counter for shards, bundles and overlays: the path prefix (s/c/o)
+  // already tells the kinds apart, and a single sequence keeps recover()'s
+  // bump-past-leftovers scan simple.
+  return (static_cast<std::uint64_t>(config_.admin_nonce) << 32) |
+         state.object_counter++;
+}
+
+std::size_t AdminApi::partition_index(const GroupState& state,
+                                      PartitionId pid) const {
+  for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+    if (state.partitions[p].id == pid) return p;
+  }
+  throw std::logic_error("AdminApi: unknown partition id");
+}
+
+std::size_t AdminApi::shard_index_of(const GroupState& state,
+                                     PartitionId pid) const {
+  for (std::size_t s = 0; s < state.shards.size(); ++s) {
+    const auto& pids = state.shards[s].pids;
+    if (std::find(pids.begin(), pids.end(), pid) != pids.end()) return s;
+  }
+  throw std::logic_error("AdminApi: partition not in any shard");
+}
+
+std::size_t AdminApi::assign_to_shard(GroupState& state, PartitionId pid) {
+  std::size_t cap = std::max<std::size_t>(state.shard_partition_target, 1);
+  if (state.shards.empty() || state.shards.back().pids.size() >= cap) {
+    state.shards.emplace_back();
+  }
+  state.shards.back().pids.push_back(pid);
+  return state.shards.size() - 1;
+}
+
+void AdminApi::rewrite_shard(const GroupId& gid, GroupState& state,
+                             std::size_t shard) {
+  Shard& sh = state.shards[shard];
+  IndexShard rec;
+  rec.sid = fresh_object_id(state);
+  rec.partitions.reserve(sh.pids.size());
+  for (PartitionId pid : sh.pids) {
+    const auto& p = state.partitions[partition_index(state, pid)];
+    rec.partitions.emplace_back(pid, p.members);
+  }
   auto env = SignedEnvelope::sign(signing_key_, rec.to_bytes());
   auto bytes = env.to_bytes();
-  // Partition files are written once and never overwritten (copy-on-write
-  // ids), so a blind retry of an ambiguous put is idempotent.
+  // Shard files are written once under a fresh id and never overwritten
+  // (copy-on-write), so a blind retry of an ambiguous put is idempotent.
   with_retries([&] {
-    cloud_.put(partition_path(gid, rec.id), bytes);
+    cloud_.put(shard_path(gid, rec.sid), bytes);
     return 0;
   });
+  sh.sid = rec.sid;
+  sh.hash = content_hash(bytes);
+}
+
+void AdminApi::write_bundle(const GroupId& gid, GroupState& state) {
+  CipherBundle bundle;
+  bundle.entries.reserve(state.partitions.size());
+  for (const auto& p : state.partitions) {
+    bundle.entries.emplace_back(p.id, p.cipher);
+  }
+  auto id = fresh_object_id(state);
+  auto env = SignedEnvelope::sign(signing_key_, bundle.to_bytes());
+  auto bytes = env.to_bytes();
+  with_retries([&] {
+    cloud_.put(cipher_bundle_path(gid, id), bytes);
+    return 0;
+  });
+  state.cipher_set = id;
+  // A fresh bundle carries every partition's current ciphertext; overlays
+  // written for the previous epoch are superseded wholesale.
+  state.overlays.clear();
+}
+
+void AdminApi::write_overlay(const GroupId& gid, GroupState& state,
+                             PartitionId pid) {
+  CipherOverlay overlay;
+  overlay.pid = pid;
+  overlay.cipher = state.partitions[partition_index(state, pid)].cipher;
+  auto id = fresh_object_id(state);
+  auto env = SignedEnvelope::sign(signing_key_, overlay.to_bytes());
+  auto bytes = env.to_bytes();
+  with_retries([&] {
+    cloud_.put(cipher_overlay_path(gid, id), bytes);
+    return 0;
+  });
+  state.overlays[pid] = id;
 }
 
 void AdminApi::push_sealed_gk(const GroupId& gid, const GroupState& state) {
@@ -95,33 +177,79 @@ void AdminApi::push_sealed_gk(const GroupId& gid, const GroupState& state) {
   });
 }
 
+GroupManifest AdminApi::build_manifest(const GroupState& state) const {
+  GroupManifest m;
+  m.shards.reserve(state.shards.size());
+  for (const auto& sh : state.shards) m.shards.push_back({sh.sid, sh.hash});
+  m.cipher_set = state.cipher_set;
+  m.overlays = state.overlays;
+  m.gk_epoch = state.gk_epoch;
+  m.log_head = state.freshness.log_head;
+  m.freshness = state.freshness;
+  m.delta_base = state.delta_base;
+  return m;  // delta_hash stays zero; push_index fills the commit fields
+}
+
 bool AdminApi::push_index(const GroupId& gid, GroupState& state,
                           const LogHead& log_head) {
-  GroupIndex idx;
-  idx.partition_ids.reserve(state.partitions.size());
-  idx.members.reserve(state.partitions.size());
-  for (const auto& rec : state.partitions) {
-    idx.partition_ids.push_back(rec.id);
-    idx.members.push_back(rec.members);
-  }
-  idx.gk_epoch = state.gk_epoch;
-  idx.log_head = log_head;
   // Tentative freshness attestation: the enclave signs one counter above
   // everything it (or this admin's last sync) knows committed, but persists
   // nothing yet — an abandoned CAS attempt must not open a gap between the
   // platform counter and the highest committed token.
-  idx.freshness = enclave_.ecall_attest_freshness(
+  auto token = enclave_.ecall_attest_freshness(
       gid, state.freshness.counter, state.gk_epoch, log_head);
-  auto env = SignedEnvelope::sign(signing_key_, idx.to_bytes());
+
+  const bool barrier = state.pending_delta.empty();
+  Hash32 delta_hash{};
+  std::uint64_t delta_base = state.delta_base;
+  if (barrier) {
+    // Snapshot barrier (creation, full re-partition): no delta exists for
+    // this commit, and nothing older is foldable across it.
+    delta_base = token.counter + 1;
+  } else {
+    IndexDelta delta;
+    delta.seq = token.counter;
+    delta.prev_log_head = state.freshness.log_head;
+    delta.log_head = log_head;
+    delta.ops = state.pending_delta;
+    auto env = SignedEnvelope::sign(signing_key_, delta.to_bytes());
+    auto bytes = env.to_bytes();
+    // Delta names are keyed by the GLOBAL freshness counter, so a lost CAS
+    // race (or a crashed predecessor's orphan) can leave a different payload
+    // under d<seq>. A plain put is still safe: the committed manifest pins
+    // its own delta by hash and chains the rest through the op-log heads, so
+    // a client folding a clobbered delta falls back to a snapshot — it can
+    // never fold the wrong ops silently.
+    with_retries([&] {
+      cloud_.put(delta_path(gid, delta.seq), bytes);
+      return 0;
+    });
+    delta_hash = content_hash(bytes);
+    if (delta_base == 0) delta_base = token.counter;  // first-ever delta
+    std::uint64_t window = std::max<std::uint64_t>(config_.delta_window, 1);
+    if (token.counter >= delta_base && token.counter - delta_base + 1 > window) {
+      delta_base = token.counter + 1 - window;
+    }
+  }
+
+  GroupManifest m = build_manifest(state);
+  m.log_head = log_head;
+  m.freshness = token;
+  m.delta_base = delta_base;
+  m.delta_hash = delta_hash;
+  auto env = SignedEnvelope::sign(signing_key_, m.to_bytes());
   auto bytes = env.to_bytes();
 
   auto committed = [&](std::uint64_t version) {
     state.index_version = version;
-    state.freshness = idx.freshness;
+    state.freshness = token;
+    state.delta_base = delta_base;
+    if (!barrier) stats_.deltas_published++;
+    state.pending_delta.clear();
     // Only now does the counter become the platform's confirmed floor; any
-    // index attested below it is henceforth provably rolled back.
-    enclave_.ecall_confirm_freshness(gid, idx.freshness.counter);
-    publish_freshness_gossip(gid, idx.freshness);
+    // manifest attested below it is henceforth provably rolled back.
+    enclave_.ecall_confirm_freshness(gid, token.counter);
+    publish_freshness_gossip(gid, token);
     return true;
   };
 
@@ -149,29 +277,29 @@ bool AdminApi::push_index(const GroupId& gid, GroupState& state,
   return false;
 }
 
-void AdminApi::check_index_freshness(const GroupId& gid, const GroupIndex& idx) {
-  if (idx.freshness.counter == 0) {
+void AdminApi::check_index_freshness(const GroupId& gid,
+                                     const GroupManifest& m) {
+  if (m.freshness.counter == 0) {
     throw util::IntegrityError(
-        "sync_from_cloud: index lacks a freshness attestation");
+        "sync_from_cloud: manifest lacks a freshness attestation");
   }
-  if (!idx.freshness.verify(enclave_.freshness_verification_key(), gid)) {
+  if (!m.freshness.verify(enclave_.freshness_verification_key(), gid)) {
     throw util::IntegrityError(
-        "sync_from_cloud: index freshness token signature invalid");
+        "sync_from_cloud: manifest freshness token signature invalid");
   }
-  if (idx.freshness.gk_epoch != idx.gk_epoch ||
-      idx.freshness.log_head != idx.log_head) {
+  if (m.freshness.gk_epoch != m.gk_epoch || m.freshness.log_head != m.log_head) {
     throw util::IntegrityError(
-        "sync_from_cloud: freshness token does not bind this index");
+        "sync_from_cloud: freshness token does not bind this manifest");
   }
   // A counter BELOW the platform's confirmed floor is a rollback (or a
   // badly lagging replica — indistinguishable, and both heal by re-reading).
   // A counter ABOVE it is legitimate: a peer admin committed, or our own
   // process died between the CAS and the confirmation; syncing it below
   // raises the floor to match.
-  if (idx.freshness.counter < enclave_.ecall_freshness_floor(gid)) {
+  if (m.freshness.counter < enclave_.ecall_freshness_floor(gid)) {
     ++stats_.rollback_rejections;
     throw cloud::TransientError(
-        "sync_from_cloud: rolled-back index (freshness below enclave floor)");
+        "sync_from_cloud: rolled-back manifest (freshness below enclave floor)");
   }
 }
 
@@ -255,11 +383,20 @@ bool AdminApi::verify_envelope(const SignedEnvelope& env) const {
 
 void AdminApi::gc_group(const GroupId& gid, const GroupState& state) {
   std::vector<std::string> live;
-  live.reserve(state.partitions.size() + 1);
-  for (const auto& rec : state.partitions) {
-    live.push_back(partition_path(gid, rec.id));
+  live.reserve(state.shards.size() + state.overlays.size() +
+               config_.delta_window + 2);
+  for (const auto& sh : state.shards) live.push_back(shard_path(gid, sh.sid));
+  live.push_back(cipher_bundle_path(gid, state.cipher_set));
+  for (const auto& [pid, oid] : state.overlays) {
+    live.push_back(cipher_overlay_path(gid, oid));
   }
   live.push_back(sealed_gk_path(gid, state.gk_epoch));
+  if (state.delta_base > 0) {
+    for (std::uint64_t seq = state.delta_base; seq <= state.freshness.counter;
+         ++seq) {
+      live.push_back(delta_path(gid, seq));
+    }
+  }
 
   std::vector<std::string> files;
   try {
@@ -267,12 +404,17 @@ void AdminApi::gc_group(const GroupId& gid, const GroupState& state) {
   } catch (const cloud::TransientError&) {
     return;  // best-effort; the next sweep (or recover) picks the orphans up
   }
-  const std::string p_prefix = group_dir(gid) + "/p";
-  const std::string gk_prefix = group_dir(gid) + "/gk";
+  const std::string dir = group_dir(gid) + "/";
   for (const auto& path : files) {
-    bool sweepable = path.compare(0, p_prefix.size(), p_prefix) == 0 ||
-                     path.compare(0, gk_prefix.size(), gk_prefix) == 0;
-    if (!sweepable) continue;  // never the index or the op-log
+    const std::string name = path.substr(dir.size());
+    // parse_numbered (not a raw prefix compare) keeps "oplog" and "index"
+    // out of the sweep: their non-digit tails fail the parse.
+    bool sweepable = parse_numbered(name, "s", "").has_value() ||
+                     parse_numbered(name, "c", "").has_value() ||
+                     parse_numbered(name, "o", "").has_value() ||
+                     parse_numbered(name, "d", "").has_value() ||
+                     parse_numbered(name, "gk", ".sealed").has_value();
+    if (!sweepable) continue;
     if (std::find(live.begin(), live.end(), path) != live.end()) continue;
     try {
       with_retries([&] {
@@ -285,18 +427,17 @@ void AdminApi::gc_group(const GroupId& gid, const GroupState& state) {
   }
 }
 
-void AdminApi::bump_counters_past(GroupState& state,
-                                  const GroupIndex& idx) const {
-  for (PartitionId pid : idx.partition_ids) {
-    if (static_cast<std::uint32_t>(pid >> 32) == config_.admin_nonce) {
-      auto low = static_cast<std::uint32_t>(pid);
-      if (low >= state.partition_counter) state.partition_counter = low + 1;
-    }
-  }
-  if (static_cast<std::uint32_t>(idx.gk_epoch >> 32) == config_.admin_nonce) {
-    auto low = static_cast<std::uint32_t>(idx.gk_epoch);
-    if (low >= state.epoch_counter) state.epoch_counter = low + 1;
-  }
+void AdminApi::bump_counters_past(GroupState& state) const {
+  auto bump = [&](std::uint64_t id, std::uint32_t& counter) {
+    if (static_cast<std::uint32_t>(id >> 32) != config_.admin_nonce) return;
+    auto low = static_cast<std::uint32_t>(id);
+    if (low >= counter) counter = low + 1;
+  };
+  for (const auto& p : state.partitions) bump(p.id, state.partition_counter);
+  for (const auto& sh : state.shards) bump(sh.sid, state.object_counter);
+  bump(state.cipher_set, state.object_counter);
+  for (const auto& [pid, oid] : state.overlays) bump(oid, state.object_counter);
+  bump(state.gk_epoch, state.epoch_counter);
 }
 
 void AdminApi::sync_from_cloud(const GroupId& gid) {
@@ -309,37 +450,96 @@ void AdminApi::sync_from_cloud(const GroupId& gid) {
   if (!verify_envelope(index_env)) {
     throw std::runtime_error("sync_from_cloud: index signature not trusted");
   }
-  GroupIndex idx = GroupIndex::from_bytes(index_env.payload);
+  GroupManifest manifest = GroupManifest::from_bytes(index_env.payload);
   // The enclave-anchored freshness token subsumes the old version-
   // monotonicity heuristic: unlike the cloud-assigned version it is SIGNED,
   // survives an admin restart, and tells a Byzantine rollback apart from
   // benign replica lag (both heal by re-reading; only one is counted).
-  check_index_freshness(gid, idx);
+  check_index_freshness(gid, manifest);
   auto old = cache_.find(gid);
 
   GroupState state;
   state.index_version = raw_index->version;
-  state.gk_epoch = idx.gk_epoch;
-  state.freshness = idx.freshness;
-  for (PartitionId pid : idx.partition_ids) {
-    auto raw = with_retries([&] { return cloud_.get(partition_path(gid, pid)); });
+  state.gk_epoch = manifest.gk_epoch;
+  state.freshness = manifest.freshness;
+  state.cipher_set = manifest.cipher_set;
+  state.overlays = manifest.overlays;
+  state.delta_base = manifest.delta_base;
+
+  for (const auto& ref : manifest.shards) {
+    auto raw = with_retries([&] { return cloud_.get(shard_path(gid, ref.sid)); });
     if (!raw) {
-      // Committed indexes only reference partitions that were pushed before
+      // Committed manifests only reference shards that were pushed before
       // the commit, so absence means we read a torn/stale view.
-      throw cloud::TransientError("sync_from_cloud: partition not yet visible");
+      throw cloud::TransientError("sync_from_cloud: shard not yet visible");
+    }
+    if (content_hash(*raw) != ref.hash) {
+      // A replica serving old bytes under a live name (or a torn write):
+      // the manifest pins content, so this heals by re-reading.
+      throw cloud::TransientError("sync_from_cloud: stale shard content");
     }
     auto env = SignedEnvelope::from_bytes(*raw);
     if (!verify_envelope(env)) {
-      throw std::runtime_error("sync_from_cloud: partition signature not trusted");
+      throw std::runtime_error("sync_from_cloud: shard signature not trusted");
     }
-    state.partitions.push_back(PartitionRecord::from_bytes(env.payload));
+    IndexShard rec = IndexShard::from_bytes(env.payload);
+    Shard sh;
+    sh.sid = ref.sid;
+    sh.hash = ref.hash;
+    for (auto& [pid, members] : rec.partitions) {
+      sh.pids.push_back(pid);
+      Partition p;
+      p.id = pid;
+      p.members = std::move(members);
+      state.partitions.push_back(std::move(p));
+    }
+    state.shards.push_back(std::move(sh));
+  }
+
+  auto raw_bundle = with_retries(
+      [&] { return cloud_.get(cipher_bundle_path(gid, manifest.cipher_set)); });
+  if (!raw_bundle) {
+    throw cloud::TransientError("sync_from_cloud: cipher bundle not yet visible");
+  }
+  auto bundle_env = SignedEnvelope::from_bytes(*raw_bundle);
+  if (!verify_envelope(bundle_env)) {
+    throw std::runtime_error("sync_from_cloud: bundle signature not trusted");
+  }
+  CipherBundle bundle = CipherBundle::from_bytes(bundle_env.payload);
+
+  std::map<PartitionId, enclave::PartitionCiphertext> overlay_ciphers;
+  for (const auto& [pid, oid] : manifest.overlays) {
+    auto raw =
+        with_retries([&] { return cloud_.get(cipher_overlay_path(gid, oid)); });
+    if (!raw) {
+      throw cloud::TransientError("sync_from_cloud: overlay not yet visible");
+    }
+    auto env = SignedEnvelope::from_bytes(*raw);
+    if (!verify_envelope(env)) {
+      throw std::runtime_error("sync_from_cloud: overlay signature not trusted");
+    }
+    CipherOverlay overlay = CipherOverlay::from_bytes(env.payload);
+    overlay_ciphers[pid] = std::move(overlay.cipher);
+  }
+  for (auto& p : state.partitions) {
+    if (auto it = overlay_ciphers.find(p.id); it != overlay_ciphers.end()) {
+      p.cipher = std::move(it->second);
+    } else if (const auto* c = bundle.find(p.id)) {
+      p.cipher = *c;
+    } else {
+      throw cloud::TransientError("sync_from_cloud: partition cipher missing");
+    }
+  }
+  state.member_of.reserve(state.partitions.size());
+  for (const auto& p : state.partitions) {
+    for (const auto& m : p.members) state.member_of.emplace(m, p.id);
   }
 
   auto sealed = with_retries(
-      [&] { return cloud_.get(sealed_gk_path(gid, idx.gk_epoch)); });
+      [&] { return cloud_.get(sealed_gk_path(gid, manifest.gk_epoch)); });
   if (sealed) {
     state.sealed_gk = sgx::SealedBlob::from_bytes(*sealed);
-  } else if (old != cache_.end() && old->second.gk_epoch == idx.gk_epoch) {
+  } else if (old != cache_.end() && old->second.gk_epoch == manifest.gk_epoch) {
     state.sealed_gk = old->second.sealed_gk;  // we sealed this epoch ourselves
   } else {
     throw cloud::TransientError("sync_from_cloud: sealed gk not yet visible");
@@ -349,15 +549,23 @@ void AdminApi::sync_from_cloud(const GroupId& gid) {
   if (old != cache_.end()) {
     state.partition_counter = old->second.partition_counter;
     state.epoch_counter = old->second.epoch_counter;
+    state.object_counter = old->second.object_counter;
     state.target_partition_size = old->second.target_partition_size;
+    state.shard_partition_target = old->second.shard_partition_target;
   } else {
     state.target_partition_size = config_.partition_size;
+    state.shard_partition_target =
+        config_.shard_partitions
+            ? config_.shard_partitions
+            : PartitionAdvisor::recommend_shard_partitions(
+                  std::max<std::size_t>(state.partitions.size(), 1),
+                  state.target_partition_size);
   }
-  bump_counters_past(state, idx);
-  // Late confirmation: if our previous incarnation died between the index
+  bump_counters_past(state);
+  // Late confirmation: if our previous incarnation died between the manifest
   // CAS and its confirmation (or a peer committed on another platform), the
   // platform floor now catches up with the committed counter.
-  enclave_.ecall_confirm_freshness(gid, idx.freshness.counter);
+  enclave_.ecall_confirm_freshness(gid, manifest.freshness.counter);
   cache_[gid] = std::move(state);
 }
 
@@ -389,9 +597,9 @@ bool AdminApi::recover(const GroupId& gid) {
     return false;
   }
 
-  // The index committed: adopt that state (rolling an uncommitted mutation
-  // back), then finish the sweep a committed mutation may have left undone
-  // (roll-forward of its GC).
+  // The manifest committed: adopt that state (rolling an uncommitted
+  // mutation back), then finish the sweep a committed mutation may have left
+  // undone (roll-forward of its GC).
   with_retries([&] {
     sync_from_cloud(gid);
     return 0;
@@ -399,8 +607,10 @@ bool AdminApi::recover(const GroupId& gid) {
   GroupState& state = state_of(gid);
 
   // Advance our id/epoch counters past every leftover on the cloud, not just
-  // what the index references: if the GC below fails half-way, a reused id
-  // could otherwise collide with a stale orphan file.
+  // what the manifest references: if the GC below fails half-way, a reused
+  // id could otherwise collide with a stale orphan file. Deltas are absent
+  // from this scan on purpose — their names carry the GLOBAL freshness
+  // counter, not an admin-spaced id, so there is no local counter to bump.
   std::vector<std::string> files;
   try {
     files = with_retries([&] { return cloud_.list(group_dir(gid) + "/"); });
@@ -410,13 +620,18 @@ bool AdminApi::recover(const GroupId& gid) {
   const std::string dir = group_dir(gid) + "/";
   for (const auto& path : files) {
     const std::string name = path.substr(dir.size());
-    std::optional<std::uint64_t> id = parse_numbered(name, "p", "");
-    if (!id) id = parse_numbered(name, "gk", ".sealed");
+    bool is_epoch = false;
+    std::optional<std::uint64_t> id = parse_numbered(name, "s", "");
+    if (!id) id = parse_numbered(name, "c", "");
+    if (!id) id = parse_numbered(name, "o", "");
+    if (!id) {
+      id = parse_numbered(name, "gk", ".sealed");
+      is_epoch = id.has_value();
+    }
     if (!id) continue;
     if (static_cast<std::uint32_t>(*id >> 32) != config_.admin_nonce) continue;
     auto low = static_cast<std::uint32_t>(*id);
-    bool is_epoch = name.compare(0, 2, "gk") == 0;
-    auto& counter = is_epoch ? state.epoch_counter : state.partition_counter;
+    auto& counter = is_epoch ? state.epoch_counter : state.object_counter;
     if (low >= counter) counter = low + 1;
   }
 
@@ -444,6 +659,8 @@ AdminApi::OpOutcome AdminApi::mutate_with_retry(const GroupId& gid, LogOp logop,
   std::optional<LogHead> staged;
   for (int attempt = 0;; ++attempt) {
     GroupState& state = state_of(gid);
+    // A re-run after a CAS conflict restages its delta ops from scratch.
+    state.pending_delta.clear();
     OpOutcome outcome = op(state, staged);
     if (outcome == OpOutcome::rebuilt) return outcome;
     if (outcome == OpOutcome::noop) {
@@ -498,10 +715,10 @@ MembershipLog::AuditResult AdminApi::audit_group_log(const GroupId& gid) const {
     }
   }
 
-  // Anchor on the committed index's log head so a rolled-back suffix — a
-  // perfectly valid shorter chain — is still caught; check the index's
+  // Anchor on the committed manifest's log head so a rolled-back suffix — a
+  // perfectly valid shorter chain — is still caught; check the manifest's
   // freshness token against the enclave floor so a WHOLESALE rollback of a
-  // consistent old index+log pair (which the anchor alone cannot see) is
+  // consistent old manifest+log pair (which the anchor alone cannot see) is
   // caught too.
   LogHead anchor{};
   const LogHead* anchor_ptr = nullptr;
@@ -509,18 +726,18 @@ MembershipLog::AuditResult AdminApi::audit_group_log(const GroupId& gid) const {
     try {
       auto env = SignedEnvelope::from_bytes(*raw_index);
       if (verify_envelope(env)) {
-        GroupIndex idx = GroupIndex::from_bytes(env.payload);
-        if (!idx.freshness.verify(enclave_.freshness_verification_key(), gid) ||
-            idx.freshness.gk_epoch != idx.gk_epoch ||
-            idx.freshness.log_head != idx.log_head) {
-          return {false, "index freshness attestation invalid", 0};
+        GroupManifest m = GroupManifest::from_bytes(env.payload);
+        if (!m.freshness.verify(enclave_.freshness_verification_key(), gid) ||
+            m.freshness.gk_epoch != m.gk_epoch ||
+            m.freshness.log_head != m.log_head) {
+          return {false, "manifest freshness attestation invalid", 0};
         }
-        if (idx.freshness.counter < enclave_.ecall_freshness_floor(gid)) {
+        if (m.freshness.counter < enclave_.ecall_freshness_floor(gid)) {
           return {false,
-                  "rolled-back index+log pair (freshness below enclave floor)",
+                  "rolled-back manifest+log pair (freshness below enclave floor)",
                   0};
         }
-        anchor = idx.log_head;
+        anchor = m.log_head;
         anchor_ptr = &anchor;
       }
     } catch (const util::DeserializeError&) {
@@ -549,6 +766,7 @@ void AdminApi::create_group_sized(const GroupId& gid,
     // Recreation (e.g. re-partitioning) keeps counters and CAS lineage.
     state.partition_counter = it->second.partition_counter;
     state.epoch_counter = it->second.epoch_counter;
+    state.object_counter = it->second.object_counter;
     state.index_version = it->second.index_version;
     state.freshness = it->second.freshness;  // floor for the next attestation
   }
@@ -564,20 +782,31 @@ void AdminApi::create_group_sized(const GroupId& gid,
   // Lines 2-6 run inside the enclave.
   auto creation = enclave_.ecall_create_group(partitions);
 
-  // Line 7: persist ciphertexts, wrapped keys, the sealed gk and the log
-  // entry — all under fresh names, all BEFORE the index CAS commits them.
+  // Line 7: persist everything — shards, cipher bundle, sealed gk, log entry
+  // — all under fresh names, all BEFORE the manifest CAS commits them.
   state.sealed_gk = creation.sealed_gk;
   state.gk_epoch = fresh_gk_epoch(state);
+  state.shard_partition_target =
+      config_.shard_partitions
+          ? config_.shard_partitions
+          : PartitionAdvisor::recommend_shard_partitions(partitions.size(),
+                                                         partition_size);
   for (std::size_t p = 0; p < partitions.size(); ++p) {
-    PartitionRecord rec;
+    Partition rec;
     rec.id = fresh_partition_id(state);
     rec.members = std::move(partitions[p]);
     rec.cipher = std::move(creation.partitions[p]);
-    push_partition(gid, rec);
+    for (const auto& m : rec.members) state.member_of.emplace(m, rec.id);
+    assign_to_shard(state, rec.id);
     state.partitions.push_back(std::move(rec));
   }
+  for (std::size_t s = 0; s < state.shards.size(); ++s) {
+    rewrite_shard(gid, state, s);
+  }
+  write_bundle(gid, state);
   push_sealed_gk(gid, state);
   LogHead head = publish_log_entry(gid, logop, subject);
+  // pending_delta is empty: the creation commits as a snapshot barrier.
   if (!push_index(gid, state, head)) {
     throw std::runtime_error("create_group: concurrent modification of " + gid);
   }
@@ -596,12 +825,7 @@ void AdminApi::add_user(const GroupId& gid, const Identity& id) {
       gid, LogOp::add_user, id,
       [&](GroupState& state, std::optional<LogHead>&) {
         created_partition = false;
-        for (const auto& rec : state.partitions) {
-          if (std::find(rec.members.begin(), rec.members.end(), id) !=
-              rec.members.end()) {
-            return OpOutcome::noop;  // already a member
-          }
-        }
+        if (state.member_of.count(id)) return OpOutcome::noop;
 
         // Algorithm 2, line 1: partitions with spare capacity.
         std::vector<std::size_t> open;
@@ -611,26 +835,40 @@ void AdminApi::add_user(const GroupId& gid, const Identity& id) {
           }
         }
 
+        PartitionId pid;
+        std::size_t shard;
         if (open.empty()) {
           // Lines 3-7: new partition wrapping the existing gk.
-          PartitionRecord rec;
+          Partition rec;
           rec.id = fresh_partition_id(state);
           rec.members = {id};
           rec.cipher =
               enclave_.ecall_create_partition(rec.members, state.sealed_gk);
-          push_partition(gid, rec);
+          pid = rec.id;
+          shard = assign_to_shard(state, pid);
           state.partitions.push_back(std::move(rec));
           created_partition = true;
         } else {
           // Lines 9-12: random open partition; O(1) ciphertext extension; the
-          // wrapped key y_p is untouched. The record still moves to a fresh
-          // id: partition files are immutable, the old one dies in the GC.
+          // wrapped key y_p is untouched. The partition keeps its stable id —
+          // immutability lives in the shard/overlay objects rewritten below.
           auto& rec = state.partitions[open[rng_.uniform(open.size())]];
           rec.cipher.ct = enclave_.ecall_add_user_to_partition(rec.cipher.ct, id);
           rec.members.push_back(id);
-          rec.id = fresh_partition_id(state);
-          push_partition(gid, rec);
+          pid = rec.id;
+          shard = shard_index_of(state, pid);
         }
+        state.member_of.emplace(id, pid);
+
+        // O(1) objects regardless of group size: one overlay, one shard, the
+        // delta + op-log entry + manifest that push_index publishes.
+        write_overlay(gid, state, pid);
+        rewrite_shard(gid, state, shard);
+        DeltaOp op;
+        op.kind = DeltaOp::Kind::add_member;
+        op.user = id;
+        op.pid = pid;
+        state.pending_delta.push_back(std::move(op));
         return OpOutcome::published;
       });
 
@@ -644,16 +882,11 @@ void AdminApi::remove_user(const GroupId& gid, const Identity& id) {
   auto outcome = mutate_with_retry(
       gid, LogOp::remove_user, id,
       [&](GroupState& state, std::optional<LogHead>& staged) {
-        // Locate the hosting partition (Algorithm 3, line 1).
-        std::size_t host = state.partitions.size();
-        for (std::size_t p = 0; p < state.partitions.size(); ++p) {
-          const auto& ms = state.partitions[p].members;
-          if (std::find(ms.begin(), ms.end(), id) != ms.end()) {
-            host = p;
-            break;
-          }
-        }
-        if (host == state.partitions.size()) return OpOutcome::noop;
+        // Locate the hosting partition (Algorithm 3, line 1) — O(1) now.
+        auto mit = state.member_of.find(id);
+        if (mit == state.member_of.end()) return OpOutcome::noop;
+        const PartitionId host_pid = mit->second;
+        std::size_t host = partition_index(state, host_pid);
 
         // Lines 3-9 run inside the enclave: O(1) removal on the host,
         // constant time re-key everywhere else, fresh gk wrapped under every
@@ -679,14 +912,32 @@ void AdminApi::remove_user(const GroupId& gid, const Identity& id) {
             state.partitions[p].cipher = std::move(result.partitions[out++]);
           }
         }
+        state.member_of.erase(mit);
+        DeltaOp op;
+        op.kind = DeltaOp::Kind::remove_member;
+        op.user = id;
+        op.pid = host_pid;
+        state.pending_delta.push_back(std::move(op));
 
-        // An emptied partition just leaves the index; its file is swept by
-        // the post-commit GC (erasing it here would tear the committed view).
+        // An emptied partition just leaves the index; its shard entry goes
+        // with it (and an emptied shard drops out of the manifest — the old
+        // file is swept by the post-commit GC).
+        std::size_t host_shard = shard_index_of(state, host_pid);
+        bool host_shard_alive = true;
         if (host_rec.members.empty()) {
           state.partitions.erase(state.partitions.begin() +
                                  static_cast<std::ptrdiff_t>(host));
+          auto& pids = state.shards[host_shard].pids;
+          pids.erase(std::find(pids.begin(), pids.end(), host_pid));
+          if (pids.empty()) {
+            state.shards.erase(state.shards.begin() +
+                               static_cast<std::ptrdiff_t>(host_shard));
+            host_shard_alive = false;
+          }
         }
 
+        // The global §V-A heuristic first (a full rebuild subsumes any
+        // shard-local one), then the same rule scoped to the host shard.
         if (!state.partitions.empty() && config_.repartitioning &&
             should_repartition(state)) {
           // The rebuild commits on its own; our log entry must precede its
@@ -695,11 +946,14 @@ void AdminApi::remove_user(const GroupId& gid, const Identity& id) {
           rebuild_group(gid, state);
           return OpOutcome::rebuilt;
         }
-        // Every partition's ciphertext changed: copy-on-write republish.
-        for (auto& rec : state.partitions) {
-          rec.id = fresh_partition_id(state);
-          push_partition(gid, rec);
+        if (host_shard_alive && config_.repartitioning &&
+            shard_should_repartition(state, state.shards[host_shard])) {
+          repartition_shard(state, host_shard);
         }
+        if (host_shard_alive) rewrite_shard(gid, state, host_shard);
+        // Every partition's ciphertext changed, but they travel as ONE
+        // rotated bundle: the revocation stays O(1) uploaded objects.
+        write_bundle(gid, state);
         push_sealed_gk(gid, state);
         return OpOutcome::published;
       });
@@ -724,13 +978,9 @@ void AdminApi::remove_users(const GroupId& gid, std::span<const Identity> ids) {
         // Group the batch by hosting partition; silently skip non-members.
         std::map<std::size_t, std::vector<Identity>> by_partition;
         for (const auto& id : ids) {
-          for (std::size_t p = 0; p < state.partitions.size(); ++p) {
-            const auto& ms = state.partitions[p].members;
-            if (std::find(ms.begin(), ms.end(), id) != ms.end()) {
-              by_partition[p].push_back(id);
-              break;
-            }
-          }
+          auto mit = state.member_of.find(id);
+          if (mit == state.member_of.end()) continue;
+          by_partition[partition_index(state, mit->second)].push_back(id);
         }
         if (by_partition.empty()) return OpOutcome::noop;
 
@@ -753,13 +1003,31 @@ void AdminApi::remove_users(const GroupId& gid, std::span<const Identity> ids) {
         state.sealed_gk = result.sealed_gk;
         state.gk_epoch = fresh_gk_epoch(state);
 
+        // Track which shards lose members; sids are stable until the final
+        // rewrite, so they key the dirty set safely across erasures below.
+        std::vector<std::uint64_t> dirty_sids;
+        auto mark_dirty = [&](PartitionId pid) {
+          auto sid = state.shards[shard_index_of(state, pid)].sid;
+          if (std::find(dirty_sids.begin(), dirty_sids.end(), sid) ==
+              dirty_sids.end()) {
+            dirty_sids.push_back(sid);
+          }
+        };
+
         // Enclave output order: hosts first, then the others.
         for (std::size_t h = 0; h < host_indices.size(); ++h) {
           auto& rec = state.partitions[host_indices[h]];
           rec.cipher = std::move(result.partitions[h]);
+          mark_dirty(rec.id);
           for (const auto& id : by_partition[host_indices[h]]) {
             rec.members.erase(
                 std::find(rec.members.begin(), rec.members.end(), id));
+            state.member_of.erase(id);
+            DeltaOp op;
+            op.kind = DeltaOp::Kind::remove_member;
+            op.user = id;
+            op.pid = rec.id;
+            state.pending_delta.push_back(std::move(op));
           }
           removed_count += by_partition[host_indices[h]].size();
         }
@@ -768,13 +1036,24 @@ void AdminApi::remove_users(const GroupId& gid, std::span<const Identity> ids) {
               std::move(result.partitions[hosts.size() + o]);
         }
 
-        // Drop emptied partitions from the index, largest offset first; the
-        // files themselves are swept post-commit.
+        // Drop emptied partitions, largest offset first; the shard files
+        // themselves are swept post-commit.
         for (std::size_t p = state.partitions.size(); p-- > 0;) {
-          if (state.partitions[p].members.empty()) {
-            state.partitions.erase(state.partitions.begin() +
-                                   static_cast<std::ptrdiff_t>(p));
+          if (!state.partitions[p].members.empty()) continue;
+          const PartitionId pid = state.partitions[p].id;
+          std::size_t s = shard_index_of(state, pid);
+          auto& pids = state.shards[s].pids;
+          pids.erase(std::find(pids.begin(), pids.end(), pid));
+          if (pids.empty()) {
+            auto sid = state.shards[s].sid;
+            dirty_sids.erase(
+                std::remove(dirty_sids.begin(), dirty_sids.end(), sid),
+                dirty_sids.end());
+            state.shards.erase(state.shards.begin() +
+                               static_cast<std::ptrdiff_t>(s));
           }
+          state.partitions.erase(state.partitions.begin() +
+                                 static_cast<std::ptrdiff_t>(p));
         }
 
         subject = "batch=" + std::to_string(removed_count);
@@ -786,10 +1065,18 @@ void AdminApi::remove_users(const GroupId& gid, std::span<const Identity> ids) {
           rebuild_group(gid, state);
           return OpOutcome::rebuilt;
         }
-        for (auto& rec : state.partitions) {
-          rec.id = fresh_partition_id(state);
-          push_partition(gid, rec);
+        for (std::size_t s = 0; s < state.shards.size(); ++s) {
+          if (std::find(dirty_sids.begin(), dirty_sids.end(),
+                        state.shards[s].sid) == dirty_sids.end()) {
+            continue;
+          }
+          if (config_.repartitioning &&
+              shard_should_repartition(state, state.shards[s])) {
+            repartition_shard(state, s);
+          }
+          rewrite_shard(gid, state, s);
         }
+        write_bundle(gid, state);
         push_sealed_gk(gid, state);
         return OpOutcome::published;
       });
@@ -811,6 +1098,58 @@ bool AdminApi::should_repartition(const GroupState& state) const {
   return sparse * 2 > state.partitions.size();
 }
 
+bool AdminApi::shard_should_repartition(const GroupState& state,
+                                        const Shard& shard) const {
+  // The §V-A occupancy rule scoped to one shard: compacting only the shard
+  // that churned keeps the repair O(shard), and clients fold it as a delta
+  // instead of hitting the full-rebuild snapshot barrier.
+  if (shard.pids.size() < 2) return false;
+  std::size_t threshold = (state.target_partition_size * 2 + 2) / 3;
+  std::size_t sparse = 0;
+  for (PartitionId pid : shard.pids) {
+    if (state.partitions[partition_index(state, pid)].members.size() < threshold) {
+      ++sparse;
+    }
+  }
+  return sparse * 2 > shard.pids.size();
+}
+
+void AdminApi::repartition_shard(GroupState& state, std::size_t shard) {
+  Shard& sh = state.shards[shard];
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::repartition;
+  op.dropped = sh.pids;
+
+  std::vector<Identity> pool;
+  for (PartitionId pid : sh.pids) {
+    auto idx = partition_index(state, pid);
+    auto& members = state.partitions[idx].members;
+    pool.insert(pool.end(), members.begin(), members.end());
+    state.partitions.erase(state.partitions.begin() +
+                           static_cast<std::ptrdiff_t>(idx));
+  }
+  sh.pids.clear();
+
+  const std::size_t m = std::max<std::size_t>(state.target_partition_size, 1);
+  for (std::size_t i = 0; i < pool.size(); i += m) {
+    auto last = std::min(pool.size(), i + m);
+    Partition rec;
+    rec.id = fresh_partition_id(state);
+    rec.members.assign(pool.begin() + static_cast<std::ptrdiff_t>(i),
+                       pool.begin() + static_cast<std::ptrdiff_t>(last));
+    // Wraps the CURRENT (post-rotation) gk — the caller writes the bundle
+    // after this, so the new ciphertexts ride the same O(1) object.
+    rec.cipher = enclave_.ecall_create_partition(rec.members, state.sealed_gk);
+    for (const auto& u : rec.members) state.member_of[u] = rec.id;
+    sh.pids.push_back(rec.id);
+    op.created.emplace_back(rec.id, rec.members);
+    state.partitions.push_back(std::move(rec));
+    stats_.partitions_created++;
+  }
+  stats_.shard_repartitions++;
+  state.pending_delta.push_back(std::move(op));
+}
+
 void AdminApi::rebuild_group(const GroupId& gid, GroupState& state) {
   std::vector<Identity> all;
   for (const auto& rec : state.partitions) {
@@ -825,7 +1164,7 @@ void AdminApi::rebuild_group(const GroupId& gid, GroupState& state) {
     advisor_.reset_window();
   }
 
-  // create_group_sized rewrites cache_[gid] (committing via the index CAS
+  // create_group_sized rewrites cache_[gid] (committing via the manifest CAS
   // and sweeping this generation's files afterwards); adjust counters to not
   // double-count the group itself.
   stats_.groups_created--;
@@ -836,39 +1175,76 @@ void AdminApi::rebuild_group(const GroupId& gid, GroupState& state) {
 bool AdminApi::is_member(const GroupId& gid, const Identity& id) const {
   auto it = cache_.find(gid);
   if (it == cache_.end()) return false;
-  for (const auto& rec : it->second.partitions) {
-    if (std::find(rec.members.begin(), rec.members.end(), id) != rec.members.end()) {
-      return true;
-    }
-  }
-  return false;
+  return it->second.member_of.count(id) != 0;
 }
 
 std::size_t AdminApi::group_size(const GroupId& gid) const {
-  std::size_t total = 0;
-  for (const auto& rec : state_of(gid).partitions) total += rec.members.size();
-  return total;
+  return state_of(gid).member_of.size();
 }
 
 std::size_t AdminApi::partition_count(const GroupId& gid) const {
   return state_of(gid).partitions.size();
 }
 
+std::size_t AdminApi::shard_count(const GroupId& gid) const {
+  return state_of(gid).shards.size();
+}
+
 std::size_t AdminApi::partition_size_target(const GroupId& gid) const {
   return state_of(gid).target_partition_size;
 }
 
+std::size_t AdminApi::cloud_object_count(const GroupId& gid) const {
+  const GroupState& state = state_of(gid);
+  std::size_t n = 2;  // manifest + sealed gk
+  n += state.shards.size();
+  n += 1;  // cipher bundle
+  n += state.overlays.size();
+  if (state.delta_base > 0 && state.freshness.counter >= state.delta_base) {
+    n += state.freshness.counter - state.delta_base + 1;
+  }
+  if (config_.log_operations) n += 1;
+  return n;
+}
+
 std::size_t AdminApi::metadata_size(const GroupId& gid) const {
   const GroupState& state = state_of(gid);
+  // Stored envelope bytes = 4-byte payload prefix + payload + signature.
+  constexpr std::size_t env_overhead =
+      4 + pki::EcdsaSignature::serialized_size;
   std::size_t total = 0;
-  GroupIndex idx;
-  for (const auto& rec : state.partitions) {
-    total += rec.to_bytes().size() + pki::EcdsaSignature::serialized_size;
-    idx.partition_ids.push_back(rec.id);
-    idx.members.push_back(rec.members);
+  for (const auto& sh : state.shards) {
+    IndexShard rec;
+    rec.sid = sh.sid;
+    for (PartitionId pid : sh.pids) {
+      rec.partitions.emplace_back(
+          pid, state.partitions[partition_index(state, pid)].members);
+    }
+    total += rec.to_bytes().size() + env_overhead;
   }
-  total += idx.to_bytes().size() + pki::EcdsaSignature::serialized_size;
+  CipherBundle bundle;
+  for (const auto& p : state.partitions) {
+    bundle.entries.emplace_back(p.id, p.cipher);
+  }
+  total += bundle.to_bytes().size() + env_overhead;
+  for (const auto& [pid, oid] : state.overlays) {
+    CipherOverlay overlay;
+    overlay.pid = pid;
+    overlay.cipher = state.partitions[partition_index(state, pid)].cipher;
+    total += overlay.to_bytes().size() + env_overhead;
+  }
+  total += build_manifest(state).to_bytes().size() + env_overhead;
   total += state.sealed_gk.to_bytes().size();  // gk<epoch>.sealed
+  // Retained deltas are not mirrored in memory; size the live window off the
+  // cloud (const path: bare retry helper, stats untouched).
+  if (state.delta_base > 0) {
+    for (std::uint64_t seq = state.delta_base; seq <= state.freshness.counter;
+         ++seq) {
+      auto raw = util::retry_faults(
+          config_.retry, [&] { return cloud_.get(delta_path(gid, seq)); });
+      if (raw) total += raw->size();
+    }
+  }
   return total;
 }
 

@@ -6,35 +6,47 @@
 //
 // Responsibilities:
 //   * partition assignment (fixed-size partitions, random placement of
-//     joiners, as in Algorithm 2 line 9);
+//     joiners, as in Algorithm 2 line 9) and shard assignment (a few whole
+//     partitions per shard, sized by the advisor's churn model);
 //   * the local metadata cache that saves cloud round trips (§IV-C);
-//   * pushing signed metadata to the cloud store;
-//   * the re-partitioning heuristic: if more than half of the partitions are
-//     under two-thirds occupancy, rebuild the group via Algorithm 1.
+//   * pushing signed metadata to the cloud store — under the sharded
+//     manifest layout a mutation touches O(1) objects: the host shard, one
+//     cipher object (an overlay for adds, the rotated bundle for removes),
+//     the signed delta, the op-log entry and the manifest;
+//   * re-partitioning heuristics at two granularities: the global rule from
+//     §V-A (more than half of ALL partitions under two-thirds occupancy →
+//     full rebuild, a snapshot barrier) and the same rule applied per shard
+//     (rebuild just that shard's partitions, wrapping the current gk —
+//     foldable by clients as a repartition delta op).
 //
 // Crash consistency (docs/fault_model.md has the full protocol): every
-// mutation is shadow-paged. Changed partition records are written under
-// FRESH ids (copy-on-write — partition files are immutable once written), a
-// rotated group key is sealed under a FRESH epoch path, and the op-log entry
-// is CAS-merged in — all BEFORE the single commit point, the CAS that
-// replaces groups/<gid>/index. Nothing is erased before the commit;
-// unreferenced files are swept by a post-commit garbage collector, and
-// recover() rolls a torn mutation back (index CAS never landed) or forward
-// (it did; finish the GC) after a crash. Transient cloud errors are retried
-// under config.retry; a cloud::CrashError is never retried in place.
+// mutation is shadow-paged. Changed shards, cipher bundles/overlays and the
+// commit's signed delta are written under FRESH object ids (copy-on-write —
+// these files are immutable once written; partition ids, by contrast, are
+// stable logical names), a rotated group key is sealed under a FRESH epoch
+// path, and the op-log entry is CAS-merged in — all BEFORE the single commit
+// point, the CAS that replaces groups/<gid>/index (the manifest). Nothing is
+// erased before the commit; unreferenced files — including deltas that fell
+// out of the retention window — are swept by a post-commit garbage
+// collector, and recover() rolls a torn mutation back (manifest CAS never
+// landed) or forward (it did; finish the GC) after a crash. Transient cloud
+// errors are retried under config.retry; a cloud::CrashError is never
+// retried in place.
 //
 // Extensions beyond the paper's evaluation (its §VIII future work):
 //   * batch revocation: remove_users() rotates gk once per batch;
-//   * multi-administrator mode: CAS-protected index updates with cache
+//   * multi-administrator mode: CAS-protected manifest updates with cache
 //     re-sync and retry (config.multi_admin);
 //   * dynamic partition sizing: re-partitioning picks the size a cost model
 //     recommends for the observed workload (config.adaptive_partitioning);
 //   * a hash-chained signed membership log for auditing
 //     (config.log_operations, see oplog.h), anchored against truncation by
-//     the committed index's log_head field.
+//     the committed manifest's log_head field — which also chains the
+//     incremental deltas clients fold.
 #pragma once
 
 #include <map>
+#include <unordered_map>
 
 #include "cloud/store.h"
 #include "crypto/drbg.h"
@@ -50,17 +62,26 @@ struct AdminConfig {
   std::size_t partition_size = 1000;  // the paper's |p|
   bool repartitioning = true;
 
+  /// Partitions per shard; 0 = let the advisor's churn model pick
+  /// (PartitionAdvisor::recommend_shard_partitions) at each (re)creation.
+  std::size_t shard_partitions = 0;
+
+  /// How many incremental deltas stay on the cloud for warm clients to fold;
+  /// older ones are garbage-collected and force a snapshot re-fetch.
+  std::size_t delta_window = 64;
+
   /// Backoff discipline for transient cloud errors (every put/get/list this
   /// class issues). cloud::CrashError is never retried.
   util::RetryPolicy retry;
 
   // ---- multi-administrator extension ----
-  /// Enables lock-free concurrent administration: index updates go through
-  /// compare-and-swap, conflicts trigger a cache re-sync and retry, and the
-  /// sealed group key is mirrored to the cloud so peers can pick it up.
+  /// Enables lock-free concurrent administration: manifest updates go
+  /// through compare-and-swap, conflicts trigger a cache re-sync and retry,
+  /// and the sealed group key is mirrored to the cloud so peers can pick it
+  /// up.
   bool multi_admin = false;
-  /// Distinguishes this administrator's partition ids and gk epochs (high 32
-  /// bits) so concurrent creations never collide.
+  /// Distinguishes this administrator's partition/object ids and gk epochs
+  /// (high 32 bits) so concurrent creations never collide.
   std::uint32_t admin_nonce = 0;
   /// Verification keys (compressed P-256) of the other administrators whose
   /// signed metadata this admin accepts during re-sync.
@@ -84,7 +105,9 @@ struct AdminStats {
   std::uint64_t users_added = 0;
   std::uint64_t users_removed = 0;
   std::uint64_t partitions_created = 0;
-  std::uint64_t repartitions = 0;
+  std::uint64_t repartitions = 0;        // full (global) rebuilds
+  std::uint64_t shard_repartitions = 0;  // shard-local rebuilds (delta-foldable)
+  std::uint64_t deltas_published = 0;    // incremental deltas committed
   std::uint64_t cas_conflicts = 0;      // retries caused by peers (or faults)
   std::uint64_t transient_retries = 0;  // cloud round trips retried
   std::uint64_t recoveries = 0;         // recover() invocations
@@ -103,7 +126,7 @@ class AdminApi {
   /// Algorithm 2. No-op if the user is already a member.
   void add_user(const GroupId& gid, const core::Identity& id);
 
-  /// Algorithm 3 (+ re-partitioning heuristic). No-op if not a member.
+  /// Algorithm 3 (+ re-partitioning heuristics). No-op if not a member.
   void remove_user(const GroupId& gid, const core::Identity& id);
 
   /// Batch extensions: `add_users` loops the O(1) add; `remove_users`
@@ -112,35 +135,44 @@ class AdminApi {
   void add_users(const GroupId& gid, std::span<const core::Identity> ids);
   void remove_users(const GroupId& gid, std::span<const core::Identity> ids);
 
-  /// Rebuilds the local cache for `gid` from signed cloud metadata (index,
-  /// partitions, the sealed gk of the committed epoch). Throws on missing or
-  /// unverifiable metadata; throws cloud::TransientError when the cloud
-  /// serves a torn or stale view (caller may retry).
+  /// Rebuilds the local cache for `gid` from signed cloud metadata (the
+  /// manifest, every shard — verified against the manifest's hashes — the
+  /// cipher bundle + overlays, and the sealed gk of the committed epoch).
+  /// Throws on missing or unverifiable metadata; throws
+  /// cloud::TransientError when the cloud serves a torn or stale view
+  /// (caller may retry).
   void sync_from_cloud(const GroupId& gid);
 
-  /// Startup crash recovery. Returns true if the group exists (its index
+  /// Startup crash recovery. Returns true if the group exists (its manifest
   /// committed): the cache is rebuilt from the committed state, id/epoch
   /// counters are advanced past every id seen on the cloud (so a restarted
-  /// admin can never collide with leftovers), and orphaned partition / gk
-  /// files are garbage-collected — rolling an interrupted mutation back, or
-  /// finishing the sweep of one that committed (roll-forward). Returns false
-  /// if no index exists: a creation died before its commit point; every
-  /// torn file under the group's directory is deleted.
+  /// admin can never collide with leftovers), and orphaned shard / cipher /
+  /// delta / gk files are garbage-collected — rolling an interrupted
+  /// mutation back, or finishing the sweep of one that committed
+  /// (roll-forward). Returns false if no manifest exists: a creation died
+  /// before its commit point; every torn file under the group's directory is
+  /// deleted.
   bool recover(const GroupId& gid);
 
   /// Fetches the group's op-log from the cloud and audits it against this
-  /// admin's + peers' keys, anchored on the committed index's log_head (so
-  /// whole-suffix truncation is caught, not just splices).
+  /// admin's + peers' keys, anchored on the committed manifest's log_head
+  /// (so whole-suffix truncation is caught, not just splices).
   [[nodiscard]] MembershipLog::AuditResult audit_group_log(const GroupId& gid) const;
 
   [[nodiscard]] bool is_member(const GroupId& gid, const core::Identity& id) const;
   [[nodiscard]] std::size_t group_size(const GroupId& gid) const;
   [[nodiscard]] std::size_t partition_count(const GroupId& gid) const;
+  [[nodiscard]] std::size_t shard_count(const GroupId& gid) const;
   /// Current partition-size target (differs from the configured size once
   /// adaptive re-partitioning has acted).
   [[nodiscard]] std::size_t partition_size_target(const GroupId& gid) const;
   /// Serialized size of all of the group's cloud metadata.
   [[nodiscard]] std::size_t metadata_size(const GroupId& gid) const;
+  /// Exact number of files the committed state keeps under groups/<gid>/:
+  /// manifest + sealed gk + shards + bundle + overlays + retained deltas
+  /// (+ op-log when logging). The crash-consistency tests assert the cloud
+  /// listing matches this after every recovery — no orphans, no omissions.
+  [[nodiscard]] std::size_t cloud_object_count(const GroupId& gid) const;
 
   [[nodiscard]] const AdminStats& stats() const { return stats_; }
   /// Workload observations driving adaptive sizing. Decrypt observations are
@@ -160,23 +192,54 @@ class AdminApi {
  private:
   using LogHead = std::array<std::uint8_t, 32>;
 
+  /// In-memory partition: a STABLE id (kept across mutations — CoW
+  /// immutability lives in shard/bundle/overlay object ids now), the member
+  /// list, and the current ciphertext.
+  struct Partition {
+    PartitionId id = 0;
+    std::vector<core::Identity> members;
+    enclave::PartitionCiphertext cipher;
+  };
+  /// One shard of the committed layout: which partitions it holds, the
+  /// object id it was last written under, and the stored bytes' hash (what
+  /// the manifest pins).
+  struct Shard {
+    std::uint64_t sid = 0;
+    std::vector<PartitionId> pids;
+    Hash32 hash{};
+  };
+
   struct GroupState {
-    std::vector<PartitionRecord> partitions;
+    std::vector<Partition> partitions;
+    std::vector<Shard> shards;
+    /// O(1) membership/host lookup, maintained incrementally by every
+    /// mutation and rebuilt on sync (the linear scans were O(total members)
+    /// per op).
+    std::unordered_map<core::Identity, PartitionId> member_of;
+    std::uint64_t cipher_set = 0;                   // live bundle object id
+    std::map<PartitionId, std::uint64_t> overlays;  // pid -> overlay object id
     sgx::SealedBlob sealed_gk;
     std::uint64_t gk_epoch = 0;           // cloud path of the sealed gk
     std::size_t target_partition_size = 0;
+    std::size_t shard_partition_target = 0;  // partitions per shard
     std::uint32_t partition_counter = 0;  // admin-local, see fresh_partition_id
     std::uint32_t epoch_counter = 0;      // admin-local, see fresh_gk_epoch
+    std::uint32_t object_counter = 0;     // shard/bundle/overlay ids
     std::uint64_t index_version = 0;      // cloud version at last sync/push
-    // The committed index's freshness token (counter doubles as the floor
-    // handed to the next attestation).
+    // The committed manifest's freshness token (counter doubles as the floor
+    // handed to the next attestation, and as the last delta's seq).
     enclave::FreshnessToken freshness;
+    std::uint64_t delta_base = 0;  // earliest delta retained on the cloud
+    /// Delta ops staged by the current mutation attempt; consumed by
+    /// push_index (empty = snapshot-barrier commit). Cleared before each
+    /// retry so a re-run after a CAS conflict restages from scratch.
+    std::vector<DeltaOp> pending_delta;
   };
 
   /// What a mutation attempt did with the cached state.
   enum class OpOutcome {
     noop,       // nothing changed, nothing to publish
-    published,  // partitions pushed; index still needs publishing
+    published,  // shards/ciphers pushed; manifest still needs publishing
     rebuilt,    // rebuild_group ran and already committed everything
   };
 
@@ -184,25 +247,49 @@ class AdminApi {
   const GroupState& state_of(const GroupId& gid) const;
   PartitionId fresh_partition_id(GroupState& state) const;
   std::uint64_t fresh_gk_epoch(GroupState& state) const;
+  /// Fresh copy-on-write object id for shards, bundles and overlays (one
+  /// shared counter; the path prefix disambiguates the kind).
+  std::uint64_t fresh_object_id(GroupState& state) const;
+
+  [[nodiscard]] std::size_t partition_index(const GroupState& state,
+                                            PartitionId pid) const;
+  [[nodiscard]] std::size_t shard_index_of(const GroupState& state,
+                                           PartitionId pid) const;
+  /// Places a (new) partition into the last shard with spare capacity, or a
+  /// fresh shard; returns the shard index.
+  std::size_t assign_to_shard(GroupState& state, PartitionId pid);
 
   void create_group_sized(const GroupId& gid,
                           std::span<const core::Identity> members,
                           std::size_t partition_size, LogOp logop,
                           const std::string& subject);
-  void push_partition(const GroupId& gid, const PartitionRecord& rec);
-  /// The commit point: CAS of the signed index against the cached version.
-  /// The index carries an enclave-signed freshness token (tentative counter);
-  /// the counter is confirmed to the platform only after the CAS lands, and
-  /// the commit is announced on the gossip channel. Detects this admin's own
-  /// ambiguous commits (write applied, response lost) by re-reading and
-  /// comparing payloads; false means a real concurrent update.
+  /// Serializes, signs and uploads one shard under a fresh object id;
+  /// updates the shard's sid + hash in the state.
+  void rewrite_shard(const GroupId& gid, GroupState& state, std::size_t shard);
+  /// Uploads the full cipher bundle under a fresh id (gk rotations) and
+  /// clears the overlay map.
+  void write_bundle(const GroupId& gid, GroupState& state);
+  /// Uploads one partition's cipher as an overlay under a fresh id.
+  void write_overlay(const GroupId& gid, GroupState& state, PartitionId pid);
+  /// The commit point: CAS of the signed manifest against the cached
+  /// version. Writes the commit's signed delta first (d<counter>, pinned by
+  /// the manifest's delta_hash) unless the staged ops are empty (snapshot
+  /// barrier). The manifest carries an enclave-signed freshness token
+  /// (tentative counter); the counter is confirmed to the platform only
+  /// after the CAS lands, and the commit is announced on the gossip channel.
+  /// Detects this admin's own ambiguous commits (write applied, response
+  /// lost) by re-reading and comparing payloads; false means a real
+  /// concurrent update.
   [[nodiscard]] bool push_index(const GroupId& gid, GroupState& state,
                                 const LogHead& log_head);
-  /// Verifies a synced index's freshness token: enclave signature, binding
-  /// to (gk_epoch, log_head), and counter not below the platform's confirmed
-  /// floor. Throws util::IntegrityError on forgery/mis-binding and
+  /// Builds the manifest for the current state (shards, cipher objects,
+  /// epoch, log head, freshness, delta window).
+  [[nodiscard]] GroupManifest build_manifest(const GroupState& state) const;
+  /// Verifies a synced manifest's freshness token: enclave signature,
+  /// binding to (gk_epoch, log_head), and counter not below the platform's
+  /// confirmed floor. Throws util::IntegrityError on forgery/mis-binding and
   /// cloud::TransientError on a rolled-back (or lagging) view.
-  void check_index_freshness(const GroupId& gid, const GroupIndex& idx);
+  void check_index_freshness(const GroupId& gid, const GroupManifest& m);
   /// Best-effort publication of the committed (counter, log_head) to the
   /// gossip channel, so clients can spot rollbacks served to them even
   /// before any peer client has seen the new commit.
@@ -212,24 +299,33 @@ class AdminApi {
   /// CAS-merge publication of one op-log entry (pre-commit): fetch, rebase
   /// our entry onto the remote head, put_cas; on conflict re-fetch and merge
   /// so no concurrent admin's entries are lost. Returns the entry's hash —
-  /// the index's log_head anchor. All-zero when logging is off.
+  /// the manifest's log_head anchor. All-zero when logging is off.
   LogHead publish_log_entry(const GroupId& gid, LogOp op,
                             const std::string& subject);
   [[nodiscard]] bool verify_envelope(const SignedEnvelope& env) const;
-  /// Post-commit sweep: deletes partition and sealed-gk files that the
-  /// committed index no longer references. Best-effort — a failed sweep
-  /// leaves orphans for the next gc/recover, never an inconsistency.
+  /// Post-commit sweep: deletes shard / cipher / delta / sealed-gk files
+  /// that the committed manifest no longer references (deltas: anything
+  /// outside [delta_base, counter]). Best-effort — a failed sweep leaves
+  /// orphans for the next gc/recover, never an inconsistency.
   void gc_group(const GroupId& gid, const GroupState& state);
-  /// Advances the local id/epoch counters past every id the committed index
-  /// carries for this admin's nonce.
-  void bump_counters_past(GroupState& state, const GroupIndex& idx) const;
+  /// Advances the local id/epoch/object counters past every id the
+  /// committed state carries for this admin's nonce.
+  void bump_counters_past(GroupState& state) const;
   /// The heuristic from §V-A: more than half of the partitions below 2/3
-  /// occupancy triggers a full rebuild.
+  /// occupancy triggers a full rebuild (snapshot barrier).
   bool should_repartition(const GroupState& state) const;
+  /// The same occupancy rule applied to one shard's partitions.
+  bool shard_should_repartition(const GroupState& state,
+                                const Shard& shard) const;
+  /// Shard-local rebuild: merges the shard's members into fresh partitions
+  /// of the target size wrapping the CURRENT gk (no rotation), under fresh
+  /// stable pids; stages a repartition delta op so warm clients fold it.
+  /// Pure state surgery — the caller rewrites the shard and the bundle.
+  void repartition_shard(GroupState& state, std::size_t shard);
   void rebuild_group(const GroupId& gid, GroupState& state);
 
   /// Retry wrapper for a whole mutation: runs `op` against the cached state,
-  /// publishes the staged op-log entry, then attempts the index CAS; on
+  /// publishes the staged op-log entry, then attempts the manifest CAS; on
   /// conflict re-syncs and re-runs the (idempotent) op. `op` is called as
   /// op(state, staged) — `staged` lets the re-partitioning path publish its
   /// log entry before handing off to rebuild_group.

@@ -20,4 +20,15 @@ std::size_t PartitionAdvisor::recommend(std::size_t group_size,
   return std::clamp(m, min_size, max_size);
 }
 
+std::size_t PartitionAdvisor::recommend_shard_partitions(
+    std::size_t partition_count, std::size_t partition_size) {
+  constexpr double ref_bytes = 48.0;     // u64 sid + 32-byte hash + framing
+  constexpr double member_bytes = 16.0;  // u32 prefix + typical identity
+  double p = static_cast<double>(std::max<std::size_t>(partition_count, 1));
+  double m = static_cast<double>(std::max<std::size_t>(partition_size, 1));
+  double optimal = std::sqrt(p * ref_bytes / (m * member_bytes));
+  auto k = static_cast<std::size_t>(std::llround(optimal));
+  return std::clamp<std::size_t>(k, 1, std::max<std::size_t>(partition_count, 1));
+}
+
 }  // namespace ibbe::system

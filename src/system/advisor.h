@@ -51,6 +51,16 @@ class PartitionAdvisor {
   /// Forget the observation window (e.g. after acting on a recommendation).
   void reset_window() { adds_ = removes_ = decrypts_ = 0; }
 
+  /// Shard sizing for the manifest layout (docs/fault_model.md). A mutation
+  /// re-uploads the manifest (one 48-byte ShardRef per shard) plus the host
+  /// shard (k partitions of ~m members at ~`member_bytes` each), so churn per
+  /// op is ~ P/k * ref_bytes + k * m * member_bytes; minimizing over k gives
+  /// k* = sqrt(P * ref_bytes / (m * member_bytes)), clamped to [1, P].
+  /// Static: unlike partition sizing this is a pure serialization trade-off,
+  /// independent of the observed workload mix.
+  [[nodiscard]] static std::size_t recommend_shard_partitions(
+      std::size_t partition_count, std::size_t partition_size);
+
  private:
   CostModel model_{};
   std::uint64_t adds_ = 0;

@@ -37,6 +37,11 @@ std::optional<util::Bytes> ClientApi::last_key(const GroupId& gid) const {
   return it->second;
 }
 
+void ClientApi::invalidate_caches(const GroupId& gid) {
+  cache_.erase(gid);
+  cipher_cache_.erase(gid);
+}
+
 std::vector<FreshnessObservation> ClientApi::read_gossip(
     const GroupId& gid) const {
   std::vector<FreshnessObservation> out;
@@ -83,11 +88,11 @@ void ClientApi::note_fresh_view(const GroupId& gid,
 }
 
 ClientApi::Fetch ClientApi::check_freshness(const GroupId& gid,
-                                            const GroupIndex& idx,
+                                            const GroupManifest& m,
                                             bool& fresh_rejected) {
-  const auto& tok = idx.freshness;
+  const auto& tok = m.freshness;
   if (tok.counter == 0 || !tok.verify(*freshness_key_, gid) ||
-      tok.gk_epoch != idx.gk_epoch || tok.log_head != idx.log_head) {
+      tok.gk_epoch != m.gk_epoch || tok.log_head != m.log_head) {
     // Unattested, forged, or mis-bound token: indistinguishable from any
     // other unauthenticated metadata.
     ++stats_.signature_failures;
@@ -126,6 +131,173 @@ ClientApi::Fetch ClientApi::check_freshness(const GroupId& gid,
   return Fetch::ok;
 }
 
+bool ClientApi::fold_deltas(const GroupId& gid, const GroupManifest& m,
+                            CachedIndex& view) {
+  const std::uint64_t target = m.freshness.counter;
+  for (std::uint64_t seq = view.counter + 1; seq <= target; ++seq) {
+    std::optional<util::Bytes> raw;
+    try {
+      raw = with_retries([&] { return cloud_.get(delta_path(gid, seq)); });
+    } catch (const cloud::TransientError&) {
+      return false;  // window raced the GC, or the replica is torn
+    }
+    if (!raw) return false;
+    if (seq == target && content_hash(*raw) != m.delta_hash) {
+      // The manifest pins its own commit's delta: different bytes under the
+      // committed name mean a racing/Byzantine writer clobbered it.
+      return false;
+    }
+    IndexDelta delta;
+    try {
+      auto env = SignedEnvelope::from_bytes(*raw);
+      if (!verify_any(env)) {
+        // A delta not signed by an administrator key is worthless no matter
+        // how well it chains.
+        ++stats_.signature_failures;
+        return false;
+      }
+      delta = IndexDelta::from_bytes(env.payload);
+    } catch (const util::DeserializeError&) {
+      ++stats_.signature_failures;
+      return false;
+    }
+    // apply() enforces seq == counter+1 and the log-head chain, and rejects
+    // structurally inconsistent ops without touching the view.
+    if (!view.apply(delta)) return false;
+    ++stats_.delta_folds;
+  }
+  // The chain must land exactly on the committed head; anything else means
+  // a spliced or replayed sequence survived the per-delta checks.
+  if (view.counter != target || view.log_head != m.log_head) return false;
+  view.gk_epoch = m.gk_epoch;
+  return true;
+}
+
+bool ClientApi::load_snapshot(const GroupId& gid, const GroupManifest& m,
+                              CachedIndex& view) {
+  for (const auto& ref : m.shards) {
+    std::optional<util::Bytes> raw;
+    try {
+      raw = with_retries([&] { return cloud_.get(shard_path(gid, ref.sid)); });
+    } catch (const cloud::TransientError&) {
+      return false;
+    }
+    if (!raw) {
+      // The commit protocol pushes shards before the manifest references
+      // them, so absence means a torn view (stale replica, or a snapshot
+      // overlapping the garbage collector) — not proof of anything.
+      return false;
+    }
+    if (content_hash(*raw) != ref.hash) {
+      // Stale shard: live name, old bytes. Degrades exactly like the torn
+      // snapshot above — re-fetch until the replica converges.
+      return false;
+    }
+    try {
+      auto env = SignedEnvelope::from_bytes(*raw);
+      if (!verify_any(env)) {
+        ++stats_.signature_failures;
+        return false;
+      }
+      IndexShard shard = IndexShard::from_bytes(env.payload);
+      for (auto& [pid, members] : shard.partitions) {
+        view.add_partition(pid, std::move(members));
+      }
+    } catch (const util::DeserializeError&) {
+      ++stats_.signature_failures;
+      return false;
+    }
+  }
+  view.counter = m.freshness.counter;
+  view.log_head = m.log_head;
+  view.gk_epoch = m.gk_epoch;
+  return true;
+}
+
+CachedIndex* ClientApi::refresh_view(const GroupId& gid,
+                                     const GroupManifest& m) {
+  auto it = cache_.find(gid);
+  if (it != cache_.end()) {
+    CachedIndex& view = it->second;
+    if (view.counter == m.freshness.counter && view.log_head == m.log_head &&
+        view.gk_epoch == m.gk_epoch) {
+      return &view;  // warm: same commit, zero index bytes downloaded
+    }
+    // Fold only when every missing commit's delta is still retained
+    // (cache at counter c needs d<c+1>..d<counter>, so c+1 >= delta_base).
+    if (view.counter < m.freshness.counter && m.delta_base > 0 &&
+        view.counter + 1 >= m.delta_base && fold_deltas(gid, m, view)) {
+      return &view;
+    }
+    // Gap, chain break, bad signature, or clobbered delta: discard the cache
+    // and take the snapshot path. Safe — just slower.
+    ++stats_.fold_fallbacks;
+    cache_.erase(it);
+  }
+  CachedIndex view;
+  if (!load_snapshot(gid, m, view)) return nullptr;
+  return &(cache_[gid] = std::move(view));
+}
+
+const enclave::PartitionCiphertext* ClientApi::get_cipher(
+    const GroupId& gid, const GroupManifest& m, PartitionId pid) {
+  CipherCache& cc = cipher_cache_[gid];
+  auto overlay_ref = m.overlays.find(pid);
+  if (overlay_ref != m.overlays.end()) {
+    const std::string path = cipher_overlay_path(gid, overlay_ref->second);
+    if (auto it = cc.overlays.find(path); it != cc.overlays.end()) {
+      return &it->second;
+    }
+    std::optional<util::Bytes> raw;
+    try {
+      raw = with_retries([&] { return cloud_.get(path); });
+    } catch (const cloud::TransientError&) {
+      return nullptr;
+    }
+    if (!raw) return nullptr;  // torn: overlay pushed before the manifest
+    try {
+      auto env = SignedEnvelope::from_bytes(*raw);
+      if (!verify_any(env)) {
+        ++stats_.signature_failures;
+        return nullptr;
+      }
+      CipherOverlay overlay = CipherOverlay::from_bytes(env.payload);
+      if (overlay.pid != pid) return nullptr;  // mis-bound object
+      return &cc.overlays.emplace(path, std::move(overlay.cipher))
+                  .first->second;
+    } catch (const util::DeserializeError&) {
+      ++stats_.signature_failures;
+      return nullptr;
+    }
+  }
+  const std::string path = cipher_bundle_path(gid, m.cipher_set);
+  if (cc.bundle_path != path) {
+    std::optional<util::Bytes> raw;
+    try {
+      raw = with_retries([&] { return cloud_.get(path); });
+    } catch (const cloud::TransientError&) {
+      return nullptr;
+    }
+    if (!raw) return nullptr;
+    try {
+      auto env = SignedEnvelope::from_bytes(*raw);
+      if (!verify_any(env)) {
+        ++stats_.signature_failures;
+        return nullptr;
+      }
+      cc.bundle = CipherBundle::from_bytes(env.payload);
+    } catch (const util::DeserializeError&) {
+      ++stats_.signature_failures;
+      return nullptr;
+    }
+    cc.bundle_path = path;
+    // A fresh bundle means a rotation: every previous-epoch overlay is
+    // superseded, so their cache entries can only go stale from here.
+    cc.overlays.clear();
+  }
+  return cc.bundle.find(pid);
+}
+
 ClientApi::Fetch ClientApi::fetch_once(const GroupId& gid, util::Bytes& key,
                                        bool& fresh_rejected) {
   auto raw_index =
@@ -142,65 +314,58 @@ ClientApi::Fetch ClientApi::fetch_once(const GroupId& gid, util::Bytes& key,
     ++stats_.stale_reads_rejected;
     return Fetch::degraded;
   }
-  GroupIndex idx;
+  GroupManifest manifest;
   try {
     auto env = SignedEnvelope::from_bytes(raw_index->value);
     if (!verify_any(env)) {
       ++stats_.signature_failures;
       return Fetch::degraded;
     }
-    idx = GroupIndex::from_bytes(env.payload);
+    manifest = GroupManifest::from_bytes(env.payload);
   } catch (const util::DeserializeError&) {
     ++stats_.signature_failures;
     return Fetch::degraded;
   }
   if (freshness_key_) {
-    auto verdict = check_freshness(gid, idx, fresh_rejected);
+    auto verdict = check_freshness(gid, manifest, fresh_rejected);
     if (verdict != Fetch::ok) return verdict;
   }
-  // Only an authenticated (and fresh, when enabled) index raises the floor.
+  // Only an authenticated (and fresh, when enabled) manifest raises the
+  // floor.
   index_floor_[gid] = raw_index->version;
 
-  auto slot = idx.find_user(usk_.id);
+  CachedIndex* view = refresh_view(gid, manifest);
+  if (!view) return Fetch::degraded;
+
+  auto slot = view->find_user(usk_.id);
   if (!slot) {
     // A fresh consistent view proves non-membership — still worth anchoring
     // and announcing before reporting it.
-    note_fresh_view(gid, idx.freshness);
+    note_fresh_view(gid, manifest.freshness);
     return Fetch::not_member;  // not a member (possibly revoked)
   }
 
-  auto raw_part = with_retries(
-      [&] { return cloud_.get(partition_path(gid, idx.partition_ids[*slot])); });
-  if (!raw_part) {
-    // The commit protocol pushes partitions before the index references
-    // them, so this is a torn view (stale replica, or a snapshot overlapping
-    // the garbage collector) — not proof of anything.
-    return Fetch::degraded;
-  }
-  PartitionRecord rec;
-  try {
-    auto env = SignedEnvelope::from_bytes(*raw_part);
-    if (!verify_any(env)) {
-      ++stats_.signature_failures;
-      return Fetch::degraded;
-    }
-    rec = PartitionRecord::from_bytes(env.payload);
-  } catch (const util::DeserializeError&) {
-    ++stats_.signature_failures;
-    return Fetch::degraded;
-  }
+  const auto* cipher = get_cipher(gid, manifest, *slot);
+  if (!cipher) return Fetch::degraded;
+  const auto* members = view->members_of(*slot);
+  if (!members) return Fetch::degraded;  // cannot happen on a consistent view
 
   ++stats_.decryptions;
-  auto bk = core::decrypt(pk_, usk_, rec.members, rec.cipher.ct);
+  auto bk = core::decrypt(pk_, usk_, *members, cipher->ct);
   if (!bk) {
     // The index lists us but the ciphertext excludes us: a cross-file torn
-    // snapshot. A consistent one will tell us which side is true.
+    // snapshot. Drop the caches so the retry rebuilds from scratch — a
+    // consistent view will tell us which side is true.
+    invalidate_caches(gid);
     return Fetch::degraded;
   }
   crypto::Aes256Gcm gcm(bk->hash());
-  auto gk = gcm.open(rec.cipher.nonce, rec.cipher.wrapped_gk);
-  if (!gk) return Fetch::degraded;  // same torn-snapshot reasoning
-  note_fresh_view(gid, idx.freshness);
+  auto gk = gcm.open(cipher->nonce, cipher->wrapped_gk);
+  if (!gk) {
+    invalidate_caches(gid);
+    return Fetch::degraded;  // same torn-snapshot reasoning
+  }
+  note_fresh_view(gid, manifest.freshness);
   key = std::move(*gk);
   return Fetch::ok;
 }
@@ -252,11 +417,11 @@ std::optional<util::Bytes> ClientApi::fetch_group_key(const GroupId& gid) {
 std::optional<util::Bytes> ClientApi::wait_for_update(
     const GroupId& gid, std::chrono::milliseconds timeout) {
   std::uint64_t cursor = seen_versions_[gid];
-  // The index version this client last authenticated. The commit protocol
-  // pushes shadow partitions / sealed gk / op-log entries BEFORE the index
-  // CAS, and every one of those bumps the directory version — so a directory
-  // wake alone does not mean the membership view changed yet. Only the
-  // committed index moving past what we last saw ends the wait.
+  // The manifest version this client last authenticated. The commit protocol
+  // pushes shadow shards / deltas / sealed gk / op-log entries BEFORE the
+  // manifest CAS, and every one of those bumps the directory version — so a
+  // directory wake alone does not mean the membership view changed yet. Only
+  // the committed manifest moving past what we last saw ends the wait.
   auto floor = index_floor_.find(gid);
   const std::uint64_t index_since =
       floor == index_floor_.end() ? 0 : floor->second;

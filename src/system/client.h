@@ -4,26 +4,42 @@
 // the administrator's signature-verification key. It derives the group key
 // entirely from public cloud metadata:
 //
-//   index -> my partition -> IBBE decrypt bk (O(|p|^2) + 2 pairings)
-//         -> gk = AES-GCM-open(SHA-256(bk), y_p)
+//   manifest -> my partition (cached index) -> partition ciphertext
+//            -> IBBE decrypt bk (O(|p|^2) + 2 pairings)
+//            -> gk = AES-GCM-open(SHA-256(bk), y_p)
+//
+// The membership index is sharded (metadata.h): the manifest pins each
+// shard's content hash, and every commit publishes a signed incremental
+// delta. A client keeps a locally cached CachedIndex per group; on fetch it
+//   * reuses the cache untouched when the manifest shows the same commit
+//     (warm path — zero index bytes downloaded),
+//   * folds the missing deltas when its cache is inside the manifest's
+//     retention window (verifying each delta's signature, its seq/log-head
+//     chain, and the last one against the manifest's delta hash),
+//   * falls back to a full shard-by-shard snapshot on any gap, signature
+//     failure, chain break, or fork verdict — folding can degrade service,
+//     never correctness.
+// Membership lookups on the cached index are O(1) via a lazily built hash
+// map that delta folds keep incrementally up to date.
 //
 // Change detection uses the store's long polling on the group directory,
 // mirroring the paper's Dropbox long-polling client.
 //
 // Degraded-mode behaviour (docs/fault_model.md): every cloud read retries
-// transient errors under the configured RetryPolicy, stale index reads are
-// rejected by version monotonicity (the commit point only ever raises the
-// index version), and a torn snapshot — an index referencing a partition the
-// replica does not serve yet, an unverifiable envelope, or a ciphertext that
+// transient errors under the configured RetryPolicy, stale manifest reads
+// are rejected by version monotonicity (the commit point only ever raises
+// the index version), and a torn snapshot — a manifest referencing a shard
+// or cipher object the replica does not serve yet, a shard whose bytes do
+// not match the pinned hash, an unverifiable envelope, or a ciphertext that
 // fails to decrypt for a listed member — triggers a full snapshot re-fetch
 // rather than an error. Only a consistent, authenticated view ever produces
 // a key; only a consistent view proves non-membership.
 //
 // Byzantine-cloud defence (opt-in, docs/fault_model.md "Malicious tier"):
 // enable_freshness() makes the client verify the enclave-signed freshness
-// token every committed index carries — signature, binding to
+// token every committed manifest carries — signature, binding to
 // (gk_epoch, log_head), and monotonicity against a per-group high-water mark
-// — so a rolled-back index+log pair (internally consistent, correctly
+// — so a rolled-back manifest+log pair (internally consistent, correctly
 // signed, merely OLD) is rejected, not just a spliced one. enable_gossip()
 // adds fork detection: clients piggyback their observed (counter, log_head)
 // on an out-of-band channel and cross-check it before accepting a view, so
@@ -50,8 +66,10 @@ struct ClientStats {
   std::uint64_t decryptions = 0;
   std::uint64_t signature_failures = 0;
   std::uint64_t transient_retries = 0;    // cloud round trips retried
-  std::uint64_t stale_reads_rejected = 0; // index versions below the floor
+  std::uint64_t stale_reads_rejected = 0; // manifest versions below the floor
   std::uint64_t degraded_refetches = 0;   // whole-snapshot re-fetches
+  std::uint64_t delta_folds = 0;          // deltas folded into the cache
+  std::uint64_t fold_fallbacks = 0;       // cache discarded -> full snapshot
   std::uint64_t freshness_rejections = 0; // views below the freshness HWM
   std::uint64_t forks_detected = 0;       // equal-counter divergent views
   std::uint64_t gossip_rounds = 0;        // observation scans performed
@@ -69,10 +87,10 @@ class ClientApi {
   /// Backoff discipline for transient cloud errors and snapshot re-fetches.
   void set_retry_policy(util::RetryPolicy policy) { retry_ = policy; }
 
-  /// Opts in to enclave-anchored rollback protection: every index must carry
-  /// a freshness token verifiable under the enclave identity key, bound to
-  /// the index's (gk_epoch, log_head), with a counter that never moves
-  /// backwards per group. Without this call behaviour is unchanged.
+  /// Opts in to enclave-anchored rollback protection: every manifest must
+  /// carry a freshness token verifiable under the enclave identity key,
+  /// bound to the manifest's (gk_epoch, log_head), with a counter that never
+  /// moves backwards per group. Without this call behaviour is unchanged.
   void enable_freshness(ec::P256Point enclave_identity_key) {
     freshness_key_ = enclave_identity_key;
   }
@@ -120,10 +138,11 @@ class ClientApi {
   /// Blocks until the group's COMMITTED state changes relative to the last
   /// observation, then re-derives the key. std::nullopt on timeout or
   /// revocation. Directory wakes caused by an admin's pre-commit shadow
-  /// writes (fresh partitions, sealed gk, op-log — all pushed before the
-  /// index CAS) do not complete the wait: only the index version moving past
-  /// the one this client last authenticated does. Spurious long-poll
-  /// timeouts and transient poll errors re-arm with the remaining budget.
+  /// writes (fresh shards, deltas, sealed gk, op-log — all pushed before the
+  /// manifest CAS) do not complete the wait: only the manifest version
+  /// moving past the one this client last authenticated does. Spurious
+  /// long-poll timeouts and transient poll errors re-arm with the remaining
+  /// budget.
   [[nodiscard]] std::optional<util::Bytes> wait_for_update(
       const GroupId& gid, std::chrono::milliseconds timeout);
 
@@ -144,8 +163,32 @@ class ClientApi {
   Fetch fetch_once(const GroupId& gid, util::Bytes& key, bool& fresh_rejected);
   [[nodiscard]] bool verify_any(const SignedEnvelope& env) const;
 
-  /// Freshness-token checks + gossip cross-check for an authenticated index.
-  Fetch check_freshness(const GroupId& gid, const GroupIndex& idx,
+  /// Brings this group's CachedIndex up to the manifest's commit: warm reuse
+  /// -> delta fold -> full snapshot, in that order. Returns the cached view,
+  /// or nullptr when even the snapshot read a torn/unauthenticated state
+  /// (the fetch attempt degrades).
+  CachedIndex* refresh_view(const GroupId& gid, const GroupManifest& m);
+  /// Folds deltas (cached.counter, m.counter] into `view`. False on any gap,
+  /// signature/parse failure, chain break, or delta-hash mismatch.
+  bool fold_deltas(const GroupId& gid, const GroupManifest& m,
+                   CachedIndex& view);
+  /// Rebuilds the view from every shard, hash-checked against the manifest.
+  bool load_snapshot(const GroupId& gid, const GroupManifest& m,
+                     CachedIndex& view);
+  /// The partition's current ciphertext: the manifest's overlay if one is
+  /// live for `pid`, else the bundle entry. Caches by object path (objects
+  /// are copy-on-write, so a path's content never changes). nullptr on a
+  /// torn or unauthenticated read.
+  const enclave::PartitionCiphertext* get_cipher(const GroupId& gid,
+                                                 const GroupManifest& m,
+                                                 PartitionId pid);
+  /// Drops the group's index + cipher caches (cross-file torn snapshot: the
+  /// next attempt rebuilds from scratch).
+  void invalidate_caches(const GroupId& gid);
+
+  /// Freshness-token checks + gossip cross-check for an authenticated
+  /// manifest.
+  Fetch check_freshness(const GroupId& gid, const GroupManifest& m,
                         bool& fresh_rejected);
   /// Raises the per-group high-water mark and gossips the advance.
   void note_fresh_view(const GroupId& gid, const enclave::FreshnessToken& tok);
@@ -168,9 +211,20 @@ class ClientApi {
   std::vector<ec::P256Point> admin_keys_;
   util::RetryPolicy retry_;
   std::map<GroupId, std::uint64_t> seen_versions_;
-  // Highest authenticated index version seen per group: the commit point
+  // Highest authenticated manifest version seen per group: the commit point
   // only moves versions forward, so anything below is a stale replica read.
   std::map<GroupId, std::uint64_t> index_floor_;
+
+  // ---- local index + cipher caches (the warm/fold fast paths) ----
+  std::map<GroupId, CachedIndex> cache_;
+  struct CipherCache {
+    std::string bundle_path;  // which bundle object `bundle` was parsed from
+    CipherBundle bundle;
+    // overlay object path -> ciphertext; cleared when the bundle rotates
+    // (a rotation supersedes every overlay of the previous epoch).
+    std::map<std::string, enclave::PartitionCiphertext> overlays;
+  };
+  std::map<GroupId, CipherCache> cipher_cache_;
 
   // ---- Byzantine defence state (inert until enable_freshness) ----
   struct FreshnessHwm {

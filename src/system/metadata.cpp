@@ -1,73 +1,346 @@
 #include "system/metadata.h"
 
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
 namespace ibbe::system {
 
-util::Bytes PartitionRecord::to_bytes() const {
-  util::ByteWriter w;
-  w.u64(id);
+namespace {
+
+void write_hash(util::ByteWriter& w, const Hash32& h) { w.raw(h); }
+
+Hash32 read_hash(util::ByteReader& r) {
+  Hash32 h;
+  auto raw = r.raw(32);
+  std::copy(raw.begin(), raw.end(), h.begin());
+  return h;
+}
+
+void write_members(util::ByteWriter& w,
+                   const std::vector<core::Identity>& members) {
   w.u32(static_cast<std::uint32_t>(members.size()));
   for (const auto& m : members) w.str(m);
-  w.blob(cipher.to_bytes());
-  return w.take();
 }
 
-PartitionRecord PartitionRecord::from_bytes(std::span<const std::uint8_t> data) {
-  util::ByteReader r(data);
-  PartitionRecord rec;
-  rec.id = r.u64();
-  std::size_t n = r.count(4);  // each member is at least a u32 str prefix
-  rec.members.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) rec.members.push_back(r.str());
-  rec.cipher = enclave::PartitionCiphertext::from_bytes(r.blob());
-  r.expect_end();
-  return rec;
+std::vector<core::Identity> read_members(util::ByteReader& r) {
+  // Every count is clamped against the remaining buffer by ByteReader::count
+  // (each member is at least a u32 str prefix), so a hostile length prefix
+  // fails with DeserializeError before any allocation.
+  std::size_t n = r.count(4);
+  std::vector<core::Identity> members;
+  members.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) members.push_back(r.str());
+  return members;
 }
 
-std::optional<std::size_t> GroupIndex::find_user(const core::Identity& id) const {
-  for (std::size_t p = 0; p < members.size(); ++p) {
-    for (const auto& m : members[p]) {
-      if (m == id) return p;
-    }
-  }
-  return std::nullopt;
+}  // namespace
+
+Hash32 content_hash(std::span<const std::uint8_t> data) {
+  return crypto::Sha256::hash(data);
 }
 
-util::Bytes GroupIndex::to_bytes() const {
+// ------------------------------------------------------------ GroupManifest
+
+util::Bytes GroupManifest::to_bytes() const {
   util::ByteWriter w;
-  w.u32(static_cast<std::uint32_t>(partition_ids.size()));
-  for (std::size_t p = 0; p < partition_ids.size(); ++p) {
-    w.u64(partition_ids[p]);
-    w.u32(static_cast<std::uint32_t>(members[p].size()));
-    for (const auto& m : members[p]) w.str(m);
+  w.u32(static_cast<std::uint32_t>(shards.size()));
+  for (const auto& ref : shards) {
+    w.u64(ref.sid);
+    write_hash(w, ref.hash);
+  }
+  w.u64(cipher_set);
+  w.u32(static_cast<std::uint32_t>(overlays.size()));
+  for (const auto& [pid, oid] : overlays) {
+    w.u64(pid);
+    w.u64(oid);
   }
   w.u64(gk_epoch);
   w.raw(log_head);
   w.raw(freshness.to_bytes());
+  w.u64(delta_base);
+  write_hash(w, delta_hash);
   return w.take();
 }
 
-GroupIndex GroupIndex::from_bytes(std::span<const std::uint8_t> data) {
+GroupManifest GroupManifest::from_bytes(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
-  GroupIndex idx;
-  std::size_t parts = r.count(12);  // each partition: u64 id + u32 count
-  idx.partition_ids.reserve(parts);
-  idx.members.reserve(parts);
-  for (std::size_t p = 0; p < parts; ++p) {
-    idx.partition_ids.push_back(r.u64());
-    std::size_t n = r.count(4);  // each member is at least a u32 str prefix
-    std::vector<core::Identity> ms;
-    ms.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) ms.push_back(r.str());
-    idx.members.push_back(std::move(ms));
+  GroupManifest m;
+  std::size_t shards = r.count(40);  // u64 sid + 32-byte hash each
+  m.shards.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    ShardRef ref;
+    ref.sid = r.u64();
+    ref.hash = read_hash(r);
+    m.shards.push_back(ref);
   }
-  idx.gk_epoch = r.u64();
-  auto head = r.raw(32);
-  std::copy(head.begin(), head.end(), idx.log_head.begin());
-  idx.freshness = enclave::FreshnessToken::from_bytes(
+  m.cipher_set = r.u64();
+  std::size_t overlays = r.count(16);  // u64 pid + u64 oid each
+  for (std::size_t i = 0; i < overlays; ++i) {
+    auto pid = r.u64();
+    m.overlays[pid] = r.u64();
+  }
+  m.gk_epoch = r.u64();
+  m.log_head = read_hash(r);
+  m.freshness = enclave::FreshnessToken::from_bytes(
       r.raw(enclave::FreshnessToken::serialized_size));
+  m.delta_base = r.u64();
+  m.delta_hash = read_hash(r);
   r.expect_end();
-  return idx;
+  return m;
 }
+
+// -------------------------------------------------------------- IndexShard
+
+util::Bytes IndexShard::to_bytes() const {
+  util::ByteWriter w;
+  w.u64(sid);
+  w.u32(static_cast<std::uint32_t>(partitions.size()));
+  for (const auto& [pid, members] : partitions) {
+    w.u64(pid);
+    write_members(w, members);
+  }
+  return w.take();
+}
+
+IndexShard IndexShard::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  IndexShard shard;
+  shard.sid = r.u64();
+  std::size_t parts = r.count(12);  // u64 pid + u32 member count each
+  shard.partitions.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    auto pid = r.u64();
+    shard.partitions.emplace_back(pid, read_members(r));
+  }
+  r.expect_end();
+  return shard;
+}
+
+// ------------------------------------------------------------ CipherBundle
+
+const enclave::PartitionCiphertext* CipherBundle::find(PartitionId pid) const {
+  for (const auto& [id, cipher] : entries) {
+    if (id == pid) return &cipher;
+  }
+  return nullptr;
+}
+
+util::Bytes CipherBundle::to_bytes() const {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [pid, cipher] : entries) {
+    w.u64(pid);
+    w.blob(cipher.to_bytes());
+  }
+  return w.take();
+}
+
+CipherBundle CipherBundle::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  CipherBundle bundle;
+  std::size_t n = r.count(12);  // u64 pid + u32 blob prefix each
+  bundle.entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto pid = r.u64();
+    bundle.entries.emplace_back(
+        pid, enclave::PartitionCiphertext::from_bytes(r.blob()));
+  }
+  r.expect_end();
+  return bundle;
+}
+
+util::Bytes CipherOverlay::to_bytes() const {
+  util::ByteWriter w;
+  w.u64(pid);
+  w.blob(cipher.to_bytes());
+  return w.take();
+}
+
+CipherOverlay CipherOverlay::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  CipherOverlay overlay;
+  overlay.pid = r.u64();
+  overlay.cipher = enclave::PartitionCiphertext::from_bytes(r.blob());
+  r.expect_end();
+  return overlay;
+}
+
+// -------------------------------------------------------------- IndexDelta
+
+util::Bytes IndexDelta::to_bytes() const {
+  util::ByteWriter w;
+  w.u64(seq);
+  w.raw(prev_log_head);
+  w.raw(log_head);
+  w.u32(static_cast<std::uint32_t>(ops.size()));
+  for (const auto& op : ops) {
+    w.u8(static_cast<std::uint8_t>(op.kind));
+    switch (op.kind) {
+      case DeltaOp::Kind::add_member:
+      case DeltaOp::Kind::remove_member:
+        w.str(op.user);
+        w.u64(op.pid);
+        break;
+      case DeltaOp::Kind::repartition:
+        w.u32(static_cast<std::uint32_t>(op.dropped.size()));
+        for (PartitionId pid : op.dropped) w.u64(pid);
+        w.u32(static_cast<std::uint32_t>(op.created.size()));
+        for (const auto& [pid, members] : op.created) {
+          w.u64(pid);
+          write_members(w, members);
+        }
+        break;
+    }
+  }
+  return w.take();
+}
+
+IndexDelta IndexDelta::from_bytes(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  IndexDelta d;
+  d.seq = r.u64();
+  d.prev_log_head = read_hash(r);
+  d.log_head = read_hash(r);
+  std::size_t nops = r.count(1);  // each op is at least its kind byte
+  d.ops.reserve(nops);
+  for (std::size_t i = 0; i < nops; ++i) {
+    DeltaOp op;
+    auto kind = r.u8();
+    switch (kind) {
+      case static_cast<std::uint8_t>(DeltaOp::Kind::add_member):
+      case static_cast<std::uint8_t>(DeltaOp::Kind::remove_member):
+        op.kind = static_cast<DeltaOp::Kind>(kind);
+        op.user = r.str();
+        op.pid = r.u64();
+        break;
+      case static_cast<std::uint8_t>(DeltaOp::Kind::repartition): {
+        op.kind = DeltaOp::Kind::repartition;
+        std::size_t dropped = r.count(8);
+        op.dropped.reserve(dropped);
+        for (std::size_t k = 0; k < dropped; ++k) op.dropped.push_back(r.u64());
+        std::size_t created = r.count(12);
+        op.created.reserve(created);
+        for (std::size_t k = 0; k < created; ++k) {
+          auto pid = r.u64();
+          op.created.emplace_back(pid, read_members(r));
+        }
+        break;
+      }
+      default:
+        throw util::DeserializeError("IndexDelta: unknown op kind");
+    }
+    d.ops.push_back(std::move(op));
+  }
+  r.expect_end();
+  return d;
+}
+
+// ------------------------------------------------------------- CachedIndex
+
+void CachedIndex::add_partition(PartitionId pid,
+                                std::vector<core::Identity> members) {
+  partitions_.emplace_back(pid, std::move(members));
+  map_built_ = false;
+  user_map_.clear();
+}
+
+std::size_t CachedIndex::partition_index(PartitionId pid) const {
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    if (partitions_[p].first == pid) return p;
+  }
+  return partitions_.size();
+}
+
+std::optional<PartitionId> CachedIndex::find_user(
+    const core::Identity& id) const {
+  if (!map_built_) {
+    user_map_.clear();
+    std::size_t total = 0;
+    for (const auto& [pid, members] : partitions_) total += members.size();
+    user_map_.reserve(total);
+    for (const auto& [pid, members] : partitions_) {
+      for (const auto& m : members) user_map_.emplace(m, pid);
+    }
+    map_built_ = true;
+  }
+  auto it = user_map_.find(id);
+  if (it == user_map_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<core::Identity>* CachedIndex::members_of(
+    PartitionId pid) const {
+  auto p = partition_index(pid);
+  if (p == partitions_.size()) return nullptr;
+  return &partitions_[p].second;
+}
+
+std::size_t CachedIndex::member_count() const {
+  std::size_t total = 0;
+  for (const auto& [pid, members] : partitions_) total += members.size();
+  return total;
+}
+
+bool CachedIndex::apply(const IndexDelta& d) {
+  // Chain check: exactly the next commit, chained from our log head. A
+  // duplicate (seq <= counter) or a gap (seq > counter+1) is rejected
+  // without touching the view.
+  if (d.seq != counter + 1 || d.prev_log_head != log_head) return false;
+  for (const auto& op : d.ops) {
+    switch (op.kind) {
+      case DeltaOp::Kind::add_member: {
+        auto p = partition_index(op.pid);
+        if (p == partitions_.size()) {
+          partitions_.emplace_back(op.pid,
+                                   std::vector<core::Identity>{op.user});
+        } else {
+          partitions_[p].second.push_back(op.user);
+        }
+        if (map_built_) user_map_.emplace(op.user, op.pid);
+        break;
+      }
+      case DeltaOp::Kind::remove_member: {
+        auto p = partition_index(op.pid);
+        if (p == partitions_.size()) return false;  // inconsistent delta
+        auto& members = partitions_[p].second;
+        auto it = std::find(members.begin(), members.end(), op.user);
+        if (it == members.end()) return false;
+        members.erase(it);
+        if (members.empty()) {
+          partitions_.erase(partitions_.begin() +
+                            static_cast<std::ptrdiff_t>(p));
+        }
+        if (map_built_) user_map_.erase(op.user);
+        break;
+      }
+      case DeltaOp::Kind::repartition: {
+        for (PartitionId pid : op.dropped) {
+          auto p = partition_index(pid);
+          if (p == partitions_.size()) return false;
+          if (map_built_) {
+            for (const auto& m : partitions_[p].second) user_map_.erase(m);
+          }
+          partitions_.erase(partitions_.begin() +
+                            static_cast<std::ptrdiff_t>(p));
+        }
+        for (const auto& [pid, members] : op.created) {
+          if (partition_index(pid) != partitions_.size()) return false;
+          if (map_built_) {
+            for (const auto& m : members) user_map_.emplace(m, pid);
+          }
+          partitions_.emplace_back(pid, members);
+        }
+        break;
+      }
+    }
+  }
+  counter = d.seq;
+  log_head = d.log_head;
+  return true;
+}
+
+// ----------------------------------------------------------- SignedEnvelope
 
 util::Bytes SignedEnvelope::to_bytes() const {
   util::ByteWriter w;
@@ -110,8 +383,7 @@ FreshnessObservation FreshnessObservation::from_bytes(
   util::ByteReader r(data);
   FreshnessObservation obs;
   obs.counter = r.u64();
-  auto head = r.raw(32);
-  std::copy(head.begin(), head.end(), obs.log_head.begin());
+  obs.log_head = read_hash(r);
   r.expect_end();
   return obs;
 }
@@ -120,8 +392,20 @@ std::string group_dir(const GroupId& gid) { return "groups/" + gid; }
 
 std::string index_path(const GroupId& gid) { return group_dir(gid) + "/index"; }
 
-std::string partition_path(const GroupId& gid, PartitionId pid) {
-  return group_dir(gid) + "/p" + std::to_string(pid);
+std::string shard_path(const GroupId& gid, std::uint64_t sid) {
+  return group_dir(gid) + "/s" + std::to_string(sid);
+}
+
+std::string cipher_bundle_path(const GroupId& gid, std::uint64_t id) {
+  return group_dir(gid) + "/c" + std::to_string(id);
+}
+
+std::string cipher_overlay_path(const GroupId& gid, std::uint64_t id) {
+  return group_dir(gid) + "/o" + std::to_string(id);
+}
+
+std::string delta_path(const GroupId& gid, std::uint64_t seq) {
+  return group_dir(gid) + "/d" + std::to_string(seq);
 }
 
 std::string sealed_gk_path(const GroupId& gid, std::uint64_t epoch) {

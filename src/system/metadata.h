@@ -1,19 +1,47 @@
 // On-cloud metadata records for the IBBE-SGX access-control system.
 //
-// Layout on the store (bi-level hierarchy, as in the paper's Dropbox
-// deployment where long polling works per directory):
+// Layout on the store (sharded manifest layout; the paper's Dropbox
+// deployment gives us per-directory long polling and per-file CAS):
 //
-//   groups/<gid>/index   — GroupIndex: partition ids + their member lists
-//   groups/<gid>/p<k>    — PartitionRecord: the partition ciphertext + y_p
+//   groups/<gid>/index      — GroupManifest: shard refs (id + hash), the
+//                             cipher-set id, per-partition cipher overlays,
+//                             gk_epoch, op-log head, freshness token and the
+//                             delta window. THE single CAS commit point.
+//   groups/<gid>/s<k>       — IndexShard: the member lists of a few whole
+//                             partitions. Copy-on-write (fresh id per
+//                             rewrite); pinned by the manifest's shard hash.
+//   groups/<gid>/c<k>       — CipherBundle: EVERY partition's ciphertext +
+//                             wrapped gk, written once per gk rotation so a
+//                             revocation re-uploads one object, not one per
+//                             partition.
+//   groups/<gid>/o<k>       — CipherOverlay: a single partition's ciphertext
+//                             superseding its bundle entry (O(1) adds and
+//                             shard-local re-partitions between rotations).
+//                             The manifest maps pid -> live overlay id; the
+//                             map is cleared whenever a rotation rewrites the
+//                             bundle.
+//   groups/<gid>/d<seq>     — IndexDelta: the signed membership diff of the
+//                             commit whose freshness counter is <seq>,
+//                             hash-chained through the op-log heads. Warm
+//                             clients fold deltas into a cached index instead
+//                             of re-downloading every shard; the manifest's
+//                             delta_base bounds the retained window.
+//   groups/<gid>/gk<e>.sealed, groups/<gid>/oplog — unchanged.
 //
-// Both files are wrapped in SignedEnvelope so clients can authenticate that
-// membership changes come from an administrator (the paper's authenticity
-// requirement; confidentiality of gk needs no signature — it is wrapped).
+// Partition ids are STABLE logical names (a partition keeps its id across
+// mutations); copy-on-write immutability lives in the shard / bundle /
+// overlay / delta object ids instead. Everything except the sealed gk is
+// wrapped in SignedEnvelope so clients can authenticate that membership
+// changes come from an administrator (the paper's authenticity requirement;
+// confidentiality of gk needs no signature — it is wrapped).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "enclave/ibbe_enclave.h"
@@ -23,41 +51,161 @@ namespace ibbe::system {
 
 using GroupId = std::string;
 using PartitionId = std::uint64_t;
+using Hash32 = std::array<std::uint8_t, 32>;
 
-struct PartitionRecord {
-  PartitionId id = 0;
-  std::vector<core::Identity> members;
+/// SHA-256 of an object's stored bytes (the manifest pins shards/deltas by
+/// content, so a stale replica serving an old shard under a live name is
+/// detected without trusting cloud versions).
+Hash32 content_hash(std::span<const std::uint8_t> data);
+
+/// Manifest entry pinning one shard: which object holds it and what its
+/// stored bytes must hash to.
+struct ShardRef {
+  std::uint64_t sid = 0;
+  Hash32 hash{};
+};
+
+/// The commit point of every group mutation (see the layout comment above).
+/// All shard / bundle / overlay / delta / sealed-gk / op-log writes land on
+/// the cloud BEFORE the CAS that publishes this record makes them reachable.
+/// It anchors the state that needs the CAS'd lineage for integrity: the
+/// shard hashes, which sealed-gk epoch and cipher objects are current, the
+/// hash of the op-log entry that committed it (so a rolled-back log suffix
+/// is detectable — see MembershipLog::audit), the enclave-signed freshness
+/// token binding the commit to a platform monotonic counter (rollback of the
+/// whole index+log pair is detectable too — docs/fault_model.md), and the
+/// hash of this commit's delta so the chain clients fold is exactly the
+/// committed one.
+struct GroupManifest {
+  std::vector<ShardRef> shards;
+  std::uint64_t cipher_set = 0;                // live CipherBundle object id
+  std::map<PartitionId, std::uint64_t> overlays;  // pid -> live overlay id
+  std::uint64_t gk_epoch = 0;                  // which gk<e>.sealed is live
+  std::array<std::uint8_t, 32> log_head{};     // committed op-log head (0 = none)
+  enclave::FreshnessToken freshness;           // counter == 0 ⇒ not attested
+  /// Earliest delta seq still retained on the cloud. A snapshot-barrier
+  /// commit (creation, full re-partition) publishes no delta and sets this
+  /// to counter+1; clients whose cache is older than delta_base-1 must take
+  /// a full snapshot.
+  std::uint64_t delta_base = 0;
+  /// SHA-256 of this commit's stored delta envelope (d<freshness.counter>);
+  /// all-zero on a snapshot barrier. Pins the delta a racing or Byzantine
+  /// writer might have replaced.
+  Hash32 delta_hash{};
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static GroupManifest from_bytes(std::span<const std::uint8_t> data);
+};
+
+/// A few whole partitions' member lists (user -> partition mapping is stored
+/// plainly; the model does not hide member identities, paper §II). Shards
+/// are partition-aligned because a client needs its complete partition
+/// member list to run the IBBE decrypt.
+struct IndexShard {
+  std::uint64_t sid = 0;
+  std::vector<std::pair<PartitionId, std::vector<core::Identity>>> partitions;
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static IndexShard from_bytes(std::span<const std::uint8_t> data);
+};
+
+/// Every partition's ciphertext + wrapped gk for one key epoch. Rewritten as
+/// a single object per gk rotation — the reason a million-member revocation
+/// uploads O(1) objects instead of one per partition.
+struct CipherBundle {
+  std::vector<std::pair<PartitionId, enclave::PartitionCiphertext>> entries;
+
+  [[nodiscard]] const enclave::PartitionCiphertext* find(PartitionId pid) const;
+
+  [[nodiscard]] util::Bytes to_bytes() const;
+  static CipherBundle from_bytes(std::span<const std::uint8_t> data);
+};
+
+/// One partition's ciphertext superseding its bundle entry between rotations.
+struct CipherOverlay {
+  PartitionId pid = 0;
   enclave::PartitionCiphertext cipher;
 
   [[nodiscard]] util::Bytes to_bytes() const;
-  static PartitionRecord from_bytes(std::span<const std::uint8_t> data);
+  static CipherOverlay from_bytes(std::span<const std::uint8_t> data);
 };
 
-/// User -> partition mapping, stored plainly (the model does not hide member
-/// identities; see paper §II).
-///
-/// The index is the COMMIT POINT of every group mutation: partition records,
-/// the sealed group key and the op-log entry all land on the cloud first,
-/// and only the CAS that publishes this record makes them reachable. It
-/// therefore also anchors the pieces of state that need the CAS'd lineage
-/// for integrity: which sealed-gk epoch is current, the hash of the op-log
-/// entry that committed this index (so a rolled-back log suffix is
-/// detectable — see MembershipLog::audit), and the enclave-signed freshness
-/// token that binds this commit to a platform monotonic counter (so a
-/// wholesale rollback of the index+log pair is detectable too — see
-/// docs/fault_model.md).
-struct GroupIndex {
-  std::vector<PartitionId> partition_ids;
-  std::vector<std::vector<core::Identity>> members;  // parallel to ids
-  std::uint64_t gk_epoch = 0;                // which gk<epoch>.sealed is live
-  std::array<std::uint8_t, 32> log_head{};   // committed op-log head (0 = no log)
-  enclave::FreshnessToken freshness;         // counter == 0 ⇒ not attested
+/// One membership diff inside an IndexDelta.
+struct DeltaOp {
+  enum class Kind : std::uint8_t {
+    add_member = 1,     // add `user` to partition `pid` (created if absent)
+    remove_member = 2,  // remove `user` from `pid` (dropped when emptied)
+    repartition = 3,    // shard-local rebuild: `dropped` pids replaced by
+                        // `created` (pid, members) partitions
+  };
+  Kind kind = Kind::add_member;
+  core::Identity user;  // add/remove
+  PartitionId pid = 0;  // add/remove
+  std::vector<PartitionId> dropped;  // repartition
+  std::vector<std::pair<PartitionId, std::vector<core::Identity>>> created;
+};
 
-  [[nodiscard]] std::optional<std::size_t> find_user(
-      const core::Identity& id) const;
+/// The signed membership diff of one commit. `seq` equals the commit's
+/// freshness counter (so the file name d<seq> and the enclave counter agree
+/// by construction), and consecutive deltas chain through the op-log heads
+/// the commits anchored: delta d must satisfy d.prev_log_head ==
+/// previous-commit.log_head, which the client verifies while folding —
+/// splicing, reordering or replaying deltas breaks the chain and forces a
+/// (safe) snapshot fallback.
+struct IndexDelta {
+  std::uint64_t seq = 0;
+  std::array<std::uint8_t, 32> prev_log_head{};
+  std::array<std::uint8_t, 32> log_head{};
+  std::vector<DeltaOp> ops;
 
   [[nodiscard]] util::Bytes to_bytes() const;
-  static GroupIndex from_bytes(std::span<const std::uint8_t> data);
+  static IndexDelta from_bytes(std::span<const std::uint8_t> data);
+};
+
+/// A client's (or test's) locally cached, foldable view of a group's
+/// membership: the partition -> members mapping at a known commit
+/// (counter, log_head). `apply` folds one IndexDelta; `find_user` is the
+/// O(1) membership lookup backed by a lazily built hash map that fold
+/// operations keep incrementally up to date (the seed's linear scan was
+/// O(total members) per fetch — at 10⁶ members that dominated everything).
+class CachedIndex {
+ public:
+  std::uint64_t counter = 0;
+  std::array<std::uint8_t, 32> log_head{};
+  std::uint64_t gk_epoch = 0;
+
+  [[nodiscard]] const std::vector<
+      std::pair<PartitionId, std::vector<core::Identity>>>&
+  partitions() const {
+    return partitions_;
+  }
+  /// Appends a partition (snapshot assembly). Invalidates the lookup map.
+  void add_partition(PartitionId pid, std::vector<core::Identity> members);
+
+  /// O(1) membership lookup (amortized: the map is built on first use).
+  [[nodiscard]] std::optional<PartitionId> find_user(
+      const core::Identity& id) const;
+  /// The member list of one partition; nullptr if unknown.
+  [[nodiscard]] const std::vector<core::Identity>* members_of(
+      PartitionId pid) const;
+  [[nodiscard]] std::size_t member_count() const;
+
+  /// Folds one delta. Returns false unless `d` is exactly the next commit
+  /// (seq == counter+1 and prev_log_head chains from our log_head) and every
+  /// op is structurally consistent with the current view; a replayed or
+  /// duplicated delta therefore is a no-op by construction (the chain check
+  /// rejects it before anything mutates). A STRUCTURAL rejection may leave a
+  /// partially folded view — callers must discard the view and fall back to
+  /// a snapshot, which is what the client's fold path does. On success the
+  /// lookup map is updated incrementally.
+  [[nodiscard]] bool apply(const IndexDelta& d);
+
+ private:
+  std::vector<std::pair<PartitionId, std::vector<core::Identity>>> partitions_;
+  mutable std::unordered_map<core::Identity, PartitionId> user_map_;
+  mutable bool map_built_ = false;
+
+  [[nodiscard]] std::size_t partition_index(PartitionId pid) const;
 };
 
 /// payload || ECDSA signature by the administrator.
@@ -87,10 +235,13 @@ struct FreshnessObservation {
 /// Cloud paths.
 std::string group_dir(const GroupId& gid);
 std::string index_path(const GroupId& gid);
-std::string partition_path(const GroupId& gid, PartitionId pid);
+std::string shard_path(const GroupId& gid, std::uint64_t sid);
+std::string cipher_bundle_path(const GroupId& gid, std::uint64_t id);
+std::string cipher_overlay_path(const GroupId& gid, std::uint64_t id);
+std::string delta_path(const GroupId& gid, std::uint64_t seq);
 /// The sealed group key is stored under an epoch-keyed name (fresh epoch per
-/// rotation, allocated like partition ids so concurrent admins never write
-/// the same path); the committed index says which epoch is live.
+/// rotation, allocated like object ids so concurrent admins never write the
+/// same path); the committed manifest says which epoch is live.
 std::string sealed_gk_path(const GroupId& gid, std::uint64_t epoch);
 /// Freshness-gossip channel. Deliberately OUTSIDE groups/<gid>/: gossip
 /// writes must not wake group-directory long-pollers, and the channel models

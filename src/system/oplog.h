@@ -69,7 +69,8 @@ class MembershipLog {
   /// Chain integrity alone cannot catch WHOLE-SUFFIX TRUNCATION: rolling the
   /// log back to any earlier prefix yields another perfectly valid chain.
   /// Passing `expected_head` — the committed head hash carried in the
-  /// CAS-protected group index (GroupIndex::log_head) — closes that hole:
+  /// CAS-protected group manifest (GroupManifest::log_head) — closes that
+  /// hole:
   /// the anchored entry must still be present in the log. Entries *after*
   /// the anchor are tolerated; they are the uncommitted tail of an operation
   /// whose index CAS has not landed (or did not survive a crash). A null /

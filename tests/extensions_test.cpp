@@ -274,10 +274,11 @@ TEST_F(MultiAdminFixture, CopyOnWriteKeepsCloudConsistent) {
   EXPECT_TRUE(admin_a->is_member("g", "b-new"));
   EXPECT_EQ(admin_a->group_size("g"), 6u);
 
-  // Exactly the live partitions remain on the cloud — no stale copies, no
+  // Exactly the live shards remain on the cloud — no stale copies, no
   // orphans from the failed attempt.
-  std::size_t partition_files = cloud.list("groups/g/p").size();
-  EXPECT_EQ(partition_files, admin_a->partition_count("g"));
+  std::size_t shard_files = cloud.list("groups/g/s").size();
+  EXPECT_EQ(shard_files, admin_a->shard_count("g"));
+  EXPECT_EQ(cloud.list("groups/g/").size(), admin_a->cloud_object_count("g"));
 
   // And every member still converges on one key.
   auto a = client("a-new").fetch_group_key("g");

@@ -428,10 +428,11 @@ class CrashEnumeration : public ::testing::Test {
     }
     auto audit = admin.audit_group_log(gid);
     EXPECT_TRUE(audit.ok) << audit.failure;
-    // Exact cloud footprint: index + oplog + one file per partition + the
-    // one live sealed gk. Anything else is an orphan the GC missed.
+    // Exact cloud footprint: manifest + oplog + shards + cipher bundle +
+    // live overlays + retained deltas + the one live sealed gk. Anything
+    // else is an orphan the GC missed.
     EXPECT_EQ(inner.list("groups/" + gid + "/").size(),
-              admin.partition_count(gid) + 3u);
+              admin.cloud_object_count(gid));
   }
 
   static void run(const Scenario& sc) {

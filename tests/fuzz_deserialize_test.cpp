@@ -76,19 +76,46 @@ std::vector<Format> all_formats() {
   formats.push_back({"EcdsaSignature", admin_key.sign("x").to_bytes(),
                      [](auto d) { (void)ibbe::pki::EcdsaSignature::from_bytes(d); }});
 
-  // System metadata formats.
-  ibbe::system::PartitionRecord rec;
-  rec.id = 7;
-  rec.members = users;
-  rec.cipher = group.partitions[0];
-  formats.push_back({"PartitionRecord", rec.to_bytes(), [](auto d) {
-                       (void)ibbe::system::PartitionRecord::from_bytes(d);
+  // System metadata formats (sharded manifest layout).
+  ibbe::system::GroupManifest manifest;
+  manifest.shards = {{7, {}}, {9, {}}};
+  manifest.cipher_set = 11;
+  manifest.overlays = {{3, 12}};
+  manifest.gk_epoch = 2;
+  manifest.delta_base = 5;
+  formats.push_back({"GroupManifest", manifest.to_bytes(), [](auto d) {
+                       (void)ibbe::system::GroupManifest::from_bytes(d);
                      }});
-  ibbe::system::GroupIndex idx;
-  idx.partition_ids = {7};
-  idx.members = {users};
-  formats.push_back({"GroupIndex", idx.to_bytes(), [](auto d) {
-                       (void)ibbe::system::GroupIndex::from_bytes(d);
+  ibbe::system::IndexShard shard;
+  shard.sid = 7;
+  shard.partitions = {{3, users}, {4, {"d"}}};
+  formats.push_back({"IndexShard", shard.to_bytes(), [](auto d) {
+                       (void)ibbe::system::IndexShard::from_bytes(d);
+                     }});
+  ibbe::system::CipherBundle bundle;
+  bundle.entries = {{3, group.partitions[0]}};
+  formats.push_back({"CipherBundle", bundle.to_bytes(), [](auto d) {
+                       (void)ibbe::system::CipherBundle::from_bytes(d);
+                     }});
+  ibbe::system::CipherOverlay overlay;
+  overlay.pid = 3;
+  overlay.cipher = group.partitions[0];
+  formats.push_back({"CipherOverlay", overlay.to_bytes(), [](auto d) {
+                       (void)ibbe::system::CipherOverlay::from_bytes(d);
+                     }});
+  ibbe::system::IndexDelta delta;
+  delta.seq = 6;
+  ibbe::system::DeltaOp add;
+  add.kind = ibbe::system::DeltaOp::Kind::add_member;
+  add.user = "d";
+  add.pid = 3;
+  ibbe::system::DeltaOp repart;
+  repart.kind = ibbe::system::DeltaOp::Kind::repartition;
+  repart.dropped = {3, 4};
+  repart.created = {{5, users}};
+  delta.ops = {add, repart};
+  formats.push_back({"IndexDelta", delta.to_bytes(), [](auto d) {
+                       (void)ibbe::system::IndexDelta::from_bytes(d);
                      }});
   auto env = ibbe::system::SignedEnvelope::sign(admin_key, Bytes(40, 9));
   formats.push_back({"SignedEnvelope", env.to_bytes(), [](auto d) {
@@ -160,6 +187,47 @@ TEST(FuzzDeserialize, RandomGarbageIsGraceful) {
       expect_graceful(format, garbage);
     }
   }
+}
+
+// Allocation-bomb resistance: a hostile count field claiming ~4 billion
+// elements in a tiny buffer must fail the remaining-bytes clamp
+// (ByteReader::count) BEFORE any reserve/allocation happens — a
+// DeserializeError, never std::bad_alloc or an OOM kill.
+TEST(FuzzDeserialize, HostileCountFieldsDoNotAllocate) {
+  auto bomb = [](std::initializer_list<std::uint8_t> bytes) {
+    return Bytes(bytes);
+  };
+  // GroupManifest: shard count 0xFFFFFFFF, then nothing.
+  Bytes manifest_bomb = bomb({0xff, 0xff, 0xff, 0xff});
+  EXPECT_THROW(ibbe::system::GroupManifest::from_bytes(manifest_bomb),
+               DeserializeError);
+  // IndexShard: sid, then partition count 0xFFFFFFFF.
+  Bytes shard_bomb = bomb({0, 0, 0, 0, 0, 0, 0, 7, 0xff, 0xff, 0xff, 0xff});
+  EXPECT_THROW(ibbe::system::IndexShard::from_bytes(shard_bomb),
+               DeserializeError);
+  // IndexShard: one partition whose MEMBER count is the bomb.
+  Bytes member_bomb = bomb({0, 0, 0, 0, 0, 0, 0, 7,   // sid
+                            0, 0, 0, 1,               // 1 partition
+                            0, 0, 0, 0, 0, 0, 0, 3,   // pid
+                            0xff, 0xff, 0xff, 0xff}); // member count
+  EXPECT_THROW(ibbe::system::IndexShard::from_bytes(member_bomb),
+               DeserializeError);
+  // CipherBundle: entry count 0xFFFFFFFF.
+  Bytes bundle_bomb = bomb({0xff, 0xff, 0xff, 0xff});
+  EXPECT_THROW(ibbe::system::CipherBundle::from_bytes(bundle_bomb),
+               DeserializeError);
+  // IndexDelta: header, then op count 0xFFFFFFFF.
+  Bytes delta_bomb(8 + 32 + 32, 0);
+  delta_bomb.insert(delta_bomb.end(), {0xff, 0xff, 0xff, 0xff});
+  EXPECT_THROW(ibbe::system::IndexDelta::from_bytes(delta_bomb),
+               DeserializeError);
+  // IndexDelta: one repartition op whose dropped-pid count is the bomb.
+  Bytes repart_bomb(8 + 32 + 32, 0);
+  repart_bomb.insert(repart_bomb.end(), {0, 0, 0, 1});  // 1 op
+  repart_bomb.push_back(3);                             // kind: repartition
+  repart_bomb.insert(repart_bomb.end(), {0xff, 0xff, 0xff, 0xff});
+  EXPECT_THROW(ibbe::system::IndexDelta::from_bytes(repart_bomb),
+               DeserializeError);
 }
 
 TEST(FuzzDeserialize, TrailingBytesAreRejected) {

@@ -51,8 +51,12 @@ TEST_F(SystemFixture, CreateGroupSplitsIntoFixedPartitions) {
   admin.create_group(gid, make_users(8));
   EXPECT_EQ(admin.group_size(gid), 8u);
   EXPECT_EQ(admin.partition_count(gid), 3u);  // 3+3+2 under |p|=3
-  // Cloud layout: index + one file per partition + the sealed group key.
-  EXPECT_EQ(cloud.list("groups/" + gid + "/").size(), 5u);
+  // Cloud layout: exactly the objects the admin accounts for — manifest,
+  // sealed gk, the member-list shards, the cipher bundle (create is a
+  // snapshot barrier: no overlays, no retained deltas).
+  EXPECT_EQ(cloud.list("groups/" + gid + "/").size(),
+            admin.cloud_object_count(gid));
+  EXPECT_EQ(cloud.list("groups/" + gid + "/s").size(), admin.shard_count(gid));
 }
 
 TEST_F(SystemFixture, EveryMemberDerivesTheSameKey) {
@@ -137,8 +141,11 @@ TEST_F(SystemFixture, EmptiedPartitionIsDropped) {
   ASSERT_EQ(admin.partition_count(gid), 2u);
   admin.remove_user(gid, "solo");
   EXPECT_EQ(admin.partition_count(gid), 1u);
-  // index + the surviving partition + the rotated sealed gk.
-  EXPECT_EQ(cloud.list("groups/" + gid + "/").size(), 3u);
+  // No stale objects: the footprint is exactly what the admin accounts for
+  // (manifest, rotated gk, surviving shard, fresh cipher bundle, retained
+  // delta chain).
+  EXPECT_EQ(cloud.list("groups/" + gid + "/").size(),
+            admin.cloud_object_count(gid));
 }
 
 TEST_F(SystemFixture, RepartitioningMergesSparsePartitions) {
